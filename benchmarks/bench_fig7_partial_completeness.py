@@ -1,0 +1,94 @@
+"""Figure 7 — interesting rules vs. partial completeness level.
+
+The paper mines the credit dataset at minimum support 20%, minimum
+confidence 25% and maximum support 40%, sweeping the partial-completeness
+level K over {1.5, 2, 3, 5} and reporting, for interest levels
+{1.1, 1.5, 2}: (a) the number of interesting rules and (b) the percentage
+of all rules found interesting.
+
+Expected shape (paper): the interesting-rule count falls as K rises —
+coarser partitions mean fewer intervals and fewer near-duplicate rules —
+while the *fraction* found interesting rises (the fraction pruned falls).
+
+Substitutions: synthetic credit table (DESIGN.md §4); Equation 2 is
+applied with n' = 2 (the paper's own refinement for when rules are not
+expected to combine many quantitative attributes — Section 3.2), which
+keeps the pure-Python run tractable at K = 1.5.
+
+The sweep itself lives in :mod:`repro.experiments.figure7`; this harness
+parametrizes it per K for per-point timings and asserts the shapes.
+"""
+
+import pytest
+
+from repro.experiments import (
+    PAPER_COMPLETENESS_LEVELS,
+    PAPER_INTEREST_LEVELS,
+    run_figure7,
+)
+
+NUM_RECORDS = 20_000
+
+#: Series collected across the parametrized points, for the cross-K shape
+#: check once the sweep completes.
+_SERIES: dict = {}
+
+
+@pytest.mark.parametrize("completeness", PAPER_COMPLETENESS_LEVELS)
+def test_fig7_partial_completeness(
+    benchmark, credit_table_cache, reporter, completeness
+):
+    table = credit_table_cache(NUM_RECORDS)
+    result = benchmark.pedantic(
+        run_figure7,
+        args=(table,),
+        kwargs={"completeness_levels": (completeness,)},
+        rounds=1,
+        iterations=1,
+    )
+    point = result.points[0]
+    _SERIES[completeness] = point
+    reporter.line(
+        f"\nFigure 7 point: K={completeness} "
+        f"(records={NUM_RECORDS}, minsup=20%, minconf=25%, maxsup=40%)"
+    )
+    reporter.row(
+        "interest R", "interesting", "% of rules",
+        f"(total {point.total_rules})",
+    )
+    for r_level in PAPER_INTEREST_LEVELS:
+        reporter.row(
+            r_level,
+            point.interesting[r_level],
+            f"{100 * point.fraction(r_level):.1f}%",
+            "",
+        )
+
+    # Within one K: higher interest levels keep no more rules.
+    counts = [point.interesting[r] for r in PAPER_INTEREST_LEVELS]
+    assert counts == sorted(counts, reverse=True), (
+        "higher interest levels must keep no more rules"
+    )
+
+    # Across K (checked once the sweep is complete): the number of
+    # interesting rules falls as the partial completeness level rises,
+    # and the fraction found interesting rises (fewer similar rules) —
+    # Figure 7's two panels.
+    if len(_SERIES) == len(PAPER_COMPLETENESS_LEVELS):
+        for r_level in PAPER_INTEREST_LEVELS:
+            interesting = [
+                _SERIES[k].interesting[r_level]
+                for k in PAPER_COMPLETENESS_LEVELS
+            ]
+            assert interesting == sorted(interesting, reverse=True), (
+                f"interesting-rule count must fall with K (R={r_level}): "
+                f"{interesting}"
+            )
+            fractions = [
+                _SERIES[k].fraction(r_level)
+                for k in PAPER_COMPLETENESS_LEVELS
+            ]
+            assert fractions == sorted(fractions), (
+                f"fraction interesting must rise with K (R={r_level}): "
+                f"{fractions}"
+            )

@@ -1,0 +1,86 @@
+"""ABL-PART — equi-depth vs. equi-width partitioning on skewed data.
+
+Lemma 4 proves equi-depth partitioning minimizes the partial-completeness
+level for a given interval count; the paper's future-work section notes
+it can still behave poorly on highly skewed data (it splits adjacent
+high-support values apart).  This ablation measures, on a heavily skewed
+column, the Equation 1 completeness level each method realizes and the
+rules each run finds.
+
+Expected shape: equi-depth achieves a lower (better) partial-completeness
+level at every interval count; equi-width leaves most intervals nearly
+empty, inflating the realized K.
+"""
+
+import pytest
+
+from repro.core import MinerConfig, partition_column
+from repro.core.miner import QuantitativeMiner
+from repro.data import generate_skewed_table
+
+NUM_RECORDS = 20_000
+INTERVAL_COUNTS = (5, 10, 20)
+METHODS = ("equidepth", "equiwidth", "equicardinality", "cluster")
+
+
+@pytest.fixture(scope="module")
+def skewed_table():
+    return generate_skewed_table(NUM_RECORDS, seed=7, skew=0.88)
+
+
+@pytest.mark.parametrize("num_intervals", INTERVAL_COUNTS)
+def test_partitioning_methods(
+    benchmark, skewed_table, reporter, num_intervals
+):
+    column = skewed_table.column("amount")
+
+    def measure():
+        out = {}
+        for name in METHODS:
+            part = partition_column(column, num_intervals, name)
+            out[name] = part.max_multi_value_support(column)
+        return out
+
+    s_values = benchmark.pedantic(measure, rounds=1, iterations=1)
+    minsup = 0.1
+    reporter.line(f"\nintervals={num_intervals} (minsup {minsup:.0%})")
+    reporter.row("method", "max interval sup", "Equation-1 K")
+    for name, s in s_values.items():
+        k = 1.0 + 2.0 * 1 * s / minsup
+        reporter.row(name, f"{s:.3f}", f"{k:.2f}")
+
+    # Lemma 4's objective: equi-depth's max multi-value interval support
+    # is no larger than any other method's.
+    for name in METHODS[1:]:
+        assert s_values["equidepth"] <= s_values[name] + 1e-9, s_values
+
+
+def test_rule_yield_on_skewed_data(benchmark, skewed_table, reporter):
+    """Mine the skewed table under every method and compare rule yield."""
+
+    def mine(method):
+        config = MinerConfig(
+            min_support=0.1,
+            min_confidence=0.3,
+            max_support=0.5,
+            num_partitions={"amount": 10},
+            partition_method=method,
+        )
+        return QuantitativeMiner(skewed_table, config).mine()
+
+    results = benchmark.pedantic(
+        lambda: {m: mine(m) for m in METHODS},
+        rounds=1,
+        iterations=1,
+    )
+    reporter.line("\nrule yield at 10 intervals, minsup 10%:")
+    reporter.row("method", "frequent itemsets", "rules")
+    for method, result in results.items():
+        reporter.row(
+            method,
+            len(result.support_counts),
+            len(result.rules),
+        )
+    # Every method must find the embedded amount->segment association.
+    for result in results.values():
+        assert result.rules

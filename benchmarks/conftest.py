@@ -1,0 +1,72 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's evaluation artifacts
+(Figures 7, 8, 9) or one of the design-choice ablations DESIGN.md calls
+out.  Expensive inputs (synthetic credit tables) are cached per session,
+and each benchmark appends its reproduced series to a text report under
+``benchmarks/results/`` so the numbers survive the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.data import generate_credit_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def credit_table_cache():
+    """Session cache of synthetic credit tables keyed by (size, seed)."""
+    cache = {}
+
+    def get(num_records: int, seed: int = 42):
+        key = (num_records, seed)
+        if key not in cache:
+            cache[key] = generate_credit_table(num_records, seed=seed)
+        return cache[key]
+
+    return get
+
+
+class ResultReporter:
+    """Accumulates one experiment's table and writes it at teardown."""
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._lines: list = []
+
+    def line(self, text: str = "") -> None:
+        self._lines.append(text)
+        print(text)
+
+    def row(self, *cells, widths=None) -> None:
+        if widths is None:
+            widths = [14] * len(cells)
+        text = "  ".join(
+            f"{str(c):>{w}}" for c, w in zip(cells, widths)
+        )
+        self.line(text)
+
+    def flush(self) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{self._name}.txt"
+        existing = (
+            path.read_text() if path.exists() else ""
+        )
+        with path.open("a") as f:
+            if not existing:
+                f.write(f"# {self._name}\n")
+            f.write("\n".join(self._lines) + "\n")
+
+
+@pytest.fixture
+def reporter(request):
+    """Per-test reporter named after the benchmark module."""
+    name = request.module.__name__.replace("bench_", "")
+    r = ResultReporter(name)
+    yield r
+    r.flush()

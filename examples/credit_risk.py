@@ -1,0 +1,71 @@
+"""Credit-portfolio rule mining — the paper's Section 6 scenario.
+
+The paper's evaluation dataset (proprietary) had five quantitative
+attributes — monthly income, credit limit, current balance, year-to-date
+balance, year-to-date interest — and two categorical ones — employee
+category and marital status.  This example mines the synthetic stand-in
+with the paper's evaluation parameters (minimum support 20%, minimum
+confidence 25%, maximum support 40%) and shows how the interest measure
+cuts hundreds of near-duplicate range rules down to a digestible report.
+
+Run:  python examples/credit_risk.py [num_records]
+"""
+
+import sys
+
+from repro import MinerConfig, QuantitativeMiner
+from repro.data import generate_credit_table
+
+
+def main(num_records: int = 10_000) -> None:
+    print(f"generating {num_records} synthetic credit records ...")
+    table = generate_credit_table(num_records, seed=42)
+
+    config = MinerConfig(
+        min_support=0.2,
+        min_confidence=0.25,
+        max_support=0.4,
+        partial_completeness=2.0,
+        # No rule here needs more than two quantitative attributes, so
+        # Equation 2 may use n' = 2 (Section 3.2), giving 20 base
+        # intervals per attribute instead of 50.
+        max_quantitative_in_rule=2,
+        interest_level=1.5,
+    )
+    miner = QuantitativeMiner(table, config)
+    result = miner.mine()
+
+    stats = result.stats
+    print(f"\npartitions per attribute: {stats.partitions_per_attribute}")
+    print(
+        f"realized partial completeness (Equation 1): "
+        f"{stats.realized_completeness:.2f}"
+    )
+    print(
+        f"\n{stats.num_rules} rules meet minsup/minconf; the "
+        f"greater-than-expected-value measure keeps "
+        f"{stats.num_interesting_rules} "
+        f"({100 * stats.fraction_rules_interesting:.1f}%)."
+    )
+
+    print("\nTop interesting rules by support:")
+    print(result.describe_rules(limit=15))
+
+    # Mixed categorical/quantitative structure the generator embeds —
+    # look for employee-category driving income ranges, ranked by lift
+    # via the RuleSet query API.
+    from repro.core import RuleSet
+
+    rules = RuleSet.from_result(result)
+    employee_attr = table.schema.index_of("employee_category")
+    print("\nHighest-lift rules driven by employee category:")
+    categorical_rules = (
+        rules.with_antecedent_attribute(employee_attr)
+        .sorted_by("lift")
+        .top(10, key="lift")
+    )
+    print(categorical_rules.describe() or "  (none)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 10_000)

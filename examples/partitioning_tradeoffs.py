@@ -1,0 +1,69 @@
+"""The partitioning catch-22, quantified (Sections 1.1 and 3).
+
+Too few intervals lose confidence ("MinConf"); too many explode execution
+time and rule counts ("ExecTime" / "ManyRules").  The partial-completeness
+level K is the paper's dial: Equation 2 converts a desired K into an
+interval count, and Equation 1 reports the K a realized partitioning
+guarantees.
+
+This script sweeps K on the synthetic credit table and prints, for each
+level: intervals per attribute, frequent itemsets, rules, interesting
+rules, and wall-clock time — making the information-loss/cost trade-off
+visible.
+
+Run:  python examples/partitioning_tradeoffs.py [num_records]
+"""
+
+import sys
+
+from repro import MinerConfig, QuantitativeMiner
+from repro.core import required_intervals
+from repro.data import generate_credit_table
+
+
+def main(num_records: int = 5_000) -> None:
+    table = generate_credit_table(num_records, seed=42)
+    min_support = 0.2
+
+    print(
+        "Equation 2 preview (n'=2 quantitative attributes per rule, "
+        f"minsup {min_support:.0%}):"
+    )
+    for k in (1.5, 2.0, 3.0, 5.0):
+        print(f"  K={k}: {required_intervals(2, min_support, k)} intervals")
+
+    header = (
+        f"{'K':>4}  {'intervals':>9}  {'realized K':>10}  "
+        f"{'itemsets':>8}  {'rules':>7}  {'interesting':>11}  {'time':>7}"
+    )
+    print("\n" + header)
+    print("-" * len(header))
+    for k in (1.5, 2.0, 3.0, 5.0):
+        config = MinerConfig(
+            min_support=min_support,
+            min_confidence=0.25,
+            max_support=0.4,
+            partial_completeness=k,
+            max_quantitative_in_rule=2,
+            interest_level=1.5,
+        )
+        result = QuantitativeMiner(table, config).mine()
+        stats = result.stats
+        intervals = stats.partitions_per_attribute["monthly_income"]
+        print(
+            f"{k:>4}  {intervals:>9}  {stats.realized_completeness:>10.2f}  "
+            f"{stats.num_frequent_itemsets:>8}  {stats.num_rules:>7}  "
+            f"{stats.num_interesting_rules:>11}  "
+            f"{stats.total_seconds:>6.1f}s"
+        )
+
+    print(
+        "\nReading the table: lower K preserves more information (closer"
+        "\nrules survive partitioning) but multiplies rules and run time —"
+        "\nthe paper's ExecTime/ManyRules trade-off.  The interest measure"
+        "\nabsorbs most of the blow-up."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 5_000)

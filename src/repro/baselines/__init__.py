@@ -1,0 +1,21 @@
+"""Baselines the paper compares against or improves upon."""
+
+from .naive_boolean import (
+    NaiveBooleanResult,
+    mine_naive_boolean,
+    to_transactions,
+)
+from .ps91 import (
+    SingleAttributeRule,
+    mine_single_attribute_rules,
+    mine_table,
+)
+
+__all__ = [
+    "NaiveBooleanResult",
+    "SingleAttributeRule",
+    "mine_naive_boolean",
+    "mine_single_attribute_rules",
+    "mine_table",
+    "to_transactions",
+]

@@ -1,0 +1,19 @@
+"""Boolean association rules substrate: the Apriori algorithm of [AS94]."""
+
+from .apriori import AprioriResult, apriori, generate_candidates
+from .apriori_tid import apriori_hybrid, apriori_tid
+from .hashtree import HashTree
+from .rulegen import BooleanRule, generate_rules
+from .transactions import TransactionDatabase
+
+__all__ = [
+    "AprioriResult",
+    "BooleanRule",
+    "HashTree",
+    "TransactionDatabase",
+    "apriori",
+    "apriori_hybrid",
+    "apriori_tid",
+    "generate_candidates",
+    "generate_rules",
+]

@@ -1,0 +1,168 @@
+"""The Apriori algorithm for boolean association rules [AS94].
+
+This is the substrate the quantitative miner (SIGMOD'96) is built on: the
+same level-wise structure, the same join + subset-prune candidate
+generation, and hash-tree support counting.  It is also used directly by the
+``naive_boolean`` baseline, which maps every <attribute, value> pair of a
+relational table to a boolean item (Figure 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .hashtree import HashTree
+from .transactions import TransactionDatabase
+
+
+@dataclass
+class AprioriResult:
+    """Outcome of a frequent-itemset run.
+
+    Attributes
+    ----------
+    support_counts:
+        Mapping from frequent itemset (sorted tuple) to absolute support.
+    num_transactions:
+        Database size, for converting counts to fractions.
+    candidate_counts:
+        Number of candidates generated per pass (index 0 -> pass 1).
+    """
+
+    support_counts: dict
+    num_transactions: int
+    candidate_counts: list = field(default_factory=list)
+
+    def support(self, itemset) -> float:
+        """Fractional support of a frequent itemset (0.0 if not frequent)."""
+        count = self.support_counts.get(tuple(sorted(itemset)), 0)
+        if self.num_transactions == 0:
+            return 0.0
+        return count / self.num_transactions
+
+    def frequent_itemsets(self, size=None) -> list:
+        """All frequent itemsets, optionally restricted to one size."""
+        itemsets = self.support_counts.keys()
+        if size is not None:
+            itemsets = (s for s in itemsets if len(s) == size)
+        return sorted(itemsets)
+
+    @property
+    def max_size(self) -> int:
+        """Length of the largest frequent itemset (0 when none)."""
+        return max((len(s) for s in self.support_counts), default=0)
+
+
+def generate_candidates(frequent_prev: list, k: int) -> list:
+    """Apriori-gen: produce candidate k-itemsets from frequent (k-1)-itemsets.
+
+    Join phase: pairs of (k-1)-itemsets sharing their first k-2 items are
+    merged.  Prune phase: candidates with any infrequent (k-1)-subset are
+    discarded.
+    """
+    if k < 2:
+        raise ValueError("candidate generation starts at k=2")
+    prev = sorted(frequent_prev)
+    prev_set = set(prev)
+    candidates = []
+    n = len(prev)
+    for i in range(n):
+        a = prev[i]
+        for j in range(i + 1, n):
+            b = prev[j]
+            if a[:-1] != b[:-1]:
+                break  # sorted order: no further j can share the prefix
+            candidate = a + (b[-1],)
+            if _all_subsets_frequent(candidate, prev_set):
+                candidates.append(candidate)
+    return candidates
+
+
+def _all_subsets_frequent(candidate, prev_set) -> bool:
+    """True iff every (k-1)-subset of ``candidate`` is in ``prev_set``.
+
+    The two subsets obtained by dropping one of the two joined items are in
+    ``prev_set`` by construction, but checking all of them keeps the
+    function honest and cheap (k is small).
+    """
+    for drop in range(len(candidate)):
+        if candidate[:drop] + candidate[drop + 1:] not in prev_set:
+            return False
+    return True
+
+
+def _count_with_hashtree(candidates, db) -> dict:
+    tree = HashTree.build(candidates)
+    counts = {c: 0 for c in candidates}
+    for transaction in db:
+        for itemset in tree.subsets(transaction):
+            counts[itemset] += 1
+    return counts
+
+
+def _count_naive(candidates, db) -> dict:
+    counts = {c: 0 for c in candidates}
+    for transaction in db:
+        t = set(transaction)
+        for candidate in candidates:
+            if t.issuperset(candidate):
+                counts[candidate] += 1
+    return counts
+
+
+def apriori(
+    db: TransactionDatabase,
+    min_support: float,
+    max_size=None,
+    counting: str = "hashtree",
+) -> AprioriResult:
+    """Find all frequent itemsets of ``db`` with support >= ``min_support``.
+
+    Parameters
+    ----------
+    db:
+        The transaction database.
+    min_support:
+        Minimum fractional support in [0, 1].
+    max_size:
+        Optional cap on itemset size (``None`` = run until L_k is empty).
+    counting:
+        ``"hashtree"`` (default, [AS94]) or ``"naive"`` (reference linear
+        scan, used for cross-validation in tests).
+    """
+    if not 0.0 <= min_support <= 1.0:
+        raise ValueError(f"min_support must be in [0, 1], got {min_support}")
+    if counting not in ("hashtree", "naive"):
+        raise ValueError(f"unknown counting backend {counting!r}")
+    counter = _count_with_hashtree if counting == "hashtree" else _count_naive
+
+    n = db.num_transactions
+    min_count = min_support * n
+
+    # Pass 1: count individual items directly.
+    item_counts: dict = {}
+    for transaction in db:
+        for item in transaction:
+            item_counts[item] = item_counts.get(item, 0) + 1
+    frequent = {
+        (item,): count
+        for item, count in item_counts.items()
+        if count >= min_count
+    }
+    result = AprioriResult(dict(frequent), n, [len(item_counts)])
+
+    k = 2
+    current = sorted(frequent)
+    while current and (max_size is None or k <= max_size):
+        candidates = generate_candidates(current, k)
+        result.candidate_counts.append(len(candidates))
+        if not candidates:
+            break
+        counts = counter(candidates, db)
+        current = sorted(
+            c for c, count in counts.items() if count >= min_count
+        )
+        for c in current:
+            result.support_counts[c] = counts[c]
+        k += 1
+    return result

@@ -1,0 +1,168 @@
+"""AprioriTid and AprioriHybrid, the companion algorithms of [AS94].
+
+Apriori rescans the database on every pass.  **AprioriTid** instead
+carries a transformed database C̄_k forward: for each transaction, the set
+of candidate k-itemsets it contains.  A candidate ``c`` of pass k is in a
+transaction iff both of its *generators* — the two (k-1)-itemsets whose
+join produced it — were in that transaction's C̄_{k-1} entry, so later
+passes never touch the raw data.  C̄ shrinks as k grows, which makes the
+late passes very fast, but C̄_2 can dwarf the database, which makes the
+early passes slow.
+
+**AprioriHybrid** therefore runs Apriori for the early passes and switches
+to AprioriTid once the estimated size of C̄_k fits comfortably in memory
+([AS94] Section 4).
+
+Both return the same :class:`~repro.booleans.apriori.AprioriResult` as
+:func:`~repro.booleans.apriori.apriori`; the test-suite cross-validates
+all three on random databases.
+"""
+
+from __future__ import annotations
+
+from .apriori import AprioriResult, generate_candidates
+from .hashtree import HashTree
+from .transactions import TransactionDatabase
+
+
+def _first_pass(db: TransactionDatabase, min_count: float):
+    """Count single items; return (L1 dict, C̄_1)."""
+    item_counts: dict = {}
+    for transaction in db:
+        for item in transaction:
+            item_counts[item] = item_counts.get(item, 0) + 1
+    frequent = {
+        (item,): count
+        for item, count in item_counts.items()
+        if count >= min_count
+    }
+    transformed = [
+        {(item,) for item in transaction if (item,) in frequent}
+        for transaction in db
+    ]
+    return frequent, transformed, len(item_counts)
+
+
+def _tid_pass(candidates, transformed):
+    """One AprioriTid pass: count candidates and build the next C̄.
+
+    ``transformed`` holds per-transaction sets of frequent (k-1)-itemsets;
+    a candidate is present when both of its generators are.
+    """
+    # Index candidates by their first generator (the k-1 prefix).
+    by_generator: dict = {}
+    for c in candidates:
+        by_generator.setdefault(c[:-1], []).append(c)
+
+    counts = {c: 0 for c in candidates}
+    next_transformed = []
+    for entry in transformed:
+        present = set()
+        for generator in entry:
+            for candidate in by_generator.get(generator, ()):
+                # Second generator: drop the second-to-last item.
+                other = candidate[:-2] + (candidate[-1],)
+                if other in entry:
+                    present.add(candidate)
+        for candidate in present:
+            counts[candidate] += 1
+        next_transformed.append(present)
+    return counts, next_transformed
+
+
+def apriori_tid(
+    db: TransactionDatabase, min_support: float, max_size=None
+) -> AprioriResult:
+    """Frequent itemsets via AprioriTid (single raw-data scan)."""
+    if not 0.0 <= min_support <= 1.0:
+        raise ValueError(f"min_support must be in [0, 1], got {min_support}")
+    n = db.num_transactions
+    min_count = min_support * n
+    frequent, transformed, distinct = _first_pass(db, min_count)
+    result = AprioriResult(dict(frequent), n, [distinct])
+
+    current = sorted(frequent)
+    k = 2
+    while current and (max_size is None or k <= max_size):
+        candidates = generate_candidates(current, k)
+        result.candidate_counts.append(len(candidates))
+        if not candidates:
+            break
+        counts, transformed = _tid_pass(candidates, transformed)
+        current = sorted(
+            c for c, count in counts.items() if count >= min_count
+        )
+        # Drop entries that can no longer support anything.
+        survivors = set(current)
+        transformed = [
+            entry & survivors if entry else entry for entry in transformed
+        ]
+        for c in current:
+            result.support_counts[c] = counts[c]
+        k += 1
+    return result
+
+
+def apriori_hybrid(
+    db: TransactionDatabase,
+    min_support: float,
+    max_size=None,
+    memory_budget_entries: int | None = None,
+) -> AprioriResult:
+    """Frequent itemsets via AprioriHybrid.
+
+    Runs Apriori's hash-tree counting while the estimated transformed
+    database would be large, then switches to AprioriTid.  The estimate
+    for pass k is the total number of candidate occurrences counted in
+    pass k (that is exactly |C̄_k|); the switch happens once it drops
+    below ``memory_budget_entries`` (default: twice the raw database's
+    item occurrences, mirroring [AS94]'s "fits in memory" condition).
+    """
+    if not 0.0 <= min_support <= 1.0:
+        raise ValueError(f"min_support must be in [0, 1], got {min_support}")
+    n = db.num_transactions
+    min_count = min_support * n
+    if memory_budget_entries is None:
+        memory_budget_entries = 2 * sum(len(t) for t in db) + 1
+
+    frequent, __, distinct = _first_pass(db, min_count)
+    result = AprioriResult(dict(frequent), n, [distinct])
+    current = sorted(frequent)
+    transformed = None  # becomes the C̄ once we switch
+    k = 2
+    while current and (max_size is None or k <= max_size):
+        candidates = generate_candidates(current, k)
+        result.candidate_counts.append(len(candidates))
+        if not candidates:
+            break
+        if transformed is None:
+            # Apriori-style pass; additionally measure |C̄_k| to decide
+            # whether to switch for the next pass.
+            tree = HashTree.build(candidates)
+            counts = {c: 0 for c in candidates}
+            occurrences = 0
+            per_transaction = []
+            for transaction in db:
+                found = tree.subsets(transaction)
+                occurrences += len(found)
+                per_transaction.append(found)
+                for itemset in found:
+                    counts[itemset] += 1
+            if occurrences <= memory_budget_entries:
+                # Build C̄_k now so the next pass runs TID-style.
+                transformed = [set(found) for found in per_transaction]
+        else:
+            counts, transformed = _tid_pass(candidates, transformed)
+        current = sorted(
+            c for c, count in counts.items() if count >= min_count
+        )
+        if transformed is not None:
+            survivors = set(current)
+            transformed = [
+                entry & survivors if entry else entry
+                for entry in transformed
+            ]
+        for c in current:
+            result.support_counts[c] = counts[c]
+        k += 1
+    return result

@@ -1,0 +1,162 @@
+"""Hash-tree for candidate support counting, after [AS94].
+
+Apriori's inner loop must find, for each transaction, every candidate
+itemset contained in it.  The hash-tree stores candidate k-itemsets so that
+this containment search touches only a small portion of the candidates:
+
+* An *interior* node at depth ``d`` hashes the d-th item of an itemset into
+  a fixed number of buckets, each leading to a child node.
+* A *leaf* node stores a list of itemsets.  When a leaf overflows and its
+  depth is still less than ``k`` it is converted into an interior node.
+
+``subsets(transaction)`` walks the tree exactly as described in Section 2.1
+of [AS94]: at an interior node reached by hashing item ``t[i]``, every item
+after position ``i`` is hashed in turn; at a leaf, each stored itemset is
+checked for containment.
+
+The quantitative miner (Section 5.2 of the SIGMOD'96 paper) re-uses this
+structure to match the categorical part of super-candidates against a
+record.
+"""
+
+from __future__ import annotations
+
+
+class _Node:
+    __slots__ = ("children", "itemsets")
+
+    def __init__(self) -> None:
+        self.children = None  # dict bucket -> _Node when interior
+        self.itemsets = []  # payload when leaf
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class HashTree:
+    """A hash-tree over equal-length itemsets (sorted tuples).
+
+    Parameters
+    ----------
+    k:
+        Length of every stored itemset.
+    leaf_capacity:
+        Maximum itemsets per leaf before it is split (unless the leaf is
+        already at depth ``k``, where it may grow unboundedly).
+    num_buckets:
+        Number of hash buckets at interior nodes.
+    """
+
+    def __init__(self, k: int, leaf_capacity: int = 8, num_buckets: int = 16) -> None:
+        if k < 1:
+            raise ValueError("itemset length k must be >= 1")
+        if leaf_capacity < 1:
+            raise ValueError("leaf_capacity must be >= 1")
+        if num_buckets < 1:
+            raise ValueError("num_buckets must be >= 1")
+        self._k = k
+        self._leaf_capacity = leaf_capacity
+        self._num_buckets = num_buckets
+        self._root = _Node()
+        self._size = 0
+
+    def _bucket(self, item) -> int:
+        return hash(item) % self._num_buckets
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def insert(self, itemset) -> None:
+        """Insert one sorted k-itemset."""
+        itemset = tuple(itemset)
+        if len(itemset) != self._k:
+            raise ValueError(
+                f"itemset {itemset!r} has length {len(itemset)}, "
+                f"tree expects {self._k}"
+            )
+        node, depth = self._root, 0
+        while not node.is_leaf:
+            node = node.children.setdefault(
+                self._bucket(itemset[depth]), _Node()
+            )
+            depth += 1
+        node.itemsets.append(itemset)
+        self._size += 1
+        if len(node.itemsets) > self._leaf_capacity and depth < self._k:
+            self._split(node, depth)
+
+    def _split(self, node: _Node, depth: int) -> None:
+        """Convert an overflowing leaf into an interior node."""
+        stored, node.itemsets, node.children = node.itemsets, [], {}
+        for itemset in stored:
+            child = node.children.setdefault(
+                self._bucket(itemset[depth]), _Node()
+            )
+            child.itemsets.append(itemset)
+        for child in node.children.values():
+            if len(child.itemsets) > self._leaf_capacity and depth + 1 < self._k:
+                self._split(child, depth + 1)
+
+    @classmethod
+    def build(cls, itemsets, k=None, leaf_capacity: int = 8, num_buckets: int = 16):
+        """Build a tree from an iterable of equal-length sorted itemsets."""
+        itemsets = [tuple(s) for s in itemsets]
+        if k is None:
+            if not itemsets:
+                raise ValueError("cannot infer k from an empty collection")
+            k = len(itemsets[0])
+        tree = cls(k, leaf_capacity=leaf_capacity, num_buckets=num_buckets)
+        for s in itemsets:
+            tree.insert(s)
+        return tree
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def subsets(self, transaction) -> list:
+        """Return every stored itemset that is a subset of ``transaction``.
+
+        ``transaction`` is any iterable of items; it is sorted and
+        de-duplicated internally.  Itemsets are returned at most once each.
+        """
+        t = tuple(sorted(set(transaction)))
+        found: list = []
+        if len(t) < self._k:
+            return found
+        self._collect(self._root, t, 0, found, set())
+        return found
+
+    def _collect(self, node: _Node, t, start: int, found: list, seen: set) -> None:
+        if node.is_leaf:
+            t_set = set(t)
+            for itemset in node.itemsets:
+                if itemset not in seen and t_set.issuperset(itemset):
+                    seen.add(itemset)
+                    found.append(itemset)
+            return
+        # Hash each remaining transaction item and recurse; different items
+        # may collide into the same bucket, so guard against re-visiting the
+        # same stored itemset via `seen`.
+        for i in range(start, len(t)):
+            child = node.children.get(self._bucket(t[i]))
+            if child is not None:
+                self._collect(child, t, i + 1, found, seen)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, itemset) -> bool:
+        itemset = tuple(itemset)
+        if len(itemset) != self._k:
+            return False
+        node, depth = self._root, 0
+        while not node.is_leaf:
+            child = node.children.get(self._bucket(itemset[depth]))
+            if child is None:
+                return False
+            node, depth = child, depth + 1
+        return itemset in node.itemsets
+
+    def __repr__(self) -> str:
+        return f"HashTree(k={self._k}, size={self._size})"

@@ -1,0 +1,85 @@
+"""Rule generation from frequent itemsets, after ap-genrules [AS94].
+
+For a frequent itemset ``l`` and every non-empty proper subset ``a``, the
+rule ``a => l - a`` holds when ``support(l) / support(a) >= minconf``.
+ap-genrules exploits the fact that confidence is anti-monotone in the
+consequent: if ``a => l - a`` fails, so does every rule whose consequent is
+a superset of ``l - a``.  Consequents are therefore grown level-wise with
+the same apriori-gen join used for itemsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .apriori import AprioriResult, generate_candidates
+
+
+@dataclass(frozen=True)
+class BooleanRule:
+    """An association rule over boolean items."""
+
+    antecedent: tuple
+    consequent: tuple
+    support: float
+    confidence: float
+
+    def __str__(self) -> str:
+        lhs = ", ".join(map(str, self.antecedent))
+        rhs = ", ".join(map(str, self.consequent))
+        return (
+            f"{{{lhs}}} => {{{rhs}}} "
+            f"(sup={self.support:.3f}, conf={self.confidence:.3f})"
+        )
+
+
+def generate_rules(result: AprioriResult, min_confidence: float) -> list:
+    """Generate all rules meeting ``min_confidence`` from frequent itemsets.
+
+    Every rule's support equals the support of its full itemset, which is
+    frequent by construction, so rules automatically meet minimum support.
+    """
+    if not 0.0 <= min_confidence <= 1.0:
+        raise ValueError(
+            f"min_confidence must be in [0, 1], got {min_confidence}"
+        )
+    rules: list = []
+    for itemset in result.frequent_itemsets():
+        if len(itemset) < 2:
+            continue
+        _rules_for_itemset(itemset, result, min_confidence, rules)
+    rules.sort(key=lambda r: (-r.confidence, -r.support, r.antecedent))
+    return rules
+
+
+def _rules_for_itemset(itemset, result, min_confidence, out) -> None:
+    itemset_support = result.support(itemset)
+    item_set = set(itemset)
+
+    # Level 1: single-item consequents.
+    consequents = []
+    for item in itemset:
+        antecedent = tuple(sorted(item_set - {item}))
+        confidence = itemset_support / result.support(antecedent)
+        if confidence >= min_confidence:
+            consequents.append((item,))
+            out.append(
+                BooleanRule(antecedent, (item,), itemset_support, confidence)
+            )
+
+    # Grow consequents; a consequent can use at most len(itemset)-1 items.
+    m = 2
+    while consequents and m < len(itemset):
+        candidates = generate_candidates(sorted(consequents), m)
+        consequents = []
+        for consequent in candidates:
+            antecedent = tuple(sorted(item_set - set(consequent)))
+            confidence = itemset_support / result.support(antecedent)
+            if confidence >= min_confidence:
+                consequents.append(consequent)
+                out.append(
+                    BooleanRule(
+                        antecedent, consequent, itemset_support, confidence
+                    )
+                )
+        m += 1

@@ -1,0 +1,82 @@
+"""Transaction database abstraction for boolean association rules.
+
+The original association-rule problem [AIS93] is defined over a set of
+transactions, each a set of items.  Conceptually this is a relational table
+of boolean attributes (Section 1 of the paper); this module provides the
+transaction-set view used by the boolean Apriori miner and by the
+naive value-to-boolean baseline.
+"""
+
+from __future__ import annotations
+
+
+class TransactionDatabase:
+    """An immutable collection of transactions (each a sorted item tuple).
+
+    Items may be any hashable, orderable values; internally each transaction
+    is stored as a sorted tuple of unique items so that subset enumeration
+    (hash-tree descent) can rely on ordering.
+    """
+
+    def __init__(self, transactions) -> None:
+        self._transactions = [tuple(sorted(set(t))) for t in transactions]
+
+    @classmethod
+    def from_boolean_matrix(cls, matrix, item_names=None) -> "TransactionDatabase":
+        """Build from a records x items 0/1 matrix.
+
+        ``item_names[j]`` names item ``j``; defaults to column indices.
+        This is the mapping of Figure 2 in the paper run in reverse.
+        """
+        rows = [list(r) for r in matrix]
+        if rows:
+            width = len(rows[0])
+            if any(len(r) != width for r in rows):
+                raise ValueError("matrix rows have differing lengths")
+        else:
+            width = 0
+        if item_names is None:
+            item_names = list(range(width))
+        elif len(item_names) != width:
+            raise ValueError(
+                f"{len(item_names)} item names for {width} columns"
+            )
+        return cls(
+            [name for name, flag in zip(item_names, row) if flag]
+            for row in rows
+        )
+
+    @property
+    def transactions(self) -> list:
+        return self._transactions
+
+    @property
+    def num_transactions(self) -> int:
+        return len(self._transactions)
+
+    def items(self) -> list:
+        """All distinct items appearing in the database, sorted."""
+        seen = set()
+        for t in self._transactions:
+            seen.update(t)
+        return sorted(seen)
+
+    def support_count(self, itemset) -> int:
+        """Absolute support of an itemset by linear scan (reference path)."""
+        target = set(itemset)
+        return sum(1 for t in self._transactions if target.issubset(t))
+
+    def support(self, itemset) -> float:
+        """Fractional support of an itemset by linear scan."""
+        if not self._transactions:
+            return 0.0
+        return self.support_count(itemset) / len(self._transactions)
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __iter__(self):
+        return iter(self._transactions)
+
+    def __repr__(self) -> str:
+        return f"TransactionDatabase({len(self._transactions)} transactions)"

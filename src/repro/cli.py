@@ -1,0 +1,297 @@
+"""Command-line interface: mine quantitative association rules from a CSV.
+
+Examples
+--------
+Mine with defaults, sniffing attribute kinds from the data::
+
+    quantrules mine people.csv
+
+Force kinds, tune thresholds, keep only interesting rules::
+
+    quantrules mine credit.csv \
+        --categorical employee_category,marital_status \
+        --min-support 0.2 --min-confidence 0.25 --max-support 0.4 \
+        --completeness 1.5 --interest 1.1
+
+Generate the synthetic credit dataset used by the benchmarks::
+
+    quantrules generate credit.csv --records 50000 --seed 42
+
+Combine categorical values along an is-a hierarchy (a JSON object of
+child -> parent edges)::
+
+    quantrules mine sales.csv --taxonomy item=clothes_taxonomy.json
+
+Reproduce an evaluation figure on synthetic data::
+
+    quantrules figure7 --records 20000
+    quantrules figure8
+    quantrules figure9 --sizes 50000,100000,200000
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .core import MinerConfig, QuantitativeMiner, Taxonomy
+from .data import generate_credit_table
+from .table import load_csv, save_csv
+
+
+def _split_names(text: str | None) -> list:
+    if not text:
+        return []
+    return [name.strip() for name in text.split(",") if name.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="quantrules",
+        description=(
+            "Mine quantitative association rules "
+            "(Srikant & Agrawal, SIGMOD 1996)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    mine = sub.add_parser("mine", help="mine rules from a CSV file")
+    mine.add_argument("csv", help="input CSV with a header row")
+    mine.add_argument(
+        "--quantitative",
+        help="comma-separated columns to force quantitative",
+    )
+    mine.add_argument(
+        "--categorical",
+        help="comma-separated columns to force categorical",
+    )
+    mine.add_argument(
+        "--min-support", type=float, default=0.1, metavar="FRAC"
+    )
+    mine.add_argument(
+        "--min-confidence", type=float, default=0.5, metavar="FRAC"
+    )
+    mine.add_argument(
+        "--max-support", type=float, default=0.4, metavar="FRAC",
+        help="stop combining adjacent intervals beyond this support",
+    )
+    mine.add_argument(
+        "--completeness", type=float, default=1.5, metavar="K",
+        help="partial completeness level (drives interval counts)",
+    )
+    mine.add_argument(
+        "--interest", type=float, default=None, metavar="R",
+        help="interest level; omit to report all rules",
+    )
+    mine.add_argument(
+        "--interest-mode",
+        choices=("or", "and"),
+        default="or",
+        help="deviation test: support OR confidence (default) / AND",
+    )
+    mine.add_argument(
+        "--counting",
+        choices=("array", "rtree", "direct", "auto"),
+        default="array",
+        help="support-counting backend (Section 5.2)",
+    )
+    mine.add_argument(
+        "--partition-method",
+        choices=("equidepth", "equiwidth", "equicardinality", "cluster"),
+        default="equidepth",
+        help="base-interval construction (equidepth = paper's Lemma 4)",
+    )
+    mine.add_argument(
+        "--taxonomy",
+        action="append",
+        default=[],
+        metavar="ATTR=FILE.json",
+        help=(
+            "is-a hierarchy for a categorical attribute; the JSON file "
+            "maps each child value/node to its parent (repeatable)"
+        ),
+    )
+    mine.add_argument(
+        "--save-json", metavar="PATH",
+        help="additionally write the printed rules as a JSON document",
+    )
+    mine.add_argument(
+        "--save-csv", metavar="PATH",
+        help="additionally write the printed rules as a CSV table",
+    )
+    mine.add_argument(
+        "--max-itemset-size", type=int, default=None, metavar="K",
+        help="cap itemset size (default: run until exhausted)",
+    )
+    mine.add_argument(
+        "--all-rules",
+        action="store_true",
+        help="print all rules, not only the interesting ones",
+    )
+    mine.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="print at most N rules",
+    )
+    mine.add_argument(
+        "--stats", action="store_true", help="print mining statistics"
+    )
+
+    gen = sub.add_parser(
+        "generate", help="write a synthetic credit dataset CSV"
+    )
+    gen.add_argument("csv", help="output CSV path")
+    gen.add_argument("--records", type=int, default=10_000)
+    gen.add_argument("--seed", type=int, default=0)
+
+    fig7 = sub.add_parser(
+        "figure7",
+        help="reproduce Figure 7 (interesting rules vs. completeness)",
+    )
+    fig7.add_argument("--records", type=int, default=20_000)
+    fig7.add_argument("--seed", type=int, default=42)
+    fig7.add_argument(
+        "--levels", default="1.5,2,3,5",
+        help="comma-separated partial-completeness levels",
+    )
+
+    fig8 = sub.add_parser(
+        "figure8",
+        help="reproduce Figure 8 (%% interesting vs. interest level)",
+    )
+    fig8.add_argument("--records", type=int, default=10_000)
+    fig8.add_argument("--seed", type=int, default=42)
+
+    fig9 = sub.add_parser(
+        "figure9", help="reproduce Figure 9 (scale-up with records)"
+    )
+    fig9.add_argument(
+        "--sizes", default="50000,100000,200000,350000,500000",
+        help="comma-separated record counts",
+    )
+    fig9.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def _parse_taxonomies(specs) -> dict:
+    """Parse repeated ``ATTR=FILE.json`` options into Taxonomy objects."""
+    taxonomies = {}
+    for spec in specs:
+        attr, sep, path = spec.partition("=")
+        if not sep or not attr or not path:
+            raise SystemExit(
+                f"--taxonomy expects ATTR=FILE.json, got {spec!r}"
+            )
+        with open(path) as f:
+            edges = json.load(f)
+        if not isinstance(edges, dict):
+            raise SystemExit(
+                f"{path}: expected a JSON object of child->parent edges"
+            )
+        taxonomies[attr] = Taxonomy(edges)
+    return taxonomies
+
+
+def _run_mine(args) -> int:
+    taxonomies = _parse_taxonomies(args.taxonomy)
+    config = MinerConfig(
+        min_support=args.min_support,
+        min_confidence=args.min_confidence,
+        max_support=args.max_support,
+        partial_completeness=args.completeness,
+        interest_level=args.interest,
+        interest_mode=(
+            "support_and_confidence"
+            if args.interest_mode == "and"
+            else "support_or_confidence"
+        ),
+        counting=args.counting,
+        partition_method=args.partition_method,
+        max_itemset_size=args.max_itemset_size,
+        taxonomies=taxonomies or None,
+    )
+    categorical = set(_split_names(args.categorical)) | set(taxonomies)
+    table = load_csv(
+        args.csv,
+        quantitative=_split_names(args.quantitative),
+        categorical=sorted(categorical),
+    )
+    result = QuantitativeMiner(table, config).mine()
+    rules = result.rules if args.all_rules else result.interesting_rules
+    print(result.describe_rules(rules, limit=args.limit))
+    if args.save_json:
+        result.save_rules_json(args.save_json, rules)
+    if args.save_csv:
+        result.save_rules_csv(args.save_csv, rules)
+    shown = len(rules) if args.limit is None else min(args.limit, len(rules))
+    print(
+        f"\n{shown} of {len(result.rules)} rules shown "
+        f"({len(result.interesting_rules)} interesting)",
+        file=sys.stderr,
+    )
+    if args.stats:
+        print(file=sys.stderr)
+        print(result.stats.summary(), file=sys.stderr)
+    return 0
+
+
+def _run_generate(args) -> int:
+    table = generate_credit_table(args.records, seed=args.seed)
+    save_csv(table, args.csv)
+    print(f"wrote {table.num_records} records to {args.csv}", file=sys.stderr)
+    return 0
+
+
+def _run_figure7(args) -> int:
+    from .experiments import run_figure7
+
+    table = generate_credit_table(args.records, seed=args.seed)
+    levels = tuple(float(v) for v in _split_names(args.levels))
+    result = run_figure7(table, completeness_levels=levels)
+    print(result.render())
+    return 0
+
+
+def _run_figure8(args) -> int:
+    from .experiments import run_figure8
+
+    table = generate_credit_table(args.records, seed=args.seed)
+    print(run_figure8(table).render())
+    return 0
+
+
+def _run_figure9(args) -> int:
+    from .experiments import run_figure9
+
+    cache: dict = {}
+
+    def table_for_size(n: int):
+        if n not in cache:
+            cache[n] = generate_credit_table(n, seed=args.seed)
+        return cache[n]
+
+    sizes = tuple(int(v) for v in _split_names(args.sizes))
+    print(run_figure9(table_for_size, sizes=sizes).render())
+    return 0
+
+
+_COMMANDS = {
+    "mine": _run_mine,
+    "generate": _run_generate,
+    "figure7": _run_figure7,
+    "figure8": _run_figure8,
+    "figure9": _run_figure9,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        handler = _COMMANDS[args.command]
+    except KeyError:
+        raise AssertionError(f"unhandled command {args.command!r}")
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""Core library: the paper's contribution (quantitative rule mining)."""
+
+from .diagnostics import DiagnosticsReport, check_result
+from .explain import RuleExplanation, explain_rule
+from .export import (
+    load_rules_json,
+    rules_from_json,
+    rules_to_json,
+    save_rules_csv,
+    save_rules_json,
+)
+from .config import (
+    SUPPORT_AND_CONFIDENCE,
+    SUPPORT_OR_CONFIDENCE,
+    MinerConfig,
+)
+from .frequent_items import FrequentItems, find_frequent_items
+from .interest import InterestEvaluator, filter_interesting_rules
+from .items import (
+    Item,
+    attributes_of,
+    is_generalization,
+    is_specialization,
+    is_strict_generalization,
+    itemset_union,
+    make_item,
+    make_itemset,
+    subtract_specialization,
+)
+from .mapper import AttributeMapping, TableMapper
+from .miner import MiningResult, QuantitativeMiner, mine_quantitative_rules
+from .partial_completeness import (
+    completeness_from_partitioning,
+    intervals_for_range_completeness,
+    is_k_complete,
+    is_range_k_complete,
+    range_completeness_level,
+    required_intervals,
+)
+from .partitioner import (
+    Partitioning,
+    equi_cardinality,
+    equi_depth,
+    equi_width,
+    partition_column,
+)
+from .rulegen import generate_rules
+from .rules import QuantitativeRule, close_ancestors, itemset_close_ancestors
+from .ruleset import RuleMetrics, RuleSet
+from .stats import MiningStats, PassStats
+from .taxonomy import Taxonomy
+
+__all__ = [
+    "DiagnosticsReport",
+    "RuleExplanation",
+    "check_result",
+    "explain_rule",
+    "load_rules_json",
+    "rules_from_json",
+    "rules_to_json",
+    "save_rules_csv",
+    "save_rules_json",
+    "AttributeMapping",
+    "FrequentItems",
+    "InterestEvaluator",
+    "Item",
+    "MinerConfig",
+    "MiningResult",
+    "MiningStats",
+    "Partitioning",
+    "PassStats",
+    "QuantitativeMiner",
+    "QuantitativeRule",
+    "RuleMetrics",
+    "RuleSet",
+    "SUPPORT_AND_CONFIDENCE",
+    "SUPPORT_OR_CONFIDENCE",
+    "TableMapper",
+    "Taxonomy",
+    "attributes_of",
+    "close_ancestors",
+    "completeness_from_partitioning",
+    "equi_cardinality",
+    "equi_depth",
+    "equi_width",
+    "filter_interesting_rules",
+    "find_frequent_items",
+    "generate_rules",
+    "is_generalization",
+    "intervals_for_range_completeness",
+    "is_k_complete",
+    "is_range_k_complete",
+    "is_specialization",
+    "is_strict_generalization",
+    "itemset_close_ancestors",
+    "itemset_union",
+    "make_item",
+    "make_itemset",
+    "mine_quantitative_rules",
+    "partition_column",
+    "range_completeness_level",
+    "required_intervals",
+    "subtract_specialization",
+]

@@ -1,0 +1,149 @@
+"""The level-wise frequent-itemset search for quantitative rules (Section 5).
+
+Shares boolean Apriori's skeleton: L_1 comes from the frequent-item stage
+(values plus merged ranges), each later pass joins, prunes and counts.
+Pass 2 is special-cased because its candidate set — the cross product of
+frequent items over every attribute pair — can dwarf the surviving L_2;
+the counting layer evaluates whole cross products via outer-indexed prefix
+sums and materializes only the frequent pairs.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .candidates import generate_candidates, pairs_by_attribute
+from .config import SUPPORT_AND_CONFIDENCE, MinerConfig
+from .counting import CountingStats, count_frequent_pairs, count_itemsets
+from .frequent_items import FrequentItems, find_frequent_items
+from .mapper import TableMapper
+from .stats import MiningStats, PassStats
+
+
+def find_frequent_itemsets(
+    mapper: TableMapper,
+    config: MinerConfig,
+    stats: MiningStats | None = None,
+):
+    """Run the full level-wise search.
+
+    Returns ``(support_counts, frequent_items)`` where ``support_counts``
+    maps every frequent itemset (canonical item tuple) to its absolute
+    support count and ``frequent_items`` is the
+    :class:`~repro.core.frequent_items.FrequentItems` stage output (the
+    interest measure later needs its per-attribute distributions).
+    """
+    if stats is None:
+        stats = MiningStats()
+    # "Rangeable" attributes — quantitative ones plus taxonomy-bearing
+    # categorical ones — carry range items and are counted as dimensions
+    # of the super-candidates' rectangles; plain categorical attributes
+    # form the fixed (mask-matched) part.
+    rangeable = {
+        a
+        for a in range(mapper.num_attributes)
+        if mapper.mapping(a).is_rangeable
+    }
+    n = mapper.num_records
+    min_count = config.min_support * n
+    counting_stats = CountingStats()
+
+    # Pass 1: frequent items (with the optional Lemma 5 interest prune).
+    started = time.perf_counter()
+    prune = (
+        config.interest_enabled
+        and config.interest_mode == SUPPORT_AND_CONFIDENCE
+    )
+    freq_items = find_frequent_items(
+        mapper,
+        config.min_support,
+        config.max_support,
+        interest_level=config.effective_interest_level,
+        prune_by_interest=prune,
+    )
+    stats.items_pruned_by_interest = len(freq_items.pruned_by_interest)
+    support_counts = {
+        (item,): count for item, count in freq_items.supports.items()
+    }
+    stats.passes.append(
+        PassStats(
+            size=1,
+            num_candidates=sum(
+                mapper.cardinality(a) for a in range(mapper.num_attributes)
+            ),
+            num_frequent=len(support_counts),
+            counting_seconds=time.perf_counter() - started,
+        )
+    )
+    if config.max_itemset_size == 1 or not support_counts:
+        _finalize(stats, support_counts, counting_stats)
+        return support_counts, freq_items
+
+    # Pass 2: specialized cross-product counting.
+    started = time.perf_counter()
+    buckets = pairs_by_attribute(freq_items.supports)
+    current, num_candidates = count_frequent_pairs(
+        buckets,
+        mapper,
+        rangeable,
+        min_count,
+        backend=config.counting,
+        memory_budget_bytes=config.memory_budget_bytes,
+        stats=counting_stats,
+    )
+    support_counts.update(current)
+    stats.passes.append(
+        PassStats(
+            size=2,
+            num_candidates=num_candidates,
+            num_frequent=len(current),
+            counting_seconds=time.perf_counter() - started,
+        )
+    )
+
+    # Passes 3+: generic join / prune / count.
+    k = 3
+    while current and (
+        config.max_itemset_size is None or k <= config.max_itemset_size
+    ):
+        started = time.perf_counter()
+        candidates = generate_candidates(sorted(current), k)
+        generation_seconds = time.perf_counter() - started
+        if not candidates:
+            break
+        started = time.perf_counter()
+        counted = count_itemsets(
+            candidates,
+            mapper,
+            rangeable,
+            backend=config.counting,
+            memory_budget_bytes=config.memory_budget_bytes,
+            stats=counting_stats,
+        )
+        counting_seconds = time.perf_counter() - started
+        current = {
+            itemset: count
+            for itemset, count in counted.items()
+            if count >= min_count
+        }
+        support_counts.update(current)
+        stats.passes.append(
+            PassStats(
+                size=k,
+                num_candidates=len(candidates),
+                num_frequent=len(current),
+                generation_seconds=generation_seconds,
+                counting_seconds=counting_seconds,
+            )
+        )
+        k += 1
+
+    _finalize(stats, support_counts, counting_stats)
+    return support_counts, freq_items
+
+
+def _finalize(stats, support_counts, counting_stats) -> None:
+    stats.num_frequent_itemsets = len(support_counts)
+    stats.counting_groups_by_backend = dict(
+        counting_stats.groups_by_backend
+    )

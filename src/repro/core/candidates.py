@@ -1,0 +1,84 @@
+"""Candidate generation for quantitative itemsets (Section 5.1).
+
+Three phases over the frequent (k-1)-itemsets L_{k-1}:
+
+1. **Join** — itemsets agreeing on their lexicographically first k-2 items
+   whose last items lie on *different attributes* are merged.  (Requiring
+   distinct attributes is what keeps two ranges over the same attribute
+   from appearing in one itemset.)
+2. **Subset prune** — candidates with any (k-1)-subset missing from
+   L_{k-1} are deleted, exactly as in boolean Apriori.
+3. **Interest prune** — handled one level earlier: Lemma 5 removes
+   over-supported quantitative *items* at the end of pass 1 (see
+   ``frequent_items._interest_prune``), so no candidate containing one is
+   ever constructed here.
+"""
+
+from __future__ import annotations
+
+from .items import Item
+
+
+def join(frequent_prev: list, k: int) -> list:
+    """Join phase: merge compatible (k-1)-itemsets into k-candidates.
+
+    ``frequent_prev`` must contain canonical itemsets (attribute-sorted
+    item tuples).  Returns unpruned candidates.
+    """
+    if k < 2:
+        raise ValueError("join starts at k=2")
+    prev = sorted(frequent_prev)
+    out = []
+    n = len(prev)
+    for i in range(n):
+        a = prev[i]
+        for j in range(i + 1, n):
+            b = prev[j]
+            if a[:-1] != b[:-1]:
+                break  # sorted order: the shared prefix cannot reappear
+            last_a, last_b = a[-1], b[-1]
+            if last_a.attribute == last_b.attribute:
+                continue  # two ranges on one attribute are not an itemset
+            out.append(a + (last_b,))
+    return out
+
+
+def subset_prune(candidates: list, frequent_prev: list) -> list:
+    """Prune candidates with an infrequent (k-1)-subset."""
+    prev_set = set(frequent_prev)
+    return [c for c in candidates if _all_subsets_present(c, prev_set)]
+
+
+def _all_subsets_present(candidate, prev_set) -> bool:
+    for drop in range(len(candidate)):
+        if candidate[:drop] + candidate[drop + 1:] not in prev_set:
+            return False
+    return True
+
+
+def generate_candidates(frequent_prev: list, k: int) -> list:
+    """Join + subset prune in one call."""
+    return subset_prune(join(frequent_prev, k), frequent_prev)
+
+
+def singleton_itemsets(frequent_items) -> list:
+    """Wrap frequent items as 1-itemsets, the L_1 of the level-wise loop."""
+    return sorted((item,) for item in frequent_items)
+
+
+def pairs_by_attribute(frequent_items) -> dict:
+    """Bucket frequent items by attribute — used by the specialized pass 2.
+
+    Pass 2's candidate set is the cross product of frequent items over
+    every pair of distinct attributes (the join prefix is empty), which can
+    be enormous before counting.  The counting layer therefore generates
+    and counts pass-2 candidates group-by-group without materializing the
+    non-frequent ones; this helper provides the per-attribute buckets it
+    iterates over.
+    """
+    buckets: dict = {}
+    for item in frequent_items:
+        buckets.setdefault(item.attribute, []).append(item)
+    for bucket in buckets.values():
+        bucket.sort()
+    return buckets

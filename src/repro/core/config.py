@@ -1,0 +1,178 @@
+"""Mining configuration.
+
+Collects every user-specified parameter of the paper in one validated
+object: minimum support/confidence, the *maximum support* used to stop
+combining adjacent intervals (Section 1.2), the partial-completeness level
+driving the partitioning (Section 3), and the interest level driving rule
+pruning (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Interest-mode constants (Section 4: "The user can specify whether it
+#: should be support and confidence, or support or confidence".)
+SUPPORT_OR_CONFIDENCE = "support_or_confidence"
+SUPPORT_AND_CONFIDENCE = "support_and_confidence"
+
+#: Counting backends (Section 5.2).  ``auto`` applies the paper's memory
+#: heuristic per super-candidate, choosing between the multi-dimensional
+#: array and the R*-tree.
+COUNTING_BACKENDS = ("array", "rtree", "direct", "auto")
+
+
+@dataclass
+class MinerConfig:
+    """All knobs of the quantitative rule miner.
+
+    Parameters
+    ----------
+    min_support:
+        Fractional minimum support ("minsup").
+    min_confidence:
+        Fractional minimum confidence ("minconf").
+    max_support:
+        Fractional maximum support: adjacent base intervals stop being
+        combined once the combined support exceeds this value.  Single
+        intervals/values above the cap are still considered (Section 1.2).
+    partial_completeness:
+        Desired level K > 1; the number of base intervals per quantitative
+        attribute is ``2 * n / (min_support * (K - 1))`` (Equation 2).
+    interest_level:
+        R of Section 4.  ``None`` (or 0) disables interest filtering, in
+        which case every rule meeting minsup/minconf is reported.
+    interest_mode:
+        ``"support_or_confidence"`` (the formal definition of Section 4) or
+        ``"support_and_confidence"`` (stricter; enables the Lemma 5
+        interest-prune during candidate generation, per Section 5.1).
+    max_quantitative_in_rule:
+        Optional n' of Section 3.2: when the user knows no rule has more
+        than n' quantitative attributes, Equation 2 may use n' in place of
+        n, giving coarser (fewer) partitions for the same K.
+    num_partitions:
+        Explicit per-attribute override of the partition count: either an
+        int applied to every quantitative attribute or a mapping from
+        attribute name to int.  ``None`` derives counts from
+        ``partial_completeness``.
+    partition_method:
+        ``"equidepth"`` (Lemma 4: optimal for partial completeness),
+        ``"equiwidth"`` (kept for the skewed-data ablation of Section 7),
+        or ``"cluster"`` (1-D k-means; the paper's future-work
+        exploration for skewed data).
+    counting:
+        Support-counting backend: ``"array"`` (multi-dimensional array with
+        prefix sums), ``"rtree"`` (R*-tree point queries), ``"direct"``
+        (per-candidate scans; reference), or ``"auto"`` (paper's heuristic).
+    memory_budget_bytes:
+        The ``auto`` backend refuses the array when its cells would exceed
+        this budget, falling back to the R*-tree (Section 5.2 trade-off).
+    max_itemset_size:
+        Optional cap on the number of items per itemset (``None`` = run
+        until no candidates remain, as in the paper).
+    apply_specialization_check:
+        Whether the *final* interest measure (with the Figure 6
+        specialization-difference test) is used; ``False`` falls back to
+        the tentative generalization-only measure of [SA95].
+    taxonomies:
+        Optional mapping from categorical attribute name to a
+        :class:`~repro.core.taxonomy.Taxonomy`.  Values of a plain
+        categorical attribute are never combined; with a taxonomy, the
+        hierarchy's interior nodes become the only permissible "ranges"
+        over the attribute (Section 1.1's pointer to [SA95]/[HF95]).
+    lemma1_confidence_adjustment:
+        Lemma 1: a K-complete itemset collection only guarantees a
+        *close* counterpart for every raw-value rule when rules are
+        generated at ``min_confidence / K``.  When enabled, rule
+        generation divides the configured minimum confidence by the
+        partial-completeness level, so ``min_confidence`` keeps its
+        raw-granularity meaning at the cost of extra (lower-confidence)
+        rules in the output.
+    """
+
+    min_support: float = 0.1
+    min_confidence: float = 0.5
+    max_support: float = 0.4
+    partial_completeness: float = 1.5
+    interest_level: float | None = None
+    interest_mode: str = SUPPORT_OR_CONFIDENCE
+    max_quantitative_in_rule: int | None = None
+    num_partitions: object = None
+    partition_method: str = "equidepth"
+    counting: str = "array"
+    memory_budget_bytes: int = 256 * 1024 * 1024
+    max_itemset_size: int | None = None
+    apply_specialization_check: bool = True
+    taxonomies: dict | None = None
+    lemma1_confidence_adjustment: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.min_support <= 1.0:
+            raise ValueError(
+                f"min_support must be in (0, 1], got {self.min_support}"
+            )
+        if not 0.0 <= self.min_confidence <= 1.0:
+            raise ValueError(
+                f"min_confidence must be in [0, 1], got {self.min_confidence}"
+            )
+        if not 0.0 < self.max_support <= 1.0:
+            raise ValueError(
+                f"max_support must be in (0, 1], got {self.max_support}"
+            )
+        if self.partial_completeness <= 1.0:
+            raise ValueError(
+                "partial_completeness must exceed 1 "
+                f"(K=1 means no information loss), got {self.partial_completeness}"
+            )
+        if self.interest_level is not None and self.interest_level < 0:
+            raise ValueError(
+                f"interest_level must be >= 0, got {self.interest_level}"
+            )
+        if self.interest_mode not in (
+            SUPPORT_OR_CONFIDENCE,
+            SUPPORT_AND_CONFIDENCE,
+        ):
+            raise ValueError(f"unknown interest_mode {self.interest_mode!r}")
+        if self.partition_method not in ("equidepth", "equiwidth", "equicardinality", "cluster"):
+            raise ValueError(
+                f"unknown partition_method {self.partition_method!r}"
+            )
+        if self.counting not in COUNTING_BACKENDS:
+            raise ValueError(
+                f"counting must be one of {COUNTING_BACKENDS}, "
+                f"got {self.counting!r}"
+            )
+        if self.max_itemset_size is not None and self.max_itemset_size < 1:
+            raise ValueError("max_itemset_size must be >= 1")
+        if (
+            self.max_quantitative_in_rule is not None
+            and self.max_quantitative_in_rule < 1
+        ):
+            raise ValueError("max_quantitative_in_rule must be >= 1")
+
+    @property
+    def effective_interest_level(self) -> float:
+        """R with "disabled" normalized to 0.0."""
+        return self.interest_level or 0.0
+
+    @property
+    def effective_min_confidence(self) -> float:
+        """The minconf rule generation actually uses.
+
+        Equal to ``min_confidence`` unless Lemma 1's adjustment is on, in
+        which case it is divided by the partial-completeness level so
+        raw-granularity rules are guaranteed a close partitioned
+        counterpart.
+        """
+        if not self.lemma1_confidence_adjustment:
+            return self.min_confidence
+        return self.min_confidence / self.partial_completeness
+
+    @property
+    def interest_enabled(self) -> bool:
+        """Interest filtering is active for R > 0.
+
+        R = 0 is "no interest measure" (Figure 8's leftmost point): every
+        rule trivially exceeds 0 times its expectation.
+        """
+        return self.effective_interest_level > 0.0

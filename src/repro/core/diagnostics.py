@@ -1,0 +1,182 @@
+"""Diagnostics: verify the internal consistency of a mining result.
+
+A downstream user integrating the miner (or anyone modifying it) wants a
+single switch that answers "does this result obey every invariant the
+algorithm promises?".  :func:`check_result` re-derives each claim from
+the data and reports violations:
+
+* every frequent itemset's stored count equals a fresh scan's count;
+* the frequent set is downward closed (anti-monotonicity);
+* supports are anti-monotone under generalization;
+* every rule's support/confidence is consistent with its itemsets and
+  meets the configured thresholds;
+* interesting rules are a subset of all rules;
+* quantitative ranges respect the max-support cap (multi-value ranges
+  only; lone over-supported values are legitimately kept);
+* no itemset carries two items on one attribute, and categorical items
+  without a taxonomy are single values.
+
+Checks run on the full result by default; ``sample_limit`` caps the
+re-count work for very large results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .items import is_generalization
+from .miner import MiningResult
+
+
+@dataclass
+class DiagnosticsReport:
+    """Outcome of :func:`check_result`."""
+
+    violations: list = field(default_factory=list)
+    checks_run: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def record(self, condition: bool, message: str) -> None:
+        self.checks_run += 1
+        if not condition:
+            self.violations.append(message)
+
+    def render(self) -> str:
+        if self.ok:
+            return f"OK — {self.checks_run} checks passed"
+        lines = [
+            f"{len(self.violations)} violation(s) in "
+            f"{self.checks_run} checks:"
+        ]
+        lines.extend(f"  - {v}" for v in self.violations[:50])
+        if len(self.violations) > 50:
+            lines.append(f"  ... and {len(self.violations) - 50} more")
+        return "\n".join(lines)
+
+
+def _recount(mapper, itemset) -> int:
+    mask = None
+    for item in itemset:
+        col = mapper.column(item.attribute)
+        cond = (col >= item.lo) & (col <= item.hi)
+        mask = cond if mask is None else mask & cond
+    if mask is None:
+        return mapper.num_records
+    return int(np.count_nonzero(mask))
+
+
+def check_result(
+    result: MiningResult, sample_limit: int | None = 2000
+) -> DiagnosticsReport:
+    """Verify every advertised invariant of ``result``.
+
+    ``sample_limit`` bounds how many itemsets/rules the expensive
+    re-count and pairwise checks touch (``None`` = all).
+    """
+    report = DiagnosticsReport()
+    mapper = result.mapper
+    n = result.num_records
+    config = result.config
+    itemsets = sorted(result.support_counts)
+    sampled = (
+        itemsets if sample_limit is None else itemsets[:sample_limit]
+    )
+    frequent = set(itemsets)
+
+    # --- itemset-level checks -----------------------------------------
+    for itemset in sampled:
+        count = result.support_counts[itemset]
+        recounted = _recount(mapper, itemset)
+        report.record(
+            count == recounted,
+            f"stored count {count} != recount {recounted} for {itemset}",
+        )
+        attrs = [item.attribute for item in itemset]
+        report.record(
+            len(set(attrs)) == len(attrs),
+            f"duplicate attribute within {itemset}",
+        )
+        for drop in range(len(itemset)):
+            subset = itemset[:drop] + itemset[drop + 1:]
+            if subset:
+                report.record(
+                    subset in frequent,
+                    f"downward closure broken: {subset} missing "
+                    f"(subset of {itemset})",
+                )
+        for item in itemset:
+            mapping = mapper.mapping(item.attribute)
+            if not mapping.is_rangeable:
+                report.record(
+                    item.lo == item.hi,
+                    f"categorical item with a range: {item}",
+                )
+
+    if config is not None:
+        min_count = config.min_support * n
+        max_count = config.max_support * n
+        for itemset in sampled:
+            report.record(
+                result.support_counts[itemset] >= min_count - 1e-9,
+                f"itemset below minsup: {itemset}",
+            )
+        # max-support cap applies to multi-value single items.
+        for itemset in sampled:
+            if len(itemset) != 1:
+                continue
+            (item,) = itemset
+            if item.width > 1:
+                report.record(
+                    result.support_counts[itemset] <= max_count + 1e-9,
+                    f"multi-value range above maxsup: {item}",
+                )
+
+    # --- anti-monotonicity under generalization ------------------------
+    for a in sampled[:300]:
+        for b in sampled[:300]:
+            if a is b or len(a) != len(b):
+                continue
+            if is_generalization(a, b):
+                report.record(
+                    result.support_counts[a] >= result.support_counts[b],
+                    f"generalization {a} has lower support than {b}",
+                )
+
+    # --- rule-level checks ---------------------------------------------
+    rules = result.rules
+    sampled_rules = (
+        rules if sample_limit is None else rules[:sample_limit]
+    )
+    for rule in sampled_rules:
+        joint = result.support_counts.get(rule.itemset)
+        base = result.support_counts.get(rule.antecedent)
+        report.record(
+            joint is not None and base is not None,
+            f"rule over non-frequent itemsets: {rule}",
+        )
+        if joint is None or base is None:
+            continue
+        report.record(
+            abs(rule.support - joint / n) < 1e-9,
+            f"rule support inconsistent: {rule}",
+        )
+        report.record(
+            abs(rule.confidence - joint / base) < 1e-9,
+            f"rule confidence inconsistent: {rule}",
+        )
+        if config is not None:
+            report.record(
+                rule.confidence >= config.min_confidence - 1e-9,
+                f"rule below minconf: {rule}",
+            )
+
+    report.record(
+        set(result.interesting_rules) <= set(rules),
+        "interesting rules are not a subset of all rules",
+    )
+    return report

@@ -1,0 +1,155 @@
+"""Exporting mining results: JSON and CSV serializations.
+
+A mined rule set is only useful if it can leave the process.  This module
+renders :class:`~repro.core.miner.MiningResult` content in two forms:
+
+* **JSON** — a lossless, self-describing document carrying both the
+  mapped integer coordinates (for programmatic reuse: items can be
+  reconstructed exactly) and the human-readable rendering (for reports).
+  :func:`rules_from_json` round-trips the rule objects.
+* **CSV** — one row per rule with rendered antecedent/consequent, for
+  spreadsheets and downstream scripts.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from .items import Item, make_itemset
+from .rules import QuantitativeRule
+
+#: Format version stamped into every JSON export.
+JSON_FORMAT_VERSION = 1
+
+
+def _item_to_dict(item: Item, mapper=None) -> dict:
+    out = {"attribute": item.attribute, "lo": item.lo, "hi": item.hi}
+    if mapper is not None:
+        mapping = mapper.mapping(item.attribute)
+        out["attribute_name"] = mapping.name
+        out["display"] = mapping.describe_range(item.lo, item.hi)
+    return out
+
+
+def _item_from_dict(data: dict) -> Item:
+    return Item(int(data["attribute"]), int(data["lo"]), int(data["hi"]))
+
+
+def rule_to_dict(rule: QuantitativeRule, mapper=None) -> dict:
+    """One rule as a JSON-ready dictionary."""
+    return {
+        "antecedent": [_item_to_dict(it, mapper) for it in rule.antecedent],
+        "consequent": [_item_to_dict(it, mapper) for it in rule.consequent],
+        "support": rule.support,
+        "confidence": rule.confidence,
+    }
+
+
+def rule_from_dict(data: dict) -> QuantitativeRule:
+    """Inverse of :func:`rule_to_dict` (display fields are ignored)."""
+    return QuantitativeRule(
+        antecedent=make_itemset(
+            _item_from_dict(d) for d in data["antecedent"]
+        ),
+        consequent=make_itemset(
+            _item_from_dict(d) for d in data["consequent"]
+        ),
+        support=float(data["support"]),
+        confidence=float(data["confidence"]),
+    )
+
+
+def rules_to_json(
+    rules,
+    mapper=None,
+    metadata: dict | None = None,
+    indent: int | None = 2,
+) -> str:
+    """Serialize a rule list to a JSON document string.
+
+    ``metadata`` (e.g. the mining parameters) is embedded verbatim under
+    a ``"metadata"`` key; ``mapper`` adds display strings per item.
+    """
+    document = {
+        "format": "repro.quantitative_rules",
+        "version": JSON_FORMAT_VERSION,
+        "metadata": metadata or {},
+        "rules": [rule_to_dict(r, mapper) for r in rules],
+    }
+    return json.dumps(document, indent=indent)
+
+
+def rules_from_json(text: str):
+    """Parse a document produced by :func:`rules_to_json`.
+
+    Returns ``(rules, metadata)``.
+    """
+    document = json.loads(text)
+    if document.get("format") != "repro.quantitative_rules":
+        raise ValueError(
+            "not a repro rules document "
+            f"(format={document.get('format')!r})"
+        )
+    version = document.get("version")
+    if version != JSON_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported rules-document version {version!r} "
+            f"(expected {JSON_FORMAT_VERSION})"
+        )
+    rules = [rule_from_dict(d) for d in document.get("rules", [])]
+    return rules, document.get("metadata", {})
+
+
+def save_rules_json(rules, path, mapper=None, metadata=None) -> None:
+    """Write :func:`rules_to_json` output to ``path``."""
+    Path(path).write_text(rules_to_json(rules, mapper, metadata))
+
+
+def load_rules_json(path):
+    """Read a rules document from ``path``; returns (rules, metadata)."""
+    return rules_from_json(Path(path).read_text())
+
+
+def save_rules_csv(rules, path, mapper=None) -> None:
+    """Write one CSV row per rule.
+
+    Columns: rendered antecedent, rendered consequent, support,
+    confidence.  Without a mapper, items render with attribute indices.
+    """
+    def render(itemset):
+        if mapper is None:
+            return " and ".join(str(it) for it in itemset)
+        return mapper.describe_itemset(itemset)
+
+    with Path(path).open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["antecedent", "consequent", "support", "confidence"])
+        for rule in rules:
+            writer.writerow(
+                [
+                    render(rule.antecedent),
+                    render(rule.consequent),
+                    f"{rule.support:.6f}",
+                    f"{rule.confidence:.6f}",
+                ]
+            )
+
+
+def itemsets_to_json(support_counts: dict, num_records: int, mapper=None) -> str:
+    """Serialize frequent itemsets with absolute and fractional supports."""
+    document = {
+        "format": "repro.frequent_itemsets",
+        "version": JSON_FORMAT_VERSION,
+        "num_records": num_records,
+        "itemsets": [
+            {
+                "items": [_item_to_dict(it, mapper) for it in itemset],
+                "count": count,
+                "support": count / num_records if num_records else 0.0,
+            }
+            for itemset, count in sorted(support_counts.items())
+        ],
+    }
+    return json.dumps(document, indent=2)

@@ -1,0 +1,165 @@
+"""Items and itemsets for quantitative association rules.
+
+Section 2 of the paper represents an *item* as a triple ``<x, l, u>``: a
+quantitative attribute ``x`` with a value in the interval ``[l, u]``, or a
+categorical attribute with a single value (``l == u``).  After the mapping
+step, ``l`` and ``u`` are consecutive integers — either categorical codes,
+raw-value ranks, or partition (base-interval) indices.
+
+An *itemset* is a tuple of items sorted by attribute index, with all
+attributes distinct.  Tuples (rather than objects) keep the hot Apriori
+loops fast and hashable.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Item(NamedTuple):
+    """A triple ``<attribute, lo, hi>`` over mapped integer values.
+
+    ``attribute`` is the schema index of the attribute; ``lo`` and ``hi``
+    are inclusive mapped values.  A categorical item always has
+    ``lo == hi``.
+    """
+
+    attribute: int
+    lo: int
+    hi: int
+
+    def generalizes(self, other: "Item") -> bool:
+        """True when this item's range contains ``other``'s (same attribute).
+
+        This is the ``l' <= l <= u <= u'`` condition of Section 2; it is
+        non-strict (every item generalizes itself).
+        """
+        return (
+            self.attribute == other.attribute
+            and self.lo <= other.lo
+            and other.hi <= self.hi
+        )
+
+    @property
+    def width(self) -> int:
+        """Number of mapped values the range covers."""
+        return self.hi - self.lo + 1
+
+    def __str__(self) -> str:
+        if self.lo == self.hi:
+            return f"<{self.attribute}: {self.lo}>"
+        return f"<{self.attribute}: {self.lo}..{self.hi}>"
+
+
+def make_item(attribute: int, lo: int, hi=None) -> Item:
+    """Construct a validated item; ``hi`` defaults to ``lo``."""
+    if hi is None:
+        hi = lo
+    if lo > hi:
+        raise ValueError(f"inverted range for attribute {attribute}: {lo}..{hi}")
+    if lo < 0:
+        raise ValueError(f"negative mapped value for attribute {attribute}: {lo}")
+    return Item(attribute, lo, hi)
+
+
+def make_itemset(items) -> tuple:
+    """Build a canonical itemset: items sorted by attribute, all distinct.
+
+    Raises ``ValueError`` when two items share an attribute — the paper's
+    itemsets never do (the candidate join enforces this), and a duplicate
+    attribute would silently mean "intersection of ranges".
+    """
+    items = tuple(sorted(items))
+    attrs = [it.attribute for it in items]
+    if len(set(attrs)) != len(attrs):
+        raise ValueError(f"itemset has duplicate attributes: {items}")
+    return items
+
+
+def attributes_of(itemset) -> tuple:
+    """``attributes(X)`` of the paper: the attribute indices in the itemset."""
+    return tuple(item.attribute for item in itemset)
+
+
+def is_generalization(general, specific) -> bool:
+    """Non-strict generalization test between two itemsets (Section 2).
+
+    ``general`` generalizes ``specific`` when they cover the same
+    attributes and each of ``general``'s ranges contains the corresponding
+    range of ``specific``.  Items are attribute-sorted, so the zip below
+    pairs corresponding attributes.
+    """
+    if len(general) != len(specific):
+        return False
+    return all(
+        g.generalizes(s) for g, s in zip(general, specific)
+    )
+
+
+def is_strict_generalization(general, specific) -> bool:
+    """Generalization with at least one strictly wider range."""
+    return general != specific and is_generalization(general, specific)
+
+
+def is_specialization(specific, general) -> bool:
+    """Mirror of :func:`is_generalization`."""
+    return is_generalization(general, specific)
+
+
+def itemset_union(x, y) -> tuple:
+    """``X ∪ Y`` for itemsets with disjoint attributes."""
+    return make_itemset(tuple(x) + tuple(y))
+
+
+def subtract_specialization(itemset, specialization):
+    """Compute ``X - X'`` when the difference is itself an itemset.
+
+    Used by the final interest measure (Section 4): given a specialization
+    ``X'`` of ``X``, the set difference of the regions they cover is an
+    itemset (a single rectangle) only when exactly one attribute's range is
+    strictly narrower *and* shares one endpoint with ``X``'s range; every
+    other attribute's range must be identical.  Returns the difference
+    itemset, or ``None`` when the difference is not expressible
+    (``X - X' ∉ I_R``), in which case the paper's definition simply does
+    not constrain the pair.
+    """
+    if len(itemset) != len(specialization):
+        return None
+    diff_at = None
+    for i, (big, small) in enumerate(zip(itemset, specialization)):
+        if big.attribute != small.attribute:
+            return None
+        if not big.generalizes(small):
+            return None
+        if big == small:
+            continue
+        if diff_at is not None:
+            return None  # narrower in two attributes: difference not a box
+        diff_at = i
+    if diff_at is None:
+        return None  # identical itemsets: empty difference
+    big, small = itemset[diff_at], specialization[diff_at]
+    narrowed_left = small.lo > big.lo
+    narrowed_right = small.hi < big.hi
+    if narrowed_left and narrowed_right:
+        return None  # interior specialization: difference is two boxes
+    if narrowed_left:
+        remainder = Item(big.attribute, big.lo, small.lo - 1)
+    else:
+        remainder = Item(big.attribute, small.hi + 1, big.hi)
+    return itemset[:diff_at] + (remainder,) + itemset[diff_at + 1:]
+
+
+def specializations_within(itemset, pool) -> list:
+    """All strict specializations of ``itemset`` found in ``pool``.
+
+    ``pool`` maps itemsets to supports (the frequent-itemset dictionary);
+    only itemsets over the same attributes can qualify, so callers should
+    pre-bucket the pool by attribute signature for large runs — this helper
+    is the straightforward reference version.
+    """
+    return [
+        other
+        for other in pool
+        if is_strict_generalization(itemset, other)
+    ]

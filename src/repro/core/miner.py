@@ -1,0 +1,263 @@
+"""The quantitative association rule miner — the paper's five-step pipeline.
+
+Problem decomposition of Section 2.1:
+
+1. Determine the number of partitions per quantitative attribute
+   (partial-completeness level + Equation 2).
+2. Map values/intervals to consecutive integers (``TableMapper``).
+3. Find frequent items (values and merged ranges), then all frequent
+   itemsets (``apriori_quant``).
+4. Generate rules (ap-genrules over quantitative itemsets).
+5. Keep the interesting rules (greater-than-expected-value measure).
+
+Use :func:`mine_quantitative_rules` for the one-call API or
+:class:`QuantitativeMiner` to reuse an encoded table across parameter
+sweeps (the benchmark harness does).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..table import RelationalTable
+from .apriori_quant import find_frequent_itemsets
+from .config import MinerConfig
+from .frequent_items import FrequentItems
+from .interest import InterestEvaluator
+from .mapper import TableMapper
+from .partial_completeness import completeness_from_partitioning
+from .rulegen import generate_rules
+from .rules import QuantitativeRule
+from .stats import MiningStats
+
+
+@dataclass
+class MiningResult:
+    """Everything a mining run produced.
+
+    Attributes
+    ----------
+    rules:
+        All rules meeting minimum support and confidence.
+    interesting_rules:
+        The subset surviving the interest measure (equal to ``rules`` when
+        no interest level was configured).
+    support_counts:
+        Every frequent itemset with its absolute support count.
+    frequent_items:
+        The stage-3a output (item supports + per-attribute distributions).
+    mapper:
+        The encoded table; knows how to render items in raw-value terms.
+    stats:
+        Counters and timings for the run.
+    """
+
+    rules: list
+    interesting_rules: list
+    support_counts: dict
+    frequent_items: FrequentItems
+    mapper: TableMapper
+    stats: MiningStats
+    config: MinerConfig | None = None
+
+    @property
+    def num_records(self) -> int:
+        return self.mapper.num_records
+
+    def support(self, itemset) -> float:
+        """Fractional support of a frequent itemset (0.0 if not frequent)."""
+        count = self.support_counts.get(tuple(sorted(itemset)), 0)
+        if self.num_records == 0:
+            return 0.0
+        return count / self.num_records
+
+    def describe(self, rule: QuantitativeRule) -> str:
+        """Render one rule with raw attribute names and value ranges."""
+        lhs = self.mapper.describe_itemset(rule.antecedent)
+        rhs = self.mapper.describe_itemset(rule.consequent)
+        return (
+            f"{lhs} => {rhs} "
+            f"(sup={rule.support:.1%}, conf={rule.confidence:.1%})"
+        )
+
+    def describe_rules(self, rules=None, limit=None) -> str:
+        """Multi-line rendering of a rule list (default: interesting)."""
+        if rules is None:
+            rules = self.interesting_rules
+        ordered = sorted(rules, key=lambda r: (-r.support, -r.confidence))
+        if limit is not None:
+            ordered = ordered[:limit]
+        return "\n".join(self.describe(r) for r in ordered)
+
+    # ------------------------------------------------------------------
+    # Explanation and export
+    # ------------------------------------------------------------------
+    def explain(self, rule: QuantitativeRule):
+        """Why was ``rule`` kept or pruned by the interest measure?
+
+        Returns a :class:`~repro.core.explain.RuleExplanation`; render it
+        with ``explanation.render(result.mapper)``.  Requires the result
+        to carry its mining configuration (results from
+        :class:`QuantitativeMiner` always do).
+        """
+        if self.config is None:
+            raise ValueError(
+                "this result carries no MinerConfig; explanation needs the "
+                "interest parameters it was mined with"
+            )
+        from .explain import explain_rule
+        from .interest import InterestEvaluator
+
+        evaluator = InterestEvaluator(
+            self.support_counts, self.frequent_items, self.mapper, self.config
+        )
+        return explain_rule(
+            rule, self.rules, self.interesting_rules, evaluator
+        )
+
+    def save_rules_json(self, path, rules=None) -> None:
+        """Write rules (default: interesting) as a JSON document."""
+        from .export import save_rules_json
+
+        if rules is None:
+            rules = self.interesting_rules
+        metadata = {}
+        if self.config is not None:
+            metadata = {
+                "min_support": self.config.min_support,
+                "min_confidence": self.config.min_confidence,
+                "max_support": self.config.max_support,
+                "interest_level": self.config.interest_level,
+                "num_records": self.num_records,
+            }
+        save_rules_json(rules, path, mapper=self.mapper, metadata=metadata)
+
+    def save_rules_csv(self, path, rules=None) -> None:
+        """Write rules (default: interesting) as a CSV table."""
+        from .export import save_rules_csv
+
+        if rules is None:
+            rules = self.interesting_rules
+        save_rules_csv(rules, path, mapper=self.mapper)
+
+
+class QuantitativeMiner:
+    """Mines quantitative association rules from a relational table.
+
+    Splitting encoding (construction) from mining (:meth:`mine`) lets
+    parameter sweeps that only change confidence/interest reuse the same
+    partitioning — but note that ``min_support`` and
+    ``partial_completeness`` affect the partitioning itself (Equation 2),
+    so sweeps over those must construct a fresh miner per point, as the
+    module-level convenience function does.
+    """
+
+    def __init__(self, table: RelationalTable, config: MinerConfig) -> None:
+        self._table = table
+        self._config = config
+        self._mapper = TableMapper(table, config)
+
+    @property
+    def mapper(self) -> TableMapper:
+        return self._mapper
+
+    @property
+    def config(self) -> MinerConfig:
+        return self._config
+
+    def mine(self, config: MinerConfig | None = None) -> MiningResult:
+        """Run steps 3-5 and return the full result.
+
+        ``config`` overrides the construction-time configuration for this
+        run (callers are responsible for keeping partitioning-relevant
+        fields unchanged; see the class docstring).
+        """
+        config = config or self._config
+        stats = MiningStats(
+            num_records=self._mapper.num_records,
+            num_attributes=self._mapper.num_attributes,
+            partitions_per_attribute={
+                m.name: m.cardinality for m in self._mapper.mappings
+            },
+        )
+        stats.realized_completeness = self.realized_completeness(
+            config.min_support
+        )
+        started = time.perf_counter()
+
+        phase = time.perf_counter()
+        support_counts, frequent_items = find_frequent_itemsets(
+            self._mapper, config, stats
+        )
+        stats.phase_seconds["frequent_itemsets"] = time.perf_counter() - phase
+
+        phase = time.perf_counter()
+        rules = generate_rules(
+            support_counts, self._mapper.num_records, config.effective_min_confidence
+        )
+        stats.num_rules = len(rules)
+        stats.phase_seconds["rule_generation"] = time.perf_counter() - phase
+
+        phase = time.perf_counter()
+        evaluator = InterestEvaluator(
+            support_counts, frequent_items, self._mapper, config
+        )
+        interesting = evaluator.filter_rules(rules)
+        stats.num_interesting_rules = len(interesting)
+        stats.phase_seconds["interest"] = time.perf_counter() - phase
+
+        stats.total_seconds = time.perf_counter() - started
+        return MiningResult(
+            rules=rules,
+            interesting_rules=interesting,
+            support_counts=support_counts,
+            frequent_items=frequent_items,
+            mapper=self._mapper,
+            stats=stats,
+            config=config,
+        )
+
+    def realized_completeness(self, min_support: float) -> float:
+        """Equation 1 applied to the realized partitioning.
+
+        Uses the highest support among multi-value base intervals across
+        quantitative attributes; returns 1.0 (no loss) when every interval
+        is a single value.
+        """
+        quantitative = [
+            i
+            for i, m in enumerate(self._mapper.mappings)
+            if m.is_quantitative
+        ]
+        s = 0.0
+        for i in quantitative:
+            mapping = self._mapper.mapping(i)
+            if mapping.partitioning is None or not mapping.is_partitioned:
+                continue
+            s = max(
+                s,
+                mapping.partitioning.max_multi_value_support(
+                    self._table.column(i)
+                ),
+            )
+        return completeness_from_partitioning(
+            s, min_support, len(quantitative)
+        )
+
+
+def mine_quantitative_rules(
+    table: RelationalTable, config: MinerConfig | None = None, **overrides
+) -> MiningResult:
+    """One-call API: encode ``table`` and mine with ``config``.
+
+    Keyword overrides build a :class:`MinerConfig` when none is given,
+    e.g. ``mine_quantitative_rules(table, min_support=0.2)``.
+    """
+    if config is None:
+        config = MinerConfig(**overrides)
+    elif overrides:
+        raise TypeError(
+            "pass either a MinerConfig or keyword overrides, not both"
+        )
+    return QuantitativeMiner(table, config).mine()

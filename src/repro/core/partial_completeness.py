@@ -1,0 +1,193 @@
+"""Partial completeness: the paper's measure of partitioning information loss.
+
+Section 3 defines a set of itemsets P to be *K-complete* w.r.t. the set of
+all frequent itemsets C when every itemset in C has a generalization in P
+with at most K times its support (and likewise for corresponding subsets).
+Lemma 3 bounds K for a given partitioning; Lemma 4 shows equi-depth
+partitioning minimizes it; Equation 2 inverts the bound to choose the
+number of base intervals for a desired K.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .items import is_generalization
+
+
+def required_intervals(
+    num_quantitative: int, min_support: float, completeness_level: float
+) -> int:
+    """Equation 2: base intervals per attribute for a desired K.
+
+    ``Number of Intervals = 2n / (m * (K - 1))`` where ``n`` is the number
+    of quantitative attributes (or n', the maximum appearing in any rule),
+    ``m`` the fractional minimum support and ``K`` the desired partial
+    completeness level.  The result is rounded up (more intervals can only
+    lower K, per Lemma 3) and is at least 1.
+    """
+    if num_quantitative < 0:
+        raise ValueError("num_quantitative must be >= 0")
+    if not 0.0 < min_support <= 1.0:
+        raise ValueError(f"min_support must be in (0, 1], got {min_support}")
+    if completeness_level <= 1.0:
+        raise ValueError(
+            f"completeness level must exceed 1, got {completeness_level}"
+        )
+    if num_quantitative == 0:
+        return 1
+    exact = (2.0 * num_quantitative) / (
+        min_support * (completeness_level - 1.0)
+    )
+    return max(1, math.ceil(exact))
+
+
+def completeness_from_partitioning(
+    max_interval_support: float, min_support: float, num_quantitative: int
+) -> float:
+    """Equation 1: the K guaranteed by a concrete partitioning.
+
+    ``K = 1 + 2 * n * s / minsup`` where ``s`` is the highest support of
+    any base interval *containing more than one value* across all
+    quantitative attributes.  Intervals holding a single value never hurt
+    completeness (footnote to Section 3.2), so callers pass ``s = 0`` when
+    every interval is a singleton, yielding K = 1 (no loss).
+    """
+    if not 0.0 <= max_interval_support <= 1.0:
+        raise ValueError(
+            f"max_interval_support must be in [0, 1], got {max_interval_support}"
+        )
+    if not 0.0 < min_support <= 1.0:
+        raise ValueError(f"min_support must be in (0, 1], got {min_support}")
+    if num_quantitative < 0:
+        raise ValueError("num_quantitative must be >= 0")
+    return 1.0 + (2.0 * num_quantitative * max_interval_support) / min_support
+
+
+def range_completeness_level(max_values_per_interval: int) -> float:
+    """The *range-based* partial completeness a partitioning guarantees.
+
+    The paper's future-work section sketches an alternative measure: "for
+    any rule, we will have a generalization such that the range of each
+    attribute is at most K times the range of the corresponding attribute
+    in the original rule."  Measuring ranges as counts of distinct
+    attribute values, a range covering c values generalizes (by snapping
+    to base-interval boundaries) to at most ``c + 2 (m - 1)`` values,
+    where ``m`` is the largest number of distinct values any base
+    interval holds; the worst case is c = 1, giving ``K = 2 m - 1``.
+    """
+    if max_values_per_interval < 1:
+        raise ValueError("an interval holds at least one value")
+    return 2.0 * max_values_per_interval - 1.0
+
+
+def intervals_for_range_completeness(num_distinct: int, completeness_level: float) -> int:
+    """Intervals needed so the range-based level is at most K.
+
+    Inverts :func:`range_completeness_level`: each interval may hold at
+    most ``(K + 1) / 2`` distinct values, so ``ceil(V / ((K + 1) / 2))``
+    intervals suffice (achieved by equi-cardinality partitioning, the
+    range measure's analogue of Lemma 4's equi-depth optimum).
+    """
+    if num_distinct < 1:
+        raise ValueError("num_distinct must be >= 1")
+    if completeness_level < 1.0:
+        raise ValueError("completeness level must be >= 1")
+    per_interval = (completeness_level + 1.0) / 2.0
+    return max(1, math.ceil(num_distinct / per_interval))
+
+
+def is_range_k_complete(candidate_set, full_set, completeness_level: float) -> bool:
+    """Direct check of the range-based measure over itemset dictionaries.
+
+    Both arguments map itemsets (in value-rank space, so item widths are
+    distinct-value counts) to supports; supports are ignored — the range
+    measure constrains widths only.  Every itemset in ``full_set`` must
+    have a generalization in ``candidate_set`` whose per-item width is at
+    most K times the original's.
+    """
+    if completeness_level < 1.0:
+        raise ValueError("completeness level must be >= 1")
+    for itemset in candidate_set:
+        if itemset not in full_set:
+            return False
+    for itemset in full_set:
+        if not any(
+            is_generalization(general, itemset)
+            and all(
+                g.width <= completeness_level * x.width + 1e-12
+                for g, x in zip(general, itemset)
+            )
+            for general in candidate_set
+        ):
+            return False
+    return True
+
+
+def is_k_complete(candidate_set, full_set, completeness_level: float) -> bool:
+    """Direct check of the K-completeness definition (Section 3.1).
+
+    ``candidate_set`` and ``full_set`` map itemsets to fractional supports;
+    ``full_set`` plays the role of C (all frequent itemsets) and
+    ``candidate_set`` the role of P.  Used by tests to validate Lemmas 2
+    and 3 empirically; quadratic, so intended for small inputs.
+
+    The three conditions checked:
+    1. P is a subset of C.
+    2. P is closed under (attribute-)subsets within itself: for X in P,
+       every sub-itemset of X that appears in C has its counterpart in P.
+       (The definition requires X' ⊆ X ⇒ X' ∈ P; we check against the
+       provided dictionaries.)
+    3. Every X in C has a generalization X̂ in P with
+       support(X̂) <= K * support(X), and for every subset Y of X there is
+       a corresponding subset Ŷ of X̂ that generalizes Y with
+       support(Ŷ) <= K * support(Y).
+    """
+    if completeness_level < 1.0:
+        raise ValueError("completeness level must be >= 1")
+
+    for itemset in candidate_set:
+        if itemset not in full_set:
+            return False
+
+    for itemset, support in full_set.items():
+        if not _has_close_generalization(
+            itemset, support, candidate_set, full_set, completeness_level
+        ):
+            return False
+    return True
+
+
+def _has_close_generalization(
+    itemset, support, candidate_set, full_set, k
+) -> bool:
+    for general, general_support in candidate_set.items():
+        if not is_generalization(general, itemset):
+            continue
+        if general_support > k * support + 1e-12:
+            continue
+        if _subsets_also_close(itemset, general, full_set, k):
+            return True
+    return False
+
+
+def _subsets_also_close(itemset, general, full_set, k) -> bool:
+    """Condition (ii): corresponding subsets stay within factor K.
+
+    For each proper non-empty subset Y of ``itemset``, the corresponding
+    attribute-subset Ŷ of ``general`` must satisfy
+    support(Ŷ) <= K * support(Y).  Subset supports outside ``full_set``
+    are unknown and skipped (they are not frequent, so the definition's
+    scope — C and its members — does not include them).
+    """
+    n = len(itemset)
+    for mask in range(1, 2**n - 1):
+        sub = tuple(itemset[i] for i in range(n) if mask >> i & 1)
+        gen_sub = tuple(general[i] for i in range(n) if mask >> i & 1)
+        sub_support = full_set.get(sub)
+        gen_support = full_set.get(gen_sub)
+        if sub_support is None or gen_support is None:
+            continue
+        if gen_support > k * sub_support + 1e-12:
+            return False
+    return True

@@ -1,0 +1,78 @@
+"""Rule generation from frequent quantitative itemsets (Step 4).
+
+"We use the algorithm in [AS94] to generate rules": ap-genrules, grown
+level-wise over consequents.  Confidence is anti-monotone in the
+consequent — moving an item from antecedent to consequent can only shrink
+the antecedent's support denominator's complement — so once a consequent
+fails, its supersets are skipped.
+
+Every subset of a frequent itemset is itself frequent and present in the
+support dictionary (candidates are only ever built from frequent items, and
+the Lemma 5 prune removes items globally before any itemset contains
+them), so confidence lookups never miss.
+"""
+
+from __future__ import annotations
+
+from ..booleans.apriori import generate_candidates as _grow_consequents
+from .items import make_itemset
+from .rules import QuantitativeRule
+
+
+def generate_rules(
+    support_counts: dict, num_records: int, min_confidence: float
+) -> list:
+    """All rules meeting ``min_confidence`` from the frequent itemsets.
+
+    ``support_counts`` maps canonical itemsets to absolute support counts
+    (the output of the level-wise search); rules inherit minimum support
+    from their itemsets being frequent.
+    """
+    if not 0.0 <= min_confidence <= 1.0:
+        raise ValueError(
+            f"min_confidence must be in [0, 1], got {min_confidence}"
+        )
+    if num_records <= 0:
+        return []
+    rules: list = []
+    for itemset, count in support_counts.items():
+        if len(itemset) < 2:
+            continue
+        _rules_for_itemset(
+            itemset, count, support_counts, num_records, min_confidence, rules
+        )
+    rules.sort(key=QuantitativeRule.sort_key)
+    return rules
+
+
+def _rules_for_itemset(
+    itemset, count, support_counts, num_records, min_confidence, out
+) -> None:
+    support = count / num_records
+    items = set(itemset)
+
+    def emit(consequent_items) -> bool:
+        """Try one consequent; returns True when the rule holds."""
+        antecedent = make_itemset(items - set(consequent_items))
+        antecedent_count = support_counts[antecedent]
+        confidence = count / antecedent_count
+        if confidence < min_confidence:
+            return False
+        out.append(
+            QuantitativeRule(
+                antecedent=antecedent,
+                consequent=make_itemset(consequent_items),
+                support=support,
+                confidence=confidence,
+            )
+        )
+        return True
+
+    consequents = [
+        (item,) for item in itemset if emit((item,))
+    ]
+    m = 2
+    while consequents and m < len(itemset):
+        grown = _grow_consequents(sorted(consequents), m)
+        consequents = [c for c in grown if emit(c)]
+        m += 1

@@ -1,0 +1,117 @@
+"""Quantitative association rules.
+
+A rule ``X => Y`` over itemsets with disjoint attributes, carrying its
+support and confidence (Section 2).  Rules compare, hash and sort by their
+(antecedent, consequent) identity so result sets behave like values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .items import (
+    is_generalization,
+    is_strict_generalization,
+    itemset_union,
+)
+
+
+@dataclass(frozen=True)
+class QuantitativeRule:
+    """An association rule over quantitative/categorical items.
+
+    ``antecedent`` and ``consequent`` are canonical itemsets (attribute-
+    sorted item tuples) with disjoint attributes; ``support`` and
+    ``confidence`` are fractions in [0, 1].
+    """
+
+    antecedent: tuple
+    consequent: tuple
+    support: float
+    confidence: float
+
+    def __post_init__(self) -> None:
+        lhs = {it.attribute for it in self.antecedent}
+        rhs = {it.attribute for it in self.consequent}
+        if not self.antecedent or not self.consequent:
+            raise ValueError("antecedent and consequent must be non-empty")
+        if lhs & rhs:
+            raise ValueError(
+                f"rule sides share attributes: {sorted(lhs & rhs)}"
+            )
+
+    @property
+    def itemset(self) -> tuple:
+        """``X ∪ Y``: the rule's full itemset."""
+        return itemset_union(self.antecedent, self.consequent)
+
+    def attribute_signature(self) -> tuple:
+        """(antecedent attributes, consequent attributes) — ancestors can
+        only exist within the same signature."""
+        return (
+            tuple(it.attribute for it in self.antecedent),
+            tuple(it.attribute for it in self.consequent),
+        )
+
+    def is_ancestor_of(self, other: "QuantitativeRule") -> bool:
+        """Strict ancestor test (Section 4).
+
+        ``self`` is an ancestor of ``other`` when its antecedent and
+        consequent both generalize ``other``'s (and the rules differ).
+        """
+        if (self.antecedent, self.consequent) == (
+            other.antecedent,
+            other.consequent,
+        ):
+            return False
+        return is_generalization(
+            self.antecedent, other.antecedent
+        ) and is_generalization(self.consequent, other.consequent)
+
+    def generality(self) -> int:
+        """Total mapped-value width; ancestors always have larger values,
+        which gives a cheap topological ordering for the interest pass."""
+        return sum(it.width for it in self.antecedent) + sum(
+            it.width for it in self.consequent
+        )
+
+    def sort_key(self) -> tuple:
+        return (self.antecedent, self.consequent)
+
+    def __str__(self) -> str:
+        lhs = " and ".join(str(it) for it in self.antecedent)
+        rhs = " and ".join(str(it) for it in self.consequent)
+        return (
+            f"{lhs} => {rhs} "
+            f"(sup={self.support:.1%}, conf={self.confidence:.1%})"
+        )
+
+
+def close_ancestors(rule: QuantitativeRule, pool) -> list:
+    """The close ancestors of ``rule`` within ``pool`` (Section 4).
+
+    An ancestor is *close* when no other pool member sits strictly between
+    it and the rule in the ancestor order.
+    """
+    ancestors = [r for r in pool if r.is_ancestor_of(rule)]
+    return [
+        a
+        for a in ancestors
+        if not any(
+            a.is_ancestor_of(b) for b in ancestors if b is not a
+        )
+    ]
+
+
+def itemset_close_ancestors(itemset, pool) -> list:
+    """Close (minimal) strict generalizations of ``itemset`` in ``pool``."""
+    ancestors = [
+        x for x in pool if is_strict_generalization(x, itemset)
+    ]
+    return [
+        a
+        for a in ancestors
+        if not any(
+            is_strict_generalization(a, b) for b in ancestors if b != a
+        )
+    ]

@@ -1,0 +1,207 @@
+"""Rule-set queries and objective measures.
+
+Mining output is a flat rule list; consumers almost always want slices of
+it — rules about an attribute, rules above a lift threshold, the top-k
+per consequent.  :class:`RuleSet` wraps a rule list (plus the supports
+needed for derived measures) with a chainable query API.
+
+The derived measures follow [PS91]'s deviation-from-independence family,
+which the paper cites as prior objective interest measures:
+
+* **lift** — confidence / Pr(consequent); 1.0 = independence.
+* **leverage** — Pr(X∪Y) − Pr(X)·Pr(Y) (the additive version).
+* **conviction** — (1 − Pr(Y)) / (1 − confidence); ∞ for exact rules.
+
+These complement (not replace) the paper's own greater-than-expected
+measure, which compares against *close generalizations* rather than
+against independence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .rules import QuantitativeRule
+
+
+@dataclass(frozen=True)
+class RuleMetrics:
+    """Derived objective measures for one rule."""
+
+    lift: float
+    leverage: float
+    conviction: float
+
+
+class RuleSet:
+    """A queryable view over mined rules.
+
+    Build with :meth:`from_result` (preferred — wires up supports and
+    rendering) or directly from a rule list plus a support lookup
+    callable mapping an itemset to its fractional support.
+    """
+
+    def __init__(self, rules, support_of=None, mapper=None) -> None:
+        self._rules = list(rules)
+        self._support_of = support_of
+        self._mapper = mapper
+
+    @classmethod
+    def from_result(cls, result, interesting_only: bool = True) -> "RuleSet":
+        """View over a :class:`~repro.core.miner.MiningResult`."""
+        rules = (
+            result.interesting_rules if interesting_only else result.rules
+        )
+        n = result.num_records
+
+        def support_of(itemset) -> float:
+            count = result.support_counts.get(itemset)
+            if count is not None:
+                return count / n if n else 0.0
+            # Single items are always answerable from the distributions.
+            if len(itemset) == 1:
+                return result.frequent_items.support(itemset[0])
+            raise KeyError(itemset)
+
+        return cls(rules, support_of, result.mapper)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def metrics(self, rule: QuantitativeRule) -> RuleMetrics:
+        """Lift / leverage / conviction for one rule."""
+        if self._support_of is None:
+            raise ValueError("this RuleSet has no support lookup")
+        consequent_support = self._support_of(rule.consequent)
+        antecedent_support = self._support_of(rule.antecedent)
+        lift = (
+            rule.confidence / consequent_support
+            if consequent_support > 0
+            else float("inf")
+        )
+        leverage = rule.support - antecedent_support * consequent_support
+        if rule.confidence >= 1.0:
+            conviction = float("inf")
+        else:
+            conviction = (1.0 - consequent_support) / (
+                1.0 - rule.confidence
+            )
+        return RuleMetrics(lift=lift, leverage=leverage, conviction=conviction)
+
+    # ------------------------------------------------------------------
+    # Queries (each returns a new RuleSet)
+    # ------------------------------------------------------------------
+    def _derive(self, rules) -> "RuleSet":
+        return RuleSet(rules, self._support_of, self._mapper)
+
+    def involving(self, attribute: int) -> "RuleSet":
+        """Rules mentioning ``attribute`` on either side."""
+        return self._derive(
+            r
+            for r in self._rules
+            if any(
+                it.attribute == attribute
+                for it in r.antecedent + r.consequent
+            )
+        )
+
+    def with_consequent_attribute(self, attribute: int) -> "RuleSet":
+        """Rules predicting something about ``attribute``."""
+        return self._derive(
+            r
+            for r in self._rules
+            if any(it.attribute == attribute for it in r.consequent)
+        )
+
+    def with_antecedent_attribute(self, attribute: int) -> "RuleSet":
+        return self._derive(
+            r
+            for r in self._rules
+            if any(it.attribute == attribute for it in r.antecedent)
+        )
+
+    def min_support(self, threshold: float) -> "RuleSet":
+        return self._derive(
+            r for r in self._rules if r.support >= threshold
+        )
+
+    def min_confidence(self, threshold: float) -> "RuleSet":
+        return self._derive(
+            r for r in self._rules if r.confidence >= threshold
+        )
+
+    def min_lift(self, threshold: float) -> "RuleSet":
+        return self._derive(
+            r for r in self._rules if self.metrics(r).lift >= threshold
+        )
+
+    def matching(self, predicate) -> "RuleSet":
+        """Arbitrary filter: ``predicate(rule) -> bool``."""
+        return self._derive(r for r in self._rules if predicate(r))
+
+    # ------------------------------------------------------------------
+    # Ordering and selection
+    # ------------------------------------------------------------------
+    def sorted_by(self, key: str = "support", descending: bool = True) -> "RuleSet":
+        """Order by ``support``, ``confidence``, ``lift``, ``leverage``
+        or ``conviction``."""
+        if key in ("support", "confidence"):
+            key_fn = lambda r: getattr(r, key)  # noqa: E731
+        elif key in ("lift", "leverage", "conviction"):
+            key_fn = lambda r: getattr(self.metrics(r), key)  # noqa: E731
+        else:
+            raise ValueError(f"unknown sort key {key!r}")
+        return self._derive(
+            sorted(self._rules, key=key_fn, reverse=descending)
+        )
+
+    def top(self, k: int, key: str = "support") -> "RuleSet":
+        """The k best rules under ``key``."""
+        return self._derive(list(self.sorted_by(key))[:k])
+
+    def top_per_consequent(self, k: int = 1, key: str = "confidence") -> "RuleSet":
+        """The k best rules for each distinct consequent."""
+        buckets: dict = {}
+        for rule in self.sorted_by(key):
+            buckets.setdefault(rule.consequent, []).append(rule)
+        out = []
+        for bucket in buckets.values():
+            out.extend(bucket[:k])
+        return self._derive(out)
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    def describe(self, limit: int | None = None) -> str:
+        """Render the rules (with lift when supports are available)."""
+        rules = self._rules if limit is None else self._rules[:limit]
+        lines = []
+        for rule in rules:
+            if self._mapper is not None:
+                lhs = self._mapper.describe_itemset(rule.antecedent)
+                rhs = self._mapper.describe_itemset(rule.consequent)
+                text = (
+                    f"{lhs} => {rhs} "
+                    f"(sup={rule.support:.1%}, conf={rule.confidence:.1%}"
+                )
+            else:
+                text = str(rule)[:-1]
+            if self._support_of is not None:
+                try:
+                    text += f", lift={self.metrics(rule).lift:.2f}"
+                except KeyError:
+                    pass
+            lines.append(text + ")")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self):
+        return iter(self._rules)
+
+    def __getitem__(self, index):
+        return self._rules[index]
+
+    def __repr__(self) -> str:
+        return f"RuleSet({len(self._rules)} rules)"

@@ -1,0 +1,82 @@
+"""Mining statistics: what happened during a run.
+
+The paper's evaluation reasons about candidate counts, pruning
+effectiveness and per-phase time (candidate generation vs. support
+counting, Section 6 "Scaleup"); this module records those quantities so
+benchmarks and tests can assert on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PassStats:
+    """One level-wise pass of the frequent-itemset search."""
+
+    size: int
+    num_candidates: int
+    num_frequent: int
+    generation_seconds: float = 0.0
+    counting_seconds: float = 0.0
+
+
+@dataclass
+class MiningStats:
+    """Aggregated statistics for a full mining run."""
+
+    num_records: int = 0
+    num_attributes: int = 0
+    partitions_per_attribute: dict = field(default_factory=dict)
+    realized_completeness: float | None = None
+    items_pruned_by_interest: int = 0
+    passes: list = field(default_factory=list)
+    counting_groups_by_backend: dict = field(default_factory=dict)
+    num_frequent_itemsets: int = 0
+    num_rules: int = 0
+    num_interesting_rules: int = 0
+    total_seconds: float = 0.0
+    phase_seconds: dict = field(default_factory=dict)
+
+    @property
+    def num_passes(self) -> int:
+        return len(self.passes)
+
+    @property
+    def total_candidates(self) -> int:
+        return sum(p.num_candidates for p in self.passes)
+
+    @property
+    def fraction_rules_interesting(self) -> float:
+        """Figure 7/8's "% of rules found interesting" as a fraction."""
+        if self.num_rules == 0:
+            return 0.0
+        return self.num_interesting_rules / self.num_rules
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"records:             {self.num_records}",
+            f"attributes:          {self.num_attributes}",
+            f"partitions:          {self.partitions_per_attribute}",
+        ]
+        if self.realized_completeness is not None:
+            lines.append(
+                f"realized K:          {self.realized_completeness:.3f}"
+            )
+        lines.append(
+            f"items interest-pruned: {self.items_pruned_by_interest}"
+        )
+        for p in self.passes:
+            lines.append(
+                f"pass {p.size}: {p.num_candidates} candidates -> "
+                f"{p.num_frequent} frequent "
+                f"(gen {p.generation_seconds:.2f}s, "
+                f"count {p.counting_seconds:.2f}s)"
+            )
+        lines.append(f"frequent itemsets:   {self.num_frequent_itemsets}")
+        lines.append(f"rules:               {self.num_rules}")
+        lines.append(f"interesting rules:   {self.num_interesting_rules}")
+        lines.append(f"total time:          {self.total_seconds:.2f}s")
+        return "\n".join(lines)

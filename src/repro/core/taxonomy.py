@@ -1,0 +1,151 @@
+"""Taxonomies (is-a hierarchies) over categorical attributes.
+
+Section 1.1 of the paper: "It is not meaningful to combine categorical
+attribute values unless a taxonomy is present on the attribute.  In this
+case, the taxonomy can be used to implicitly combine values of a
+categorical attribute (see [SA95], [HF95]).  Using a taxonomy in this
+manner is somewhat similar to considering ranges over quantitative
+attributes."
+
+This module makes that similarity literal.  Leaves are assigned
+consecutive integer codes in depth-first order, so every taxonomy node
+covers a *contiguous* code range — an interior node is then exactly a
+range item ``<attribute, lo, hi>`` and flows through the existing
+counting, candidate-generation and interest machinery unchanged.  The
+only specialization needed elsewhere is in frequent-item generation
+(taxonomy attributes combine codes along node ranges rather than every
+adjacent run) and in rendering (a node range prints its node name).
+"""
+
+from __future__ import annotations
+
+
+class Taxonomy:
+    """A forest of is-a relations over a categorical attribute's values.
+
+    Construct from ``{child: parent}`` edges.  Values that never appear
+    as a parent are leaves — the actual attribute values found in
+    records; interior names are virtual groupings.
+
+    Example
+    -------
+    >>> t = Taxonomy({
+    ...     "jacket": "outerwear", "ski_pants": "outerwear",
+    ...     "outerwear": "clothes", "shirt": "clothes",
+    ... })
+    >>> t.leaves_in_order()
+    ('jacket', 'ski_pants', 'shirt')
+    >>> t.node_range("outerwear")
+    (0, 1)
+    >>> t.node_range("clothes")
+    (0, 2)
+    """
+
+    def __init__(self, parents: dict) -> None:
+        if not parents:
+            raise ValueError("taxonomy needs at least one child->parent edge")
+        self._parents = dict(parents)
+        children: dict = {}
+        for child, parent in self._parents.items():
+            if child == parent:
+                raise ValueError(f"value {child!r} is its own parent")
+            children.setdefault(parent, []).append(child)
+        self._children = children
+
+        nodes = set(self._parents) | set(children)
+        self._roots = sorted(
+            n for n in nodes if n not in self._parents
+        )
+        self._assert_acyclic()
+
+        # Depth-first leaf ordering; children visit in insertion order so
+        # the caller's edge order is meaningful and stable.
+        self._leaf_order: list = []
+        self._ranges: dict = {}
+        for root in self._roots:
+            self._assign(root)
+
+    def _assert_acyclic(self) -> None:
+        for start in self._parents:
+            seen = {start}
+            node = start
+            while node in self._parents:
+                node = self._parents[node]
+                if node in seen:
+                    raise ValueError(
+                        f"taxonomy contains a cycle through {node!r}"
+                    )
+                seen.add(node)
+
+    def _assign(self, node) -> tuple:
+        kids = self._children.get(node)
+        if not kids:
+            code = len(self._leaf_order)
+            self._leaf_order.append(node)
+            self._ranges[node] = (code, code)
+            return self._ranges[node]
+        lo = None
+        hi = None
+        for kid in kids:
+            k_lo, k_hi = self._assign(kid)
+            lo = k_lo if lo is None else min(lo, k_lo)
+            hi = k_hi if hi is None else max(hi, k_hi)
+        self._ranges[node] = (lo, hi)
+        return self._ranges[node]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def leaves_in_order(self) -> tuple:
+        """Leaf values in DFS order — the attribute's mapped code order."""
+        return tuple(self._leaf_order)
+
+    def interior_nodes(self) -> tuple:
+        """All non-leaf node names, most general last within each root."""
+        return tuple(
+            n for n in self._ranges if n not in set(self._leaf_order)
+        )
+
+    def node_range(self, node) -> tuple:
+        """(lo, hi) leaf-code range the node covers."""
+        try:
+            return self._ranges[node]
+        except KeyError:
+            raise KeyError(f"{node!r} is not in this taxonomy") from None
+
+    def range_name(self, lo: int, hi: int):
+        """Node name covering exactly [lo, hi], or ``None``."""
+        for node, node_range in self._ranges.items():
+            if node_range == (lo, hi) and node not in self._leaf_order:
+                return node
+        return None
+
+    def ancestors(self, node) -> list:
+        """Chain of ancestors from parent to root."""
+        out = []
+        while node in self._parents:
+            node = self._parents[node]
+            out.append(node)
+        return out
+
+    def is_leaf(self, node) -> bool:
+        return node in set(self._leaf_order)
+
+    def combinable_ranges(self) -> list:
+        """(lo, hi) ranges of every interior node — the only categorical
+        'ranges' the miner may form (values never combine otherwise)."""
+        leaf_set = set(self._leaf_order)
+        return sorted(
+            node_range
+            for node, node_range in self._ranges.items()
+            if node not in leaf_set
+        )
+
+    def __contains__(self, node) -> bool:
+        return node in self._ranges
+
+    def __repr__(self) -> str:
+        return (
+            f"Taxonomy({len(self._leaf_order)} leaves, "
+            f"{len(self.interior_nodes())} interior nodes)"
+        )

@@ -1,0 +1,35 @@
+"""Datasets: the paper's worked examples and synthetic substitutes."""
+
+from .people import (
+    AGE_INTERVALS,
+    EXAMPLE_MIN_CONFIDENCE,
+    EXAMPLE_MIN_SUPPORT,
+    PEOPLE_RECORDS,
+    age_partition_edges,
+    people_schema,
+    people_table,
+)
+from .transactions_synthetic import generate_basket_database
+from .synthetic import (
+    EMPLOYEE_CATEGORIES,
+    MARITAL_STATUSES,
+    credit_schema,
+    generate_credit_table,
+    generate_skewed_table,
+)
+
+__all__ = [
+    "AGE_INTERVALS",
+    "EMPLOYEE_CATEGORIES",
+    "EXAMPLE_MIN_CONFIDENCE",
+    "EXAMPLE_MIN_SUPPORT",
+    "MARITAL_STATUSES",
+    "PEOPLE_RECORDS",
+    "age_partition_edges",
+    "credit_schema",
+    "generate_basket_database",
+    "generate_credit_table",
+    "generate_skewed_table",
+    "people_schema",
+    "people_table",
+]

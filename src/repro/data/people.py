@@ -1,0 +1,60 @@
+"""The paper's worked-example tables (Figures 1 and 3).
+
+Both figures use the same five-person table; Figure 1 illustrates the
+problem, Figure 3 walks the decomposition (partition Age into four
+intervals, map, mine with minsup 40% / minconf 50%).  These exact records
+anchor the end-to-end tests, which assert the paper's printed itemsets and
+rules come out of the pipeline unchanged.
+"""
+
+from __future__ import annotations
+
+from ..table import (
+    Attribute,
+    AttributeKind,
+    RelationalTable,
+    TableSchema,
+)
+
+#: The five records of the People table (RecordID omitted — it is a key).
+PEOPLE_RECORDS = (
+    (23, "No", 1),
+    (25, "Yes", 1),
+    (29, "No", 0),
+    (34, "Yes", 2),
+    (38, "Yes", 2),
+)
+
+#: Figure 3b's partitioning of Age: 20..24, 25..29, 30..34, 35..39.
+AGE_INTERVALS = ((20, 24), (25, 29), (30, 34), (35, 39))
+
+#: Parameters used throughout the example.
+EXAMPLE_MIN_SUPPORT = 0.4
+EXAMPLE_MIN_CONFIDENCE = 0.5
+
+
+def people_schema() -> TableSchema:
+    """Schema of the People table: Age (Q), Married (C), NumCars (Q)."""
+    return TableSchema(
+        [
+            Attribute("Age", AttributeKind.QUANTITATIVE),
+            Attribute("Married", AttributeKind.CATEGORICAL, ("Yes", "No")),
+            Attribute("NumCars", AttributeKind.QUANTITATIVE),
+        ]
+    )
+
+
+def people_table() -> RelationalTable:
+    """The People table of Figures 1 and 3."""
+    return RelationalTable.from_records(people_schema(), PEOPLE_RECORDS)
+
+
+def age_partition_edges() -> tuple:
+    """Explicit edges reproducing Figure 3b's Age intervals.
+
+    The paper picks interval boundaries by hand (20..24, 25..29, 30..34,
+    35..39); expressing them as half-open edges lets tests pin the
+    partitioning without relying on equi-depth quantiles landing on the
+    same cut points.
+    """
+    return (20.0, 25.0, 30.0, 35.0, 40.0)

@@ -1,0 +1,199 @@
+"""Synthetic stand-in for the paper's real-life credit dataset.
+
+Section 6 evaluates on a proprietary IBM dataset of 500,000 records with
+five quantitative attributes — monthly-income, credit-limit,
+current-balance, year-to-date balance, year-to-date interest — and two
+categorical attributes — employee-category and marital-status.  The data
+itself was never published, so this module generates a table with the same
+schema and the kind of structure the experiments rely on:
+
+* skewed positive marginals (log-normal incomes);
+* strong cross-attribute correlation (income drives credit limit, limit
+  drives balances, balances drive interest) so multi-attribute rules with
+  above-expectation support/confidence exist at every partial-completeness
+  level;
+* categorical attributes that shift the quantitative distributions
+  (employee category scales income; marital status nudges utilization),
+  giving mixed categorical/quantitative rules.
+
+The paper's figures report *relative* quantities — rule counts, percent
+interesting, normalized run time — which depend on this correlation
+structure rather than on the proprietary values, so the substitution
+preserves the shapes under study (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..table import (
+    Attribute,
+    AttributeKind,
+    RelationalTable,
+    TableSchema,
+)
+from .distributions import (
+    bounded_fraction,
+    clipped_normal,
+    lognormal,
+    weighted_choice,
+)
+
+EMPLOYEE_CATEGORIES = (
+    "salaried",
+    "self-employed",
+    "retired",
+    "student",
+    "unemployed",
+)
+MARITAL_STATUSES = ("single", "married", "divorced", "widowed")
+
+#: Relative frequency of each employee category.
+_CATEGORY_WEIGHTS = {
+    "salaried": 0.52,
+    "self-employed": 0.18,
+    "retired": 0.14,
+    "student": 0.10,
+    "unemployed": 0.06,
+}
+#: Median monthly income multiplier per employee category.
+_INCOME_SCALE = {
+    "salaried": 1.0,
+    "self-employed": 1.25,
+    "retired": 0.6,
+    "student": 0.25,
+    "unemployed": 0.15,
+}
+_MARITAL_WEIGHTS = {
+    "single": 0.31,
+    "married": 0.52,
+    "divorced": 0.12,
+    "widowed": 0.05,
+}
+#: Mean utilization (balance / limit) per marital status.
+_UTILIZATION_MEAN = {
+    "single": 0.45,
+    "married": 0.30,
+    "divorced": 0.50,
+    "widowed": 0.25,
+}
+
+
+def credit_schema() -> TableSchema:
+    """The 7-attribute schema of Section 6 (5 quantitative, 2 categorical)."""
+    return TableSchema(
+        [
+            Attribute("monthly_income", AttributeKind.QUANTITATIVE),
+            Attribute("credit_limit", AttributeKind.QUANTITATIVE),
+            Attribute("current_balance", AttributeKind.QUANTITATIVE),
+            Attribute("ytd_balance", AttributeKind.QUANTITATIVE),
+            Attribute("ytd_interest", AttributeKind.QUANTITATIVE),
+            Attribute(
+                "employee_category",
+                AttributeKind.CATEGORICAL,
+                EMPLOYEE_CATEGORIES,
+            ),
+            Attribute(
+                "marital_status", AttributeKind.CATEGORICAL, MARITAL_STATUSES
+            ),
+        ]
+    )
+
+
+def generate_credit_table(
+    num_records: int,
+    seed: int = 0,
+    base_income_median: float = 3200.0,
+    income_sigma: float = 0.55,
+) -> RelationalTable:
+    """Generate the synthetic credit table.
+
+    Parameters
+    ----------
+    num_records:
+        Table size (the paper uses 500,000; the benchmarks sweep
+        50,000..500,000 for the scale-up figure).
+    seed:
+        Seed for a ``numpy.random.default_rng``; identical seeds produce
+        identical tables across runs and platforms.
+    base_income_median:
+        Median monthly income for the salaried category.
+    income_sigma:
+        Log-normal spread of incomes.
+    """
+    if num_records < 1:
+        raise ValueError(f"num_records must be >= 1, got {num_records}")
+    rng = np.random.default_rng(seed)
+
+    employee = weighted_choice(rng, _CATEGORY_WEIGHTS, num_records)
+    marital = weighted_choice(rng, _MARITAL_WEIGHTS, num_records)
+
+    category_scale = np.array(
+        [_INCOME_SCALE[c] for c in EMPLOYEE_CATEGORIES]
+    )[employee]
+    income = (
+        lognormal(rng, base_income_median, income_sigma, num_records)
+        * category_scale
+    )
+
+    # Credit limit ~ 3x monthly income with substantial proportional noise,
+    # floored at a minimum card limit.  Noise levels here (and below) are
+    # tuned so correlations are strong enough to produce above-expectation
+    # rules yet loose enough that the frequent-itemset lattice stays the
+    # size a real (imperfectly correlated) credit portfolio would give.
+    limit_noise = clipped_normal(
+        rng, 1.0, 0.6, num_records, lo=0.2, hi=3.0
+    )
+    credit_limit = np.maximum(500.0, income * 3.0 * limit_noise)
+
+    utilization_mean = np.array(
+        [_UTILIZATION_MEAN[m] for m in MARITAL_STATUSES]
+    )[marital]
+    utilization = bounded_fraction(rng, utilization_mean, 2.0, num_records)
+    current_balance = credit_limit * utilization
+
+    # Year-to-date balance accumulates a varying number of months of
+    # similar balances.
+    months = clipped_normal(rng, 7.0, 3.5, num_records, lo=1.0, hi=12.0)
+    ytd_balance = current_balance * months
+
+    # Year-to-date interest: roughly 1.5% monthly on carried balances,
+    # with per-account rate spread.
+    rate = clipped_normal(rng, 0.015, 0.012, num_records, lo=0.001, hi=0.05)
+    ytd_interest = ytd_balance * rate
+
+    columns = [
+        np.round(income, 2),
+        np.round(credit_limit, 2),
+        np.round(current_balance, 2),
+        np.round(ytd_balance, 2),
+        np.round(ytd_interest, 2),
+        employee.astype(np.int64),
+        marital.astype(np.int64),
+    ]
+    return RelationalTable.from_columns(credit_schema(), columns)
+
+
+def generate_skewed_table(
+    num_records: int, seed: int = 0, skew: float = 0.85
+) -> RelationalTable:
+    """A small table with one heavily skewed quantitative attribute.
+
+    Exercise bed for the equi-depth vs equi-width ablation the paper's
+    future-work section motivates: equi-depth splits the high-support head
+    values apart while equi-width wastes intervals on the sparse tail.
+    """
+    from .distributions import skewed_integers
+
+    rng = np.random.default_rng(seed)
+    schema = TableSchema(
+        [
+            Attribute("amount", AttributeKind.QUANTITATIVE),
+            Attribute(
+                "segment", AttributeKind.CATEGORICAL, ("retail", "corporate")
+            ),
+        ]
+    )
+    amount = skewed_integers(rng, 0, 99, skew, num_records).astype(np.float64)
+    segment = (amount + rng.normal(0, 15, num_records) > 25).astype(np.int64)
+    return RelationalTable.from_columns(schema, [amount, segment])

@@ -1,0 +1,112 @@
+"""Synthetic transaction generator in the style of [AS94].
+
+The boolean-Apriori substrate comes from *Fast Algorithms for Mining
+Association Rules*, whose evaluation uses synthetic basket data named
+``T10.I4.D100K`` etc.: ``T`` is the average transaction size, ``I`` the
+average size of the *maximal potentially frequent itemsets* embedded in
+the data, ``D`` the number of transactions.  Transactions are built by
+stitching together such potentially frequent itemsets, with per-itemset
+weights, corruption (dropping a suffix) and overlap between consecutive
+patterns — giving realistic support skew.
+
+This reproduction of the generator lets the boolean substrate be
+exercised and benchmarked on the same *kind* of data its source paper
+used (see ``benchmarks/bench_boolean_algorithms.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..booleans import TransactionDatabase
+
+
+def generate_basket_database(
+    num_transactions: int,
+    avg_transaction_size: int = 10,
+    avg_pattern_size: int = 4,
+    num_items: int = 1000,
+    num_patterns: int = 200,
+    correlation: float = 0.5,
+    corruption_mean: float = 0.5,
+    seed: int = 0,
+) -> TransactionDatabase:
+    """Generate a T{T}.I{I}.D{D} style basket database.
+
+    Parameters mirror [AS94] Section 3.1: transaction sizes and pattern
+    sizes are Poisson-distributed around their means; each of
+    ``num_patterns`` potentially frequent itemsets shares a
+    ``correlation`` fraction of its items with its predecessor; pattern
+    weights follow an exponential distribution; and each placement drops
+    a random suffix per the pattern's corruption level.
+    """
+    if num_transactions < 1:
+        raise ValueError("num_transactions must be >= 1")
+    if not 1 <= avg_pattern_size <= num_items:
+        raise ValueError("avg_pattern_size must be in [1, num_items]")
+    if avg_transaction_size < 1:
+        raise ValueError("avg_transaction_size must be >= 1")
+    if not 0.0 <= correlation <= 1.0:
+        raise ValueError("correlation must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+
+    patterns = _build_patterns(
+        rng, num_patterns, avg_pattern_size, num_items, correlation
+    )
+    weights = rng.exponential(1.0, num_patterns)
+    weights /= weights.sum()
+    corruption = np.clip(
+        rng.normal(corruption_mean, 0.1, num_patterns), 0.0, 1.0
+    )
+
+    transactions = []
+    for _ in range(num_transactions):
+        size = max(1, rng.poisson(avg_transaction_size))
+        basket: set = set()
+        # Guard against pathological parameterizations where corruption
+        # keeps baskets from ever filling.
+        attempts = 0
+        while len(basket) < size and attempts < 10 * size:
+            attempts += 1
+            p = int(rng.choice(num_patterns, p=weights))
+            pattern = patterns[p]
+            # Corrupt: keep a prefix whose length shrinks geometrically
+            # with the pattern's corruption level.
+            keep = len(pattern)
+            while keep > 0 and rng.uniform() < corruption[p]:
+                keep -= 1
+            if keep == 0:
+                continue
+            chosen = pattern[:keep]
+            # [AS94]: if the pattern does not fit, add it anyway half the
+            # time, else stop the transaction.
+            if len(basket) + len(chosen) > size and rng.uniform() < 0.5:
+                break
+            basket.update(chosen)
+        if not basket:
+            basket = {int(rng.integers(num_items))}
+        transactions.append(sorted(basket))
+    return TransactionDatabase(transactions)
+
+
+def _build_patterns(rng, num_patterns, avg_size, num_items, correlation):
+    """The 'potentially frequent itemsets' table of [AS94]."""
+    patterns = []
+    previous: list = []
+    for _ in range(num_patterns):
+        size = max(1, rng.poisson(avg_size))
+        carried = []
+        if previous and correlation > 0:
+            num_carried = min(
+                len(previous), max(0, round(correlation * size))
+            )
+            if num_carried:
+                carried = list(
+                    rng.choice(previous, size=num_carried, replace=False)
+                )
+        fresh_needed = size - len(carried)
+        fresh = rng.choice(num_items, size=max(0, fresh_needed), replace=False)
+        pattern = list(dict.fromkeys([*carried, *map(int, fresh)]))[:size]
+        patterns.append(pattern)
+        previous = pattern
+    return patterns

@@ -1,0 +1,53 @@
+"""Programmatic runners for the paper's evaluation figures.
+
+Each ``run_figureN`` reproduces one artifact of Section 6 on a table the
+caller supplies (typically :func:`repro.data.generate_credit_table`) and
+returns a structured result with a ``render()`` method.  The pytest
+benchmarks under ``benchmarks/`` drive the same sweeps with shape
+assertions; these entry points exist so the reproduction is usable as a
+library, without pytest.
+"""
+
+from .figure7 import (
+    PAPER_COMPLETENESS_LEVELS,
+    PAPER_INTEREST_LEVELS,
+    Figure7Point,
+    Figure7Result,
+    run_figure7,
+)
+from .figure8 import (
+    DEFAULT_INTEREST_SWEEP,
+    PAPER_COMBOS,
+    Figure8Result,
+    Figure8Series,
+    run_figure8,
+)
+from .figure9 import (
+    DEFAULT_SIZES,
+    PAPER_MIN_SUPPORTS,
+    Figure9Result,
+    ScaleupPoint,
+    ScaleupSeries,
+    run_figure9,
+    time_mining,
+)
+
+__all__ = [
+    "DEFAULT_INTEREST_SWEEP",
+    "DEFAULT_SIZES",
+    "Figure7Point",
+    "Figure7Result",
+    "Figure8Result",
+    "Figure8Series",
+    "Figure9Result",
+    "PAPER_COMBOS",
+    "PAPER_COMPLETENESS_LEVELS",
+    "PAPER_INTEREST_LEVELS",
+    "PAPER_MIN_SUPPORTS",
+    "ScaleupPoint",
+    "ScaleupSeries",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9",
+    "time_mining",
+]

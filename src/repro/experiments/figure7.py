@@ -1,0 +1,122 @@
+"""Figure 7 runner: interesting rules vs. partial completeness level.
+
+Library-level implementation of the sweep behind
+``benchmarks/bench_fig7_partial_completeness.py`` — construct one miner
+per partial-completeness level (the level changes the partitioning, so
+re-encoding is required), mine once, then apply the interest filter at
+each requested interest level over the same rule set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core import InterestEvaluator, MinerConfig
+from ..core.miner import QuantitativeMiner
+
+#: The paper's sweep values (Section 6, Figure 7).
+PAPER_COMPLETENESS_LEVELS = (1.5, 2.0, 3.0, 5.0)
+PAPER_INTEREST_LEVELS = (1.1, 1.5, 2.0)
+
+
+@dataclass
+class Figure7Point:
+    """One K on the x-axis."""
+
+    completeness: float
+    partitions: int
+    total_rules: int
+    interesting: dict  # interest level -> count
+    seconds: float
+
+    def fraction(self, interest_level: float) -> float:
+        if self.total_rules == 0:
+            return 0.0
+        return self.interesting[interest_level] / self.total_rules
+
+
+@dataclass
+class Figure7Result:
+    """The full sweep, with the paper's two panels derivable."""
+
+    points: list = field(default_factory=list)
+    interest_levels: tuple = PAPER_INTEREST_LEVELS
+
+    def render(self) -> str:
+        header = ["K", "intervals", "rules"] + [
+            f"R={r} (#)" for r in self.interest_levels
+        ] + [f"R={r} (%)" for r in self.interest_levels]
+        rows = [header]
+        for p in self.points:
+            rows.append(
+                [p.completeness, p.partitions, p.total_rules]
+                + [p.interesting[r] for r in self.interest_levels]
+                + [f"{100 * p.fraction(r):.1f}" for r in self.interest_levels]
+            )
+        widths = [
+            max(len(str(row[i])) for row in rows)
+            for i in range(len(header))
+        ]
+        return "\n".join(
+            "  ".join(f"{str(cell):>{w}}" for cell, w in zip(row, widths))
+            for row in rows
+        )
+
+
+def run_figure7(
+    table,
+    completeness_levels=PAPER_COMPLETENESS_LEVELS,
+    interest_levels=PAPER_INTEREST_LEVELS,
+    min_support: float = 0.2,
+    min_confidence: float = 0.25,
+    max_support: float = 0.4,
+    max_quantitative_in_rule: int | None = 2,
+) -> Figure7Result:
+    """Run the Figure 7 sweep on ``table``.
+
+    Defaults are the paper's parameters (with Equation 2's n' = 2
+    refinement; see DESIGN.md §4b).
+    """
+    import time
+
+    base = dict(
+        min_support=min_support,
+        min_confidence=min_confidence,
+        max_support=max_support,
+        max_quantitative_in_rule=max_quantitative_in_rule,
+    )
+    result = Figure7Result(interest_levels=tuple(interest_levels))
+    for completeness in completeness_levels:
+        started = time.perf_counter()
+        mining = QuantitativeMiner(
+            table,
+            MinerConfig(**base, partial_completeness=completeness),
+        ).mine()
+        interesting = {}
+        for r_level in interest_levels:
+            evaluator = InterestEvaluator(
+                mining.support_counts,
+                mining.frequent_items,
+                mining.mapper,
+                MinerConfig(
+                    **base,
+                    partial_completeness=completeness,
+                    interest_level=r_level,
+                ),
+            )
+            interesting[r_level] = len(evaluator.filter_rules(mining.rules))
+        quantitative = [
+            m for m in mining.mapper.mappings if m.is_quantitative
+        ]
+        result.points.append(
+            Figure7Point(
+                completeness=completeness,
+                partitions=max(
+                    (m.cardinality for m in quantitative), default=0
+                ),
+                total_rules=len(mining.rules),
+                interesting=interesting,
+                seconds=time.perf_counter() - started,
+            )
+        )
+    return result

@@ -1,0 +1,103 @@
+"""Figure 8 runner: fraction of rules interesting vs. interest level.
+
+Library-level implementation of the sweep behind
+``benchmarks/bench_fig8_interest.py``: one mining run per
+(minimum support, minimum confidence) combination over a *fixed*
+partitioning (so the curves differ only in thresholds), then the
+interest filter applied at every swept R.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core import InterestEvaluator, MinerConfig
+from ..core.miner import QuantitativeMiner
+
+#: The paper's four threshold combinations and an R grid spanning its
+#: 0..2 x-axis.
+PAPER_COMBOS = ((0.1, 0.25), (0.1, 0.5), (0.2, 0.25), (0.2, 0.5))
+DEFAULT_INTEREST_SWEEP = (0.0, 0.5, 1.0, 1.1, 1.3, 1.5, 2.0)
+
+
+@dataclass
+class Figure8Series:
+    """One (minsup, minconf) curve."""
+
+    min_support: float
+    min_confidence: float
+    total_rules: int
+    fractions: dict  # interest level -> fraction interesting
+
+    def label(self) -> str:
+        return (
+            f"sup={self.min_support:.0%}/conf={self.min_confidence:.0%}"
+        )
+
+
+@dataclass
+class Figure8Result:
+    series: list = field(default_factory=list)
+    interest_sweep: tuple = DEFAULT_INTEREST_SWEEP
+
+    def render(self) -> str:
+        header = ["R"] + [s.label() for s in self.series]
+        rows = [header]
+        for r_level in self.interest_sweep:
+            rows.append(
+                [r_level]
+                + [
+                    f"{100 * s.fractions[r_level]:.1f}%"
+                    for s in self.series
+                ]
+            )
+        widths = [
+            max(len(str(row[i])) for row in rows)
+            for i in range(len(header))
+        ]
+        return "\n".join(
+            "  ".join(f"{str(cell):>{w}}" for cell, w in zip(row, widths))
+            for row in rows
+        )
+
+
+def run_figure8(
+    table,
+    combos=PAPER_COMBOS,
+    interest_sweep=DEFAULT_INTEREST_SWEEP,
+    max_support: float = 0.4,
+    num_partitions: int = 14,
+    max_quantitative_in_rule: int | None = 2,
+) -> Figure8Result:
+    """Run the Figure 8 sweep on ``table`` (paper defaults)."""
+    result = Figure8Result(interest_sweep=tuple(interest_sweep))
+    for min_support, min_confidence in combos:
+        base = dict(
+            min_support=min_support,
+            min_confidence=min_confidence,
+            max_support=max_support,
+            num_partitions=num_partitions,
+            max_quantitative_in_rule=max_quantitative_in_rule,
+        )
+        mining = QuantitativeMiner(table, MinerConfig(**base)).mine()
+        fractions = {}
+        for r_level in interest_sweep:
+            evaluator = InterestEvaluator(
+                mining.support_counts,
+                mining.frequent_items,
+                mining.mapper,
+                MinerConfig(**base, interest_level=r_level),
+            )
+            kept = evaluator.filter_rules(mining.rules)
+            fractions[r_level] = (
+                len(kept) / len(mining.rules) if mining.rules else 0.0
+            )
+        result.series.append(
+            Figure8Series(
+                min_support=min_support,
+                min_confidence=min_confidence,
+                total_rules=len(mining.rules),
+                fractions=fractions,
+            )
+        )
+    return result

@@ -1,0 +1,117 @@
+"""Figure 9 runner: execution-time scale-up with the record count.
+
+Library-level implementation of the sweep behind
+``benchmarks/bench_fig9_scaleup.py``: for each minimum support, time the
+mining algorithm (partition + map + frequent itemsets; see DESIGN.md
+§4b) at each table size, normalizing to the smallest size as the paper
+does.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core import MinerConfig
+from ..core.apriori_quant import find_frequent_itemsets
+from ..core.mapper import TableMapper
+
+DEFAULT_SIZES = (50_000, 100_000, 200_000, 350_000, 500_000)
+PAPER_MIN_SUPPORTS = (0.3, 0.2, 0.1)
+
+
+@dataclass
+class ScaleupPoint:
+    num_records: int
+    seconds: float
+    num_itemsets: int
+    relative: float = 0.0
+
+
+@dataclass
+class ScaleupSeries:
+    min_support: float
+    points: list = field(default_factory=list)
+
+    def normalize(self) -> None:
+        if not self.points:
+            return
+        base = self.points[0].seconds
+        for p in self.points:
+            p.relative = p.seconds / base if base > 0 else float("inf")
+
+
+@dataclass
+class Figure9Result:
+    series: list = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = []
+        for s in self.series:
+            lines.append(f"minsup={s.min_support:.0%}:")
+            lines.append(
+                f"  {'records':>9}  {'seconds':>8}  {'relative':>8}  "
+                f"{'rel/linear':>10}"
+            )
+            base = s.points[0].num_records if s.points else 1
+            for p in s.points:
+                linear = p.num_records / base
+                lines.append(
+                    f"  {p.num_records:>9}  {p.seconds:>8.3f}  "
+                    f"{p.relative:>8.2f}  {p.relative / linear:>10.2f}"
+                )
+        return "\n".join(lines)
+
+
+def time_mining(table, min_support, num_partitions=10, max_itemset_size=4,
+                repetitions: int = 2):
+    """Best-of-N timing of the frequent-itemset phase on one table."""
+    config = MinerConfig(
+        min_support=min_support,
+        max_support=0.4,
+        partial_completeness=3.0,
+        num_partitions=num_partitions,
+        max_itemset_size=max_itemset_size,
+    )
+    best = None
+    num_itemsets = 0
+    for _ in range(max(1, repetitions)):
+        started = time.perf_counter()
+        mapper = TableMapper(table, config)
+        support_counts, _ = find_frequent_itemsets(mapper, config)
+        elapsed = time.perf_counter() - started
+        num_itemsets = len(support_counts)
+        best = elapsed if best is None else min(best, elapsed)
+    return best, num_itemsets
+
+
+def run_figure9(
+    table_for_size,
+    sizes=DEFAULT_SIZES,
+    min_supports=PAPER_MIN_SUPPORTS,
+    num_partitions: int = 10,
+) -> Figure9Result:
+    """Run the scale-up sweep.
+
+    ``table_for_size`` is a callable mapping a record count to a table
+    (e.g. a cached ``generate_credit_table``), so callers control both
+    the data and any caching.
+    """
+    result = Figure9Result()
+    for min_support in min_supports:
+        series = ScaleupSeries(min_support=min_support)
+        for size in sizes:
+            table = table_for_size(size)
+            seconds, num_itemsets = time_mining(
+                table, min_support, num_partitions
+            )
+            series.points.append(
+                ScaleupPoint(
+                    num_records=size,
+                    seconds=seconds,
+                    num_itemsets=num_itemsets,
+                )
+            )
+        series.normalize()
+        result.series.append(series)
+    return result

@@ -1,0 +1,10 @@
+"""R*-tree substrate [BKSS90] for rectangle/point containment queries."""
+
+from .geometry import Rect, bounding_rect
+from .rstar import RStarTree
+
+__all__ = ["Rect", "RStarTree", "bounding_rect"]
+
+from .bulk import bulk_load  # noqa: E402
+
+__all__.append("bulk_load")

@@ -1,0 +1,136 @@
+"""n-dimensional rectangle geometry for the R*-tree.
+
+Rectangles are axis-aligned with *inclusive* bounds on both ends, matching
+the paper's items ``<attribute, lo, hi>``: a record's attribute values form
+a point, and a candidate's quantitative ranges form a rectangle; the
+candidate is supported exactly when the rectangle contains the point
+(Section 5.2).
+"""
+
+from __future__ import annotations
+
+
+class Rect:
+    """An axis-aligned rectangle with inclusive lower/upper bounds."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo, hi) -> None:
+        lo = tuple(float(v) for v in lo)
+        hi = tuple(float(v) for v in hi)
+        if len(lo) != len(hi):
+            raise ValueError(
+                f"lo has {len(lo)} dimensions, hi has {len(hi)}"
+            )
+        if not lo:
+            raise ValueError("rectangles must have at least one dimension")
+        if any(l > h for l, h in zip(lo, hi)):
+            raise ValueError(f"inverted bounds: lo={lo}, hi={hi}")
+        self.lo = lo
+        self.hi = hi
+
+    @classmethod
+    def point(cls, coords) -> "Rect":
+        """A degenerate rectangle covering exactly one point."""
+        coords = tuple(coords)
+        return cls(coords, coords)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.lo)
+
+    # ------------------------------------------------------------------
+    # Measures used by R* heuristics
+    # ------------------------------------------------------------------
+    def area(self) -> float:
+        """Volume of the rectangle (product of side lengths)."""
+        out = 1.0
+        for l, h in zip(self.lo, self.hi):
+            out *= h - l
+        return out
+
+    def margin(self) -> float:
+        """Sum of side lengths (the R* split criterion's 'perimeter')."""
+        return sum(h - l for l, h in zip(self.lo, self.hi))
+
+    def center(self) -> tuple:
+        return tuple((l + h) / 2.0 for l, h in zip(self.lo, self.hi))
+
+    def union(self, other: "Rect") -> "Rect":
+        """Smallest rectangle covering both operands."""
+        return Rect(
+            tuple(map(min, self.lo, other.lo)),
+            tuple(map(max, self.hi, other.hi)),
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area growth needed for this rectangle to also cover ``other``."""
+        return self.union(other).area() - self.area()
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the rectangles share at least one point."""
+        return all(
+            l <= oh and ol <= h
+            for l, h, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def overlap_area(self, other: "Rect") -> float:
+        """Volume of the intersection (0.0 when disjoint)."""
+        out = 1.0
+        for l, h, ol, oh in zip(self.lo, self.hi, other.lo, other.hi):
+            lo, hi = max(l, ol), min(h, oh)
+            if lo > hi:
+                return 0.0
+            out *= hi - lo
+        return out
+
+    def contains_point(self, point) -> bool:
+        """Inclusive containment test for a coordinate tuple."""
+        return all(
+            l <= p <= h for l, p, h in zip(self.lo, point, self.hi)
+        )
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True when ``other`` lies entirely within this rectangle."""
+        return all(
+            l <= ol and oh <= h
+            for l, h, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def distance_sq_to(self, point) -> float:
+        """Squared distance from a point to the rectangle (0 inside)."""
+        out = 0.0
+        for l, p, h in zip(self.lo, point, self.hi):
+            if p < l:
+                out += (l - p) ** 2
+            elif p > h:
+                out += (p - h) ** 2
+        return out
+
+    # ------------------------------------------------------------------
+    # Value semantics
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Rect):
+            return NotImplemented
+        return self.lo == other.lo and self.hi == other.hi
+
+    def __hash__(self) -> int:
+        return hash((self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        spans = ", ".join(
+            f"[{l:g}, {h:g}]" for l, h in zip(self.lo, self.hi)
+        )
+        return f"Rect({spans})"
+
+
+def bounding_rect(rects) -> Rect:
+    """Smallest rectangle covering every rectangle in ``rects``."""
+    rects = list(rects)
+    if not rects:
+        raise ValueError("cannot bound an empty collection")
+    out = rects[0]
+    for r in rects[1:]:
+        out = out.union(r)
+    return out

@@ -1,0 +1,17 @@
+"""Relational table substrate: typed schemas, columnar storage, CSV I/O."""
+
+from .csv_io import load_csv, save_csv, sniff_schema
+from .schema import Attribute, AttributeKind, TableSchema, categorical, quantitative
+from .table import RelationalTable
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "RelationalTable",
+    "TableSchema",
+    "categorical",
+    "load_csv",
+    "quantitative",
+    "save_csv",
+    "sniff_schema",
+]

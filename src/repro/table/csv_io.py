@@ -1,0 +1,163 @@
+"""CSV loading and saving for relational tables.
+
+The paper's implementation streams a flat file from disk; this module is the
+equivalent ingress/egress path for the reproduction.  Types can be declared
+explicitly or sniffed: a column whose every value parses as a number is
+treated as quantitative, anything else as categorical.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from .schema import Attribute, AttributeKind, TableSchema
+from .table import RelationalTable
+
+
+def _parses_as_number(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True
+
+
+def sniff_schema(header, rows, quantitative=None, categorical=None) -> TableSchema:
+    """Infer a :class:`TableSchema` from CSV content.
+
+    ``quantitative`` / ``categorical`` are optional collections of column
+    names that force the corresponding kind; remaining columns are sniffed.
+    """
+    forced_q = set(quantitative or ())
+    forced_c = set(categorical or ())
+    overlap = forced_q & forced_c
+    if overlap:
+        raise ValueError(
+            f"columns declared both quantitative and categorical: {overlap}"
+        )
+    unknown = (forced_q | forced_c) - set(header)
+    if unknown:
+        raise ValueError(f"declared columns not present in header: {unknown}")
+
+    attrs = []
+    for j, name in enumerate(header):
+        if name in forced_q:
+            kind = AttributeKind.QUANTITATIVE
+        elif name in forced_c:
+            kind = AttributeKind.CATEGORICAL
+        else:
+            column = [row[j] for row in rows]
+            all_numeric = bool(column) and all(
+                _parses_as_number(v) for v in column
+            )
+            kind = (
+                AttributeKind.QUANTITATIVE
+                if all_numeric
+                else AttributeKind.CATEGORICAL
+            )
+        attrs.append(Attribute(name, kind))
+    return TableSchema(attrs)
+
+
+#: Cell texts treated as missing values by default.
+DEFAULT_MISSING_MARKERS = ("", "NA", "N/A", "NaN", "nan", "null", "NULL")
+
+
+def load_csv(
+    path,
+    quantitative=None,
+    categorical=None,
+    schema=None,
+    on_missing: str = "error",
+    missing_markers=DEFAULT_MISSING_MARKERS,
+) -> RelationalTable:
+    """Load a CSV file (with a header row) into a :class:`RelationalTable`.
+
+    Parameters
+    ----------
+    path:
+        CSV file path.
+    quantitative, categorical:
+        Optional column-name collections forcing attribute kinds; columns in
+        neither are sniffed (all-numeric => quantitative).
+    schema:
+        A fully explicit schema, overriding sniffing entirely.  Columns are
+        matched by name, so CSV column order need not match the schema.
+    on_missing:
+        What to do with rows containing a missing marker: ``"error"``
+        (default — the mining problem assumes complete records) or
+        ``"drop"`` (skip the row; the count of dropped rows is not
+        tracked on the table, so log upstream if it matters).
+    missing_markers:
+        Cell texts treated as missing (compared after stripping
+        whitespace).
+    """
+    if on_missing not in ("error", "drop"):
+        raise ValueError(
+            f"on_missing must be 'error' or 'drop', got {on_missing!r}"
+        )
+    markers = set(missing_markers)
+    path = Path(path)
+    with path.open(newline="") as f:
+        reader = csv.reader(f)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty; a header row is required")
+        rows = [row for row in reader if row]
+
+    for i, row in enumerate(rows):
+        if len(row) != len(header):
+            raise ValueError(
+                f"{path}: row {i + 2} has {len(row)} fields, "
+                f"header has {len(header)}"
+            )
+
+    # Resolve missing cells before sniffing, so a column of numbers with
+    # a few blanks still sniffs as quantitative under on_missing="drop".
+    kept_rows = []
+    for i, row in enumerate(rows):
+        if any(cell.strip() in markers for cell in row):
+            if on_missing == "error":
+                raise ValueError(
+                    f"{path}: row {i + 2} contains a missing value; "
+                    "pass on_missing='drop' to skip such rows"
+                )
+            continue
+        kept_rows.append(row)
+    rows = kept_rows
+
+    if schema is None:
+        schema = sniff_schema(header, rows, quantitative, categorical)
+        order = list(range(len(header)))
+    else:
+        missing = set(schema.names) - set(header)
+        if missing:
+            raise ValueError(f"{path}: schema columns missing from CSV: {missing}")
+        order = [header.index(name) for name in schema.names]
+
+    records = []
+    for row in rows:
+        rec = []
+        for attr, j in zip(schema, order):
+            text = row[j]
+            rec.append(float(text) if attr.is_quantitative else text)
+        records.append(tuple(rec))
+    return RelationalTable.from_records(schema, records)
+
+
+def save_csv(table: RelationalTable, path) -> None:
+    """Write a table (with categorical codes decoded) to a CSV file."""
+    path = Path(path)
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(table.schema.names)
+        for i in range(table.num_records):
+            row = []
+            for v in table.record(i):
+                if isinstance(v, float) and v.is_integer():
+                    row.append(int(v))
+                else:
+                    row.append(v)
+            writer.writerow(row)

@@ -1,0 +1,146 @@
+"""Schema definitions for relational tables.
+
+The paper mines rules over large relational tables whose non-key attributes
+are either *quantitative* (age, income, number of cars) or *categorical*
+(marital status, zip code).  Boolean attributes are a special case of
+categorical attributes.  This module defines the typed schema objects that
+every other subsystem consumes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class AttributeKind(enum.Enum):
+    """The two attribute families distinguished by the paper (Section 1)."""
+
+    QUANTITATIVE = "quantitative"
+    CATEGORICAL = "categorical"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single named, typed column of a relational table.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within a schema.
+    kind:
+        Whether the attribute is quantitative or categorical.
+    values:
+        For categorical attributes, the (ordered) domain of raw values.
+        Optional for quantitative attributes, where the domain is numeric.
+    """
+
+    name: str
+    kind: AttributeKind
+    values: tuple = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("attribute name must be non-empty")
+        if self.kind is AttributeKind.CATEGORICAL and self.values:
+            if len(set(self.values)) != len(self.values):
+                raise ValueError(
+                    f"categorical attribute {self.name!r} has duplicate values"
+                )
+
+    @property
+    def is_quantitative(self) -> bool:
+        return self.kind is AttributeKind.QUANTITATIVE
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.kind is AttributeKind.CATEGORICAL
+
+
+def quantitative(name: str) -> Attribute:
+    """Convenience constructor for a quantitative attribute."""
+    return Attribute(name, AttributeKind.QUANTITATIVE)
+
+
+def categorical(name: str, values=()) -> Attribute:
+    """Convenience constructor for a categorical attribute.
+
+    ``values`` may be omitted, in which case the domain is inferred from the
+    data when a table is built.
+    """
+    return Attribute(name, AttributeKind.CATEGORICAL, tuple(values))
+
+
+class TableSchema:
+    """An ordered collection of uniquely named attributes.
+
+    The schema is the contract between the raw table and the mining engine:
+    it says which columns are quantitative (and hence may be partitioned and
+    merged into ranges) and which are categorical (values are never
+    combined, per Section 2 of the paper).
+    """
+
+    def __init__(self, attributes) -> None:
+        attrs = tuple(attributes)
+        names = [a.name for a in attrs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate attribute names in schema: {names}")
+        self._attributes = attrs
+        self._index = {a.name: i for i, a in enumerate(attrs)}
+
+    @property
+    def attributes(self) -> tuple:
+        return self._attributes
+
+    @property
+    def names(self) -> tuple:
+        return tuple(a.name for a in self._attributes)
+
+    @property
+    def quantitative_indices(self) -> tuple:
+        """Indices of all quantitative attributes, in schema order."""
+        return tuple(
+            i for i, a in enumerate(self._attributes) if a.is_quantitative
+        )
+
+    @property
+    def categorical_indices(self) -> tuple:
+        """Indices of all categorical attributes, in schema order."""
+        return tuple(
+            i for i, a in enumerate(self._attributes) if a.is_categorical
+        )
+
+    def index_of(self, name: str) -> int:
+        """Return the positional index of the attribute called ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(
+                f"no attribute named {name!r}; schema has {self.names}"
+            ) from None
+
+    def attribute(self, ref) -> Attribute:
+        """Return an attribute by index or by name."""
+        if isinstance(ref, str):
+            return self._attributes[self.index_of(ref)]
+        return self._attributes[ref]
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self):
+        return iter(self._attributes)
+
+    def __getitem__(self, i: int) -> Attribute:
+        return self._attributes[i]
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TableSchema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __repr__(self) -> str:
+        cols = ", ".join(
+            f"{a.name}:{a.kind.value[0].upper()}" for a in self._attributes
+        )
+        return f"TableSchema({cols})"

@@ -1,0 +1,235 @@
+"""Column-oriented relational table storage.
+
+The mining algorithm makes multiple full passes over the data (one per
+itemset size), so the table is stored column-major as numpy arrays: one
+float array per quantitative attribute, one integer code array (plus a value
+dictionary) per categorical attribute.  This mirrors the flat-file scans of
+the paper's implementation while being the natural fast representation in
+Python.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .schema import Attribute, AttributeKind, TableSchema
+
+
+class RelationalTable:
+    """An immutable, column-oriented relational table.
+
+    Quantitative columns are stored as ``float64`` arrays.  Categorical
+    columns are stored as ``int64`` code arrays; the code for a value is its
+    index within the attribute's declared (or inferred) domain.
+
+    Use :meth:`from_records` or :meth:`from_columns` to build one.
+    """
+
+    def __init__(self, schema: TableSchema, columns) -> None:
+        columns = [np.asarray(c) for c in columns]
+        if len(columns) != len(schema):
+            raise ValueError(
+                f"schema has {len(schema)} attributes but "
+                f"{len(columns)} columns were given"
+            )
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise ValueError(f"columns have differing lengths: {lengths}")
+        self._schema = schema
+        self._num_records = lengths.pop() if lengths else 0
+        self._columns = []
+        for attr, col in zip(schema, columns):
+            if attr.is_quantitative:
+                self._columns.append(col.astype(np.float64, copy=False))
+            else:
+                self._columns.append(col.astype(np.int64, copy=False))
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(cls, schema: TableSchema, records) -> "RelationalTable":
+        """Build a table from an iterable of per-record value tuples.
+
+        Categorical values are given as raw values (e.g. ``"Yes"``) and are
+        encoded against the attribute domain.  If an attribute declared no
+        domain, the domain is inferred (sorted by first appearance).
+        """
+        rows = [tuple(r) for r in records]
+        for row in rows:
+            if len(row) != len(schema):
+                raise ValueError(
+                    f"record {row!r} has {len(row)} fields, "
+                    f"schema expects {len(schema)}"
+                )
+        resolved_attrs = []
+        columns = []
+        for j, attr in enumerate(schema):
+            raw = [row[j] for row in rows]
+            if attr.is_quantitative:
+                resolved_attrs.append(attr)
+                columns.append(np.array(raw, dtype=np.float64))
+                continue
+            domain = list(attr.values)
+            if not domain:
+                seen = {}
+                for v in raw:
+                    seen.setdefault(v, len(seen))
+                domain = list(seen)
+            code = {v: i for i, v in enumerate(domain)}
+            try:
+                encoded = np.array([code[v] for v in raw], dtype=np.int64)
+            except KeyError as exc:
+                raise ValueError(
+                    f"value {exc.args[0]!r} not in domain of "
+                    f"categorical attribute {attr.name!r}"
+                ) from None
+            resolved_attrs.append(
+                Attribute(attr.name, AttributeKind.CATEGORICAL, tuple(domain))
+            )
+            columns.append(encoded)
+        return cls(TableSchema(resolved_attrs), columns)
+
+    @classmethod
+    def from_columns(cls, schema: TableSchema, columns) -> "RelationalTable":
+        """Build a table from already-encoded columns.
+
+        Categorical columns must already contain integer codes into the
+        attribute's declared domain.
+        """
+        for attr, col in zip(schema, columns):
+            if attr.is_categorical:
+                col = np.asarray(col)
+                if col.size and attr.values:
+                    lo, hi = col.min(), col.max()
+                    if lo < 0 or hi >= len(attr.values):
+                        raise ValueError(
+                            f"categorical codes for {attr.name!r} out of "
+                            f"range [0, {len(attr.values)})"
+                        )
+        return cls(schema, columns)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> TableSchema:
+        return self._schema
+
+    @property
+    def num_records(self) -> int:
+        return self._num_records
+
+    def column(self, ref) -> np.ndarray:
+        """Return the stored column for an attribute (by index or name)."""
+        if isinstance(ref, str):
+            ref = self._schema.index_of(ref)
+        return self._columns[ref]
+
+    def decode(self, ref, code: int):
+        """Map a categorical integer code back to its raw value."""
+        attr = self._schema.attribute(ref)
+        if not attr.is_categorical:
+            raise TypeError(f"attribute {attr.name!r} is not categorical")
+        return attr.values[code]
+
+    def record(self, i: int) -> tuple:
+        """Return record ``i`` with categorical codes decoded to raw values."""
+        out = []
+        for attr, col in zip(self._schema, self._columns):
+            v = col[i]
+            if attr.is_categorical:
+                out.append(attr.values[int(v)])
+            else:
+                out.append(float(v))
+        return tuple(out)
+
+    def head(self, n: int = 5) -> list:
+        """Return the first ``n`` decoded records (for inspection)."""
+        return [self.record(i) for i in range(min(n, self._num_records))]
+
+    def take(self, n: int) -> "RelationalTable":
+        """Return a new table containing only the first ``n`` records."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        n = min(n, self._num_records)
+        return RelationalTable(self._schema, [c[:n] for c in self._columns])
+
+    def sample(self, n: int, seed: int = 0) -> "RelationalTable":
+        """Return a uniform random sample of ``n`` records (without
+        replacement)."""
+        if n > self._num_records:
+            raise ValueError(
+                f"cannot sample {n} records from {self._num_records}"
+            )
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(self._num_records, size=n, replace=False)
+        return RelationalTable(self._schema, [c[idx] for c in self._columns])
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def column_summary(self, ref) -> dict:
+        """Basic statistics for one column.
+
+        Quantitative: min / max / mean / median / distinct count.
+        Categorical: per-value record counts (by raw value).
+        """
+        if isinstance(ref, str):
+            ref = self._schema.index_of(ref)
+        attr = self._schema[ref]
+        col = self._columns[ref]
+        if attr.is_quantitative:
+            if col.size == 0:
+                return {
+                    "kind": "quantitative", "count": 0, "distinct": 0,
+                }
+            return {
+                "kind": "quantitative",
+                "count": int(col.size),
+                "distinct": int(np.unique(col).size),
+                "min": float(col.min()),
+                "max": float(col.max()),
+                "mean": float(col.mean()),
+                "median": float(np.median(col)),
+            }
+        counts = np.bincount(col, minlength=len(attr.values))
+        return {
+            "kind": "categorical",
+            "count": int(col.size),
+            "values": {
+                value: int(count)
+                for value, count in zip(attr.values, counts)
+            },
+        }
+
+    def describe(self) -> str:
+        """Multi-line summary of every column (for quick inspection)."""
+        lines = [f"{self._num_records} records, {len(self._schema)} attributes"]
+        for attr in self._schema:
+            summary = self.column_summary(attr.name)
+            if summary["kind"] == "quantitative":
+                if summary["count"] == 0:
+                    lines.append(f"  {attr.name} (Q): empty")
+                    continue
+                lines.append(
+                    f"  {attr.name} (Q): {summary['distinct']} distinct, "
+                    f"min {summary['min']:g}, median {summary['median']:g}, "
+                    f"max {summary['max']:g}"
+                )
+            else:
+                shown = ", ".join(
+                    f"{value}={count}"
+                    for value, count in summary["values"].items()
+                )
+                lines.append(f"  {attr.name} (C): {shown}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return self._num_records
+
+    def __repr__(self) -> str:
+        return (
+            f"RelationalTable({self._num_records} records, "
+            f"schema={self._schema!r})"
+        )

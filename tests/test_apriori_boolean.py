@@ -1,0 +1,122 @@
+"""Unit tests for boolean Apriori [AS94] (repro.booleans.apriori)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.booleans import (
+    TransactionDatabase,
+    apriori,
+    generate_candidates,
+)
+
+
+@pytest.fixture
+def db():
+    # Classic small basket database.
+    return TransactionDatabase(
+        [
+            ["bread", "milk"],
+            ["bread", "diapers", "beer", "eggs"],
+            ["milk", "diapers", "beer", "cola"],
+            ["bread", "milk", "diapers", "beer"],
+            ["bread", "milk", "diapers", "cola"],
+        ]
+    )
+
+
+class TestCandidateGeneration:
+    def test_join_on_shared_prefix(self):
+        prev = [("a", "b"), ("a", "c"), ("b", "c")]
+        assert generate_candidates(prev, 3) == [("a", "b", "c")]
+
+    def test_prune_removes_missing_subset(self):
+        # ("a","b","d") would need ("b","d") which is absent.
+        prev = [("a", "b"), ("a", "d"), ("a", "c"), ("b", "c")]
+        assert generate_candidates(prev, 3) == [("a", "b", "c")]
+
+    def test_no_candidates_from_disjoint_prefixes(self):
+        assert generate_candidates([("a", "b"), ("c", "d")], 3) == []
+
+    def test_k_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            generate_candidates([("a",)], 1)
+
+    def test_paper_as94_example(self):
+        # L3 = {123, 124, 134, 135, 234} -> join gives {1234, 1345},
+        # prune kills 1345 (145 not in L3).
+        l3 = [
+            (1, 2, 3),
+            (1, 2, 4),
+            (1, 3, 4),
+            (1, 3, 5),
+            (2, 3, 4),
+        ]
+        assert generate_candidates(l3, 4) == [(1, 2, 3, 4)]
+
+
+class TestApriori:
+    def test_known_supports(self, db):
+        result = apriori(db, min_support=0.6)
+        assert result.support_counts[("bread",)] == 4
+        assert result.support_counts[("diapers", "milk")] == 3
+        assert ("beer", "milk") not in result.support_counts
+
+    def test_support_fraction(self, db):
+        result = apriori(db, min_support=0.6)
+        assert result.support(("bread", "milk")) == pytest.approx(0.6)
+
+    def test_max_size_caps_itemsets(self, db):
+        result = apriori(db, min_support=0.2, max_size=2)
+        assert result.max_size == 2
+
+    def test_min_support_zero_finds_everything(self, db):
+        result = apriori(db, min_support=0.0)
+        # every subset of some transaction is frequent
+        assert ("beer", "bread", "diapers", "eggs") in result.support_counts
+
+    def test_min_support_one_only_universal_items(self, db):
+        result = apriori(db, min_support=1.0)
+        assert result.frequent_itemsets() == []
+
+    def test_invalid_support_rejected(self, db):
+        with pytest.raises(ValueError):
+            apriori(db, min_support=1.5)
+
+    def test_invalid_backend_rejected(self, db):
+        with pytest.raises(ValueError, match="backend"):
+            apriori(db, 0.5, counting="fancy")
+
+    def test_hashtree_and_naive_agree(self, db):
+        a = apriori(db, 0.4, counting="hashtree")
+        b = apriori(db, 0.4, counting="naive")
+        assert a.support_counts == b.support_counts
+
+    def test_downward_closure(self, db):
+        result = apriori(db, min_support=0.4)
+        frequent = set(result.support_counts)
+        for itemset in frequent:
+            for r in range(1, len(itemset)):
+                for subset in itertools.combinations(itemset, r):
+                    assert subset in frequent
+
+    def test_counts_match_brute_force_on_random_data(self):
+        rng = random.Random(11)
+        items = list("abcdefgh")
+        db = TransactionDatabase(
+            rng.sample(items, rng.randint(1, 6)) for _ in range(120)
+        )
+        result = apriori(db, min_support=0.15)
+        for itemset, count in result.support_counts.items():
+            assert count == db.support_count(itemset)
+
+    def test_candidate_counts_recorded(self, db):
+        result = apriori(db, min_support=0.4)
+        assert result.candidate_counts[0] == 6  # distinct items seen
+        assert len(result.candidate_counts) >= 2
+
+    def test_empty_database(self):
+        result = apriori(TransactionDatabase([]), 0.5)
+        assert result.support_counts == {}
+        assert result.support(("x",)) == 0.0

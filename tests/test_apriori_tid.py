@@ -1,0 +1,105 @@
+"""Tests for AprioriTid and AprioriHybrid (repro.booleans.apriori_tid)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.booleans import (
+    TransactionDatabase,
+    apriori,
+    apriori_hybrid,
+    apriori_tid,
+)
+
+
+@pytest.fixture
+def db():
+    return TransactionDatabase(
+        [
+            ["bread", "milk"],
+            ["bread", "diapers", "beer", "eggs"],
+            ["milk", "diapers", "beer", "cola"],
+            ["bread", "milk", "diapers", "beer"],
+            ["bread", "milk", "diapers", "cola"],
+        ]
+    )
+
+
+class TestAprioriTid:
+    def test_matches_apriori_on_basket_data(self, db):
+        for minsup in (0.2, 0.4, 0.6, 0.9):
+            assert (
+                apriori_tid(db, minsup).support_counts
+                == apriori(db, minsup).support_counts
+            )
+
+    def test_counts_are_exact(self, db):
+        result = apriori_tid(db, 0.3)
+        for itemset, count in result.support_counts.items():
+            assert count == db.support_count(itemset)
+
+    def test_max_size_respected(self, db):
+        assert apriori_tid(db, 0.2, max_size=2).max_size == 2
+
+    def test_empty_database(self):
+        result = apriori_tid(TransactionDatabase([]), 0.5)
+        assert result.support_counts == {}
+
+    def test_invalid_support(self, db):
+        with pytest.raises(ValueError):
+            apriori_tid(db, -0.1)
+
+    def test_random_cross_validation(self):
+        rng = random.Random(23)
+        items = list("abcdefg")
+        db = TransactionDatabase(
+            rng.sample(items, rng.randint(1, 5)) for _ in range(150)
+        )
+        for minsup in (0.05, 0.15, 0.3):
+            assert (
+                apriori_tid(db, minsup).support_counts
+                == apriori(db, minsup).support_counts
+            )
+
+
+class TestAprioriHybrid:
+    def test_matches_apriori(self, db):
+        for minsup in (0.2, 0.4, 0.6):
+            assert (
+                apriori_hybrid(db, minsup).support_counts
+                == apriori(db, minsup).support_counts
+            )
+
+    def test_switch_forced_early(self, db):
+        # A huge budget switches after pass 2; results must not change.
+        result = apriori_hybrid(db, 0.2, memory_budget_entries=10**9)
+        assert result.support_counts == apriori(db, 0.2).support_counts
+
+    def test_switch_never_taken(self, db):
+        # Zero budget keeps it in Apriori mode throughout.
+        result = apriori_hybrid(db, 0.2, memory_budget_entries=0)
+        assert result.support_counts == apriori(db, 0.2).support_counts
+
+    def test_invalid_support(self, db):
+        with pytest.raises(ValueError):
+            apriori_hybrid(db, 1.2)
+
+
+transaction = st.frozensets(
+    st.integers(min_value=0, max_value=11), min_size=0, max_size=7
+)
+
+
+class TestPropertyEquivalence:
+    @given(
+        st.lists(transaction, min_size=1, max_size=25),
+        st.floats(0.05, 0.8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_all_three_algorithms_agree(self, transactions, minsup):
+        db = TransactionDatabase(transactions)
+        reference = apriori(db, minsup).support_counts
+        assert apriori_tid(db, minsup).support_counts == reference
+        assert apriori_hybrid(db, minsup).support_counts == reference

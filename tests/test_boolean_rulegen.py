@@ -1,0 +1,79 @@
+"""Unit tests for boolean rule generation (repro.booleans.rulegen)."""
+
+import itertools
+
+import pytest
+
+from repro.booleans import TransactionDatabase, apriori, generate_rules
+
+
+@pytest.fixture
+def db():
+    return TransactionDatabase(
+        [
+            ["bread", "milk"],
+            ["bread", "diapers", "beer", "eggs"],
+            ["milk", "diapers", "beer", "cola"],
+            ["bread", "milk", "diapers", "beer"],
+            ["bread", "milk", "diapers", "cola"],
+        ]
+    )
+
+
+def brute_force_rules(db, min_support, min_confidence):
+    """All rules by exhaustive enumeration, for cross-validation."""
+    result = apriori(db, min_support)
+    out = set()
+    for itemset in result.frequent_itemsets():
+        if len(itemset) < 2:
+            continue
+        for r in range(1, len(itemset)):
+            for consequent in itertools.combinations(itemset, r):
+                antecedent = tuple(
+                    sorted(set(itemset) - set(consequent))
+                )
+                conf = result.support(itemset) / result.support(antecedent)
+                if conf >= min_confidence:
+                    out.add((antecedent, tuple(sorted(consequent))))
+    return out
+
+
+class TestGenerateRules:
+    def test_rule_confidence_and_support(self, db):
+        result = apriori(db, 0.4)
+        rules = generate_rules(result, 0.9)
+        by_key = {(r.antecedent, r.consequent): r for r in rules}
+        rule = by_key[(("beer",), ("diapers",))]
+        assert rule.confidence == pytest.approx(1.0)
+        assert rule.support == pytest.approx(0.6)
+
+    def test_matches_brute_force(self, db):
+        result = apriori(db, 0.3)
+        for minconf in (0.0, 0.5, 0.8, 1.0):
+            rules = generate_rules(result, minconf)
+            got = {(r.antecedent, r.consequent) for r in rules}
+            assert got == brute_force_rules(db, 0.3, minconf)
+
+    def test_rules_sorted_by_confidence_then_support(self, db):
+        rules = generate_rules(apriori(db, 0.4), 0.5)
+        confidences = [r.confidence for r in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_no_rules_from_singletons(self):
+        db = TransactionDatabase([["a"], ["a"], ["b"]])
+        rules = generate_rules(apriori(db, 0.3), 0.0)
+        assert rules == []
+
+    def test_invalid_confidence_rejected(self, db):
+        with pytest.raises(ValueError):
+            generate_rules(apriori(db, 0.4), 1.5)
+
+    def test_multi_item_consequents_generated(self, db):
+        rules = generate_rules(apriori(db, 0.4), 0.6)
+        assert any(len(r.consequent) >= 2 for r in rules)
+
+    def test_str_rendering(self, db):
+        rules = generate_rules(apriori(db, 0.4), 0.9)
+        text = str(rules[0])
+        assert "=>" in text
+        assert "conf=" in text

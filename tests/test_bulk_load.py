@@ -1,0 +1,96 @@
+"""Tests for STR bulk loading (repro.rtree.bulk)."""
+
+import random
+
+import pytest
+
+from repro.rtree import Rect, RStarTree
+from repro.rtree.bulk import bulk_load
+
+
+def random_rects(rng, n, ndim, extent=100.0, max_side=12.0):
+    out = []
+    for i in range(n):
+        lo = tuple(rng.uniform(0, extent) for _ in range(ndim))
+        hi = tuple(l + rng.uniform(0, max_side) for l in lo)
+        out.append((Rect(lo, hi), i))
+    return out
+
+
+class TestBulkLoad:
+    @pytest.mark.parametrize("ndim", [1, 2, 3])
+    @pytest.mark.parametrize("n", [1, 5, 40, 300])
+    def test_queries_match_linear_scan(self, ndim, n):
+        rng = random.Random(ndim * 100 + n)
+        pairs = random_rects(rng, n, ndim)
+        tree = bulk_load(pairs, max_entries=8)
+        assert tree.size == n
+        for _ in range(60):
+            p = tuple(rng.uniform(-5, 115) for _ in range(ndim))
+            got = sorted(tree.containing_point(p))
+            want = sorted(
+                v for rect, v in pairs if rect.contains_point(p)
+            )
+            assert got == want
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            bulk_load([])
+
+    def test_mixed_dimensions_rejected(self):
+        with pytest.raises(ValueError, match="dimensionality"):
+            bulk_load([(Rect((0,), (1,)), 0), (Rect((0, 0), (1, 1)), 1)])
+
+    def test_balanced_leaves(self):
+        rng = random.Random(3)
+        tree = bulk_load(random_rects(rng, 500, 2), max_entries=10)
+        depths = set()
+
+        def walk(node, depth):
+            if node.leaf:
+                depths.add(depth)
+                return
+            for child in node.children:
+                walk(child, depth + 1)
+
+        walk(tree._root, 0)
+        assert len(depths) == 1
+        assert depths.pop() == tree.height - 1
+
+    def test_mbr_invariant_holds(self):
+        rng = random.Random(5)
+        tree = bulk_load(random_rects(rng, 400, 2), max_entries=6)
+
+        def check(node):
+            members = node.entries if node.leaf else node.children
+            for m in members:
+                assert node.rect.contains_rect(m.rect)
+                if not node.leaf:
+                    check(m)
+
+        check(tree._root)
+
+    def test_insert_after_bulk_load(self):
+        rng = random.Random(7)
+        pairs = random_rects(rng, 100, 2)
+        tree = bulk_load(pairs, max_entries=8)
+        extra = Rect((200.0, 200.0), (201.0, 201.0))
+        tree.insert(extra, "extra")
+        assert tree.size == 101
+        assert tree.containing_point((200.5, 200.5)) == ["extra"]
+        # Old entries still reachable.
+        rect, value = pairs[0]
+        assert value in tree.containing_point(rect.center())
+
+    def test_same_results_as_incremental(self):
+        rng = random.Random(11)
+        pairs = random_rects(rng, 250, 2)
+        bulk = bulk_load(pairs, max_entries=8)
+        incremental = RStarTree(ndim=2, max_entries=8)
+        for rect, value in pairs:
+            incremental.insert(rect, value)
+        for _ in range(80):
+            p = (rng.uniform(0, 110), rng.uniform(0, 110))
+            assert sorted(bulk.containing_point(p)) == sorted(
+                incremental.containing_point(p)
+            )

@@ -1,0 +1,101 @@
+"""Unit tests for repro.core.candidates (Section 5.1)."""
+
+from repro.core import Item, make_itemset
+from repro.core.candidates import (
+    generate_candidates,
+    join,
+    pairs_by_attribute,
+    singleton_itemsets,
+    subset_prune,
+)
+
+# Shorthand for the paper's Section 5.1 example items.
+MARRIED_YES = Item(1, 0, 0)
+AGE_20_24 = Item(0, 0, 0)
+AGE_20_29 = Item(0, 0, 1)
+CARS_0_1 = Item(2, 0, 1)
+
+
+def itemset(*items):
+    return make_itemset(items)
+
+
+class TestJoin:
+    def test_paper_example(self):
+        # L2 of Section 5.1 (attribute order: Age < Married < NumCars):
+        l2 = [
+            itemset(MARRIED_YES, AGE_20_24),
+            itemset(MARRIED_YES, AGE_20_29),
+            itemset(MARRIED_YES, CARS_0_1),
+            itemset(AGE_20_29, CARS_0_1),
+        ]
+        joined = join(l2, 3)
+        # Joining on the shared first item: {Age..., Married...} pairs with
+        # {Age..., NumCars...} only when prefixes match.
+        assert itemset(AGE_20_29, MARRIED_YES, CARS_0_1) in joined
+        # <Age: 20..24> and <Age: 20..29> never co-join (same attribute).
+        for candidate in joined:
+            attrs = [it.attribute for it in candidate]
+            assert len(set(attrs)) == len(attrs)
+
+    def test_same_attribute_last_items_skipped(self):
+        l2 = [
+            itemset(MARRIED_YES, AGE_20_24),
+            itemset(MARRIED_YES, AGE_20_29),
+        ]
+        # Both candidates end in Age items -> no join.
+        assert join(sorted(l2), 3) == []
+
+    def test_k2_join_is_cross_attribute_pairs(self):
+        l1 = [ (AGE_20_24,), (AGE_20_29,), (MARRIED_YES,), (CARS_0_1,) ]
+        pairs = join(sorted(l1), 2)
+        assert itemset(AGE_20_24, MARRIED_YES) in pairs
+        assert itemset(AGE_20_24, CARS_0_1) in pairs
+        # No pair of two Age ranges:
+        assert all(
+            len({it.attribute for it in p}) == 2 for p in pairs
+        )
+
+    def test_join_rejects_k1(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            join([], 1)
+
+
+class TestSubsetPrune:
+    def test_paper_prune_example(self):
+        # {Married, Age 20..24, Cars} is deleted because
+        # {Age 20..24, Cars} is not in L2.
+        l2 = [
+            itemset(MARRIED_YES, AGE_20_24),
+            itemset(MARRIED_YES, AGE_20_29),
+            itemset(MARRIED_YES, CARS_0_1),
+            itemset(AGE_20_29, CARS_0_1),
+        ]
+        candidates = join(l2, 3)
+        pruned = subset_prune(candidates, l2)
+        assert pruned == [itemset(AGE_20_29, MARRIED_YES, CARS_0_1)]
+
+    def test_generate_candidates_combines_both(self):
+        l2 = [
+            itemset(MARRIED_YES, AGE_20_29),
+            itemset(MARRIED_YES, CARS_0_1),
+            itemset(AGE_20_29, CARS_0_1),
+        ]
+        assert generate_candidates(l2, 3) == [
+            itemset(AGE_20_29, MARRIED_YES, CARS_0_1)
+        ]
+
+
+class TestHelpers:
+    def test_singleton_itemsets(self):
+        singles = singleton_itemsets([MARRIED_YES, AGE_20_24])
+        assert singles == [(AGE_20_24,), (MARRIED_YES,)]
+
+    def test_pairs_by_attribute(self):
+        buckets = pairs_by_attribute([MARRIED_YES, AGE_20_29, AGE_20_24])
+        assert buckets == {
+            0: [AGE_20_24, AGE_20_29],
+            1: [MARRIED_YES],
+        }

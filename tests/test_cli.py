@@ -1,0 +1,199 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data import people_table
+from repro.table import save_csv
+
+
+@pytest.fixture
+def people_csv(tmp_path):
+    path = tmp_path / "people.csv"
+    save_csv(people_table(), path)
+    return path
+
+
+class TestParser:
+    def test_mine_defaults(self):
+        args = build_parser().parse_args(["mine", "data.csv"])
+        assert args.command == "mine"
+        assert args.min_support == 0.1
+        assert args.interest is None
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "out.csv"])
+        assert args.records == 10_000
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMine:
+    def test_mines_people_csv(self, people_csv, capsys):
+        rc = main(
+            [
+                "mine",
+                str(people_csv),
+                "--min-support", "0.4",
+                "--min-confidence", "0.5",
+                "--max-support", "0.6",
+                "--categorical", "Married",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "=>" in out
+        assert "Married" in out
+
+    def test_limit_and_stats(self, people_csv, capsys):
+        rc = main(
+            [
+                "mine",
+                str(people_csv),
+                "--min-support", "0.4",
+                "--max-support", "0.6",
+                "--categorical", "Married",
+                "--limit", "2",
+                "--stats",
+            ]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.strip().splitlines()) <= 2
+        assert "frequent itemsets" in captured.err
+
+    def test_interest_flag(self, people_csv, capsys):
+        rc = main(
+            [
+                "mine",
+                str(people_csv),
+                "--min-support", "0.4",
+                "--max-support", "0.6",
+                "--categorical", "Married",
+                "--interest", "1.5",
+                "--all-rules",
+            ]
+        )
+        assert rc == 0
+        assert "interesting" in capsys.readouterr().err
+
+
+class TestGenerate:
+    def test_generate_then_mine(self, tmp_path, capsys):
+        csv_path = tmp_path / "credit.csv"
+        rc = main(
+            ["generate", str(csv_path), "--records", "300", "--seed", "1"]
+        )
+        assert rc == 0
+        assert csv_path.exists()
+        rc = main(
+            [
+                "mine",
+                str(csv_path),
+                "--min-support", "0.3",
+                "--max-support", "0.5",
+                "--completeness", "4",
+                "--categorical", "employee_category,marital_status",
+                "--max-itemset-size", "2",
+            ]
+        )
+        assert rc == 0
+        assert "=>" in capsys.readouterr().out
+
+
+class TestMineExtensions:
+    def test_save_json_and_csv(self, people_csv, tmp_path, capsys):
+        json_path = tmp_path / "rules.json"
+        csv_path = tmp_path / "rules.csv"
+        rc = main(
+            [
+                "mine", str(people_csv),
+                "--min-support", "0.4",
+                "--max-support", "0.6",
+                "--categorical", "Married",
+                "--save-json", str(json_path),
+                "--save-csv", str(csv_path),
+            ]
+        )
+        assert rc == 0
+        assert json_path.exists() and csv_path.exists()
+        from repro.core.export import load_rules_json
+
+        rules, metadata = load_rules_json(json_path)
+        assert rules
+        assert metadata["min_support"] == 0.4
+
+    def test_partition_method_flag(self, people_csv, capsys):
+        rc = main(
+            [
+                "mine", str(people_csv),
+                "--min-support", "0.4",
+                "--max-support", "0.6",
+                "--categorical", "Married",
+                "--partition-method", "equiwidth",
+            ]
+        )
+        assert rc == 0
+
+    def test_taxonomy_flag(self, tmp_path, capsys):
+        import json as jsonlib
+
+        csv_path = tmp_path / "sales.csv"
+        csv_path.write_text(
+            "item,winter\n"
+            + "jacket,yes\n" * 6
+            + "ski_pants,yes\n" * 5
+            + "shirt,no\n" * 9
+        )
+        tax_path = tmp_path / "clothes.json"
+        tax_path.write_text(
+            jsonlib.dumps(
+                {
+                    "jacket": "outerwear",
+                    "ski_pants": "outerwear",
+                    "outerwear": "clothes",
+                    "shirt": "clothes",
+                }
+            )
+        )
+        rc = main(
+            [
+                "mine", str(csv_path),
+                "--min-support", "0.2",
+                "--min-confidence", "0.5",
+                "--max-support", "0.8",
+                "--categorical", "winter",
+                "--taxonomy", f"item={tax_path}",
+                "--all-rules",
+            ]
+        )
+        assert rc == 0
+        assert "outerwear" in capsys.readouterr().out
+
+    def test_bad_taxonomy_spec_rejected(self, people_csv):
+        with pytest.raises(SystemExit, match="ATTR=FILE"):
+            main(
+                [
+                    "mine", str(people_csv),
+                    "--taxonomy", "nonsense",
+                ]
+            )
+
+
+class TestFigureCommands:
+    def test_figure7_small(self, capsys):
+        rc = main(
+            ["figure7", "--records", "1000", "--levels", "3,5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "K" in out
+        assert "R=1.1" in out
+
+    def test_figure9_small(self, capsys):
+        rc = main(["figure9", "--sizes", "1000,2000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "relative" in out.lower() or "minsup" in out

@@ -1,0 +1,125 @@
+"""Unit tests for the clustering partitioner (repro.core.clustering)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MinerConfig, QuantitativeMiner, partition_column
+from repro.core.clustering import cluster_partition, kmeans_1d
+from repro.data import generate_skewed_table
+from repro.table import RelationalTable, TableSchema, quantitative
+
+
+class TestKMeans1D:
+    def test_obvious_two_clusters(self):
+        values = np.array([0.0, 1.0, 2.0, 100.0, 101.0, 102.0])
+        weights = np.ones(6)
+        cuts = kmeans_1d(values, weights, 2)
+        assert cuts == [3]  # split between 2.0 and 100.0
+
+    def test_three_clusters(self):
+        values = np.array([0.0, 1.0, 50.0, 51.0, 100.0, 101.0])
+        cuts = kmeans_1d(values, np.ones(6), 3)
+        assert cuts == [2, 4]
+
+    def test_weights_pull_boundaries(self):
+        # A heavy value should own a cluster rather than be split off.
+        values = np.array([0.0, 5.0, 10.0, 15.0])
+        heavy = np.array([1.0, 100.0, 1.0, 1.0])
+        cuts = kmeans_1d(values, heavy, 2)
+        # The heavy 5.0 dominates the left cluster's center; boundary
+        # falls after it.
+        assert cuts[0] >= 2
+
+    def test_k_at_least_number_of_values(self):
+        values = np.array([1.0, 2.0, 3.0])
+        assert kmeans_1d(values, np.ones(3), 3) == [1, 2]
+        assert kmeans_1d(values, np.ones(3), 10) == [1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kmeans_1d(np.array([1.0]), np.array([1.0, 2.0]), 2)
+        with pytest.raises(ValueError):
+            kmeans_1d(np.array([1.0]), np.array([1.0]), 0)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(0)
+        values = np.sort(rng.uniform(0, 100, 50))
+        weights = rng.uniform(1, 10, 50)
+        assert kmeans_1d(values, weights, 5) == kmeans_1d(
+            values, weights, 5
+        )
+
+
+class TestClusterPartition:
+    def test_interface_matches_partitioning(self):
+        rng = np.random.default_rng(1)
+        column = rng.normal(size=2_000)
+        part = cluster_partition(column, 8)
+        assert part.partitioned
+        codes = part.assign(column)
+        assert codes.min() >= 0
+        assert codes.max() < part.num_intervals
+
+    def test_few_values_unpartitioned(self):
+        part = cluster_partition(np.array([1.0, 2.0, 2.0]), 5)
+        assert not part.partitioned
+
+    def test_dispatch_via_partition_column(self):
+        column = np.arange(100, dtype=float)
+        part = partition_column(column, 4, "cluster")
+        assert part.partitioned
+
+    def test_boundary_falls_in_the_gap(self):
+        """The future-work motivation: boundaries should respect the
+        data's density structure.  On bimodal data a cluster boundary
+        lands inside the empty gap between the modes."""
+        rng = np.random.default_rng(2)
+        column = np.concatenate(
+            [rng.normal(10, 1, 5_000), rng.normal(100, 1, 5_000)]
+        )
+        part = cluster_partition(column, 4)
+        # No interval may span both modes: the rightmost value of mode 1
+        # and the leftmost of mode 2 land in different intervals.
+        mode1_hi = column[column < 50].max()
+        mode2_lo = column[column > 50].min()
+        codes = part.assign(np.array([mode1_hi, mode2_lo]))
+        assert codes[0] != codes[1], part.edges
+
+    def test_order_preserved(self):
+        rng = np.random.default_rng(3)
+        column = rng.exponential(10, 3_000)
+        part = cluster_partition(column, 6)
+        order = np.argsort(column, kind="stable")
+        codes = part.assign(column)[order]
+        assert (np.diff(codes) >= 0).all()
+
+
+class TestClusterMiningEndToEnd:
+    def test_miner_accepts_cluster_method(self):
+        table = generate_skewed_table(3_000, seed=5)
+        config = MinerConfig(
+            min_support=0.1,
+            min_confidence=0.3,
+            max_support=0.5,
+            num_partitions={"amount": 8},
+            partition_method="cluster",
+        )
+        result = QuantitativeMiner(table, config).mine()
+        assert result.rules
+
+    def test_all_methods_find_the_embedded_rule(self):
+        table = generate_skewed_table(3_000, seed=5)
+        for method in ("equidepth", "equiwidth", "cluster"):
+            config = MinerConfig(
+                min_support=0.1,
+                min_confidence=0.4,
+                max_support=0.6,
+                num_partitions={"amount": 8},
+                partition_method=method,
+            )
+            result = QuantitativeMiner(table, config).mine()
+            # amount ranges must predict segment somewhere.
+            assert any(
+                any(it.attribute == 1 for it in r.consequent)
+                for r in result.rules
+            ), method

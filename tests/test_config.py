@@ -1,0 +1,122 @@
+"""Unit tests for repro.core.config."""
+
+import pytest
+
+from repro.core import (
+    SUPPORT_AND_CONFIDENCE,
+    SUPPORT_OR_CONFIDENCE,
+    MinerConfig,
+)
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = MinerConfig()
+        assert config.min_support == 0.1
+        assert config.interest_mode == SUPPORT_OR_CONFIDENCE
+
+    @pytest.mark.parametrize("value", [0.0, -0.1, 1.1])
+    def test_min_support_bounds(self, value):
+        with pytest.raises(ValueError, match="min_support"):
+            MinerConfig(min_support=value)
+
+    @pytest.mark.parametrize("value", [-0.1, 1.5])
+    def test_min_confidence_bounds(self, value):
+        with pytest.raises(ValueError, match="min_confidence"):
+            MinerConfig(min_confidence=value)
+
+    def test_min_confidence_zero_and_one_allowed(self):
+        MinerConfig(min_confidence=0.0)
+        MinerConfig(min_confidence=1.0)
+
+    @pytest.mark.parametrize("value", [0.0, 1.5])
+    def test_max_support_bounds(self, value):
+        with pytest.raises(ValueError, match="max_support"):
+            MinerConfig(max_support=value)
+
+    @pytest.mark.parametrize("value", [1.0, 0.5])
+    def test_completeness_must_exceed_one(self, value):
+        with pytest.raises(ValueError, match="partial_completeness"):
+            MinerConfig(partial_completeness=value)
+
+    def test_negative_interest_rejected(self):
+        with pytest.raises(ValueError, match="interest_level"):
+            MinerConfig(interest_level=-1)
+
+    def test_unknown_interest_mode_rejected(self):
+        with pytest.raises(ValueError, match="interest_mode"):
+            MinerConfig(interest_mode="maybe")
+
+    def test_unknown_partition_method_rejected(self):
+        with pytest.raises(ValueError, match="partition_method"):
+            MinerConfig(partition_method="kmeans")
+
+    def test_unknown_counting_backend_rejected(self):
+        with pytest.raises(ValueError, match="counting"):
+            MinerConfig(counting="gpu")
+
+    def test_max_itemset_size_validated(self):
+        with pytest.raises(ValueError):
+            MinerConfig(max_itemset_size=0)
+        MinerConfig(max_itemset_size=3)
+
+    def test_max_quantitative_in_rule_validated(self):
+        with pytest.raises(ValueError):
+            MinerConfig(max_quantitative_in_rule=0)
+
+
+class TestDerivedProperties:
+    def test_interest_disabled_when_none(self):
+        config = MinerConfig(interest_level=None)
+        assert not config.interest_enabled
+        assert config.effective_interest_level == 0.0
+
+    def test_interest_disabled_at_zero(self):
+        # R = 0 is Figure 8's "no interest measure" point.
+        assert not MinerConfig(interest_level=0.0).interest_enabled
+
+    def test_interest_enabled_for_positive_r(self):
+        assert MinerConfig(interest_level=0.5).interest_enabled
+        assert MinerConfig(interest_level=1.1).interest_enabled
+
+    def test_modes_exported(self):
+        MinerConfig(interest_mode=SUPPORT_AND_CONFIDENCE)
+        MinerConfig(interest_mode=SUPPORT_OR_CONFIDENCE)
+
+
+class TestLemma1Adjustment:
+    def test_disabled_by_default(self):
+        config = MinerConfig(min_confidence=0.5)
+        assert config.effective_min_confidence == 0.5
+
+    def test_divides_by_completeness(self):
+        config = MinerConfig(
+            min_confidence=0.6,
+            partial_completeness=2.0,
+            lemma1_confidence_adjustment=True,
+        )
+        assert config.effective_min_confidence == pytest.approx(0.3)
+
+    def test_miner_generates_extra_low_confidence_rules(self):
+        from repro.core import QuantitativeMiner
+        from repro.data import generate_credit_table
+
+        table = generate_credit_table(1_000, seed=8)
+        base = dict(
+            min_support=0.2,
+            min_confidence=0.5,
+            max_support=0.45,
+            partial_completeness=3.0,
+            max_quantitative_in_rule=2,
+            max_itemset_size=2,
+        )
+        plain = QuantitativeMiner(table, MinerConfig(**base)).mine()
+        adjusted = QuantitativeMiner(
+            table, MinerConfig(**base, lemma1_confidence_adjustment=True)
+        ).mine()
+        assert set(plain.rules) <= set(adjusted.rules)
+        assert len(adjusted.rules) > len(plain.rules)
+        # The extra rules sit between minconf/K and minconf.
+        extra = set(adjusted.rules) - set(plain.rules)
+        for rule in extra:
+            assert 0.5 / 3.0 - 1e-9 <= rule.confidence < 0.5

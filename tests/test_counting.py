@@ -1,0 +1,215 @@
+"""Unit tests for repro.core.counting (super-candidates, Section 5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Item, MinerConfig, TableMapper, make_itemset
+from repro.core.counting import (
+    CountingStats,
+    PrefixSumCounter,
+    categorical_mask,
+    choose_backend,
+    count_frequent_pairs,
+    count_itemsets,
+    group_candidates,
+)
+from repro.table import RelationalTable, TableSchema, categorical, quantitative
+
+
+@pytest.fixture
+def mapper():
+    rng = np.random.default_rng(12)
+    schema = TableSchema(
+        [
+            quantitative("x"),
+            quantitative("y"),
+            categorical("c", ("p", "q")),
+        ]
+    )
+    n = 600
+    x = rng.integers(0, 8, n).astype(float)
+    y = np.clip(x + rng.integers(-2, 3, n), 0, 7).astype(float)
+    c = (x + rng.integers(0, 4, n) > 5).astype(np.int64)
+    table = RelationalTable.from_columns(schema, [x, y, c])
+    return TableMapper(
+        table,
+        MinerConfig(min_support=0.05, num_partitions={"x": 8, "y": 8}),
+    )
+
+
+def brute_support(mapper, itemset):
+    mask = np.ones(mapper.num_records, dtype=bool)
+    for item in itemset:
+        col = mapper.column(item.attribute)
+        mask &= (col >= item.lo) & (col <= item.hi)
+    return int(mask.sum())
+
+
+def sample_candidates(mapper):
+    out = []
+    for lo, hi in [(0, 2), (1, 4), (3, 7), (2, 2)]:
+        out.append(make_itemset([Item(0, lo, hi), Item(1, 0, 3)]))
+        out.append(make_itemset([Item(0, lo, hi), Item(2, 1, 1)]))
+        out.append(
+            make_itemset([Item(0, lo, hi), Item(1, 2, 6), Item(2, 0, 0)])
+        )
+    out.append(make_itemset([Item(2, 0, 0)]))
+    return out
+
+
+class TestGrouping:
+    def test_groups_share_categorical_values_and_attrs(self, mapper):
+        candidates = sample_candidates(mapper)
+        groups = group_candidates(candidates, {0, 1})
+        for group in groups:
+            for itemset in group.candidates:
+                cat = tuple(
+                    it for it in itemset if it.attribute == 2
+                )
+                assert cat == group.categorical_items
+        total = sum(len(g.candidates) for g in groups)
+        assert total == len(candidates)
+
+    def test_rectangles_align_with_quant_attrs(self, mapper):
+        groups = group_candidates(
+            [make_itemset([Item(0, 1, 4), Item(1, 0, 3)])], {0, 1}
+        )
+        lo, hi = groups[0].rectangles()
+        np.testing.assert_array_equal(lo, [[1, 0]])
+        np.testing.assert_array_equal(hi, [[4, 3]])
+
+
+class TestPrefixSumCounter:
+    def test_matches_brute_force_1d(self, mapper):
+        counter = PrefixSumCounter(mapper, (0,))
+        lo = np.array([[0], [2], [5]])
+        hi = np.array([[7], [4], [5]])
+        counts = counter.count_rects(lo, hi)
+        for i in range(3):
+            expected = brute_support(
+                mapper, (Item(0, int(lo[i, 0]), int(hi[i, 0])),)
+            )
+            assert counts[i] == expected
+
+    def test_matches_brute_force_2d_with_mask(self, mapper):
+        mask = mapper.column(2) == 1
+        counter = PrefixSumCounter(mapper, (0, 1), mask)
+        lo = np.array([[1, 0], [0, 0]])
+        hi = np.array([[4, 3], [7, 7]])
+        counts = counter.count_rects(lo, hi)
+        expected0 = brute_support(
+            mapper, (Item(0, 1, 4), Item(1, 0, 3), Item(2, 1, 1))
+        )
+        assert counts[0] == expected0
+        assert counts[1] == int(mask.sum())
+
+    def test_count_cross_matches_individual(self, mapper):
+        counter = PrefixSumCounter(mapper, (0, 1))
+        ranges_x = [(0, 3), (2, 5)]
+        ranges_y = [(0, 7), (4, 6)]
+        cross = counter.count_cross([ranges_x, ranges_y])
+        assert cross.shape == (2, 2)
+        for i, rx in enumerate(ranges_x):
+            for j, ry in enumerate(ranges_y):
+                expected = brute_support(
+                    mapper, (Item(0, *rx), Item(1, *ry))
+                )
+                assert cross[i, j] == expected
+
+
+class TestCountItemsets:
+    @pytest.mark.parametrize("backend", ["array", "rtree", "direct"])
+    def test_backends_match_brute_force(self, mapper, backend):
+        candidates = sample_candidates(mapper)
+        counts = count_itemsets(candidates, mapper, {0, 1}, backend)
+        assert set(counts) == set(candidates)
+        for itemset, count in counts.items():
+            assert count == brute_support(mapper, itemset)
+
+    def test_backends_agree_with_each_other(self, mapper):
+        candidates = sample_candidates(mapper)
+        results = [
+            count_itemsets(candidates, mapper, {0, 1}, b)
+            for b in ("array", "rtree", "direct", "auto")
+        ]
+        assert results[0] == results[1] == results[2] == results[3]
+
+    def test_stats_record_backends(self, mapper):
+        stats = CountingStats()
+        count_itemsets(
+            sample_candidates(mapper), mapper, {0, 1}, "array", stats=stats
+        )
+        assert stats.groups_by_backend.get("array", 0) > 0
+        # The pure-categorical candidate is counted via the mask.
+        assert stats.groups_by_backend.get("mask", 0) == 1
+
+
+class TestChooseBackend:
+    def test_explicit_choice_respected(self, mapper):
+        groups = group_candidates(
+            [make_itemset([Item(0, 0, 1), Item(1, 0, 1)])], {0, 1}
+        )
+        assert choose_backend(groups[0], mapper, "rtree", 1 << 30) == "rtree"
+
+    def test_auto_prefers_array_when_cheap(self, mapper):
+        groups = group_candidates(
+            [make_itemset([Item(0, 0, 1), Item(1, 0, 1)])], {0, 1}
+        )
+        assert choose_backend(groups[0], mapper, "auto", 1 << 30) == "array"
+
+    def test_auto_falls_back_when_over_budget(self, mapper):
+        groups = group_candidates(
+            [make_itemset([Item(0, 0, 1), Item(1, 0, 1)])], {0, 1}
+        )
+        assert choose_backend(groups[0], mapper, "auto", 16) == "rtree"
+
+
+class TestCountFrequentPairs:
+    def _frequent_items(self, mapper):
+        from repro.core import find_frequent_items
+
+        return find_frequent_items(mapper, 0.05, 0.5)
+
+    def test_matches_explicit_enumeration(self, mapper):
+        from repro.core.candidates import pairs_by_attribute
+
+        freq = self._frequent_items(mapper)
+        buckets = pairs_by_attribute(freq.supports)
+        min_count = 0.05 * mapper.num_records
+        fast, num_candidates = count_frequent_pairs(
+            buckets, mapper, {0, 1}, min_count
+        )
+        # Reference: enumerate and count every cross-attribute pair.
+        slow = {}
+        attrs = sorted(buckets)
+        expected_candidates = 0
+        for i, a in enumerate(attrs):
+            for b in attrs[i + 1:]:
+                for ia in buckets[a]:
+                    for ib in buckets[b]:
+                        expected_candidates += 1
+                        pair = make_itemset([ia, ib])
+                        count = brute_support(mapper, pair)
+                        if count >= min_count:
+                            slow[pair] = count
+        assert num_candidates == expected_candidates
+        assert fast == slow
+
+    def test_rtree_backend_agrees(self, mapper):
+        from repro.core.candidates import pairs_by_attribute
+
+        freq = self._frequent_items(mapper)
+        buckets = pairs_by_attribute(freq.supports)
+        min_count = 0.1 * mapper.num_records
+        fast, __ = count_frequent_pairs(buckets, mapper, {0, 1}, min_count)
+        slow, __ = count_frequent_pairs(
+            buckets, mapper, {0, 1}, min_count, backend="rtree"
+        )
+        assert fast == slow
+
+    def test_categorical_mask_none_for_empty(self, mapper):
+        assert categorical_mask(mapper, ()) is None
+
+    def test_categorical_mask_selects_records(self, mapper):
+        mask = categorical_mask(mapper, (Item(2, 1, 1),))
+        np.testing.assert_array_equal(mask, mapper.column(2) == 1)

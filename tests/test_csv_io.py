@@ -1,0 +1,157 @@
+"""Unit tests for repro.table.csv_io."""
+
+import numpy as np
+import pytest
+
+from repro.table import (
+    TableSchema,
+    categorical,
+    load_csv,
+    quantitative,
+    save_csv,
+    sniff_schema,
+)
+
+
+@pytest.fixture
+def csv_path(tmp_path):
+    path = tmp_path / "people.csv"
+    path.write_text(
+        "age,married,cars\n"
+        "23,No,1\n"
+        "25,Yes,1\n"
+        "29,No,0\n"
+        "34,Yes,2\n"
+        "38,Yes,2\n"
+    )
+    return path
+
+
+class TestSniffing:
+    def test_numeric_columns_become_quantitative(self, csv_path):
+        table = load_csv(csv_path)
+        schema = table.schema
+        assert schema.attribute("age").is_quantitative
+        assert schema.attribute("cars").is_quantitative
+        assert schema.attribute("married").is_categorical
+
+    def test_forcing_categorical_overrides_sniff(self, csv_path):
+        table = load_csv(csv_path, categorical=["cars"])
+        assert table.schema.attribute("cars").is_categorical
+
+    def test_conflicting_declarations_rejected(self, csv_path):
+        with pytest.raises(ValueError, match="both"):
+            load_csv(csv_path, quantitative=["age"], categorical=["age"])
+
+    def test_unknown_declared_column_rejected(self, csv_path):
+        with pytest.raises(ValueError, match="not present"):
+            load_csv(csv_path, quantitative=["height"])
+
+    def test_sniff_schema_direct(self):
+        schema = sniff_schema(
+            ["a", "b"], [["1", "x"], ["2", "y"]]
+        )
+        assert schema.attribute("a").is_quantitative
+        assert schema.attribute("b").is_categorical
+
+
+class TestLoading:
+    def test_values_loaded(self, csv_path):
+        table = load_csv(csv_path)
+        np.testing.assert_array_equal(
+            table.column("age"), [23, 25, 29, 34, 38]
+        )
+        assert table.record(1)[1] == "Yes"
+
+    def test_explicit_schema_reorders_columns(self, csv_path):
+        schema = TableSchema(
+            [categorical("married", ("Yes", "No")), quantitative("age")]
+        )
+        table = load_csv(csv_path, schema=schema)
+        assert table.schema.names == ("married", "age")
+        assert table.record(0) == ("No", 23.0)
+
+    def test_explicit_schema_missing_column_rejected(self, csv_path):
+        schema = TableSchema([quantitative("height")])
+        with pytest.raises(ValueError, match="missing"):
+            load_csv(csv_path, schema=schema)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="header"):
+            load_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(ValueError, match="row 3"):
+            load_csv(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blank.csv"
+        path.write_text("a\n1\n\n2\n")
+        assert load_csv(path).num_records == 2
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, csv_path, tmp_path):
+        table = load_csv(csv_path)
+        out = tmp_path / "out.csv"
+        save_csv(table, out)
+        reloaded = load_csv(out)
+        assert reloaded.num_records == table.num_records
+        np.testing.assert_array_equal(
+            reloaded.column("age"), table.column("age")
+        )
+        assert reloaded.record(3) == table.record(3)
+
+    def test_save_renders_integral_floats_as_ints(self, csv_path, tmp_path):
+        table = load_csv(csv_path)
+        out = tmp_path / "out.csv"
+        save_csv(table, out)
+        assert "23," in out.read_text()
+        assert "23.0" not in out.read_text()
+
+
+class TestMissingValues:
+    def test_missing_value_errors_by_default(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("a,b\n1,x\n,y\n3,z\n")
+        with pytest.raises(ValueError, match="missing value"):
+            load_csv(path)
+
+    def test_drop_policy_skips_rows(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("a,b\n1,x\nNA,y\n3,z\n")
+        table = load_csv(path, on_missing="drop")
+        assert table.num_records == 2
+        np.testing.assert_array_equal(table.column("a"), [1, 3])
+
+    def test_drop_keeps_quantitative_sniff(self, tmp_path):
+        # Without dropping, the 'NA' cell would force column a to
+        # categorical; with drop it stays quantitative.
+        path = tmp_path / "gaps.csv"
+        path.write_text("a\n1\nNA\n3\n")
+        table = load_csv(path, on_missing="drop")
+        assert table.schema.attribute("a").is_quantitative
+
+    def test_custom_markers(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("a\n1\n-999\n3\n")
+        table = load_csv(
+            path, on_missing="drop", missing_markers=("-999",)
+        )
+        assert table.num_records == 2
+
+    def test_invalid_policy_rejected(self, tmp_path):
+        path = tmp_path / "x.csv"
+        path.write_text("a\n1\n")
+        with pytest.raises(ValueError, match="on_missing"):
+            load_csv(path, on_missing="impute")
+
+    def test_whitespace_only_cell_is_missing(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("a,b\n1,x\n  ,y\n")
+        table = load_csv(path, on_missing="drop")
+        assert table.num_records == 1

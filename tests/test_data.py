@@ -1,0 +1,167 @@
+"""Unit tests for the datasets (repro.data)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    EMPLOYEE_CATEGORIES,
+    MARITAL_STATUSES,
+    credit_schema,
+    generate_credit_table,
+    generate_skewed_table,
+    people_table,
+)
+from repro.data.distributions import (
+    bounded_fraction,
+    clipped_normal,
+    lognormal,
+    skewed_integers,
+    weighted_choice,
+)
+
+
+class TestPeopleTable:
+    def test_matches_figure_1(self):
+        table = people_table()
+        assert table.num_records == 5
+        assert table.record(0) == (23.0, "No", 1.0)
+        assert table.record(4) == (38.0, "Yes", 2.0)
+
+    def test_schema_kinds(self):
+        schema = people_table().schema
+        assert schema.attribute("Age").is_quantitative
+        assert schema.attribute("Married").is_categorical
+        assert schema.attribute("NumCars").is_quantitative
+
+
+class TestCreditTable:
+    def test_schema_matches_paper_section6(self):
+        schema = credit_schema()
+        assert len(schema.quantitative_indices) == 5
+        assert len(schema.categorical_indices) == 2
+        assert schema.attribute("employee_category").values == (
+            EMPLOYEE_CATEGORIES
+        )
+        assert schema.attribute("marital_status").values == MARITAL_STATUSES
+
+    def test_deterministic_under_seed(self):
+        a = generate_credit_table(500, seed=5)
+        b = generate_credit_table(500, seed=5)
+        for name in a.schema.names:
+            np.testing.assert_array_equal(a.column(name), b.column(name))
+
+    def test_different_seeds_differ(self):
+        a = generate_credit_table(500, seed=5)
+        b = generate_credit_table(500, seed=6)
+        assert not np.array_equal(
+            a.column("monthly_income"), b.column("monthly_income")
+        )
+
+    def test_all_amounts_non_negative(self):
+        table = generate_credit_table(2_000, seed=1)
+        for name in ("monthly_income", "credit_limit"):
+            assert (table.column(name) > 0).all()
+        for name in ("current_balance", "ytd_balance", "ytd_interest"):
+            # Tiny balances round to 0.00, like a real ledger.
+            assert (table.column(name) >= 0).all()
+
+    def test_balance_within_limit(self):
+        table = generate_credit_table(2_000, seed=1)
+        assert (
+            table.column("current_balance") <= table.column("credit_limit")
+        ).all()
+
+    def test_income_correlates_with_limit(self):
+        table = generate_credit_table(5_000, seed=2)
+        r = np.corrcoef(
+            table.column("monthly_income"), table.column("credit_limit")
+        )[0, 1]
+        assert r > 0.5
+
+    def test_interest_correlates_with_ytd_balance(self):
+        table = generate_credit_table(5_000, seed=2)
+        r = np.corrcoef(
+            table.column("ytd_balance"), table.column("ytd_interest")
+        )[0, 1]
+        assert r > 0.5
+
+    def test_category_shifts_income(self):
+        table = generate_credit_table(5_000, seed=2)
+        emp = table.column("employee_category")
+        income = table.column("monthly_income")
+        salaried = income[emp == 0].mean()
+        student = income[emp == 3].mean()
+        assert salaried > 2 * student
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            generate_credit_table(0)
+
+
+class TestSkewedTable:
+    def test_mass_concentrated_at_low_values(self):
+        table = generate_skewed_table(5_000, seed=0, skew=0.8)
+        amount = table.column("amount")
+        assert np.median(amount) < 10
+        assert amount.max() > 20
+
+
+class TestDistributions:
+    def setup_method(self):
+        self.rng = np.random.default_rng(0)
+
+    def test_lognormal_median(self):
+        draws = lognormal(self.rng, 100.0, 0.5, 20_000)
+        assert np.median(draws) == pytest.approx(100.0, rel=0.05)
+
+    def test_lognormal_validation(self):
+        with pytest.raises(ValueError):
+            lognormal(self.rng, -1, 0.5, 10)
+        with pytest.raises(ValueError):
+            lognormal(self.rng, 1, 0, 10)
+
+    def test_bounded_fraction_mean_and_range(self):
+        draws = bounded_fraction(self.rng, 0.3, 10.0, 20_000)
+        assert 0 < draws.min() and draws.max() < 1
+        assert draws.mean() == pytest.approx(0.3, abs=0.02)
+
+    def test_bounded_fraction_vector_mean(self):
+        means = np.array([0.2, 0.8])
+        draws = bounded_fraction(self.rng, means, 50.0, 2)
+        assert draws.shape == (2,)
+
+    def test_bounded_fraction_validation(self):
+        with pytest.raises(ValueError):
+            bounded_fraction(self.rng, 1.5, 10.0, 5)
+        with pytest.raises(ValueError):
+            bounded_fraction(self.rng, 0.5, -1.0, 5)
+
+    def test_weighted_choice_proportions(self):
+        codes = weighted_choice(self.rng, {"a": 3, "b": 1}, 20_000)
+        assert (codes == 0).mean() == pytest.approx(0.75, abs=0.02)
+
+    def test_weighted_choice_validation(self):
+        with pytest.raises(ValueError):
+            weighted_choice(self.rng, {}, 5)
+        with pytest.raises(ValueError):
+            weighted_choice(self.rng, {"a": -1}, 5)
+
+    def test_clipped_normal_bounds(self):
+        draws = clipped_normal(self.rng, 0.0, 1.0, 1_000, lo=-1, hi=1)
+        assert draws.min() >= -1 and draws.max() <= 1
+
+    def test_clipped_normal_validation(self):
+        with pytest.raises(ValueError):
+            clipped_normal(self.rng, 0.0, -1.0, 5)
+
+    def test_skewed_integers_range_and_skew(self):
+        draws = skewed_integers(self.rng, 0, 9, 0.5, 10_000)
+        assert draws.min() >= 0 and draws.max() <= 9
+        counts = np.bincount(draws, minlength=10)
+        assert counts[0] > counts[5] > 0
+
+    def test_skewed_integers_validation(self):
+        with pytest.raises(ValueError):
+            skewed_integers(self.rng, 5, 1, 0.5, 10)
+        with pytest.raises(ValueError):
+            skewed_integers(self.rng, 0, 9, 1.5, 10)

@@ -1,0 +1,101 @@
+"""Unit tests for repro.core.diagnostics."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import MinerConfig, QuantitativeMiner
+from repro.core.diagnostics import check_result
+from repro.data import (
+    age_partition_edges,
+    generate_credit_table,
+    people_table,
+)
+
+
+@pytest.fixture(scope="module")
+def people_result():
+    config = MinerConfig(
+        min_support=0.4,
+        min_confidence=0.5,
+        max_support=0.6,
+        interest_level=1.1,
+        num_partitions={"Age": age_partition_edges()},
+    )
+    return QuantitativeMiner(people_table(), config).mine()
+
+
+@pytest.fixture(scope="module")
+def credit_result():
+    config = MinerConfig(
+        min_support=0.25,
+        min_confidence=0.3,
+        max_support=0.45,
+        partial_completeness=3.0,
+        max_quantitative_in_rule=2,
+        interest_level=1.3,
+    )
+    return QuantitativeMiner(generate_credit_table(2_000, seed=5), config).mine()
+
+
+class TestCleanResults:
+    def test_people_result_passes(self, people_result):
+        report = check_result(people_result, sample_limit=None)
+        assert report.ok, report.render()
+        assert report.checks_run > 50
+
+    def test_credit_result_passes(self, credit_result):
+        report = check_result(credit_result)
+        assert report.ok, report.render()
+
+    def test_render_ok(self, people_result):
+        text = check_result(people_result).render()
+        assert text.startswith("OK")
+
+
+class TestCorruptedResults:
+    def test_tampered_count_detected(self, people_result):
+        corrupted = replace(
+            people_result,
+            support_counts=dict(people_result.support_counts),
+        )
+        key = next(iter(corrupted.support_counts))
+        corrupted.support_counts[key] += 1
+        report = check_result(corrupted, sample_limit=None)
+        assert not report.ok
+        assert any("recount" in v for v in report.violations)
+
+    def test_missing_subset_detected(self, people_result):
+        counts = dict(people_result.support_counts)
+        # Remove a 1-itemset that longer itemsets depend on.
+        singles = [s for s in counts if len(s) == 1]
+        needed = next(
+            s
+            for s in singles
+            if any(set(s) < set(longer) for longer in counts if len(longer) > 1)
+        )
+        del counts[needed]
+        corrupted = replace(people_result, support_counts=counts)
+        report = check_result(corrupted, sample_limit=None)
+        assert not report.ok
+        assert any("downward closure" in v for v in report.violations)
+
+    def test_tampered_rule_detected(self, people_result):
+        rule = people_result.rules[0]
+        broken = replace(rule, confidence=min(1.0, rule.confidence / 2 + 0.01))
+        corrupted = replace(
+            people_result, rules=[broken] + people_result.rules[1:]
+        )
+        report = check_result(corrupted, sample_limit=None)
+        assert not report.ok
+        assert any("confidence inconsistent" in v for v in report.violations)
+
+    def test_render_lists_violations(self, people_result):
+        corrupted = replace(
+            people_result,
+            support_counts=dict(people_result.support_counts),
+        )
+        key = next(iter(corrupted.support_counts))
+        corrupted.support_counts[key] += 1
+        text = check_result(corrupted, sample_limit=None).render()
+        assert "violation" in text

@@ -1,0 +1,58 @@
+"""Smoke tests: every shipped example runs to completion.
+
+The examples are the library's front door; each must execute end to end
+on a trimmed problem size and print the deliverable it promises.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=180):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "<Age: [30, 40]> and <Married: Yes> => <NumCars: 2>" in out
+        assert "conf=100.0%" in out
+
+    def test_credit_risk(self):
+        out = run_example("credit_risk.py", "2000")
+        assert "interesting" in out.lower()
+        assert "=>" in out
+
+    def test_census_demographics(self):
+        out = run_example("census_demographics.py", "4000")
+        assert "rules" in out
+        assert "=>" in out
+
+    def test_interest_pruning_demo(self):
+        out = run_example("interest_pruning_demo.py")
+        assert "tentative measure calls the decoy interesting: True" in out
+        assert "final measure calls the decoy interesting:     False" in out
+        assert "final measure keeps the genuine spike:         True" in out
+
+    def test_partitioning_tradeoffs(self):
+        out = run_example("partitioning_tradeoffs.py", "1500")
+        assert "K=1.5: 40 intervals" in out
+        assert "interesting" in out
+
+    def test_retail_taxonomy(self):
+        out = run_example("retail_taxonomy.py")
+        assert "outerwear" in out
+        assert "interesting" in out
+        assert "exported" in out

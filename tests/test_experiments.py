@@ -1,0 +1,98 @@
+"""Unit tests for the programmatic figure runners (repro.experiments)."""
+
+import pytest
+
+from repro.data import generate_credit_table
+from repro.experiments import (
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    time_mining,
+)
+
+
+@pytest.fixture(scope="module")
+def small_table():
+    return generate_credit_table(2_000, seed=42)
+
+
+class TestFigure7Runner:
+    @pytest.fixture(scope="class")
+    def result(self, small_table):
+        return run_figure7(
+            small_table,
+            completeness_levels=(3.0, 5.0),
+            interest_levels=(1.1, 2.0),
+        )
+
+    def test_one_point_per_level(self, result):
+        assert [p.completeness for p in result.points] == [3.0, 5.0]
+
+    def test_counts_consistent(self, result):
+        for point in result.points:
+            for r_level, count in point.interesting.items():
+                assert 0 <= count <= point.total_rules
+                assert point.fraction(r_level) <= 1.0
+
+    def test_higher_r_keeps_no_more(self, result):
+        for point in result.points:
+            assert point.interesting[2.0] <= point.interesting[1.1]
+
+    def test_partitions_follow_equation2(self, result):
+        # n'=2, minsup 0.2: K=3 -> 10 intervals, K=5 -> 5.
+        by_k = {p.completeness: p.partitions for p in result.points}
+        assert by_k[3.0] == 10
+        assert by_k[5.0] == 5
+
+    def test_render_is_tabular(self, result):
+        text = result.render()
+        assert "K" in text.splitlines()[0]
+        assert len(text.splitlines()) == 3
+
+
+class TestFigure8Runner:
+    @pytest.fixture(scope="class")
+    def result(self, small_table):
+        return run_figure8(
+            small_table,
+            combos=((0.2, 0.25),),
+            interest_sweep=(0.0, 1.1, 2.0),
+            num_partitions=8,
+        )
+
+    def test_r_zero_is_everything(self, result):
+        assert result.series[0].fractions[0.0] == pytest.approx(1.0)
+
+    def test_fractions_fall(self, result):
+        fractions = result.series[0].fractions
+        assert fractions[2.0] <= fractions[1.1] <= fractions[0.0]
+
+    def test_render(self, result):
+        text = result.render()
+        assert "sup=20%/conf=25%" in text
+        assert "100.0%" in text
+
+
+class TestFigure9Runner:
+    def test_relative_times_normalized(self):
+        cache = {}
+
+        def table_for_size(n):
+            if n not in cache:
+                cache[n] = generate_credit_table(n, seed=1)
+            return cache[n]
+
+        result = run_figure9(
+            table_for_size,
+            sizes=(2_000, 8_000),
+            min_supports=(0.3,),
+        )
+        series = result.series[0]
+        assert series.points[0].relative == pytest.approx(1.0)
+        assert series.points[1].relative > 0
+        assert "minsup=30%" in result.render()
+
+    def test_time_mining_returns_counts(self, small_table):
+        seconds, itemsets = time_mining(small_table, 0.3, repetitions=1)
+        assert seconds > 0
+        assert itemsets > 0

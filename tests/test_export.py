@@ -1,0 +1,129 @@
+"""Unit tests for repro.core.export and the MiningResult export hooks."""
+
+import json
+
+import pytest
+
+from repro.core import Item, MinerConfig, QuantitativeMiner, make_itemset
+from repro.core.export import (
+    itemsets_to_json,
+    load_rules_json,
+    rule_from_dict,
+    rule_to_dict,
+    rules_from_json,
+    rules_to_json,
+    save_rules_csv,
+    save_rules_json,
+)
+from repro.core.rules import QuantitativeRule
+from repro.data import age_partition_edges, people_table
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = MinerConfig(
+        min_support=0.4,
+        min_confidence=0.5,
+        max_support=0.6,
+        interest_level=1.1,
+        num_partitions={"Age": age_partition_edges()},
+    )
+    return QuantitativeMiner(people_table(), config).mine()
+
+
+def sample_rule():
+    return QuantitativeRule(
+        antecedent=make_itemset([Item(0, 2, 3), Item(1, 0, 0)]),
+        consequent=make_itemset([Item(2, 2, 2)]),
+        support=0.4,
+        confidence=1.0,
+    )
+
+
+class TestRuleDicts:
+    def test_round_trip(self):
+        rule = sample_rule()
+        assert rule_from_dict(rule_to_dict(rule)) == rule
+
+    def test_display_added_with_mapper(self, result):
+        data = rule_to_dict(result.rules[0], result.mapper)
+        assert "display" in data["antecedent"][0]
+        assert "attribute_name" in data["antecedent"][0]
+
+    def test_no_display_without_mapper(self):
+        data = rule_to_dict(sample_rule())
+        assert "display" not in data["antecedent"][0]
+
+
+class TestJsonDocuments:
+    def test_round_trip_preserves_rules(self, result):
+        text = rules_to_json(result.rules, result.mapper, {"k": 1})
+        rules, metadata = rules_from_json(text)
+        assert rules == result.rules
+        assert metadata == {"k": 1}
+
+    def test_document_structure(self, result):
+        doc = json.loads(rules_to_json(result.rules[:2]))
+        assert doc["format"] == "repro.quantitative_rules"
+        assert doc["version"] == 1
+        assert len(doc["rules"]) == 2
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="not a repro"):
+            rules_from_json('{"format": "something-else"}')
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            rules_from_json(
+                '{"format": "repro.quantitative_rules", "version": 99}'
+            )
+
+    def test_file_round_trip(self, result, tmp_path):
+        path = tmp_path / "rules.json"
+        save_rules_json(result.rules, path, result.mapper, {"note": "x"})
+        rules, metadata = load_rules_json(path)
+        assert rules == result.rules
+        assert metadata["note"] == "x"
+
+    def test_itemsets_document(self, result):
+        doc = json.loads(
+            itemsets_to_json(
+                result.support_counts, result.num_records, result.mapper
+            )
+        )
+        assert doc["num_records"] == 5
+        assert doc["itemsets"]
+        first = doc["itemsets"][0]
+        assert first["count"] >= 2
+        assert 0 < first["support"] <= 1
+
+
+class TestCsv:
+    def test_rows_and_rendering(self, result, tmp_path):
+        path = tmp_path / "rules.csv"
+        save_rules_csv(result.rules, path, result.mapper)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "antecedent,consequent,support,confidence"
+        assert len(lines) == len(result.rules) + 1
+        assert "<Married: Yes>" in path.read_text()
+
+    def test_without_mapper_uses_indices(self, tmp_path):
+        path = tmp_path / "rules.csv"
+        save_rules_csv([sample_rule()], path)
+        assert "<0: 2..3>" in path.read_text()
+
+
+class TestMiningResultHooks:
+    def test_save_rules_json_with_metadata(self, result, tmp_path):
+        path = tmp_path / "out.json"
+        result.save_rules_json(path)
+        rules, metadata = load_rules_json(path)
+        assert rules == result.interesting_rules
+        assert metadata["min_support"] == pytest.approx(0.4)
+        assert metadata["num_records"] == 5
+
+    def test_save_rules_csv_default_interesting(self, result, tmp_path):
+        path = tmp_path / "out.csv"
+        result.save_rules_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(result.interesting_rules) + 1

@@ -1,0 +1,139 @@
+"""Unit tests for repro.core.frequent_items (Step 3a)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Item, MinerConfig, TableMapper, find_frequent_items
+from repro.core.frequent_items import AttributeCounts
+from repro.data import age_partition_edges, people_table
+from repro.table import RelationalTable, TableSchema, categorical, quantitative
+
+
+@pytest.fixture
+def mapper():
+    return TableMapper(
+        people_table(),
+        MinerConfig(
+            min_support=0.4,
+            max_support=0.6,
+            num_partitions={"Age": age_partition_edges()},
+        ),
+    )
+
+
+class TestAttributeCounts:
+    def test_range_count_matches_manual_sum(self):
+        counts = AttributeCounts(np.array([3, 1, 4, 1, 5]))
+        assert counts.range_count(0, 0) == 3
+        assert counts.range_count(1, 3) == 6
+        assert counts.range_count(0, 4) == 14
+
+    def test_cumulative_shape(self):
+        counts = AttributeCounts(np.array([2, 2]))
+        np.testing.assert_array_equal(counts.cumulative, [0, 2, 4])
+
+
+class TestFrequentItems:
+    def test_paper_figure3_items(self, mapper):
+        result = find_frequent_items(mapper, 0.4, 0.6)
+        items = set(result.supports)
+        # <Age: 20..29> = intervals 0..1, support 3.
+        assert result.supports[Item(0, 0, 1)] == 3
+        # <Age: 30..39> = intervals 2..3, support 2.
+        assert result.supports[Item(0, 2, 3)] == 2
+        # <Married: Yes> support 3, <Married: No> support 2.
+        assert result.supports[Item(1, 0, 0)] == 3
+        assert result.supports[Item(1, 1, 1)] == 2
+        # <NumCars: 0..1> (ranks 0..1), support 3.
+        assert result.supports[Item(2, 0, 1)] == 3
+        # Ranges above max support (60%) are not combined further:
+        assert Item(0, 0, 2) not in items  # support 4 = 80%
+        assert Item(2, 0, 2) not in items  # support 5 = 100%
+
+    def test_single_interval_above_maxsup_kept(self):
+        # One value holds 80% support: above maxsup but still an item.
+        schema = TableSchema([quantitative("x"), categorical("c")])
+        records = [(1, "a")] * 8 + [(2, "a"), (3, "b")]
+        table = RelationalTable.from_records(schema, records)
+        mapper = TableMapper(
+            table, MinerConfig(min_support=0.1, max_support=0.3)
+        )
+        result = find_frequent_items(mapper, 0.1, 0.3)
+        assert Item(0, 0, 0) in result.supports  # the 80% single value
+        assert Item(0, 0, 1) not in result.supports  # range above cap
+
+    def test_categorical_values_never_combined(self, mapper):
+        result = find_frequent_items(mapper, 0.2, 1.0)
+        for item in result.supports:
+            if item.attribute == 1:  # Married
+                assert item.lo == item.hi
+
+    def test_support_method_covers_infrequent_ranges(self, mapper):
+        result = find_frequent_items(mapper, 0.4, 0.6)
+        # <Age: interval 2> alone has support 1/5, below minsup, but its
+        # probability is still available for interest computations.
+        assert result.support(Item(0, 2, 2)) == pytest.approx(0.2)
+
+    def test_minsup_filtering(self, mapper):
+        result = find_frequent_items(mapper, 0.4, 0.6)
+        for count in result.supports.values():
+            assert count >= 2  # 40% of 5
+
+    def test_items_sorted(self, mapper):
+        items = find_frequent_items(mapper, 0.4, 0.6).items()
+        assert items == sorted(items)
+
+
+class TestInterestPrune:
+    """Lemma 5: delete quantitative items with support > 1/R."""
+
+    def _mapper(self):
+        schema = TableSchema([quantitative("x"), categorical("c")])
+        rng = np.random.default_rng(3)
+        records = [
+            (int(v), "a" if v < 60 else "b")
+            for v in rng.uniform(0, 100, 400)
+        ]
+        table = RelationalTable.from_records(schema, records)
+        return TableMapper(
+            table,
+            MinerConfig(
+                min_support=0.1, max_support=0.9, num_partitions={"x": 10}
+            ),
+        )
+
+    def test_prune_removes_wide_quantitative_ranges(self):
+        mapper = self._mapper()
+        kept = find_frequent_items(
+            mapper, 0.1, 0.9, interest_level=2.0, prune_by_interest=True
+        )
+        threshold = 400 / 2.0
+        assert kept.pruned_by_interest  # something was pruned
+        for item in kept.supports:
+            if item.attribute == 0:
+                assert kept.supports[item] <= threshold
+
+    def test_prune_spares_categorical_items(self):
+        mapper = self._mapper()
+        kept = find_frequent_items(
+            mapper, 0.1, 0.9, interest_level=1.2, prune_by_interest=True
+        )
+        # 'a' covers ~60% > 1/1.2; categorical items are never pruned.
+        assert Item(1, 0, 0) in kept.supports
+
+    def test_prune_disabled_keeps_everything(self):
+        mapper = self._mapper()
+        free = find_frequent_items(mapper, 0.1, 0.9)
+        pruned = find_frequent_items(
+            mapper, 0.1, 0.9, interest_level=2.0, prune_by_interest=True
+        )
+        assert set(pruned.supports) | set(
+            pruned.pruned_by_interest
+        ) == set(free.supports)
+
+    def test_prune_noop_for_r_at_most_one(self):
+        mapper = self._mapper()
+        result = find_frequent_items(
+            mapper, 0.1, 0.9, interest_level=1.0, prune_by_interest=True
+        )
+        assert result.pruned_by_interest == []

@@ -1,0 +1,99 @@
+"""Unit tests for repro.rtree.geometry."""
+
+import pytest
+
+from repro.rtree import Rect, bounding_rect
+
+
+class TestConstruction:
+    def test_basic(self):
+        r = Rect((0, 0), (2, 3))
+        assert r.ndim == 2
+        assert r.lo == (0.0, 0.0)
+        assert r.hi == (2.0, 3.0)
+
+    def test_point(self):
+        p = Rect.point((1, 2))
+        assert p.lo == p.hi == (1.0, 2.0)
+        assert p.area() == 0.0
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError, match="inverted"):
+            Rect((2,), (1,))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            Rect((0, 0), (1,))
+
+    def test_zero_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Rect((), ())
+
+
+class TestMeasures:
+    def test_area(self):
+        assert Rect((0, 0), (2, 3)).area() == 6.0
+
+    def test_margin(self):
+        assert Rect((0, 0), (2, 3)).margin() == 5.0
+
+    def test_center(self):
+        assert Rect((0, 0), (2, 4)).center() == (1.0, 2.0)
+
+    def test_union(self):
+        u = Rect((0, 0), (1, 1)).union(Rect((2, -1), (3, 0)))
+        assert u == Rect((0, -1), (3, 1))
+
+    def test_enlargement(self):
+        base = Rect((0, 0), (1, 1))
+        assert base.enlargement(Rect((0, 0), (1, 1))) == 0.0
+        assert base.enlargement(Rect((1, 1), (2, 2))) == pytest.approx(3.0)
+
+    def test_overlap_area(self):
+        a = Rect((0, 0), (2, 2))
+        b = Rect((1, 1), (3, 3))
+        assert a.overlap_area(b) == pytest.approx(1.0)
+        assert a.overlap_area(Rect((5, 5), (6, 6))) == 0.0
+
+    def test_intersects_boundary_touch_counts(self):
+        assert Rect((0,), (1,)).intersects(Rect((1,), (2,)))
+
+    def test_distance_sq_to(self):
+        r = Rect((0, 0), (1, 1))
+        assert r.distance_sq_to((0.5, 0.5)) == 0.0
+        assert r.distance_sq_to((2, 1)) == pytest.approx(1.0)
+        assert r.distance_sq_to((2, 3)) == pytest.approx(5.0)
+
+
+class TestContainment:
+    def test_contains_point_inclusive(self):
+        r = Rect((0, 0), (2, 2))
+        assert r.contains_point((0, 0))
+        assert r.contains_point((2, 2))
+        assert not r.contains_point((2.01, 1))
+
+    def test_contains_rect(self):
+        outer = Rect((0, 0), (10, 10))
+        assert outer.contains_rect(Rect((1, 1), (9, 9)))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect((5, 5), (11, 6)))
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        assert Rect((0,), (1,)) == Rect((0,), (1,))
+        assert hash(Rect((0,), (1,))) == hash(Rect((0,), (1,)))
+        assert Rect((0,), (1,)) != Rect((0,), (2,))
+
+    def test_repr(self):
+        assert "Rect" in repr(Rect((0,), (1,)))
+
+
+class TestBoundingRect:
+    def test_bounds_collection(self):
+        rects = [Rect((0,), (1,)), Rect((5,), (7,)), Rect((-2,), (0,))]
+        assert bounding_rect(rects) == Rect((-2,), (7,))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bounding_rect([])

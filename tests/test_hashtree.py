@@ -1,0 +1,88 @@
+"""Unit tests for the [AS94] hash-tree (repro.booleans.hashtree)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.booleans import HashTree
+
+
+class TestConstruction:
+    def test_insert_and_contains(self):
+        tree = HashTree(k=2)
+        tree.insert(("a", "b"))
+        assert ("a", "b") in tree
+        assert ("a", "c") not in tree
+        assert len(tree) == 1
+
+    def test_wrong_length_rejected(self):
+        tree = HashTree(k=2)
+        with pytest.raises(ValueError, match="length"):
+            tree.insert(("a",))
+
+    def test_contains_wrong_length_is_false(self):
+        tree = HashTree(k=2)
+        tree.insert(("a", "b"))
+        assert ("a",) not in tree
+
+    def test_build_infers_k(self):
+        tree = HashTree.build([("a", "b"), ("b", "c")])
+        assert len(tree) == 2
+
+    def test_build_empty_without_k_rejected(self):
+        with pytest.raises(ValueError, match="infer"):
+            HashTree.build([])
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            HashTree(k=0)
+        with pytest.raises(ValueError):
+            HashTree(k=2, leaf_capacity=0)
+        with pytest.raises(ValueError):
+            HashTree(k=2, num_buckets=0)
+
+    def test_leaves_split_under_pressure(self):
+        # Insert far more itemsets than one leaf holds; all remain findable.
+        itemsets = list(itertools.combinations(range(12), 3))
+        tree = HashTree.build(itemsets, leaf_capacity=2, num_buckets=4)
+        assert len(tree) == len(itemsets)
+        for s in itemsets:
+            assert s in tree
+
+
+class TestSubsets:
+    def test_matches_brute_force_on_random_data(self):
+        rng = random.Random(7)
+        universe = list(range(30))
+        itemsets = {
+            tuple(sorted(rng.sample(universe, 3))) for _ in range(200)
+        }
+        tree = HashTree.build(itemsets, leaf_capacity=3, num_buckets=5)
+        for _ in range(50):
+            transaction = sorted(rng.sample(universe, rng.randint(0, 12)))
+            expected = sorted(
+                s for s in itemsets if set(s).issubset(transaction)
+            )
+            assert sorted(tree.subsets(transaction)) == expected
+
+    def test_short_transaction_returns_nothing(self):
+        tree = HashTree.build([("a", "b", "c")])
+        assert tree.subsets(["a", "b"]) == []
+
+    def test_no_duplicates_despite_bucket_collisions(self):
+        # One bucket forces every item into the same child chain.
+        tree = HashTree.build(
+            [("a", "b"), ("a", "c"), ("b", "c")], num_buckets=1
+        )
+        found = tree.subsets(["a", "b", "c"])
+        assert sorted(found) == [("a", "b"), ("a", "c"), ("b", "c")]
+        assert len(found) == len(set(found))
+
+    def test_transaction_with_duplicates(self):
+        tree = HashTree.build([("a", "b")])
+        assert tree.subsets(["a", "a", "b"]) == [("a", "b")]
+
+    def test_k1_tree(self):
+        tree = HashTree.build([("a",), ("b",)], k=1)
+        assert sorted(tree.subsets(["a", "c"])) == [("a",)]

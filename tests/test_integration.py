@@ -1,0 +1,99 @@
+"""Cross-configuration integration tests on the credit table.
+
+Beyond single-run invariants (covered by diagnostics), the thresholds
+relate *runs* to each other: raising minimum support can only shrink the
+frequent set, raising minimum confidence can only shrink the rule set,
+raising maximum support can only grow the range inventory, and capping
+the itemset size yields exactly the full run's prefix.  These tests pin
+those relationships on realistic data.
+"""
+
+import pytest
+
+from repro.core import MinerConfig, QuantitativeMiner
+from repro.core.diagnostics import check_result
+from repro.data import generate_credit_table
+
+# Fixed partitioning so different thresholds share coordinates (Equation 2
+# would otherwise change interval counts with minsup).
+PARTITIONS = 10
+
+
+@pytest.fixture(scope="module")
+def table():
+    return generate_credit_table(3_000, seed=21)
+
+
+def mine(table, **overrides):
+    params = dict(
+        min_support=0.2,
+        min_confidence=0.3,
+        max_support=0.45,
+        num_partitions=PARTITIONS,
+        max_itemset_size=3,
+    )
+    params.update(overrides)
+    return QuantitativeMiner(table, MinerConfig(**params)).mine()
+
+
+class TestThresholdMonotonicity:
+    def test_minsup_shrinks_frequent_set(self, table):
+        loose = mine(table, min_support=0.15)
+        tight = mine(table, min_support=0.3)
+        assert set(tight.support_counts) < set(loose.support_counts)
+        # Counts agree where both exist.
+        for itemset, count in tight.support_counts.items():
+            assert loose.support_counts[itemset] == count
+
+    def test_minconf_shrinks_rule_set(self, table):
+        loose = mine(table, min_confidence=0.2)
+        tight = mine(table, min_confidence=0.6)
+        assert set(tight.rules) < set(loose.rules)
+
+    def test_maxsup_grows_item_inventory(self, table):
+        narrow = mine(table, max_support=0.3, max_itemset_size=1)
+        wide = mine(table, max_support=0.6, max_itemset_size=1)
+        assert set(narrow.support_counts) <= set(wide.support_counts)
+
+    def test_size_cap_is_a_prefix_of_the_full_run(self, table):
+        capped = mine(table, max_itemset_size=2)
+        full = mine(table, max_itemset_size=None)
+        expected = {
+            itemset: count
+            for itemset, count in full.support_counts.items()
+            if len(itemset) <= 2
+        }
+        assert capped.support_counts == expected
+
+
+class TestParameterGrid:
+    @pytest.mark.parametrize("min_support", [0.15, 0.3])
+    @pytest.mark.parametrize("interest", [None, 1.3])
+    @pytest.mark.parametrize(
+        "method", ["equidepth", "equicardinality"]
+    )
+    def test_grid_runs_clean(self, table, min_support, interest, method):
+        result = mine(
+            table,
+            min_support=min_support,
+            interest_level=interest,
+            partition_method=method,
+        )
+        report = check_result(result)
+        assert report.ok, report.render()
+        if interest is None:
+            assert result.interesting_rules == result.rules
+
+    def test_and_mode_stricter_than_or_mode(self, table):
+        or_run = mine(
+            table, interest_level=1.3,
+            interest_mode="support_or_confidence",
+        )
+        and_run = mine(
+            table, interest_level=1.3,
+            interest_mode="support_and_confidence",
+        )
+        # AND-mode prunes items up front, so its rule inventory is a
+        # subset; its interesting set can only lose candidates that OR
+        # would have kept via confidence.
+        assert set(and_run.rules) <= set(or_run.rules)

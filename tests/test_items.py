@@ -1,0 +1,160 @@
+"""Unit tests for repro.core.items."""
+
+import pytest
+
+from repro.core import (
+    Item,
+    attributes_of,
+    is_generalization,
+    is_specialization,
+    is_strict_generalization,
+    itemset_union,
+    make_item,
+    make_itemset,
+    subtract_specialization,
+)
+
+
+class TestItem:
+    def test_make_item_defaults_hi(self):
+        assert make_item(0, 3) == Item(0, 3, 3)
+
+    def test_make_item_range(self):
+        assert make_item(1, 2, 5) == Item(1, 2, 5)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValueError, match="inverted"):
+            make_item(0, 5, 2)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            make_item(0, -1)
+
+    def test_width(self):
+        assert Item(0, 2, 5).width == 4
+        assert Item(0, 3, 3).width == 1
+
+    def test_generalizes(self):
+        assert Item(0, 1, 5).generalizes(Item(0, 2, 4))
+        assert Item(0, 1, 5).generalizes(Item(0, 1, 5))  # non-strict
+        assert not Item(0, 2, 4).generalizes(Item(0, 1, 5))
+        assert not Item(1, 1, 5).generalizes(Item(0, 2, 4))  # attr differs
+
+    def test_items_sort_by_attribute_first(self):
+        assert sorted([Item(1, 0, 0), Item(0, 9, 9)]) == [
+            Item(0, 9, 9),
+            Item(1, 0, 0),
+        ]
+
+    def test_str(self):
+        assert str(Item(0, 1, 1)) == "<0: 1>"
+        assert str(Item(0, 1, 4)) == "<0: 1..4>"
+
+
+class TestItemset:
+    def test_make_itemset_sorts(self):
+        s = make_itemset([Item(2, 0, 1), Item(0, 3, 3)])
+        assert attributes_of(s) == (0, 2)
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            make_itemset([Item(0, 1, 1), Item(0, 2, 2)])
+
+    def test_union(self):
+        x = make_itemset([Item(0, 1, 2)])
+        y = make_itemset([Item(1, 0, 0)])
+        assert attributes_of(itemset_union(x, y)) == (0, 1)
+
+    def test_union_overlapping_attributes_rejected(self):
+        x = make_itemset([Item(0, 1, 2)])
+        with pytest.raises(ValueError, match="duplicate"):
+            itemset_union(x, x)
+
+
+class TestGeneralization:
+    def setup_method(self):
+        # The paper's example: {<Age 30..39>, <Married Yes>} generalizes
+        # {<Age 30..35>, <Married Yes>}.
+        self.general = make_itemset([Item(0, 30, 39), Item(1, 1, 1)])
+        self.specific = make_itemset([Item(0, 30, 35), Item(1, 1, 1)])
+
+    def test_paper_example(self):
+        assert is_generalization(self.general, self.specific)
+        assert is_specialization(self.specific, self.general)
+
+    def test_not_generalization_when_attrs_differ(self):
+        other = make_itemset([Item(0, 30, 39), Item(2, 1, 1)])
+        assert not is_generalization(other, self.specific)
+
+    def test_not_generalization_when_sizes_differ(self):
+        shorter = make_itemset([Item(0, 30, 39)])
+        assert not is_generalization(shorter, self.specific)
+
+    def test_self_generalization_non_strict(self):
+        assert is_generalization(self.general, self.general)
+        assert not is_strict_generalization(self.general, self.general)
+
+    def test_strict_generalization(self):
+        assert is_strict_generalization(self.general, self.specific)
+        assert not is_strict_generalization(self.specific, self.general)
+
+    def test_partial_order_antisymmetry(self):
+        a = make_itemset([Item(0, 1, 5)])
+        b = make_itemset([Item(0, 2, 4)])
+        assert is_generalization(a, b)
+        assert not is_generalization(b, a)
+
+
+class TestSubtractSpecialization:
+    def test_right_remainder(self):
+        x = make_itemset([Item(0, 0, 9)])
+        spec = make_itemset([Item(0, 0, 4)])
+        assert subtract_specialization(x, spec) == make_itemset(
+            [Item(0, 5, 9)]
+        )
+
+    def test_left_remainder(self):
+        x = make_itemset([Item(0, 0, 9)])
+        spec = make_itemset([Item(0, 5, 9)])
+        assert subtract_specialization(x, spec) == make_itemset(
+            [Item(0, 0, 4)]
+        )
+
+    def test_interior_specialization_not_expressible(self):
+        x = make_itemset([Item(0, 0, 9)])
+        spec = make_itemset([Item(0, 3, 6)])
+        assert subtract_specialization(x, spec) is None
+
+    def test_two_attribute_narrowing_not_expressible(self):
+        x = make_itemset([Item(0, 0, 9), Item(1, 0, 9)])
+        spec = make_itemset([Item(0, 0, 4), Item(1, 0, 4)])
+        assert subtract_specialization(x, spec) is None
+
+    def test_one_attribute_narrowed_others_equal(self):
+        x = make_itemset([Item(0, 0, 9), Item(1, 2, 2)])
+        spec = make_itemset([Item(0, 0, 4), Item(1, 2, 2)])
+        diff = subtract_specialization(x, spec)
+        assert diff == make_itemset([Item(0, 5, 9), Item(1, 2, 2)])
+
+    def test_identical_itemsets_yield_none(self):
+        x = make_itemset([Item(0, 0, 9)])
+        assert subtract_specialization(x, x) is None
+
+    def test_non_specialization_yields_none(self):
+        x = make_itemset([Item(0, 0, 4)])
+        wider = make_itemset([Item(0, 0, 9)])
+        assert subtract_specialization(x, wider) is None
+
+    def test_mismatched_attributes_yield_none(self):
+        x = make_itemset([Item(0, 0, 9)])
+        other = make_itemset([Item(1, 0, 4)])
+        assert subtract_specialization(x, other) is None
+
+    def test_figure6_decoy(self):
+        # Decoy = <x: 3..5>; Interesting = <x: 5..5> shares the right
+        # endpoint, so the remainder <x: 3..4> ("Boring") is expressible
+        # and will be tested by the final interest measure.
+        decoy = make_itemset([Item(0, 3, 5), Item(1, 0, 0)])
+        interesting = make_itemset([Item(0, 5, 5), Item(1, 0, 0)])
+        diff = subtract_specialization(decoy, interesting)
+        assert diff == make_itemset([Item(0, 3, 4), Item(1, 0, 0)])

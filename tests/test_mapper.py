@@ -1,0 +1,132 @@
+"""Unit tests for repro.core.mapper (Step 2 of the decomposition)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Item, MinerConfig, TableMapper
+from repro.data import age_partition_edges, people_table
+
+
+@pytest.fixture
+def table():
+    return people_table()
+
+
+def make_mapper(table, **overrides):
+    defaults = dict(min_support=0.4, max_support=0.6)
+    defaults.update(overrides)
+    return TableMapper(table, MinerConfig(**defaults))
+
+
+class TestEncoding:
+    def test_categorical_column_passthrough(self, table):
+        mapper = make_mapper(table)
+        np.testing.assert_array_equal(
+            mapper.column(1), table.column("Married")
+        )
+
+    def test_few_valued_quantitative_maps_to_ranks(self, table):
+        mapper = make_mapper(table)
+        # NumCars has 3 distinct values -> unpartitioned ranks 0..2.
+        assert mapper.cardinality(2) == 3
+        np.testing.assert_array_equal(mapper.column(2), [1, 1, 0, 2, 2])
+
+    def test_explicit_edges_reproduce_paper_partitioning(self, table):
+        mapper = make_mapper(
+            table, num_partitions={"Age": age_partition_edges()}
+        )
+        # Figure 3e: ages 23,25,29,34,38 -> intervals 1,2,2,3,4 (1-based);
+        # our codes are 0-based.
+        np.testing.assert_array_equal(mapper.column(0), [0, 1, 1, 2, 3])
+        assert mapper.cardinality(0) == 4
+
+    def test_integer_override_partitions(self, table):
+        mapper = make_mapper(table, num_partitions={"Age": 2})
+        assert mapper.cardinality(0) == 2
+
+    def test_global_int_override(self, table):
+        mapper = make_mapper(table, num_partitions=2)
+        assert mapper.cardinality(0) == 2
+
+    def test_equation2_drives_default_interval_count(self, table):
+        # n=2 quantitative attrs, minsup 0.4, K=1.5 -> 2*2/(0.4*0.5) = 20,
+        # but Age only has 5 distinct values -> value mapping instead.
+        mapper = make_mapper(table, partial_completeness=1.5)
+        assert mapper.cardinality(0) == 5
+        assert not mapper.mapping(0).is_partitioned
+
+    def test_matrix_shape(self, table):
+        mapper = make_mapper(table)
+        assert mapper.matrix().shape == (5, 3)
+
+    def test_bad_override_type_rejected(self, table):
+        with pytest.raises(TypeError, match="num_partitions"):
+            make_mapper(table, num_partitions="six")
+
+    def test_bad_edges_rejected(self, table):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            make_mapper(table, num_partitions={"Age": (30.0, 20.0)})
+
+    def test_max_quantitative_in_rule_coarsens(self, table):
+        # With n'=1 the formula needs half the intervals of n=2.
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        from repro.table import (
+            RelationalTable,
+            TableSchema,
+            quantitative,
+        )
+
+        schema = TableSchema([quantitative("a"), quantitative("b")])
+        big = RelationalTable.from_columns(
+            schema, [rng.normal(size=500), rng.normal(size=500)]
+        )
+        full = TableMapper(
+            big, MinerConfig(min_support=0.2, partial_completeness=1.5)
+        )
+        capped = TableMapper(
+            big,
+            MinerConfig(
+                min_support=0.2,
+                partial_completeness=1.5,
+                max_quantitative_in_rule=1,
+            ),
+        )
+        assert capped.cardinality(0) < full.cardinality(0)
+
+
+class TestDecoding:
+    def test_describe_categorical_item(self, table):
+        mapper = make_mapper(table)
+        assert mapper.describe_item(Item(1, 0, 0)) == "<Married: Yes>"
+
+    def test_describe_partitioned_range(self, table):
+        mapper = make_mapper(
+            table, num_partitions={"Age": age_partition_edges()}
+        )
+        assert mapper.describe_item(Item(0, 2, 3)) == "<Age: [30, 40]>"
+        assert mapper.describe_item(Item(0, 0, 1)) == "<Age: [20, 30)>"
+
+    def test_describe_unpartitioned_value_and_range(self, table):
+        mapper = make_mapper(table)
+        assert mapper.describe_item(Item(2, 2, 2)) == "<NumCars: 2>"
+        assert mapper.describe_item(Item(2, 0, 1)) == "<NumCars: 0..1>"
+
+    def test_describe_itemset(self, table):
+        mapper = make_mapper(table)
+        text = mapper.describe_itemset((Item(1, 0, 0), Item(2, 2, 2)))
+        assert text == "<Married: Yes> and <NumCars: 2>"
+
+    def test_item_from_names(self, table):
+        mapper = make_mapper(table)
+        assert mapper.item_from_names("NumCars", 0, 1) == Item(2, 0, 1)
+
+    def test_item_from_names_out_of_range(self, table):
+        mapper = make_mapper(table)
+        with pytest.raises(ValueError, match="out of bounds"):
+            mapper.item_from_names("NumCars", 0, 9)
+
+    def test_mapping_lookup_by_name(self, table):
+        mapper = make_mapper(table)
+        assert mapper.mapping("Married").labels == ("Yes", "No")

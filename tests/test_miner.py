@@ -1,0 +1,177 @@
+"""Integration tests for the miner facade (repro.core.miner)."""
+
+import pytest
+
+from repro import (
+    MinerConfig,
+    QuantitativeMiner,
+    mine_quantitative_rules,
+)
+from repro.data import (
+    age_partition_edges,
+    generate_credit_table,
+    people_table,
+)
+
+
+@pytest.fixture(scope="module")
+def credit_table():
+    return generate_credit_table(2_000, seed=7)
+
+
+@pytest.fixture(scope="module")
+def credit_config():
+    return MinerConfig(
+        min_support=0.2,
+        min_confidence=0.25,
+        max_support=0.4,
+        partial_completeness=3.0,
+        interest_level=1.5,
+    )
+
+
+@pytest.fixture(scope="module")
+def credit_result(credit_table, credit_config):
+    return QuantitativeMiner(credit_table, credit_config).mine()
+
+
+class TestOneCallApi:
+    def test_keyword_overrides(self):
+        result = mine_quantitative_rules(
+            people_table(),
+            min_support=0.4,
+            min_confidence=0.5,
+            max_support=0.6,
+            num_partitions={"Age": age_partition_edges()},
+        )
+        assert result.rules
+
+    def test_config_and_overrides_conflict(self):
+        with pytest.raises(TypeError, match="not both"):
+            mine_quantitative_rules(
+                people_table(), MinerConfig(), min_support=0.2
+            )
+
+
+class TestResultInvariants:
+    def test_interesting_subset_of_rules(self, credit_result):
+        assert set(credit_result.interesting_rules) <= set(
+            credit_result.rules
+        )
+
+    def test_interest_prunes_something_on_correlated_data(
+        self, credit_result
+    ):
+        assert 0 < len(credit_result.interesting_rules) < len(
+            credit_result.rules
+        )
+
+    def test_supports_meet_minsup(self, credit_result, credit_config):
+        n = credit_result.num_records
+        for count in credit_result.support_counts.values():
+            assert count >= credit_config.min_support * n
+
+    def test_confidences_meet_minconf(self, credit_result, credit_config):
+        for rule in credit_result.rules:
+            assert rule.confidence >= credit_config.min_confidence - 1e-12
+
+    def test_stats_populated(self, credit_result):
+        stats = credit_result.stats
+        assert stats.num_records == 2_000
+        assert stats.num_attributes == 7
+        assert stats.num_rules == len(credit_result.rules)
+        assert stats.num_interesting_rules == len(
+            credit_result.interesting_rules
+        )
+        assert stats.num_passes >= 2
+        assert stats.total_seconds > 0
+        assert "frequent_itemsets" in stats.phase_seconds
+
+    def test_realized_completeness_reported(self, credit_result):
+        assert credit_result.stats.realized_completeness >= 1.0
+
+    def test_summary_renders(self, credit_result):
+        text = credit_result.stats.summary()
+        assert "rules" in text
+        assert "pass 2" in text
+
+    def test_describe_rules_renders_names(self, credit_result):
+        text = credit_result.describe_rules(limit=5)
+        assert "=>" in text
+
+
+class TestDeterminism:
+    def test_same_seed_same_rules(self, credit_config):
+        a = QuantitativeMiner(
+            generate_credit_table(1_000, seed=3), credit_config
+        ).mine()
+        b = QuantitativeMiner(
+            generate_credit_table(1_000, seed=3), credit_config
+        ).mine()
+        assert a.rules == b.rules
+        assert a.interesting_rules == b.interesting_rules
+
+
+class TestBackendEquivalence:
+    """Section 5.2: all counting structures must produce identical output."""
+
+    @pytest.mark.parametrize("backend", ["rtree", "direct", "auto"])
+    def test_backends_equal_array(self, backend):
+        table = generate_credit_table(500, seed=11)
+        base = dict(
+            min_support=0.25,
+            min_confidence=0.3,
+            max_support=0.45,
+            partial_completeness=4.0,
+        )
+        reference = QuantitativeMiner(
+            table, MinerConfig(**base, counting="array")
+        ).mine()
+        other = QuantitativeMiner(
+            table, MinerConfig(**base, counting=backend)
+        ).mine()
+        assert reference.support_counts == other.support_counts
+        assert reference.rules == other.rules
+
+
+class TestMaxItemsetSize:
+    def test_cap_respected(self, credit_table):
+        config = MinerConfig(
+            min_support=0.2,
+            max_support=0.4,
+            partial_completeness=3.0,
+            max_itemset_size=2,
+        )
+        result = QuantitativeMiner(credit_table, config).mine()
+        assert max(len(s) for s in result.support_counts) == 2
+
+    def test_size_one_yields_no_rules(self, credit_table):
+        config = MinerConfig(
+            min_support=0.2,
+            max_support=0.4,
+            partial_completeness=3.0,
+            max_itemset_size=1,
+        )
+        result = QuantitativeMiner(credit_table, config).mine()
+        assert result.rules == []
+
+
+class TestInterestPruneIntegration:
+    def test_and_mode_prunes_items(self, credit_table):
+        config = MinerConfig(
+            min_support=0.2,
+            max_support=0.9,
+            partial_completeness=3.0,
+            interest_level=2.0,
+            interest_mode="support_and_confidence",
+        )
+        result = QuantitativeMiner(credit_table, config).mine()
+        assert result.stats.items_pruned_by_interest > 0
+        threshold = credit_table.num_records / 2.0
+        for itemset in result.support_counts:
+            for item in itemset:
+                if result.mapper.mapping(item.attribute).is_quantitative:
+                    count = result.frequent_items.support(item) * len(
+                        credit_table
+                    )
+                    assert count <= threshold + 1e-9

@@ -1,0 +1,144 @@
+"""End-to-end tests reproducing the paper's worked examples.
+
+Figure 1 presents the People table and two rules; Figure 3 walks the whole
+problem decomposition on the same data with minimum support 40% and
+minimum confidence 50%.  These tests pin the pipeline to the paper's
+printed numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Item,
+    MinerConfig,
+    QuantitativeMiner,
+    TableMapper,
+    make_itemset,
+)
+from repro.data import (
+    EXAMPLE_MIN_CONFIDENCE,
+    EXAMPLE_MIN_SUPPORT,
+    age_partition_edges,
+    people_table,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = MinerConfig(
+        min_support=EXAMPLE_MIN_SUPPORT,
+        min_confidence=EXAMPLE_MIN_CONFIDENCE,
+        max_support=0.6,
+        num_partitions={"Age": age_partition_edges()},
+    )
+    return QuantitativeMiner(people_table(), config).mine()
+
+
+def rule_map(rules):
+    return {(r.antecedent, r.consequent): r for r in rules}
+
+
+AGE_20_29 = Item(0, 0, 1)
+AGE_30_39 = Item(0, 2, 3)
+MARRIED_YES = Item(1, 0, 0)
+MARRIED_NO = Item(1, 1, 1)
+CARS_0_1 = Item(2, 0, 1)
+CARS_2 = Item(2, 2, 2)
+
+
+class TestFigure3Mapping:
+    def test_age_mapped_per_figure_3e(self, result):
+        # Ages 23, 25, 29, 34, 38 -> intervals 1, 2, 2, 3, 4 (1-based).
+        np.testing.assert_array_equal(
+            result.mapper.column(0), [0, 1, 1, 2, 3]
+        )
+
+    def test_married_mapping(self, result):
+        # Yes -> 0, No -> 1 under our domain ordering.
+        np.testing.assert_array_equal(
+            result.mapper.column(1), [1, 0, 1, 0, 0]
+        )
+
+
+class TestFigure3FrequentItemsets:
+    def test_sample_itemsets_of_figure_3f(self, result):
+        support = result.support_counts
+        # {<Age: 30..39>} support 2 records.
+        assert support[make_itemset([AGE_30_39])] == 2
+        # {<Married: Yes>} support 3.
+        assert support[make_itemset([MARRIED_YES])] == 3
+        # {<Married: No>} support 2.
+        assert support[make_itemset([MARRIED_NO])] == 2
+        # {<NumCars: 0..1>} support 3.
+        assert support[make_itemset([CARS_0_1])] == 3
+        # {<Age: 30..39>, <Married: Yes>} support 2.
+        assert support[make_itemset([AGE_30_39, MARRIED_YES])] == 2
+
+    def test_all_frequent_itemsets_meet_minsup(self, result):
+        for count in result.support_counts.values():
+            assert count >= 2
+
+    def test_downward_closure(self, result):
+        frequent = set(result.support_counts)
+        for itemset in frequent:
+            for drop in range(len(itemset)):
+                subset = itemset[:drop] + itemset[drop + 1:]
+                if subset:
+                    assert subset in frequent
+
+
+class TestFigure1Rules:
+    def test_headline_rule(self, result):
+        rules = rule_map(result.rules)
+        key = (
+            make_itemset([AGE_30_39, MARRIED_YES]),
+            make_itemset([CARS_2]),
+        )
+        assert key in rules
+        assert rules[key].support == pytest.approx(0.4)
+        assert rules[key].confidence == pytest.approx(1.0)
+
+    def test_cars_implies_unmarried_rule(self, result):
+        rules = rule_map(result.rules)
+        key = (make_itemset([CARS_0_1]), make_itemset([MARRIED_NO]))
+        assert key in rules
+        assert rules[key].support == pytest.approx(0.4)
+        assert rules[key].confidence == pytest.approx(2 / 3)
+
+    def test_all_rules_meet_thresholds(self, result):
+        for rule in result.rules:
+            assert rule.support >= EXAMPLE_MIN_SUPPORT - 1e-12
+            assert rule.confidence >= EXAMPLE_MIN_CONFIDENCE - 1e-12
+
+    def test_rule_support_is_itemset_support(self, result):
+        for rule in result.rules:
+            assert rule.support == pytest.approx(
+                result.support(rule.itemset)
+            )
+
+    def test_confidence_consistency(self, result):
+        for rule in result.rules:
+            expected = result.support(rule.itemset) / result.support(
+                rule.antecedent
+            )
+            assert rule.confidence == pytest.approx(expected)
+
+
+class TestRendering:
+    def test_headline_rule_renders_with_raw_values(self, result):
+        rules = rule_map(result.rules)
+        key = (
+            make_itemset([AGE_30_39, MARRIED_YES]),
+            make_itemset([CARS_2]),
+        )
+        text = result.describe(rules[key])
+        assert "<Age: [30, 40]>" in text
+        assert "<Married: Yes>" in text
+        assert "<NumCars: 2>" in text
+        assert "sup=40.0%" in text
+        assert "conf=100.0%" in text
+
+    def test_describe_rules_limit(self, result):
+        text = result.describe_rules(limit=3)
+        assert len(text.splitlines()) == 3

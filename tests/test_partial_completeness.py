@@ -1,0 +1,112 @@
+"""Unit tests for repro.core.partial_completeness (Section 3)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    Item,
+    completeness_from_partitioning,
+    is_k_complete,
+    make_itemset,
+    required_intervals,
+)
+
+
+class TestRequiredIntervals:
+    def test_equation_two(self):
+        # 2n / (m (K-1)): n=5, m=0.2, K=2 -> 50.
+        assert required_intervals(5, 0.2, 2.0) == 50
+
+    def test_paper_regimes(self):
+        # The evaluation sweeps K in {1.5, 2, 3, 5} at minsup 20%, n=5.
+        assert required_intervals(5, 0.2, 1.5) == 100
+        assert required_intervals(5, 0.2, 3.0) == 25
+        assert required_intervals(5, 0.2, 5.0) == 13  # 12.5 rounded up
+
+    def test_rounds_up(self):
+        exact = (2 * 3) / (0.3 * 0.7)
+        assert required_intervals(3, 0.3, 1.7) == math.ceil(exact)
+
+    def test_zero_quantitative_attributes(self):
+        assert required_intervals(0, 0.2, 2.0) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_intervals(-1, 0.2, 2.0)
+        with pytest.raises(ValueError):
+            required_intervals(2, 0.0, 2.0)
+        with pytest.raises(ValueError):
+            required_intervals(2, 0.2, 1.0)
+
+
+class TestCompletenessFromPartitioning:
+    def test_equation_one(self):
+        # K = 1 + 2 n s / m: n=5, s=0.02, m=0.2 -> 2.0.
+        assert completeness_from_partitioning(0.02, 0.2, 5) == pytest.approx(
+            2.0
+        )
+
+    def test_no_loss_when_all_singletons(self):
+        assert completeness_from_partitioning(0.0, 0.2, 5) == 1.0
+
+    def test_inverse_of_equation_two(self):
+        # Partition per Equation 2, assume equi-depth support 1/intervals,
+        # then Equation 1 should give back (about) the requested K.
+        n, m, k = 4, 0.25, 2.5
+        intervals = required_intervals(n, m, k)
+        s = 1.0 / intervals
+        realized = completeness_from_partitioning(s, m, n)
+        assert realized <= k + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            completeness_from_partitioning(1.5, 0.2, 5)
+        with pytest.raises(ValueError):
+            completeness_from_partitioning(0.5, 0.0, 5)
+        with pytest.raises(ValueError):
+            completeness_from_partitioning(0.5, 0.2, -1)
+
+
+class TestIsKComplete:
+    """The worked example of Section 3.1."""
+
+    def setup_method(self):
+        # Itemsets 1..7 of the paper (attribute 0 = age, 1 = cars).
+        self.c = {
+            make_itemset([Item(0, 20, 30)]): 0.05,
+            make_itemset([Item(0, 20, 40)]): 0.06,
+            make_itemset([Item(0, 20, 50)]): 0.08,
+            make_itemset([Item(1, 1, 2)]): 0.05,
+            make_itemset([Item(1, 1, 3)]): 0.06,
+            make_itemset([Item(0, 20, 30), Item(1, 1, 2)]): 0.04,
+            make_itemset([Item(0, 20, 40), Item(1, 1, 3)]): 0.05,
+        }
+        keys = list(self.c)
+        self.by_number = dict(enumerate(keys, start=1))
+
+    def _subset(self, *numbers):
+        return {
+            self.by_number[i]: self.c[self.by_number[i]] for i in numbers
+        }
+
+    def test_paper_example_2357_is_15_complete(self):
+        p = self._subset(2, 3, 5, 7)
+        assert is_k_complete(p, self.c, 1.5)
+
+    def test_paper_example_357_is_not_15_complete(self):
+        # For itemset 1, the only generalization among {3, 5, 7} is 3,
+        # whose support is 1.6x > 1.5x itemset 1's.
+        p = self._subset(3, 5, 7)
+        assert not is_k_complete(p, self.c, 1.5)
+
+    def test_full_set_is_1_complete(self):
+        assert is_k_complete(self.c, self.c, 1.0)
+
+    def test_p_must_be_subset_of_c(self):
+        extra = {make_itemset([Item(2, 0, 0)]): 0.5}
+        assert not is_k_complete(extra, self.c, 5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            is_k_complete({}, {}, 0.5)

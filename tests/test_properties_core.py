@@ -1,0 +1,362 @@
+"""Property-based tests for the core: item algebra, partitioning, mining
+invariants and the partial-completeness guarantee (Lemma 3)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Item,
+    MinerConfig,
+    QuantitativeMiner,
+    completeness_from_partitioning,
+    equi_depth,
+    equi_width,
+    is_generalization,
+    is_k_complete,
+    subtract_specialization,
+)
+from repro.table import RelationalTable, TableSchema, categorical, quantitative
+
+# ----------------------------------------------------------------------
+# Item algebra
+# ----------------------------------------------------------------------
+ranges = st.tuples(
+    st.integers(0, 20), st.integers(0, 20)
+).map(lambda t: (min(t), max(t)))
+
+
+def itemset_over(attrs):
+    return st.tuples(*(ranges for _ in attrs)).map(
+        lambda rs: tuple(
+            Item(a, lo, hi) for a, (lo, hi) in zip(attrs, rs)
+        )
+    )
+
+
+class TestGeneralizationOrder:
+    @given(itemset_over((0, 1)), itemset_over((0, 1)), itemset_over((0, 1)))
+    @settings(max_examples=200, deadline=None)
+    def test_partial_order(self, a, b, c):
+        # Reflexive.
+        assert is_generalization(a, a)
+        # Antisymmetric.
+        if is_generalization(a, b) and is_generalization(b, a):
+            assert a == b
+        # Transitive.
+        if is_generalization(a, b) and is_generalization(b, c):
+            assert is_generalization(a, c)
+
+    @given(itemset_over((0, 1)), itemset_over((0, 1)))
+    @settings(max_examples=200, deadline=None)
+    def test_subtraction_partitions_the_region(self, x, spec):
+        """When X - X' is expressible, X' and the difference tile X."""
+        diff = subtract_specialization(x, spec)
+        if diff is None:
+            return
+        # Spot-check on every point of the (small) grid: a point is in X
+        # iff it is in exactly one of X' and X - X'.
+        def contains(itemset, point):
+            return all(
+                it.lo <= p <= it.hi for it, p in zip(itemset, point)
+            )
+
+        for p0 in range(0, 21):
+            for p1 in range(0, 21):
+                point = (p0, p1)
+                in_x = contains(x, point)
+                in_spec = contains(spec, point)
+                in_diff = contains(diff, point)
+                assert in_x == (in_spec or in_diff)
+                assert not (in_spec and in_diff)
+
+
+# ----------------------------------------------------------------------
+# Partitioning
+# ----------------------------------------------------------------------
+columns = st.lists(
+    st.floats(-1000, 1000, allow_nan=False, allow_infinity=False),
+    min_size=5,
+    max_size=300,
+).map(np.array)
+
+
+class TestPartitioningProperties:
+    @given(columns, st.integers(1, 12))
+    @settings(max_examples=80, deadline=None)
+    def test_assign_codes_in_range(self, column, num_intervals):
+        for method in (equi_depth, equi_width):
+            part = method(column, num_intervals)
+            codes = part.assign(column)
+            assert codes.min() >= 0
+            assert codes.max() < part.num_intervals
+
+    @given(columns, st.integers(2, 12))
+    @settings(max_examples=80, deadline=None)
+    def test_assignment_preserves_order(self, column, num_intervals):
+        for method in (equi_depth, equi_width):
+            part = method(column, num_intervals)
+            order = np.argsort(column, kind="stable")
+            codes = part.assign(column)[order]
+            assert (np.diff(codes) >= 0).all()
+
+    @given(columns, st.integers(2, 10))
+    @settings(max_examples=80, deadline=None)
+    def test_equi_depth_beats_equi_width_on_lemma4_objective(
+        self, column, num_intervals
+    ):
+        """Lemma 4: equi-depth minimizes the max multi-value interval
+        support, hence the partial completeness level."""
+        depth = equi_depth(column, num_intervals)
+        width = equi_width(column, num_intervals)
+        if not (depth.partitioned and width.partitioned):
+            return
+        # Compare at equal realized interval counts only — ties can
+        # collapse equi-depth intervals, which trades completeness for
+        # fewer intervals.
+        if depth.num_intervals != width.num_intervals:
+            return
+        s_depth = depth.max_multi_value_support(column)
+        s_width = width.max_multi_value_support(column)
+        # Allow a sliver of slack: quantile boundaries on tied data can
+        # be marginally off the optimum.
+        assert s_depth <= s_width + 1.0 / max(1, len(column))
+
+
+# ----------------------------------------------------------------------
+# Mining invariants on random tables
+# ----------------------------------------------------------------------
+def random_table(draw_ints, n):
+    x = np.array(draw_ints[:n], dtype=float)
+    y = np.array(draw_ints[n:2 * n], dtype=float)
+    c = (np.array(draw_ints[2 * n:3 * n]) % 2).astype(np.int64)
+    schema = TableSchema(
+        [quantitative("x"), quantitative("y"), categorical("c", ("u", "v"))]
+    )
+    return RelationalTable.from_columns(schema, [x, y, c])
+
+
+table_ints = st.lists(
+    st.integers(0, 9), min_size=90, max_size=90
+)
+
+
+class TestMiningInvariants:
+    @given(table_ints, st.floats(0.15, 0.5))
+    @settings(max_examples=25, deadline=None)
+    def test_supports_exact_and_antimonotone(self, draws, minsup):
+        table = random_table(draws, 30)
+        config = MinerConfig(
+            min_support=minsup,
+            min_confidence=0.3,
+            max_support=0.7,
+            partial_completeness=3.0,
+        )
+        result = QuantitativeMiner(table, config).mine()
+        mapper = result.mapper
+        n = table.num_records
+        for itemset, count in result.support_counts.items():
+            mask = np.ones(n, dtype=bool)
+            for item in itemset:
+                col = mapper.column(item.attribute)
+                mask &= (col >= item.lo) & (col <= item.hi)
+            assert count == int(mask.sum())
+        # Anti-monotonicity under generalization within the result.
+        frequent = list(result.support_counts.items())
+        for a, count_a in frequent[:60]:
+            for b, count_b in frequent[:60]:
+                if is_generalization(a, b):
+                    assert count_a >= count_b
+
+    @given(table_ints, st.floats(0.2, 0.5))
+    @settings(max_examples=25, deadline=None)
+    def test_rule_measures_consistent(self, draws, minsup):
+        table = random_table(draws, 30)
+        config = MinerConfig(
+            min_support=minsup,
+            min_confidence=0.4,
+            max_support=0.7,
+            partial_completeness=3.0,
+        )
+        result = QuantitativeMiner(table, config).mine()
+        for rule in result.rules:
+            assert rule.support >= minsup - 1e-9
+            assert rule.confidence >= 0.4 - 1e-9
+            assert rule.confidence <= 1.0 + 1e-9
+            joint = result.support(rule.itemset)
+            base = result.support(rule.antecedent)
+            assert abs(rule.confidence - joint / base) < 1e-9
+
+
+class TestLemma3Empirically:
+    """Partition, mine, and verify the K-completeness guarantee."""
+
+    @given(
+        st.lists(st.integers(0, 999), min_size=80, max_size=200),
+        st.integers(4, 10),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_partitioned_itemsets_are_k_complete(self, values, intervals):
+        column = np.array(values, dtype=float)
+        n = len(column)
+        schema = TableSchema([quantitative("x")])
+        table = RelationalTable.from_columns(schema, [column])
+        minsup = 0.2
+
+        # Reference: all ranges over raw values (no partitioning).
+        reference = MinerConfig(
+            min_support=minsup,
+            max_support=1.0,
+            num_partitions={"x": 10**6},
+        )
+        full = QuantitativeMiner(table, reference).mine()
+        full_set = {
+            itemset: count / n
+            for itemset, count in full.support_counts.items()
+        }
+
+        # Partitioned run over the same data.
+        partitioned_config = MinerConfig(
+            min_support=minsup,
+            max_support=1.0,
+            num_partitions={"x": intervals},
+        )
+        miner = QuantitativeMiner(table, partitioned_config)
+        part_result = miner.mine()
+
+        # Lift partitioned itemsets back into raw-value space so both
+        # sides speak the same coordinates.
+        part = miner.mapper.mapping("x").partitioning
+        if not part.partitioned:
+            return  # too few distinct values; nothing to verify
+        raw_values = sorted(set(values))
+        rank = {v: i for i, v in enumerate(raw_values)}
+
+        def to_value_space(itemset, count):
+            (item,) = itemset
+            lo_raw = part.interval_bounds(item.lo)[0]
+            hi_raw = part.interval_bounds(item.hi)[1]
+            members = [v for v in raw_values if lo_raw <= v <= hi_raw]
+            if not members:
+                return None
+            return (
+                (Item(0, rank[members[0]], rank[members[-1]]),),
+                count / n,
+            )
+
+        candidate_set = {}
+        for itemset, count in part_result.support_counts.items():
+            translated = to_value_space(itemset, count)
+            if translated is not None:
+                candidate_set[translated[0]] = translated[1]
+        # Only keep translations that exist in the reference set (support
+        # values must agree; they do because the region is identical).
+        candidate_set = {
+            k: v for k, v in candidate_set.items() if k in full_set
+        }
+
+        k_level = completeness_from_partitioning(
+            part.max_multi_value_support(column), minsup, 1
+        )
+        assert is_k_complete(candidate_set, full_set, k_level)
+
+
+class TestLemma1Empirically:
+    """Rules from a K-complete partitioned run, generated at minconf/K,
+    contain a close counterpart for every raw-granularity rule: support
+    within K x and confidence within [1/K, K] x (Lemma 1)."""
+
+    @given(
+        st.lists(st.integers(0, 49), min_size=80, max_size=160),
+        st.lists(st.integers(0, 1), min_size=80, max_size=160),
+        st.integers(4, 9),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_close_rule_exists(self, xs, ys, intervals):
+        n = min(len(xs), len(ys))
+        schema = TableSchema(
+            [quantitative("x"), categorical("c", ("u", "v"))]
+        )
+        table = RelationalTable.from_columns(
+            schema,
+            [
+                np.array(xs[:n], dtype=float),
+                np.array(ys[:n], dtype=np.int64),
+            ],
+        )
+        minsup, minconf = 0.2, 0.5
+
+        raw = QuantitativeMiner(
+            table,
+            MinerConfig(
+                min_support=minsup,
+                min_confidence=minconf,
+                max_support=1.0,
+                num_partitions={"x": 10**6},
+            ),
+        ).mine()
+
+        part_config = MinerConfig(
+            min_support=minsup,
+            min_confidence=minconf,
+            max_support=1.0,
+            num_partitions={"x": intervals},
+            lemma1_confidence_adjustment=False,
+        )
+        miner = QuantitativeMiner(table, part_config)
+        part = miner.mapper.mapping("x").partitioning
+        if not part.partitioned:
+            return
+        k = miner.realized_completeness(minsup)
+        # Lemma 1: generate partitioned rules at minconf / K (the
+        # realized K from Equation 1, which is what the guarantee needs).
+        part_result = miner.mine(
+            MinerConfig(
+                min_support=minsup,
+                min_confidence=minconf / k,
+                max_support=1.0,
+                num_partitions={"x": intervals},
+            )
+        )
+
+        raw_values = sorted(set(xs[:n]))
+
+        def raw_bounds(item):
+            # Raw-value lo/hi covered by a partitioned x item.
+            lo = part.interval_bounds(item.lo)[0]
+            hi = part.interval_bounds(item.hi)[1]
+            members = [v for v in raw_values if lo <= v <= hi]
+            return (members[0], members[-1]) if members else None
+
+        for rule in raw.rules:
+            # Only x => c rules are comparable across runs.
+            if len(rule.antecedent) != 1 or rule.antecedent[0].attribute != 0:
+                continue
+            if rule.consequent[0].attribute != 1:
+                continue
+            ant = rule.antecedent[0]
+            ant_lo, ant_hi = raw_values[ant.lo], raw_values[ant.hi]
+            found = False
+            for candidate in part_result.rules:
+                if len(candidate.antecedent) != 1:
+                    continue
+                c_ant = candidate.antecedent[0]
+                if c_ant.attribute != 0:
+                    continue
+                if candidate.consequent != rule.consequent:
+                    continue
+                bounds = raw_bounds(c_ant)
+                if bounds is None:
+                    continue
+                if not (bounds[0] <= ant_lo and ant_hi <= bounds[1]):
+                    continue  # not a generalization
+                if candidate.support > k * rule.support + 1e-9:
+                    continue
+                ratio = candidate.confidence / rule.confidence
+                if 1.0 / k - 1e-9 <= ratio <= k + 1e-9:
+                    found = True
+                    break
+            assert found, (
+                f"no close rule for {rule} at K={k:.2f} "
+                f"({intervals} intervals)"
+            )

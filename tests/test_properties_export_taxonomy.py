@@ -1,0 +1,110 @@
+"""Property-based tests for serialization and taxonomy construction."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Item, QuantitativeRule, Taxonomy, make_itemset
+from repro.core.export import rules_from_json, rules_to_json
+
+# ----------------------------------------------------------------------
+# Random rules
+# ----------------------------------------------------------------------
+bounds = st.tuples(st.integers(0, 30), st.integers(0, 30)).map(
+    lambda t: (min(t), max(t))
+)
+
+
+@st.composite
+def rules(draw):
+    num_ant = draw(st.integers(1, 3))
+    num_con = draw(st.integers(1, 2))
+    attrs = draw(
+        st.lists(
+            st.integers(0, 9),
+            min_size=num_ant + num_con,
+            max_size=num_ant + num_con,
+            unique=True,
+        )
+    )
+    items = [
+        Item(a, *draw(bounds)) for a in attrs
+    ]
+    support = draw(st.floats(0.01, 1.0))
+    confidence = draw(st.floats(0.01, 1.0))
+    return QuantitativeRule(
+        antecedent=make_itemset(items[:num_ant]),
+        consequent=make_itemset(items[num_ant:]),
+        support=support,
+        confidence=max(confidence, support),
+    )
+
+
+class TestExportRoundTrip:
+    @given(st.lists(rules(), max_size=25))
+    @settings(max_examples=60, deadline=None)
+    def test_json_round_trip_is_identity(self, rule_list):
+        text = rules_to_json(rule_list, metadata={"n": len(rule_list)})
+        restored, metadata = rules_from_json(text)
+        assert restored == rule_list
+        assert metadata == {"n": len(rule_list)}
+
+
+# ----------------------------------------------------------------------
+# Random taxonomies (trees over integer-labelled nodes)
+# ----------------------------------------------------------------------
+@st.composite
+def tree_edges(draw):
+    """A random rooted forest as child->parent edges over ints."""
+    size = draw(st.integers(2, 25))
+    parents = {}
+    for node in range(1, size):
+        parents[node] = draw(st.integers(0, node - 1))
+    return {f"n{c}": f"n{p}" for c, p in parents.items()}
+
+
+class TestTaxonomyProperties:
+    @given(tree_edges())
+    @settings(max_examples=80, deadline=None)
+    def test_every_node_covers_exactly_its_descendant_leaves(self, edges):
+        taxonomy = Taxonomy(edges)
+        leaves = taxonomy.leaves_in_order()
+        # Recover descendants from the raw edges.
+        children: dict = {}
+        for child, parent in edges.items():
+            children.setdefault(parent, []).append(child)
+
+        def descendant_leaves(node):
+            kids = children.get(node)
+            if not kids:
+                return {node}
+            out = set()
+            for kid in kids:
+                out |= descendant_leaves(kid)
+            return out
+
+        all_nodes = set(edges) | set(children)
+        for node in all_nodes:
+            lo, hi = taxonomy.node_range(node)
+            covered = set(leaves[lo:hi + 1])
+            assert covered == descendant_leaves(node), node
+
+    @given(tree_edges())
+    @settings(max_examples=80, deadline=None)
+    def test_ranges_are_contiguous_and_nested(self, edges):
+        taxonomy = Taxonomy(edges)
+        for child, parent in edges.items():
+            c_lo, c_hi = taxonomy.node_range(child)
+            p_lo, p_hi = taxonomy.node_range(parent)
+            assert p_lo <= c_lo <= c_hi <= p_hi
+
+    @given(tree_edges())
+    @settings(max_examples=40, deadline=None)
+    def test_leaf_order_covers_every_leaf_once(self, edges):
+        taxonomy = Taxonomy(edges)
+        leaves = taxonomy.leaves_in_order()
+        assert len(set(leaves)) == len(leaves)
+        parents = set(edges.values())
+        expected_leaves = {
+            node for node in set(edges) | parents if node not in parents
+        }
+        assert set(leaves) == expected_leaves

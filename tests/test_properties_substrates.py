@@ -1,0 +1,129 @@
+"""Property-based tests for the substrates (hash-tree, R*-tree, Apriori)."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.booleans import (
+    HashTree,
+    TransactionDatabase,
+    apriori,
+    generate_rules,
+)
+from repro.rtree import Rect, RStarTree
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+items = st.integers(min_value=0, max_value=14)
+itemset3 = st.frozensets(items, min_size=3, max_size=3)
+transaction = st.frozensets(items, min_size=0, max_size=8)
+
+
+def rect_1d(lo=-50, hi=50):
+    return st.tuples(
+        st.floats(lo, hi, allow_nan=False), st.floats(0, 20, allow_nan=False)
+    ).map(lambda t: Rect((t[0],), (t[0] + t[1],)))
+
+
+def rect_2d():
+    coord = st.floats(-50, 50, allow_nan=False)
+    side = st.floats(0, 20, allow_nan=False)
+    return st.tuples(coord, coord, side, side).map(
+        lambda t: Rect((t[0], t[1]), (t[0] + t[2], t[1] + t[3]))
+    )
+
+
+class TestHashTreeProperties:
+    @given(
+        st.sets(itemset3, min_size=1, max_size=40),
+        st.lists(transaction, min_size=1, max_size=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_subsets_equals_brute_force(self, itemsets, transactions):
+        stored = [tuple(sorted(s)) for s in itemsets]
+        tree = HashTree.build(stored, leaf_capacity=2, num_buckets=3)
+        for t in transactions:
+            got = sorted(tree.subsets(t))
+            want = sorted(s for s in stored if set(s).issubset(t))
+            assert got == want
+
+    @given(st.sets(itemset3, min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_everything_inserted_is_found(self, itemsets):
+        stored = [tuple(sorted(s)) for s in itemsets]
+        tree = HashTree.build(stored, leaf_capacity=1, num_buckets=2)
+        assert len(tree) == len(stored)
+        for s in stored:
+            assert s in tree
+
+
+class TestRStarProperties:
+    @given(
+        st.lists(rect_2d(), min_size=1, max_size=80),
+        st.lists(
+            st.tuples(
+                st.floats(-60, 60, allow_nan=False),
+                st.floats(-60, 60, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_point_queries_match_linear_scan(self, rects, points):
+        tree = RStarTree(ndim=2, max_entries=4)
+        for i, r in enumerate(rects):
+            tree.insert(r, i)
+        assert tree.size == len(rects)
+        for p in points:
+            got = sorted(tree.containing_point(p))
+            want = sorted(
+                i for i, r in enumerate(rects) if r.contains_point(p)
+            )
+            assert got == want
+
+    @given(st.lists(rect_1d(), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_all_entries_survive_insertion(self, rects):
+        tree = RStarTree(ndim=1, max_entries=4)
+        for i, r in enumerate(rects):
+            tree.insert(r, i)
+        values = sorted(v for _, v in tree.all_entries())
+        assert values == list(range(len(rects)))
+
+
+class TestAprioriProperties:
+    @given(
+        st.lists(transaction, min_size=1, max_size=25),
+        st.floats(0.1, 0.9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_supports_exact_and_downward_closed(self, transactions, minsup):
+        db = TransactionDatabase(transactions)
+        result = apriori(db, minsup)
+        frequent = set(result.support_counts)
+        for itemset, count in result.support_counts.items():
+            assert count == db.support_count(itemset)
+            assert count >= minsup * len(db)
+            for r in range(1, len(itemset)):
+                for subset in itertools.combinations(itemset, r):
+                    assert subset in frequent
+
+    @given(
+        st.lists(transaction, min_size=2, max_size=20),
+        st.floats(0.1, 0.6),
+        st.floats(0.1, 1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rule_confidence_consistency(self, transactions, minsup, minconf):
+        db = TransactionDatabase(transactions)
+        result = apriori(db, minsup)
+        for rule in generate_rules(result, minconf):
+            joint = db.support(
+                tuple(rule.antecedent) + tuple(rule.consequent)
+            )
+            base = db.support(rule.antecedent)
+            assert rule.confidence >= minconf
+            assert abs(rule.confidence - joint / base) < 1e-9

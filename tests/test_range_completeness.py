@@ -1,0 +1,168 @@
+"""Tests for the range-based partial completeness measure (Section 7
+future work) and its equi-cardinality partitioner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Item,
+    MinerConfig,
+    QuantitativeMiner,
+    equi_cardinality,
+    intervals_for_range_completeness,
+    is_range_k_complete,
+    make_itemset,
+    partition_column,
+    range_completeness_level,
+)
+from repro.table import RelationalTable, TableSchema, quantitative
+
+
+class TestFormulas:
+    def test_level_from_interval_size(self):
+        # m values per interval -> K = 2m - 1; singleton intervals lose
+        # nothing (K = 1).
+        assert range_completeness_level(1) == 1.0
+        assert range_completeness_level(3) == 5.0
+
+    def test_inverse(self):
+        # K = 5 allows 3 values per interval: 10 values -> 4 intervals.
+        assert intervals_for_range_completeness(10, 5.0) == 4
+        assert intervals_for_range_completeness(10, 1.0) == 10
+
+    def test_round_trip_bound(self):
+        for num_distinct in (7, 20, 53):
+            for k in (1.0, 3.0, 9.0):
+                intervals = intervals_for_range_completeness(num_distinct, k)
+                per_interval = -(-num_distinct // intervals)  # ceil
+                assert range_completeness_level(per_interval) <= k + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            range_completeness_level(0)
+        with pytest.raises(ValueError):
+            intervals_for_range_completeness(0, 2.0)
+        with pytest.raises(ValueError):
+            intervals_for_range_completeness(5, 0.5)
+        with pytest.raises(ValueError):
+            is_range_k_complete({}, {}, 0.9)
+
+
+class TestChecker:
+    def test_simple_positive_case(self):
+        x = make_itemset([Item(0, 2, 3)])  # width 2
+        general = make_itemset([Item(0, 0, 3)])  # width 4 = 2x
+        assert is_range_k_complete(
+            {general: 0.5}, {x: 0.2, general: 0.5}, 2.0
+        )
+
+    def test_width_blowup_fails(self):
+        x = make_itemset([Item(0, 2, 2)])  # width 1
+        general = make_itemset([Item(0, 0, 3)])  # width 4 > 3x
+        assert not is_range_k_complete(
+            {general: 0.5}, {x: 0.2, general: 0.5}, 3.0
+        )
+
+    def test_candidate_must_be_subset(self):
+        stranger = make_itemset([Item(1, 0, 0)])
+        assert not is_range_k_complete({stranger: 0.1}, {}, 5.0)
+
+
+class TestEquiCardinality:
+    def test_even_value_counts(self):
+        # 12 distinct values into 4 intervals -> 3 each.
+        column = np.repeat(np.arange(12, dtype=float), [1, 5, 2, 9, 1, 1, 3, 7, 2, 2, 4, 1])
+        part = equi_cardinality(column, 4)
+        assert part.partitioned
+        codes = part.assign(np.arange(12, dtype=float))
+        counts = np.bincount(codes, minlength=4)
+        assert counts.max() == 3
+        assert counts.min() == 3
+
+    def test_guaranteed_range_level(self):
+        rng = np.random.default_rng(1)
+        column = rng.exponential(5, 2_000).round(1)
+        for intervals in (4, 8, 16):
+            part = equi_cardinality(column, intervals)
+            if not part.partitioned:
+                continue
+            distinct = np.unique(column)
+            codes = part.assign(distinct)
+            m = int(np.bincount(codes).max())
+            num_distinct = len(distinct)
+            budget = -(-num_distinct // intervals)  # ceil
+            assert m <= budget + 1  # rounding of cut positions
+
+    def test_dispatch(self):
+        column = np.arange(100, dtype=float)
+        part = partition_column(column, 5, "equicardinality")
+        assert part.partitioned
+
+    def test_config_accepts_method(self):
+        MinerConfig(partition_method="equicardinality")
+
+    def test_few_values_unpartitioned(self):
+        part = equi_cardinality(np.array([1.0, 2.0]), 5)
+        assert not part.partitioned
+
+
+class TestEndToEndRangeCompleteness:
+    """Mine with equi-cardinality partitioning, translate itemsets back
+    to value space, and verify the range-based guarantee empirically."""
+
+    @given(
+        st.lists(st.integers(0, 199), min_size=60, max_size=150),
+        st.integers(3, 8),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_partitioned_itemsets_are_range_k_complete(
+        self, values, intervals
+    ):
+        column = np.array(values, dtype=float)
+        schema = TableSchema([quantitative("x")])
+        table = RelationalTable.from_columns(schema, [column])
+        minsup = 0.15
+
+        reference = MinerConfig(
+            min_support=minsup,
+            max_support=1.0,
+            num_partitions={"x": 10**6},
+        )
+        full = QuantitativeMiner(table, reference).mine()
+        full_set = {
+            itemset: count for itemset, count in full.support_counts.items()
+        }
+
+        config = MinerConfig(
+            min_support=minsup,
+            max_support=1.0,
+            num_partitions={"x": intervals},
+            partition_method="equicardinality",
+        )
+        miner = QuantitativeMiner(table, config)
+        result = miner.mine()
+        part = miner.mapper.mapping("x").partitioning
+        if not part.partitioned:
+            return
+
+        raw_values = sorted(set(values))
+        rank = {v: i for i, v in enumerate(raw_values)}
+        candidate_set = {}
+        for itemset, count in result.support_counts.items():
+            (item,) = itemset
+            lo_raw = part.interval_bounds(item.lo)[0]
+            hi_raw = part.interval_bounds(item.hi)[1]
+            members = [v for v in raw_values if lo_raw <= v <= hi_raw]
+            if not members:
+                continue
+            translated = (Item(0, rank[members[0]], rank[members[-1]]),)
+            if translated in full_set:
+                candidate_set[translated] = count
+
+        distinct = np.unique(column)
+        codes = part.assign(distinct)
+        m = int(np.bincount(codes).max())
+        k_level = range_completeness_level(m)
+        assert is_range_k_complete(candidate_set, full_set, k_level)

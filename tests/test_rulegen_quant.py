@@ -1,0 +1,145 @@
+"""Unit tests for repro.core.rulegen (quantitative ap-genrules)."""
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    Item,
+    MinerConfig,
+    QuantitativeRule,
+    TableMapper,
+    generate_rules,
+    make_itemset,
+)
+from repro.core.apriori_quant import find_frequent_itemsets
+from repro.data import age_partition_edges, people_table
+
+
+@pytest.fixture
+def mined():
+    mapper = TableMapper(
+        people_table(),
+        MinerConfig(
+            min_support=0.4,
+            max_support=0.6,
+            num_partitions={"Age": age_partition_edges()},
+        ),
+    )
+    config = MinerConfig(min_support=0.4, max_support=0.6)
+    support_counts, _ = find_frequent_itemsets(mapper, config)
+    return support_counts
+
+
+def brute_force(support_counts, n, minconf):
+    out = set()
+    for itemset, count in support_counts.items():
+        if len(itemset) < 2:
+            continue
+        for r in range(1, len(itemset)):
+            for consequent in itertools.combinations(itemset, r):
+                antecedent = tuple(
+                    sorted(set(itemset) - set(consequent))
+                )
+                conf = count / support_counts[antecedent]
+                if conf >= minconf:
+                    out.add((antecedent, tuple(sorted(consequent))))
+    return out
+
+
+class TestGenerateRules:
+    def test_paper_rule_present(self, mined):
+        rules = generate_rules(mined, 5, 0.5)
+        by_key = {(r.antecedent, r.consequent): r for r in rules}
+        # <Age: 30..39> and <Married: Yes> => <NumCars: 2> (40%, 100%).
+        key = (
+            make_itemset([Item(0, 2, 3), Item(1, 0, 0)]),
+            make_itemset([Item(2, 2, 2)]),
+        )
+        assert key in by_key
+        assert by_key[key].support == pytest.approx(0.4)
+        assert by_key[key].confidence == pytest.approx(1.0)
+
+    def test_second_paper_rule(self, mined):
+        rules = generate_rules(mined, 5, 0.5)
+        by_key = {(r.antecedent, r.consequent): r for r in rules}
+        # <NumCars: 0..1> => <Married: No> (40%, 66.6%).
+        key = (
+            make_itemset([Item(2, 0, 1)]),
+            make_itemset([Item(1, 1, 1)]),
+        )
+        assert by_key[key].confidence == pytest.approx(2 / 3)
+
+    @pytest.mark.parametrize("minconf", [0.0, 0.5, 0.75, 1.0])
+    def test_matches_brute_force(self, mined, minconf):
+        rules = generate_rules(mined, 5, minconf)
+        got = {(r.antecedent, r.consequent) for r in rules}
+        assert got == brute_force(mined, 5, minconf)
+
+    def test_empty_on_no_records(self, mined):
+        assert generate_rules(mined, 0, 0.5) == []
+
+    def test_invalid_confidence(self, mined):
+        with pytest.raises(ValueError):
+            generate_rules(mined, 5, 2.0)
+
+    def test_deterministic_order(self, mined):
+        a = generate_rules(mined, 5, 0.5)
+        b = generate_rules(mined, 5, 0.5)
+        assert a == b
+        keys = [r.sort_key() for r in a]
+        assert keys == sorted(keys)
+
+
+class TestQuantitativeRule:
+    def test_disjoint_sides_enforced(self):
+        with pytest.raises(ValueError, match="share"):
+            QuantitativeRule(
+                antecedent=(Item(0, 0, 1),),
+                consequent=(Item(0, 2, 3),),
+                support=0.1,
+                confidence=0.5,
+            )
+
+    def test_empty_side_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            QuantitativeRule((), (Item(0, 0, 1),), 0.1, 0.5)
+
+    def test_itemset_union(self):
+        rule = QuantitativeRule(
+            (Item(1, 0, 0),), (Item(0, 2, 3),), 0.4, 1.0
+        )
+        assert rule.itemset == (Item(0, 2, 3), Item(1, 0, 0))
+
+    def test_is_ancestor_of(self):
+        general = QuantitativeRule(
+            (Item(0, 0, 5),), (Item(1, 0, 0),), 0.5, 0.8
+        )
+        specific = QuantitativeRule(
+            (Item(0, 1, 4),), (Item(1, 0, 0),), 0.3, 0.8
+        )
+        assert general.is_ancestor_of(specific)
+        assert not specific.is_ancestor_of(general)
+        assert not general.is_ancestor_of(general)
+
+    def test_generality_strictly_larger_for_ancestors(self):
+        general = QuantitativeRule(
+            (Item(0, 0, 5),), (Item(1, 0, 0),), 0.5, 0.8
+        )
+        specific = QuantitativeRule(
+            (Item(0, 1, 4),), (Item(1, 0, 0),), 0.3, 0.8
+        )
+        assert general.generality() > specific.generality()
+
+    def test_attribute_signature(self):
+        rule = QuantitativeRule(
+            (Item(1, 0, 0),), (Item(0, 2, 3),), 0.4, 1.0
+        )
+        assert rule.attribute_signature() == ((1,), (0,))
+
+    def test_str(self):
+        rule = QuantitativeRule(
+            (Item(1, 0, 0),), (Item(0, 2, 3),), 0.4, 1.0
+        )
+        assert "=>" in str(rule)
+        assert "100.0%" in str(rule)

@@ -1,0 +1,49 @@
+"""Unit tests for ancestor helpers in repro.core.rules."""
+
+from repro.core import Item, QuantitativeRule, make_itemset
+from repro.core.rules import close_ancestors, itemset_close_ancestors
+
+
+def rule(ant_lo, ant_hi, sup=0.3, conf=0.7):
+    return QuantitativeRule(
+        (Item(0, ant_lo, ant_hi),), (Item(1, 0, 0),), sup, conf
+    )
+
+
+class TestCloseAncestors:
+    def test_minimal_ancestor_selected(self):
+        # grandparent [0,9] > parent [1,8] > child [2,7].
+        grandparent, parent, child = rule(0, 9), rule(1, 8), rule(2, 7)
+        pool = [grandparent, parent, child]
+        assert close_ancestors(child, pool) == [parent]
+
+    def test_multiple_incomparable_close_ancestors(self):
+        child = rule(3, 5)
+        left = rule(2, 5)
+        right = rule(3, 6)
+        pool = [left, right, child]
+        got = close_ancestors(child, pool)
+        assert sorted(got, key=lambda r: r.antecedent) == sorted(
+            [left, right], key=lambda r: r.antecedent
+        )
+
+    def test_no_ancestors(self):
+        assert close_ancestors(rule(0, 9), [rule(0, 9), rule(1, 8)]) == []
+
+    def test_self_excluded(self):
+        r = rule(1, 4)
+        assert close_ancestors(r, [r]) == []
+
+
+class TestItemsetCloseAncestors:
+    def test_chain(self):
+        grand = make_itemset([Item(0, 0, 9)])
+        parent = make_itemset([Item(0, 1, 8)])
+        child = make_itemset([Item(0, 2, 7)])
+        assert itemset_close_ancestors(child, [grand, parent, child]) == [
+            parent
+        ]
+
+    def test_equal_itemset_not_ancestor(self):
+        x = make_itemset([Item(0, 1, 5)])
+        assert itemset_close_ancestors(x, [x]) == []

@@ -1,0 +1,132 @@
+"""Unit tests for the RuleSet query API (repro.core.ruleset)."""
+
+import pytest
+
+from repro.core import MinerConfig, QuantitativeMiner
+from repro.core.ruleset import RuleSet
+from repro.data import age_partition_edges, people_table
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = MinerConfig(
+        min_support=0.4,
+        min_confidence=0.5,
+        max_support=0.6,
+        num_partitions={"Age": age_partition_edges()},
+    )
+    return QuantitativeMiner(people_table(), config).mine()
+
+
+@pytest.fixture
+def rules(result):
+    return RuleSet.from_result(result, interesting_only=False)
+
+
+class TestMetrics:
+    def test_lift_of_exact_rule(self, result, rules):
+        # <NumCars: 2> => <Married: Yes>: conf 100%, Pr(Yes) = 60%.
+        rule = next(
+            r
+            for r in rules
+            if r.antecedent[0].attribute == 2
+            and r.antecedent[0].lo == 2
+            and len(r.consequent) == 1
+            and r.consequent[0].attribute == 1
+            and r.consequent[0].lo == 0
+        )
+        m = rules.metrics(rule)
+        assert m.lift == pytest.approx(1.0 / 0.6)
+        # leverage = 0.4 - 0.4*0.6 = 0.16
+        assert m.leverage == pytest.approx(0.16)
+        assert m.conviction == float("inf")
+
+    def test_lift_of_independent_like_rule(self, rules):
+        for rule in rules:
+            m = rules.metrics(rule)
+            assert m.lift > 0
+            assert -1.0 <= m.leverage <= 1.0
+
+    def test_no_support_lookup_raises(self, rules):
+        bare = RuleSet(list(rules))
+        with pytest.raises(ValueError, match="support lookup"):
+            bare.metrics(rules[0])
+
+
+class TestQueries:
+    def test_involving(self, rules):
+        age_rules = rules.involving(0)
+        assert len(age_rules) > 0
+        for rule in age_rules:
+            attrs = {it.attribute for it in rule.antecedent + rule.consequent}
+            assert 0 in attrs
+
+    def test_consequent_and_antecedent_filters(self, rules):
+        predict_married = rules.with_consequent_attribute(1)
+        for rule in predict_married:
+            assert any(it.attribute == 1 for it in rule.consequent)
+        from_age = rules.with_antecedent_attribute(0)
+        for rule in from_age:
+            assert any(it.attribute == 0 for it in rule.antecedent)
+
+    def test_threshold_filters_chain(self, rules):
+        strong = rules.min_support(0.4).min_confidence(0.9)
+        assert len(strong) < len(rules)
+        for rule in strong:
+            assert rule.support >= 0.4
+            assert rule.confidence >= 0.9
+
+    def test_min_lift(self, rules):
+        lifted = rules.min_lift(1.3)
+        for rule in lifted:
+            assert rules.metrics(rule).lift >= 1.3
+
+    def test_matching_predicate(self, rules):
+        singles = rules.matching(lambda r: len(r.antecedent) == 1)
+        assert all(len(r.antecedent) == 1 for r in singles)
+
+
+class TestOrdering:
+    def test_sorted_by_confidence(self, rules):
+        ordered = list(rules.sorted_by("confidence"))
+        values = [r.confidence for r in ordered]
+        assert values == sorted(values, reverse=True)
+
+    def test_sorted_by_lift(self, rules):
+        ordered = list(rules.sorted_by("lift"))
+        values = [rules.metrics(r).lift for r in ordered]
+        assert values == sorted(values, reverse=True)
+
+    def test_unknown_key_rejected(self, rules):
+        with pytest.raises(ValueError, match="sort key"):
+            rules.sorted_by("beauty")
+
+    def test_top(self, rules):
+        assert len(rules.top(3)) == 3
+
+    def test_top_per_consequent(self, rules):
+        best = rules.top_per_consequent(1)
+        consequents = [r.consequent for r in best]
+        assert len(consequents) == len(set(consequents))
+        # Each kept rule is the best for its consequent.
+        for rule in best:
+            rivals = [
+                r for r in rules if r.consequent == rule.consequent
+            ]
+            assert rule.confidence == max(r.confidence for r in rivals)
+
+
+class TestOutput:
+    def test_describe_includes_lift(self, rules):
+        text = rules.describe(limit=3)
+        assert "lift=" in text
+        assert len(text.splitlines()) == 3
+
+    def test_container_protocol(self, rules):
+        assert len(rules) == len(list(rules))
+        assert rules[0] in list(rules)
+        assert "RuleSet" in repr(rules)
+
+    def test_from_result_interesting_default(self, result):
+        interesting = RuleSet.from_result(result)
+        assert len(interesting) == len(result.interesting_rules)

@@ -1,0 +1,114 @@
+"""Unit tests for repro.table.schema."""
+
+import pytest
+
+from repro.table import (
+    Attribute,
+    AttributeKind,
+    TableSchema,
+    categorical,
+    quantitative,
+)
+
+
+class TestAttribute:
+    def test_quantitative_constructor(self):
+        a = quantitative("age")
+        assert a.name == "age"
+        assert a.is_quantitative
+        assert not a.is_categorical
+
+    def test_categorical_constructor_with_values(self):
+        a = categorical("married", ("Yes", "No"))
+        assert a.is_categorical
+        assert a.values == ("Yes", "No")
+
+    def test_categorical_without_domain_is_allowed(self):
+        a = categorical("zip")
+        assert a.values == ()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Attribute("", AttributeKind.QUANTITATIVE)
+
+    def test_duplicate_domain_values_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            categorical("m", ("Yes", "Yes"))
+
+    def test_attribute_is_hashable_and_frozen(self):
+        a = quantitative("age")
+        assert hash(a) == hash(quantitative("age"))
+        with pytest.raises(AttributeError):
+            a.name = "other"
+
+
+class TestTableSchema:
+    def setup_method(self):
+        self.schema = TableSchema(
+            [
+                quantitative("age"),
+                categorical("married", ("Yes", "No")),
+                quantitative("cars"),
+            ]
+        )
+
+    def test_names_in_order(self):
+        assert self.schema.names == ("age", "married", "cars")
+
+    def test_len_and_iteration(self):
+        assert len(self.schema) == 3
+        assert [a.name for a in self.schema] == ["age", "married", "cars"]
+
+    def test_index_of(self):
+        assert self.schema.index_of("married") == 1
+
+    def test_index_of_unknown_raises_with_hint(self):
+        with pytest.raises(KeyError, match="no attribute named"):
+            self.schema.index_of("height")
+
+    def test_quantitative_indices(self):
+        assert self.schema.quantitative_indices == (0, 2)
+
+    def test_categorical_indices(self):
+        assert self.schema.categorical_indices == (1,)
+
+    def test_attribute_by_name_and_index(self):
+        assert self.schema.attribute("cars").name == "cars"
+        assert self.schema.attribute(0).name == "age"
+
+    def test_getitem(self):
+        assert self.schema[1].name == "married"
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TableSchema([quantitative("x"), categorical("x")])
+
+    def test_equality(self):
+        other = TableSchema(
+            [
+                quantitative("age"),
+                categorical("married", ("Yes", "No")),
+                quantitative("cars"),
+            ]
+        )
+        assert self.schema == other
+
+    def test_inequality_differs_by_kind(self):
+        other = TableSchema(
+            [
+                categorical("age"),
+                categorical("married", ("Yes", "No")),
+                quantitative("cars"),
+            ]
+        )
+        assert self.schema != other
+
+    def test_repr_mentions_kinds(self):
+        text = repr(self.schema)
+        assert "age:Q" in text
+        assert "married:C" in text
+
+    def test_empty_schema(self):
+        schema = TableSchema([])
+        assert len(schema) == 0
+        assert schema.quantitative_indices == ()

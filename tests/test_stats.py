@@ -1,0 +1,42 @@
+"""Unit tests for repro.core.stats."""
+
+import pytest
+
+from repro.core import MiningStats, PassStats
+
+
+class TestMiningStats:
+    def make(self):
+        stats = MiningStats(num_records=100, num_attributes=3)
+        stats.passes = [
+            PassStats(size=1, num_candidates=10, num_frequent=8),
+            PassStats(size=2, num_candidates=20, num_frequent=5),
+        ]
+        stats.num_rules = 40
+        stats.num_interesting_rules = 10
+        return stats
+
+    def test_num_passes(self):
+        assert self.make().num_passes == 2
+
+    def test_total_candidates(self):
+        assert self.make().total_candidates == 30
+
+    def test_fraction_rules_interesting(self):
+        assert self.make().fraction_rules_interesting == pytest.approx(
+            0.25
+        )
+
+    def test_fraction_zero_when_no_rules(self):
+        assert MiningStats().fraction_rules_interesting == 0.0
+
+    def test_summary_includes_passes_and_counts(self):
+        text = self.make().summary()
+        assert "pass 1: 10 candidates -> 8 frequent" in text
+        assert "rules:               40" in text
+        assert "interesting rules:   10" in text
+
+    def test_summary_with_completeness(self):
+        stats = self.make()
+        stats.realized_completeness = 2.345
+        assert "realized K:          2.345" in stats.summary()

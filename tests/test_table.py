@@ -1,0 +1,147 @@
+"""Unit tests for repro.table.table (RelationalTable)."""
+
+import numpy as np
+import pytest
+
+from repro.table import (
+    RelationalTable,
+    TableSchema,
+    categorical,
+    quantitative,
+)
+
+
+@pytest.fixture
+def schema():
+    return TableSchema(
+        [
+            quantitative("age"),
+            categorical("married", ("Yes", "No")),
+        ]
+    )
+
+
+@pytest.fixture
+def table(schema):
+    return RelationalTable.from_records(
+        schema,
+        [(23, "No"), (25, "Yes"), (29, "No"), (34, "Yes"), (38, "Yes")],
+    )
+
+
+class TestConstruction:
+    def test_from_records_encodes_categoricals(self, table):
+        np.testing.assert_array_equal(
+            table.column("married"), [1, 0, 1, 0, 0]
+        )
+
+    def test_from_records_quantitative_is_float(self, table):
+        assert table.column("age").dtype == np.float64
+
+    def test_from_records_infers_missing_domain(self):
+        schema = TableSchema([categorical("color")])
+        t = RelationalTable.from_records(
+            schema, [("red",), ("blue",), ("red",)]
+        )
+        assert t.schema.attribute("color").values == ("red", "blue")
+        np.testing.assert_array_equal(t.column("color"), [0, 1, 0])
+
+    def test_from_records_unknown_value_rejected(self, schema):
+        with pytest.raises(ValueError, match="not in domain"):
+            RelationalTable.from_records(schema, [(23, "Maybe")])
+
+    def test_from_records_wrong_arity_rejected(self, schema):
+        with pytest.raises(ValueError, match="fields"):
+            RelationalTable.from_records(schema, [(23,)])
+
+    def test_from_columns_validates_codes(self, schema):
+        with pytest.raises(ValueError, match="out of range"):
+            RelationalTable.from_columns(
+                schema, [np.array([23.0]), np.array([7])]
+            )
+
+    def test_mismatched_column_lengths_rejected(self, schema):
+        with pytest.raises(ValueError, match="differing lengths"):
+            RelationalTable(schema, [np.zeros(3), np.zeros(4)])
+
+    def test_wrong_column_count_rejected(self, schema):
+        with pytest.raises(ValueError, match="columns"):
+            RelationalTable(schema, [np.zeros(3)])
+
+    def test_empty_table(self, schema):
+        t = RelationalTable.from_records(schema, [])
+        assert t.num_records == 0
+        assert len(t) == 0
+
+
+class TestAccessors:
+    def test_num_records(self, table):
+        assert table.num_records == 5
+
+    def test_record_decodes(self, table):
+        assert table.record(1) == (25.0, "Yes")
+
+    def test_decode(self, table):
+        assert table.decode("married", 0) == "Yes"
+
+    def test_decode_quantitative_raises(self, table):
+        with pytest.raises(TypeError, match="not categorical"):
+            table.decode("age", 0)
+
+    def test_head(self, table):
+        assert table.head(2) == [(23.0, "No"), (25.0, "Yes")]
+
+    def test_column_by_index_and_name_agree(self, table):
+        np.testing.assert_array_equal(table.column(0), table.column("age"))
+
+    def test_take(self, table):
+        small = table.take(2)
+        assert small.num_records == 2
+        assert small.record(0) == table.record(0)
+
+    def test_take_beyond_size_clamps(self, table):
+        assert table.take(100).num_records == 5
+
+    def test_take_negative_rejected(self, table):
+        with pytest.raises(ValueError):
+            table.take(-1)
+
+    def test_sample_deterministic_under_seed(self, table):
+        a = table.sample(3, seed=7)
+        b = table.sample(3, seed=7)
+        np.testing.assert_array_equal(a.column("age"), b.column("age"))
+
+    def test_sample_too_large_rejected(self, table):
+        with pytest.raises(ValueError, match="cannot sample"):
+            table.sample(6)
+
+    def test_repr(self, table):
+        assert "5 records" in repr(table)
+
+
+class TestSummaries:
+    def test_quantitative_summary(self, table):
+        summary = table.column_summary("age")
+        assert summary["kind"] == "quantitative"
+        assert summary["count"] == 5
+        assert summary["distinct"] == 5
+        assert summary["min"] == 23.0
+        assert summary["max"] == 38.0
+        assert summary["median"] == 29.0
+
+    def test_categorical_summary(self, table):
+        summary = table.column_summary("married")
+        assert summary["kind"] == "categorical"
+        assert summary["values"] == {"Yes": 3, "No": 2}
+
+    def test_empty_quantitative_summary(self, schema):
+        empty = RelationalTable.from_records(schema, [])
+        summary = empty.column_summary("age")
+        assert summary["count"] == 0
+
+    def test_describe_renders_all_columns(self, table):
+        text = table.describe()
+        assert "5 records" in text
+        assert "age (Q)" in text
+        assert "married (C)" in text
+        assert "Yes=3" in text

@@ -1,0 +1,220 @@
+"""Tests for taxonomy support (repro.core.taxonomy + integration).
+
+Section 1.1: categorical values are never combined *unless* a taxonomy
+exists, in which case the hierarchy's interior nodes act like ranges over
+the attribute ([SA95]/[HF95]).  Our encoding makes that literal: leaves
+get DFS-ordered codes, so an interior node is a contiguous code range.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Item,
+    MinerConfig,
+    QuantitativeMiner,
+    TableMapper,
+    Taxonomy,
+    find_frequent_items,
+    make_itemset,
+)
+from repro.table import RelationalTable, TableSchema, categorical, quantitative
+
+
+@pytest.fixture
+def clothes():
+    # The [SA95] running example: clothes -> outerwear -> {jacket,
+    # ski_pants}; clothes -> shirt.
+    return Taxonomy(
+        {
+            "jacket": "outerwear",
+            "ski_pants": "outerwear",
+            "outerwear": "clothes",
+            "shirt": "clothes",
+        }
+    )
+
+
+class TestTaxonomy:
+    def test_leaf_order_is_dfs(self, clothes):
+        assert clothes.leaves_in_order() == ("jacket", "ski_pants", "shirt")
+
+    def test_node_ranges_contiguous(self, clothes):
+        assert clothes.node_range("outerwear") == (0, 1)
+        assert clothes.node_range("clothes") == (0, 2)
+        assert clothes.node_range("jacket") == (0, 0)
+
+    def test_range_name(self, clothes):
+        assert clothes.range_name(0, 1) == "outerwear"
+        assert clothes.range_name(0, 2) == "clothes"
+        assert clothes.range_name(1, 2) is None
+
+    def test_ancestors(self, clothes):
+        assert clothes.ancestors("jacket") == ["outerwear", "clothes"]
+        assert clothes.ancestors("clothes") == []
+
+    def test_interior_nodes_and_leaves(self, clothes):
+        assert set(clothes.interior_nodes()) == {"outerwear", "clothes"}
+        assert clothes.is_leaf("shirt")
+        assert not clothes.is_leaf("clothes")
+
+    def test_combinable_ranges(self, clothes):
+        assert clothes.combinable_ranges() == [(0, 1), (0, 2)]
+
+    def test_unknown_node_raises(self, clothes):
+        with pytest.raises(KeyError, match="not in this taxonomy"):
+            clothes.node_range("hat")
+
+    def test_contains(self, clothes):
+        assert "outerwear" in clothes
+        assert "hat" not in clothes
+
+    def test_forest_with_two_roots(self):
+        t = Taxonomy({"a": "left", "b": "left", "c": "right", "d": "right"})
+        assert t.leaves_in_order() == ("a", "b", "c", "d")
+        assert t.node_range("left") == (0, 1)
+        assert t.node_range("right") == (2, 3)
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            Taxonomy({"a": "b", "b": "a"})
+
+    def test_self_parent_rejected(self):
+        with pytest.raises(ValueError, match="own parent"):
+            Taxonomy({"a": "a"})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Taxonomy({})
+
+
+@pytest.fixture
+def purchases(clothes):
+    """90 purchases: jackets and ski pants co-occur with winter=yes."""
+    records = []
+    records += [("jacket", "yes")] * 18 + [("jacket", "no")] * 6
+    records += [("ski_pants", "yes")] * 14 + [("ski_pants", "no")] * 7
+    records += [("shirt", "yes")] * 10 + [("shirt", "no")] * 35
+    schema = TableSchema(
+        [
+            categorical("item", ("shirt", "jacket", "ski_pants")),
+            categorical("winter", ("no", "yes")),
+        ]
+    )
+    return RelationalTable.from_records(schema, records)
+
+
+def taxonomy_config(clothes, **overrides):
+    base = dict(
+        min_support=0.1,
+        min_confidence=0.5,
+        max_support=0.8,
+        taxonomies={"item": clothes},
+    )
+    base.update(overrides)
+    return MinerConfig(**base)
+
+
+class TestMapperIntegration:
+    def test_columns_recoded_to_dfs_order(self, purchases, clothes):
+        mapper = TableMapper(purchases, taxonomy_config(clothes))
+        # jacket -> 0, ski_pants -> 1, shirt -> 2 regardless of the
+        # schema's domain order.
+        item_codes = mapper.column(0)
+        raw = purchases.column("item")
+        for code, table_code in zip(item_codes, raw):
+            name = purchases.schema.attribute("item").values[table_code]
+            assert clothes.leaves_in_order()[code] == name
+
+    def test_describe_node_range(self, purchases, clothes):
+        mapper = TableMapper(purchases, taxonomy_config(clothes))
+        assert mapper.describe_item(Item(0, 0, 1)) == "<item: outerwear>"
+        assert mapper.describe_item(Item(0, 0, 2)) == "<item: clothes>"
+        assert mapper.describe_item(Item(0, 1, 1)) == "<item: ski_pants>"
+
+    def test_mismatched_leaves_rejected(self, purchases):
+        bad = Taxonomy({"jacket": "outerwear", "hat": "outerwear"})
+        with pytest.raises(ValueError, match="do not match"):
+            TableMapper(purchases, taxonomy_config(bad))
+
+    def test_taxonomy_on_quantitative_rejected(self, clothes):
+        schema = TableSchema([quantitative("item")])
+        table = RelationalTable.from_columns(
+            schema, [np.zeros(3)]
+        )
+        with pytest.raises(ValueError, match="quantitative"):
+            TableMapper(table, taxonomy_config(clothes))
+
+    def test_unknown_attribute_rejected(self, purchases, clothes):
+        config = taxonomy_config(clothes)
+        config.taxonomies = {"nope": clothes}
+        with pytest.raises(ValueError, match="unknown attributes"):
+            TableMapper(purchases, config)
+
+
+class TestFrequentItemsWithTaxonomy:
+    def test_node_items_generated(self, purchases, clothes):
+        config = taxonomy_config(clothes)
+        mapper = TableMapper(purchases, config)
+        result = find_frequent_items(mapper, 0.1, 0.8)
+        # outerwear = codes 0..1: 24 + 21 = 45 of 90 records.
+        assert result.supports[Item(0, 0, 1)] == 45
+        # clothes = everything (100%) exceeds maxsup 80% -> absent.
+        assert Item(0, 0, 2) not in result.supports
+
+    def test_non_node_ranges_never_generated(self, purchases, clothes):
+        config = taxonomy_config(clothes)
+        mapper = TableMapper(purchases, config)
+        result = find_frequent_items(mapper, 0.01, 1.0)
+        # ski_pants+shirt (codes 1..2) is not a taxonomy node.
+        assert Item(0, 1, 2) not in result.supports
+        # With maxsup=1.0 the root is now allowed.
+        assert Item(0, 0, 2) in result.supports
+
+
+class TestEndToEndTaxonomyMining:
+    def test_outerwear_rule_found(self, purchases, clothes):
+        result = QuantitativeMiner(
+            purchases, taxonomy_config(clothes)
+        ).mine()
+        by_key = {(r.antecedent, r.consequent): r for r in result.rules}
+        key = (
+            make_itemset([Item(0, 0, 1)]),  # outerwear
+            make_itemset([Item(1, 1, 1)]),  # winter: yes
+        )
+        assert key in by_key
+        rule = by_key[key]
+        assert rule.support == pytest.approx(32 / 90)
+        assert rule.confidence == pytest.approx(32 / 45)
+        text = result.describe(rule)
+        assert "<item: outerwear>" in text
+
+    def test_leaf_rules_coexist(self, purchases, clothes):
+        result = QuantitativeMiner(
+            purchases, taxonomy_config(clothes)
+        ).mine()
+        keys = {(r.antecedent, r.consequent) for r in result.rules}
+        assert (
+            make_itemset([Item(0, 0, 0)]),  # jacket
+            make_itemset([Item(1, 1, 1)]),
+        ) in keys
+
+    def test_interest_prunes_leaf_rules_tracking_node_rule(
+        self, purchases, clothes
+    ):
+        """jacket=>winter and ski_pants=>winter track outerwear=>winter
+        (confidences 75%, 67% vs 71%), so with the interest measure only
+        the node-level rule family survives at R=1.2."""
+        config = taxonomy_config(clothes, interest_level=1.2)
+        result = QuantitativeMiner(purchases, config).mine()
+        kept = {(r.antecedent, r.consequent) for r in result.interesting_rules}
+        node_key = (
+            make_itemset([Item(0, 0, 1)]),
+            make_itemset([Item(1, 1, 1)]),
+        )
+        jacket_key = (
+            make_itemset([Item(0, 0, 0)]),
+            make_itemset([Item(1, 1, 1)]),
+        )
+        assert node_key in kept
+        assert jacket_key not in kept

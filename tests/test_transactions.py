@@ -1,0 +1,60 @@
+"""Unit tests for repro.booleans.transactions."""
+
+import pytest
+
+from repro.booleans import TransactionDatabase
+
+
+class TestConstruction:
+    def test_transactions_sorted_and_deduped(self):
+        db = TransactionDatabase([["b", "a", "b"]])
+        assert db.transactions == [("a", "b")]
+
+    def test_from_boolean_matrix(self):
+        db = TransactionDatabase.from_boolean_matrix(
+            [[1, 0, 1], [0, 1, 0]], item_names=["a", "b", "c"]
+        )
+        assert db.transactions == [("a", "c"), ("b",)]
+
+    def test_from_boolean_matrix_default_names(self):
+        db = TransactionDatabase.from_boolean_matrix([[1, 1]])
+        assert db.transactions == [(0, 1)]
+
+    def test_from_boolean_matrix_ragged_rejected(self):
+        with pytest.raises(ValueError, match="differing lengths"):
+            TransactionDatabase.from_boolean_matrix([[1], [1, 0]])
+
+    def test_from_boolean_matrix_name_count_mismatch(self):
+        with pytest.raises(ValueError, match="names"):
+            TransactionDatabase.from_boolean_matrix([[1, 0]], item_names=["x"])
+
+    def test_empty_database(self):
+        db = TransactionDatabase([])
+        assert db.num_transactions == 0
+        assert db.items() == []
+
+
+class TestQueries:
+    def setup_method(self):
+        self.db = TransactionDatabase(
+            [["a", "b", "c"], ["a", "b"], ["a", "c"], ["b", "c"]]
+        )
+
+    def test_items(self):
+        assert self.db.items() == ["a", "b", "c"]
+
+    def test_support_count(self):
+        assert self.db.support_count(["a", "b"]) == 2
+
+    def test_support_fraction(self):
+        assert self.db.support(["a"]) == pytest.approx(0.75)
+
+    def test_support_of_empty_itemset_is_one(self):
+        assert self.db.support([]) == pytest.approx(1.0)
+
+    def test_support_on_empty_database_is_zero(self):
+        assert TransactionDatabase([]).support(["a"]) == 0.0
+
+    def test_len_and_iter(self):
+        assert len(self.db) == 4
+        assert list(self.db)[0] == ("a", "b", "c")

@@ -1,0 +1,64 @@
+"""Unit tests for the [AS94]-style basket generator."""
+
+import numpy as np
+import pytest
+
+from repro.booleans import apriori
+from repro.data import generate_basket_database
+
+
+class TestGenerator:
+    def test_deterministic_under_seed(self):
+        a = generate_basket_database(200, seed=3)
+        b = generate_basket_database(200, seed=3)
+        assert a.transactions == b.transactions
+
+    def test_different_seeds_differ(self):
+        a = generate_basket_database(200, seed=3)
+        b = generate_basket_database(200, seed=4)
+        assert a.transactions != b.transactions
+
+    def test_requested_count(self):
+        db = generate_basket_database(123, seed=0)
+        assert len(db) == 123
+
+    def test_average_size_near_target(self):
+        db = generate_basket_database(
+            3_000, avg_transaction_size=10, num_items=500, seed=1
+        )
+        avg = sum(len(t) for t in db) / len(db)
+        assert 6 <= avg <= 12
+
+    def test_items_within_universe(self):
+        db = generate_basket_database(300, num_items=50, seed=2)
+        assert all(0 <= i < 50 for t in db for i in t)
+
+    def test_no_empty_transactions(self):
+        db = generate_basket_database(
+            500, avg_transaction_size=1, corruption_mean=0.9, seed=5
+        )
+        assert all(len(t) >= 1 for t in db)
+
+    def test_embedded_patterns_create_frequent_itemsets(self):
+        # Skewed pattern weights must produce multi-item frequent
+        # itemsets well above the independence baseline.
+        db = generate_basket_database(
+            2_000,
+            avg_transaction_size=8,
+            avg_pattern_size=3,
+            num_items=400,
+            num_patterns=40,
+            seed=6,
+        )
+        result = apriori(db, 0.02, max_size=3)
+        assert result.max_size >= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_basket_database(0)
+        with pytest.raises(ValueError):
+            generate_basket_database(10, avg_pattern_size=0)
+        with pytest.raises(ValueError):
+            generate_basket_database(10, avg_transaction_size=0)
+        with pytest.raises(ValueError):
+            generate_basket_database(10, correlation=1.5)
