@@ -1,0 +1,70 @@
+"""Parallel execution engine — serial vs. process-pool scaling.
+
+Times the frequent-itemset search (the record-linear part of the
+pipeline, same scope as the Figure 9 benchmark) on the synthetic credit
+table under the serial executor and under the parallel executor at
+increasing worker counts, and records the speedup.  Correctness is
+asserted alongside the timing: every configuration must reproduce the
+serial run's support counts exactly, because per-shard integer counts
+merge by addition.
+
+Speedup is hardware-dependent: the process pool can only help when the
+host has spare cores (on a single-core host the pool adds pure
+overhead), so the recorded table carries the measured core count and
+the assertions check identity, not speed.
+"""
+
+import os
+import time
+
+from repro.core import ExecutionConfig, MinerConfig, QuantitativeMiner
+
+NUM_RECORDS = 100_000
+MIN_SUPPORT = 0.2
+
+
+def _mine(table, execution):
+    config = MinerConfig(
+        min_support=MIN_SUPPORT,
+        min_confidence=0.5,
+        partial_completeness=2.0,
+        max_itemset_size=3,
+        execution=execution,
+    )
+    started = time.perf_counter()
+    result = QuantitativeMiner(table, config).mine()
+    return result, time.perf_counter() - started
+
+
+def test_parallel_scaling(credit_table_cache, reporter):
+    table = credit_table_cache(NUM_RECORDS)
+    cores = os.cpu_count() or 1
+
+    serial, serial_seconds = _mine(table, ExecutionConfig())
+    reporter.line(
+        f"\nParallel scaling: {NUM_RECORDS} records, "
+        f"minsup={MIN_SUPPORT:.0%}, host cores={cores}"
+    )
+    reporter.row("executor", "workers", "shards", "seconds", "speedup")
+    reporter.row(
+        "serial", 1, 1, f"{serial_seconds:.3f}", f"{1.0:.2f}x"
+    )
+
+    for workers in (2, cores):
+        execution = ExecutionConfig(executor="parallel", num_workers=workers)
+        result, seconds = _mine(table, execution)
+        assert result.support_counts == serial.support_counts, (
+            f"parallel({workers}) diverged from serial"
+        )
+        assert list(result.support_counts) == list(serial.support_counts)
+        reporter.row(
+            "parallel",
+            workers,
+            result.stats.execution.num_shards,
+            f"{seconds:.3f}",
+            f"{serial_seconds / seconds:.2f}x",
+        )
+    if cores == 1:
+        reporter.line(
+            "note: single-core host; the pool cannot beat serial here"
+        )

@@ -17,6 +17,7 @@ Public API highlights
 """
 
 from .core import (
+    ExecutionConfig,
     InterestEvaluator,
     Item,
     MinerConfig,
@@ -43,6 +44,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Attribute",
     "AttributeKind",
+    "ExecutionConfig",
     "InterestEvaluator",
     "Item",
     "MinerConfig",

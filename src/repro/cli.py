@@ -35,7 +35,7 @@ import argparse
 import json
 import sys
 
-from .core import MinerConfig, QuantitativeMiner, Taxonomy
+from .core import ExecutionConfig, MinerConfig, QuantitativeMiner, Taxonomy
 from .data import generate_credit_table
 from .table import load_csv, save_csv
 
@@ -101,6 +101,27 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("equidepth", "equiwidth", "equicardinality", "cluster"),
         default="equidepth",
         help="base-interval construction (equidepth = paper's Lemma 4)",
+    )
+    mine.add_argument(
+        "--executor",
+        choices=("serial", "parallel"),
+        default="serial",
+        help="execution engine: in-process (default) or a process pool",
+    )
+    mine.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help=(
+            "worker processes for the parallel executor "
+            "(default: all cores); N > 1 implies --executor parallel"
+        ),
+    )
+    mine.add_argument(
+        "--shard-size", type=int, default=None, metavar="ROWS",
+        help=(
+            "records per table shard for support counting "
+            "(default: derived from the worker count; results are "
+            "identical for any value)"
+        ),
     )
     mine.add_argument(
         "--taxonomy",
@@ -194,6 +215,14 @@ def _parse_taxonomies(specs) -> dict:
 
 def _run_mine(args) -> int:
     taxonomies = _parse_taxonomies(args.taxonomy)
+    executor = args.executor
+    if args.jobs is not None and args.jobs > 1 and executor == "serial":
+        executor = "parallel"
+    execution = ExecutionConfig(
+        executor=executor,
+        num_workers=args.jobs,
+        shard_size=args.shard_size,
+    )
     config = MinerConfig(
         min_support=args.min_support,
         min_confidence=args.min_confidence,
@@ -209,6 +238,7 @@ def _run_mine(args) -> int:
         partition_method=args.partition_method,
         max_itemset_size=args.max_itemset_size,
         taxonomies=taxonomies or None,
+        execution=execution,
     )
     categorical = set(_split_names(args.categorical)) | set(taxonomies)
     table = load_csv(

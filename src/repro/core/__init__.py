@@ -10,8 +10,10 @@ from .export import (
     save_rules_json,
 )
 from .config import (
+    EXECUTORS,
     SUPPORT_AND_CONFIDENCE,
     SUPPORT_OR_CONFIDENCE,
+    ExecutionConfig,
     MinerConfig,
 )
 from .frequent_items import FrequentItems, find_frequent_items
@@ -47,7 +49,7 @@ from .partitioner import (
 from .rulegen import generate_rules
 from .rules import QuantitativeRule, close_ancestors, itemset_close_ancestors
 from .ruleset import RuleMetrics, RuleSet
-from .stats import MiningStats, PassStats
+from .stats import ExecutionStats, MiningStats, PassStats
 from .taxonomy import Taxonomy
 
 __all__ = [
@@ -61,6 +63,9 @@ __all__ = [
     "save_rules_csv",
     "save_rules_json",
     "AttributeMapping",
+    "EXECUTORS",
+    "ExecutionConfig",
+    "ExecutionStats",
     "FrequentItems",
     "InterestEvaluator",
     "Item",

@@ -6,18 +6,245 @@ Pass 2 is special-cased because its candidate set — the cross product of
 frequent items over every attribute pair — can dwarf the surviving L_2;
 the counting layer evaluates whole cross products via outer-indexed prefix
 sums and materializes only the frequent pairs.
+
+Each pass is a :class:`~repro.engine.stage.PipelineStage` run through the
+:class:`~repro.engine.stage.ExecutionEngine`, and its record-linear
+counting work fans out over the context's table shards under whichever
+executor the configuration selects.  Shard counts merge by integer
+addition, so every executor/shard layout produces bit-identical
+``support_counts``.
 """
 
 from __future__ import annotations
 
 import time
 
+from ..engine import (
+    ExecutionEngine,
+    PipelineStage,
+    StageContext,
+    plan_shards,
+    resolve_executor,
+)
 from .candidates import generate_candidates, pairs_by_attribute
-from .config import SUPPORT_AND_CONFIDENCE, MinerConfig
+from .config import MinerConfig
 from .counting import CountingStats, count_frequent_pairs, count_itemsets
-from .frequent_items import FrequentItems, find_frequent_items
+from .frequent_items import FrequentItemsStage
 from .mapper import TableMapper
-from .stats import MiningStats, PassStats
+from .stats import ExecutionStats, MiningStats, PassStats
+
+
+class PairPassStage(PipelineStage):
+    """Pass 2: cross-product counting over every attribute pair."""
+
+    name = "pass_2"
+    inputs = (
+        "mapper",
+        "config",
+        "frequent_items",
+        "support_counts",
+        "rangeable",
+        "min_count",
+        "counting_stats",
+    )
+    outputs = ("current_level",)
+
+    def run(self, context) -> dict:
+        a = context.artifacts
+        config = a["config"]
+        started = time.perf_counter()
+        buckets = pairs_by_attribute(a["frequent_items"].supports)
+        current, num_candidates = count_frequent_pairs(
+            buckets,
+            a["mapper"],
+            a["rangeable"],
+            a["min_count"],
+            backend=config.counting,
+            memory_budget_bytes=config.memory_budget_bytes,
+            stats=a["counting_stats"],
+            executor=context.executor,
+            shards=context.shards,
+            execution_stats=context.execution_stats,
+        )
+        a["support_counts"].update(current)
+        if context.stats is not None:
+            context.stats.passes.append(
+                PassStats(
+                    size=2,
+                    num_candidates=num_candidates,
+                    num_frequent=len(current),
+                    counting_seconds=time.perf_counter() - started,
+                )
+            )
+        return {"current_level": current}
+
+
+class JoinPassStage(PipelineStage):
+    """Pass k >= 3: generic join / prune / count.
+
+    Produces an empty ``current_level`` and ``num_candidates == 0`` when
+    the join yields nothing (the driver's stop signal); a pass that did
+    count candidates records its own :class:`PassStats` entry.
+    """
+
+    inputs = (
+        "mapper",
+        "config",
+        "current_level",
+        "support_counts",
+        "rangeable",
+        "min_count",
+        "counting_stats",
+    )
+    outputs = ("current_level", "num_candidates")
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self.name = f"pass_{k}"
+
+    def run(self, context) -> dict:
+        a = context.artifacts
+        config = a["config"]
+        started = time.perf_counter()
+        candidates = generate_candidates(sorted(a["current_level"]), self.k)
+        generation_seconds = time.perf_counter() - started
+        if not candidates:
+            return {"current_level": {}, "num_candidates": 0}
+        started = time.perf_counter()
+        counted = count_itemsets(
+            candidates,
+            a["mapper"],
+            a["rangeable"],
+            backend=config.counting,
+            memory_budget_bytes=config.memory_budget_bytes,
+            stats=a["counting_stats"],
+            executor=context.executor,
+            shards=context.shards,
+            execution_stats=context.execution_stats,
+        )
+        counting_seconds = time.perf_counter() - started
+        min_count = a["min_count"]
+        current = {
+            itemset: count
+            for itemset, count in counted.items()
+            if count >= min_count
+        }
+        a["support_counts"].update(current)
+        if context.stats is not None:
+            context.stats.passes.append(
+                PassStats(
+                    size=self.k,
+                    num_candidates=len(candidates),
+                    num_frequent=len(current),
+                    generation_seconds=generation_seconds,
+                    counting_seconds=counting_seconds,
+                )
+            )
+        return {"current_level": current, "num_candidates": len(candidates)}
+
+
+class FrequentItemsetSearch(PipelineStage):
+    """The full level-wise search as one composite stage.
+
+    Runs :class:`~repro.core.frequent_items.FrequentItemsStage` and then
+    the data-dependent sequence of pass stages through the context's
+    engine, so every pass shows up in the engine's per-stage timings.
+    """
+
+    name = "frequent_itemsets"
+    inputs = ("mapper", "config")
+    outputs = ("support_counts", "frequent_items")
+
+    def run(self, context) -> dict:
+        a = context.artifacts
+        mapper, config = a["mapper"], a["config"]
+        engine = context.engine or ExecutionEngine(
+            context.executor, context.shards
+        )
+        # "Rangeable" attributes — quantitative ones plus taxonomy-bearing
+        # categorical ones — carry range items and are counted as
+        # dimensions of the super-candidates' rectangles; plain
+        # categorical attributes form the fixed (mask-matched) part.
+        a.setdefault(
+            "rangeable",
+            {
+                attr
+                for attr in range(mapper.num_attributes)
+                if mapper.mapping(attr).is_rangeable
+            },
+        )
+        a.setdefault("min_count", config.min_support * mapper.num_records)
+        a.setdefault("counting_stats", CountingStats())
+
+        engine.run_stage(FrequentItemsStage(), context)
+        support_counts = a["support_counts"]
+        if config.max_itemset_size == 1 or not support_counts:
+            self._finalize(context)
+            return {
+                "support_counts": support_counts,
+                "frequent_items": a["frequent_items"],
+            }
+
+        engine.run_stage(PairPassStage(), context)
+        k = 3
+        while a["current_level"] and (
+            config.max_itemset_size is None or k <= config.max_itemset_size
+        ):
+            engine.run_stage(JoinPassStage(k), context)
+            if a["num_candidates"] == 0:
+                break
+            k += 1
+
+        self._finalize(context)
+        return {
+            "support_counts": support_counts,
+            "frequent_items": a["frequent_items"],
+        }
+
+    @staticmethod
+    def _finalize(context) -> None:
+        stats = context.stats
+        if stats is None:
+            return
+        stats.num_frequent_itemsets = len(context.artifacts["support_counts"])
+        stats.counting_groups_by_backend = dict(
+            context.artifacts["counting_stats"].groups_by_backend
+        )
+
+
+def build_engine_context(
+    mapper: TableMapper, config: MinerConfig, stats: MiningStats | None = None
+):
+    """Resolve the configured executor/shard plan into an engine + context.
+
+    The caller owns the executor's lifetime: close
+    ``context.executor`` (or use it as a context manager) once the run
+    finishes.  When ``stats`` is given, its ``execution`` field is
+    populated with the resolved layout.
+    """
+    execution = config.execution
+    executor = resolve_executor(execution.executor, execution.num_workers)
+    shards = plan_shards(
+        mapper.num_records, execution.shard_size, executor.num_workers
+    )
+    execution_stats = ExecutionStats(
+        executor=executor.name,
+        num_workers=executor.num_workers,
+        num_shards=len(shards),
+        shard_size=execution.shard_size,
+    )
+    if stats is not None:
+        stats.execution = execution_stats
+    engine = ExecutionEngine(executor, shards)
+    context = StageContext(
+        artifacts={"mapper": mapper, "config": config},
+        executor=executor,
+        shards=shards,
+        stats=stats,
+        execution_stats=execution_stats,
+        engine=engine,
+    )
+    return engine, context
 
 
 def find_frequent_itemsets(
@@ -32,118 +259,18 @@ def find_frequent_itemsets(
     support count and ``frequent_items`` is the
     :class:`~repro.core.frequent_items.FrequentItems` stage output (the
     interest measure later needs its per-attribute distributions).
+
+    Convenience wrapper: builds the engine the configuration's
+    ``execution`` block describes, runs the search stage and tears the
+    executor down.  Callers composing a larger pipeline (the miner) use
+    :func:`build_engine_context` and run the stage themselves.
     """
     if stats is None:
         stats = MiningStats()
-    # "Rangeable" attributes — quantitative ones plus taxonomy-bearing
-    # categorical ones — carry range items and are counted as dimensions
-    # of the super-candidates' rectangles; plain categorical attributes
-    # form the fixed (mask-matched) part.
-    rangeable = {
-        a
-        for a in range(mapper.num_attributes)
-        if mapper.mapping(a).is_rangeable
-    }
-    n = mapper.num_records
-    min_count = config.min_support * n
-    counting_stats = CountingStats()
-
-    # Pass 1: frequent items (with the optional Lemma 5 interest prune).
-    started = time.perf_counter()
-    prune = (
-        config.interest_enabled
-        and config.interest_mode == SUPPORT_AND_CONFIDENCE
-    )
-    freq_items = find_frequent_items(
-        mapper,
-        config.min_support,
-        config.max_support,
-        interest_level=config.effective_interest_level,
-        prune_by_interest=prune,
-    )
-    stats.items_pruned_by_interest = len(freq_items.pruned_by_interest)
-    support_counts = {
-        (item,): count for item, count in freq_items.supports.items()
-    }
-    stats.passes.append(
-        PassStats(
-            size=1,
-            num_candidates=sum(
-                mapper.cardinality(a) for a in range(mapper.num_attributes)
-            ),
-            num_frequent=len(support_counts),
-            counting_seconds=time.perf_counter() - started,
-        )
-    )
-    if config.max_itemset_size == 1 or not support_counts:
-        _finalize(stats, support_counts, counting_stats)
-        return support_counts, freq_items
-
-    # Pass 2: specialized cross-product counting.
-    started = time.perf_counter()
-    buckets = pairs_by_attribute(freq_items.supports)
-    current, num_candidates = count_frequent_pairs(
-        buckets,
-        mapper,
-        rangeable,
-        min_count,
-        backend=config.counting,
-        memory_budget_bytes=config.memory_budget_bytes,
-        stats=counting_stats,
-    )
-    support_counts.update(current)
-    stats.passes.append(
-        PassStats(
-            size=2,
-            num_candidates=num_candidates,
-            num_frequent=len(current),
-            counting_seconds=time.perf_counter() - started,
-        )
-    )
-
-    # Passes 3+: generic join / prune / count.
-    k = 3
-    while current and (
-        config.max_itemset_size is None or k <= config.max_itemset_size
-    ):
-        started = time.perf_counter()
-        candidates = generate_candidates(sorted(current), k)
-        generation_seconds = time.perf_counter() - started
-        if not candidates:
-            break
-        started = time.perf_counter()
-        counted = count_itemsets(
-            candidates,
-            mapper,
-            rangeable,
-            backend=config.counting,
-            memory_budget_bytes=config.memory_budget_bytes,
-            stats=counting_stats,
-        )
-        counting_seconds = time.perf_counter() - started
-        current = {
-            itemset: count
-            for itemset, count in counted.items()
-            if count >= min_count
-        }
-        support_counts.update(current)
-        stats.passes.append(
-            PassStats(
-                size=k,
-                num_candidates=len(candidates),
-                num_frequent=len(current),
-                generation_seconds=generation_seconds,
-                counting_seconds=counting_seconds,
-            )
-        )
-        k += 1
-
-    _finalize(stats, support_counts, counting_stats)
-    return support_counts, freq_items
-
-
-def _finalize(stats, support_counts, counting_stats) -> None:
-    stats.num_frequent_itemsets = len(support_counts)
-    stats.counting_groups_by_backend = dict(
-        counting_stats.groups_by_backend
+    engine, context = build_engine_context(mapper, config, stats)
+    with context.executor:
+        engine.run([FrequentItemsetSearch()], context)
+    return (
+        context.artifacts["support_counts"],
+        context.artifacts["frequent_items"],
     )

@@ -9,6 +9,7 @@ pruning (Section 4).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 #: Interest-mode constants (Section 4: "The user can specify whether it
@@ -20,6 +21,57 @@ SUPPORT_AND_CONFIDENCE = "support_and_confidence"
 #: heuristic per super-candidate, choosing between the multi-dimensional
 #: array and the R*-tree.
 COUNTING_BACKENDS = ("array", "rtree", "direct", "auto")
+
+#: Executor names understood by the execution engine.
+EXECUTORS = ("serial", "parallel")
+
+
+@dataclass
+class ExecutionConfig:
+    """How the staged execution engine runs a mining job.
+
+    Parameters
+    ----------
+    executor:
+        ``"serial"`` (in-process; the default and the reference
+        semantics) or ``"parallel"`` (a process pool).  Per-shard support
+        counts merge by integer addition, so both produce bit-identical
+        results.
+    num_workers:
+        Worker processes for the parallel executor; ``None`` uses every
+        core.  Ignored by the serial executor.
+    shard_size:
+        Records per :class:`~repro.engine.shards.TableShard`.  ``None``
+        derives a layout from the worker count (one shard total for
+        serial runs).  Any value yields identical mining output — the
+        knob only trades scheduling granularity against per-shard
+        overhead.
+    """
+
+    executor: str = "serial"
+    num_workers: int | None = None
+    shard_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {self.executor!r}"
+            )
+        if self.num_workers is not None and self.num_workers < 1:
+            raise ValueError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        if self.shard_size is not None and self.shard_size < 1:
+            raise ValueError(
+                f"shard_size must be >= 1, got {self.shard_size}"
+            )
+
+    @property
+    def resolved_num_workers(self) -> int:
+        """Concrete worker count (serial always means one)."""
+        if self.executor == "serial":
+            return 1
+        return self.num_workers or os.cpu_count() or 1
 
 
 @dataclass
@@ -88,6 +140,11 @@ class MinerConfig:
         partial-completeness level, so ``min_confidence`` keeps its
         raw-granularity meaning at the cost of extra (lower-confidence)
         rules in the output.
+    execution:
+        How the staged engine runs the job (executor, worker count,
+        shard size).  An :class:`ExecutionConfig`, a plain dict of its
+        fields, or ``None`` for the serial default.  Purely operational:
+        every setting produces bit-identical mining output.
     """
 
     min_support: float = 0.1
@@ -105,8 +162,18 @@ class MinerConfig:
     apply_specialization_check: bool = True
     taxonomies: dict | None = None
     lemma1_confidence_adjustment: bool = False
+    execution: ExecutionConfig | None = field(default=None)
 
     def __post_init__(self) -> None:
+        if self.execution is None:
+            self.execution = ExecutionConfig()
+        elif isinstance(self.execution, dict):
+            self.execution = ExecutionConfig(**self.execution)
+        elif not isinstance(self.execution, ExecutionConfig):
+            raise TypeError(
+                "execution must be an ExecutionConfig, a dict of its "
+                f"fields, or None; got {type(self.execution).__name__}"
+            )
         if not 0.0 < self.min_support <= 1.0:
             raise ValueError(
                 f"min_support must be in (0, 1], got {self.min_support}"

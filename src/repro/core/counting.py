@@ -8,6 +8,14 @@ categorical attributes match contributes the point formed by its
 quantitative values; the candidate's support is the number of such points
 its rectangle contains.
 
+Counting is *record-shardable*: every primitive here runs identically on
+the full table or on one :class:`~repro.engine.shards.TableShard`'s
+:class:`~repro.engine.shards.ShardView`, and per-shard counts are plain
+integers that sum to the exact global counts.  Backend resolution
+(``choose_backend``) happens once, against full-table cardinalities,
+before any fan-out, so the shard layout can never change which structure
+answers a group.
+
 Three interchangeable backends answer "how many points fall in each
 rectangle":
 
@@ -37,6 +45,8 @@ from itertools import product
 
 import numpy as np
 
+from ..engine.sharded import sharded_map
+from ..engine.shards import plan_shards
 from ..rtree import Rect, bulk_load
 from .items import Item
 from .mapper import TableMapper
@@ -266,6 +276,65 @@ _GROUP_BACKENDS = {
     "direct": _count_group_direct,
 }
 
+#: Pseudo-backend for pure-categorical groups: the support is the
+#: categorical mask's population count, no spatial structure involved.
+MASK_BACKEND = "mask"
+
+
+def resolve_group_backends(
+    groups, view, backend: str, memory_budget_bytes: int
+) -> list:
+    """Pin one backend per super-candidate group, up front.
+
+    Resolution reads full-table cardinalities only, so it is computed
+    once before any shard fan-out and shipped to workers — the shard
+    layout can never flip the ``auto`` heuristic's choice.
+    """
+    return [
+        MASK_BACKEND
+        if group.ndim == 0
+        else choose_backend(group, view, backend, memory_budget_bytes)
+        for group in groups
+    ]
+
+
+def count_groups(groups, backends, view) -> list:
+    """Per-candidate counts for each group on ``view``.
+
+    ``view`` is the full table or one shard; the result is a list (per
+    group) of lists (per candidate) of integer counts, merge-ready by
+    elementwise addition.
+    """
+    out = []
+    for group, resolved in zip(groups, backends):
+        mask = categorical_mask(view, group.categorical_items)
+        if resolved == MASK_BACKEND:
+            population = (
+                int(mask.sum()) if mask is not None else view.num_records
+            )
+            out.append([population] * len(group.candidates))
+        else:
+            counts = _GROUP_BACKENDS[resolved](group, view, mask)
+            out.append([int(c) for c in counts])
+    return out
+
+
+def _count_groups_shard(view, payload):
+    """Shard worker: count every group's candidates on one shard."""
+    groups, backends = payload
+    return count_groups(groups, backends, view)
+
+
+def _merge_group_counts(per_shard: list) -> list:
+    """Sum per-shard ``count_groups`` results elementwise (exact)."""
+    merged = per_shard[0]
+    for shard_counts in per_shard[1:]:
+        merged = [
+            [a + b for a, b in zip(left, right)]
+            for left, right in zip(merged, shard_counts)
+        ]
+    return merged
+
 
 @dataclass
 class CountingStats:
@@ -286,33 +355,218 @@ def count_itemsets(
     backend: str = "array",
     memory_budget_bytes: int = 256 * 1024 * 1024,
     stats: CountingStats | None = None,
+    *,
+    executor=None,
+    shards=None,
+    execution_stats=None,
 ) -> dict:
     """Support counts for explicit candidate itemsets.
 
     Groups the candidates into super-candidates, resolves a backend per
-    group and returns ``{itemset: absolute support count}``.
+    group and returns ``{itemset: absolute support count}``.  With an
+    ``executor``/``shards`` pair the counting fans out per record shard
+    and the per-shard counts are summed — bit-identical to the direct
+    path for any shard layout.
     """
     counts: dict = {}
-    for group in group_candidates(candidates, quantitative):
-        mask = categorical_mask(mapper, group.categorical_items)
-        if group.ndim == 0:
-            # Pure-categorical group: exactly one candidate, its support is
-            # the mask's population count.
-            population = (
-                int(mask.sum()) if mask is not None else mapper.num_records
-            )
-            for itemset in group.candidates:
-                counts[itemset] = population
-            if stats is not None:
-                stats.record("mask")
-            continue
-        resolved = choose_backend(group, mapper, backend, memory_budget_bytes)
-        group_counts = _GROUP_BACKENDS[resolved](group, mapper, mask)
+    groups = group_candidates(candidates, quantitative)
+    if not groups:
+        return counts
+    backends = resolve_group_backends(
+        groups, mapper, backend, memory_budget_bytes
+    )
+    if executor is None and shards is None:
+        per_group = count_groups(groups, backends, mapper)
+    else:
+        if shards is None:
+            shards = plan_shards(mapper.num_records)
+        per_shard = sharded_map(
+            executor,
+            mapper,
+            shards,
+            _count_groups_shard,
+            (groups, backends),
+            stats=execution_stats,
+            stage="count_itemsets",
+        )
+        per_group = _merge_group_counts(per_shard)
+    for group, resolved, group_counts in zip(groups, backends, per_group):
         if stats is not None:
             stats.record(resolved)
         for itemset, count in zip(group.candidates, group_counts):
             counts[itemset] = int(count)
     return counts
+
+
+# ----------------------------------------------------------------------
+# Pass-2 pair plans
+# ----------------------------------------------------------------------
+# Each attribute pair becomes one *plan*: a picklable description of the
+# counting work whose ``shard_counts`` runs on any view (full table or
+# shard) and whose ``emit`` thresholds the merged counts into the
+# frequent-pair dictionary.  Splitting count from emit is what makes
+# pass 2 record-shardable: raw counts merge associatively, thresholding
+# happens exactly once on the global sums.
+
+
+@dataclass
+class _QuantQuantPlan:
+    """Both attributes quantitative: one cross-product prefix-sum query."""
+
+    attrs: tuple
+    items_a: list
+    items_b: list
+
+    def shard_counts(self, view) -> np.ndarray:
+        counter = PrefixSumCounter(view, self.attrs)
+        ranges_a = [(it.lo, it.hi) for it in self.items_a]
+        ranges_b = [(it.lo, it.hi) for it in self.items_b]
+        return counter.count_cross([ranges_a, ranges_b])
+
+    def emit(self, counts, min_count, out, stats) -> None:
+        if stats is not None:
+            stats.record("array")
+        for ia, ib in np.argwhere(counts >= min_count):
+            out[(self.items_a[ia], self.items_b[ib])] = int(counts[ia, ib])
+
+
+@dataclass
+class _CatCatPlan:
+    """Both attributes categorical: a joint histogram lookup."""
+
+    attrs: tuple
+    items_a: list
+    items_b: list
+
+    def shard_counts(self, view) -> np.ndarray:
+        a, b = self.attrs
+        shape = (view.cardinality(a), view.cardinality(b))
+        flat = np.ravel_multi_index(
+            (view.column(a), view.column(b)), shape
+        )
+        return np.bincount(
+            flat, minlength=shape[0] * shape[1]
+        ).reshape(shape)
+
+    def emit(self, table, min_count, out, stats) -> None:
+        if stats is not None:
+            stats.record("array")
+        for ia in self.items_a:
+            for ib in self.items_b:
+                count = int(table[ia.lo, ib.lo])
+                if count >= min_count:
+                    out[(ia, ib)] = count
+
+
+@dataclass
+class _CatQuantPlan:
+    """Mixed pair: one masked 1-D prefix-sum counter per categorical value."""
+
+    cat_items: list
+    quant_items: list
+
+    def shard_counts(self, view) -> np.ndarray:
+        ranges = [(it.lo, it.hi) for it in self.quant_items]
+        quant_attr = self.quant_items[0].attribute
+        rows = [
+            PrefixSumCounter(
+                view,
+                (quant_attr,),
+                view.column(cat_item.attribute) == cat_item.lo,
+            ).count_cross([ranges])
+            for cat_item in self.cat_items
+        ]
+        return np.stack(rows)
+
+    def emit(self, counts, min_count, out, stats) -> None:
+        for row, cat_item in zip(counts, self.cat_items):
+            if stats is not None:
+                stats.record("array")
+            for (iq,) in np.argwhere(row >= min_count):
+                quant_item = self.quant_items[iq]
+                itemset = tuple(sorted((cat_item, quant_item)))
+                out[itemset] = int(row[iq])
+
+
+@dataclass
+class _ExplicitPlan:
+    """rtree/direct path: the pair's candidates counted per group."""
+
+    groups: list
+    backends: list
+
+    def shard_counts(self, view) -> list:
+        return count_groups(self.groups, self.backends, view)
+
+    def emit(self, per_group, min_count, out, stats) -> None:
+        for group, resolved, counts in zip(
+            self.groups, self.backends, per_group
+        ):
+            if stats is not None:
+                stats.record(resolved)
+            for itemset, count in zip(group.candidates, counts):
+                if count >= min_count:
+                    out[itemset] = int(count)
+
+
+def build_pair_plans(
+    item_buckets: dict,
+    mapper: TableMapper,
+    quantitative: set,
+    backend: str = "array",
+    memory_budget_bytes: int = 256 * 1024 * 1024,
+):
+    """One plan per attribute pair, plus the pass-2 candidate tally."""
+    plans: list = []
+    num_candidates = 0
+    attrs = sorted(item_buckets)
+    for i, a in enumerate(attrs):
+        for b in attrs[i + 1:]:
+            items_a, items_b = item_buckets[a], item_buckets[b]
+            num_candidates += len(items_a) * len(items_b)
+            if backend in ("rtree", "direct"):
+                explicit = [(ia, ib) for ia in items_a for ib in items_b]
+                groups = group_candidates(explicit, quantitative)
+                plans.append(
+                    _ExplicitPlan(
+                        groups,
+                        resolve_group_backends(
+                            groups, mapper, backend, memory_budget_bytes
+                        ),
+                    )
+                )
+                continue
+            a_quant, b_quant = a in quantitative, b in quantitative
+            if a_quant and b_quant:
+                plans.append(
+                    _QuantQuantPlan((a, b), list(items_a), list(items_b))
+                )
+            elif not a_quant and not b_quant:
+                plans.append(
+                    _CatCatPlan((a, b), list(items_a), list(items_b))
+                )
+            else:
+                cat_items, quant_items = (
+                    (items_a, items_b) if b_quant else (items_b, items_a)
+                )
+                plans.append(
+                    _CatQuantPlan(list(cat_items), list(quant_items))
+                )
+    return plans, num_candidates
+
+
+def _count_pairs_shard(view, plans):
+    """Shard worker: raw counts for every pair plan on one shard."""
+    return [plan.shard_counts(view) for plan in plans]
+
+
+def _merge_pair_counts(left, right):
+    if isinstance(left, np.ndarray):
+        return left + right
+    return [
+        [a + b for a, b in zip(l_row, r_row)]
+        for l_row, r_row in zip(left, right)
+    ]
 
 
 def count_frequent_pairs(
@@ -323,6 +577,10 @@ def count_frequent_pairs(
     backend: str = "array",
     memory_budget_bytes: int = 256 * 1024 * 1024,
     stats: CountingStats | None = None,
+    *,
+    executor=None,
+    shards=None,
+    execution_stats=None,
 ):
     """Pass 2, specialized: return frequent 2-itemsets and the candidate tally.
 
@@ -334,87 +592,39 @@ def count_frequent_pairs(
     per-candidate cost dominates anyway and they remain available for
     validation and the counting ablation).
 
+    With an ``executor``/``shards`` pair, each shard computes raw counts
+    for every plan, the per-shard counts are summed, and the minimum-count
+    threshold is applied once to the exact global sums.
+
     Returns ``(frequent: dict, num_candidates: int)``.
     """
-    frequent: dict = {}
-    num_candidates = 0
-    attrs = sorted(item_buckets)
-    for i, a in enumerate(attrs):
-        for b in attrs[i + 1:]:
-            items_a, items_b = item_buckets[a], item_buckets[b]
-            num_candidates += len(items_a) * len(items_b)
-            a_quant, b_quant = a in quantitative, b in quantitative
-            if backend in ("rtree", "direct"):
-                explicit = [
-                    (ia, ib) for ia in items_a for ib in items_b
-                ]
-                counted = count_itemsets(
-                    explicit, mapper, quantitative, backend,
-                    memory_budget_bytes, stats,
-                )
-                for itemset, count in counted.items():
-                    if count >= min_count:
-                        frequent[itemset] = count
-                continue
-            if a_quant and b_quant:
-                _pairs_quant_quant(
-                    items_a, items_b, mapper, (a, b), min_count,
-                    frequent, stats,
-                )
-            elif not a_quant and not b_quant:
-                _pairs_cat_cat(
-                    items_a, items_b, mapper, (a, b), min_count, frequent
-                )
-                if stats is not None:
-                    stats.record("array")
-            else:
-                cat_items, quant_items = (
-                    (items_a, items_b) if b_quant else (items_b, items_a)
-                )
-                _pairs_cat_quant(
-                    cat_items, quant_items, mapper, min_count,
-                    frequent, stats,
-                )
-    return frequent, num_candidates
-
-
-def _pairs_quant_quant(items_a, items_b, mapper, pair, min_count, out, stats):
-    counter = PrefixSumCounter(mapper, pair)
-    ranges_a = [(it.lo, it.hi) for it in items_a]
-    ranges_b = [(it.lo, it.hi) for it in items_b]
-    counts = counter.count_cross([ranges_a, ranges_b])
-    if stats is not None:
-        stats.record("array")
-    for ia, ib in np.argwhere(counts >= min_count):
-        out[(items_a[ia], items_b[ib])] = int(counts[ia, ib])
-
-
-def _pairs_cat_cat(items_a, items_b, mapper, pair, min_count, out):
-    a, b = pair
-    shape = (mapper.cardinality(a), mapper.cardinality(b))
-    flat = np.ravel_multi_index(
-        (mapper.column(a), mapper.column(b)), shape
+    plans, num_candidates = build_pair_plans(
+        item_buckets, mapper, quantitative, backend, memory_budget_bytes
     )
-    table = np.bincount(flat, minlength=shape[0] * shape[1]).reshape(shape)
-    for ia in items_a:
-        for ib in items_b:
-            count = int(table[ia.lo, ib.lo])
-            if count >= min_count:
-                out[(ia, ib)] = count
-
-
-def _pairs_cat_quant(cat_items, quant_items, mapper, min_count, out, stats):
-    ranges = [(it.lo, it.hi) for it in quant_items]
-    for cat_item in cat_items:
-        mask = mapper.column(cat_item.attribute) == cat_item.lo
-        counter = PrefixSumCounter(
-            mapper, (quant_items[0].attribute,), mask
+    frequent: dict = {}
+    if not plans:
+        return frequent, num_candidates
+    if executor is None and shards is None:
+        merged = _count_pairs_shard(mapper, plans)
+    else:
+        if shards is None:
+            shards = plan_shards(mapper.num_records)
+        per_shard = sharded_map(
+            executor,
+            mapper,
+            shards,
+            _count_pairs_shard,
+            plans,
+            stats=execution_stats,
+            stage="count_pairs",
         )
-        counts = counter.count_cross([ranges])
-        if stats is not None:
-            stats.record("array")
-        for (iq,) in np.argwhere(counts >= min_count):
-            quant_item = quant_items[iq]
-            itemset = tuple(sorted((cat_item, quant_item)))
-            out[itemset] = int(counts[iq])
+        merged = per_shard[0]
+        for shard_result in per_shard[1:]:
+            merged = [
+                _merge_pair_counts(m, s)
+                for m, s in zip(merged, shard_result)
+            ]
+    for plan, counts in zip(plans, merged):
+        plan.emit(counts, min_count, frequent, stats)
+    return frequent, num_candidates
 

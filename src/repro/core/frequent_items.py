@@ -10,12 +10,17 @@ all longer itemsets are grown.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..engine.sharded import sharded_map
+from ..engine.stage import PipelineStage
+from .config import SUPPORT_AND_CONFIDENCE
 from .items import Item
 from .mapper import TableMapper
+from .stats import PassStats
 
 
 @dataclass
@@ -80,12 +85,60 @@ class FrequentItems:
         return sorted(self.supports)
 
 
+def _histogram_shard(view, _payload):
+    """Shard worker: one value histogram per attribute on this shard."""
+    return [
+        np.bincount(view.column(a), minlength=view.cardinality(a)).astype(
+            np.int64
+        )
+        for a in range(view.num_attributes)
+    ]
+
+
+def attribute_histograms(
+    mapper: TableMapper,
+    *,
+    executor=None,
+    shards=None,
+    execution_stats=None,
+) -> list:
+    """Per-attribute value counts, optionally sharded over records.
+
+    Per-shard histograms are integer vectors summed elementwise, so any
+    shard layout reproduces the single-pass ``np.bincount`` exactly.
+    """
+    if (executor is None and shards is None) or not shards:
+        return [
+            np.bincount(
+                mapper.column(a), minlength=mapper.cardinality(a)
+            ).astype(np.int64)
+            for a in range(mapper.num_attributes)
+        ]
+    per_shard = sharded_map(
+        executor,
+        mapper,
+        shards,
+        _histogram_shard,
+        None,
+        stats=execution_stats,
+        stage="item_histograms",
+    )
+    merged = per_shard[0]
+    for shard_counts in per_shard[1:]:
+        merged = [m + s for m, s in zip(merged, shard_counts)]
+    return merged
+
+
 def find_frequent_items(
     mapper: TableMapper,
     min_support: float,
     max_support: float,
     interest_level: float = 0.0,
     prune_by_interest: bool = False,
+    *,
+    executor=None,
+    shards=None,
+    execution_stats=None,
 ) -> FrequentItems:
     """Generate all frequent items of the mapped table.
 
@@ -108,12 +161,18 @@ def find_frequent_items(
     min_count = min_support * n
     max_count = max_support * n
 
+    histograms = attribute_histograms(
+        mapper,
+        executor=executor,
+        shards=shards,
+        execution_stats=execution_stats,
+    )
     supports: dict = {}
     attribute_counts: list = []
     for a in range(mapper.num_attributes):
         mapping = mapper.mapping(a)
-        counts = np.bincount(mapper.column(a), minlength=mapping.cardinality)
-        dist = AttributeCounts(counts.astype(np.int64))
+        counts = histograms[a]
+        dist = AttributeCounts(counts)
         attribute_counts.append(dist)
 
         # Single values (categorical and quantitative alike).  A lone
@@ -157,6 +216,62 @@ def find_frequent_items(
         }
         _interest_prune(result, interest_level, rangeable)
     return result
+
+
+class FrequentItemsStage(PipelineStage):
+    """Pass 1 of the level-wise search as a pipeline stage.
+
+    Produces the frequent items (values + merged ranges) and seeds the
+    ``support_counts`` dictionary with the 1-itemsets.  The per-attribute
+    histogram scan — the only record-linear part of this pass — runs
+    sharded under the context's executor.
+    """
+
+    name = "frequent_items"
+    inputs = ("mapper", "config")
+    outputs = ("frequent_items", "support_counts")
+
+    def run(self, context) -> dict:
+        mapper = context.artifacts["mapper"]
+        config = context.artifacts["config"]
+        started = time.perf_counter()
+        prune = (
+            config.interest_enabled
+            and config.interest_mode == SUPPORT_AND_CONFIDENCE
+        )
+        freq_items = find_frequent_items(
+            mapper,
+            config.min_support,
+            config.max_support,
+            interest_level=config.effective_interest_level,
+            prune_by_interest=prune,
+            executor=context.executor,
+            shards=context.shards,
+            execution_stats=context.execution_stats,
+        )
+        support_counts = {
+            (item,): count for item, count in freq_items.supports.items()
+        }
+        stats = context.stats
+        if stats is not None:
+            stats.items_pruned_by_interest = len(
+                freq_items.pruned_by_interest
+            )
+            stats.passes.append(
+                PassStats(
+                    size=1,
+                    num_candidates=sum(
+                        mapper.cardinality(a)
+                        for a in range(mapper.num_attributes)
+                    ),
+                    num_frequent=len(support_counts),
+                    counting_seconds=time.perf_counter() - started,
+                )
+            )
+        return {
+            "frequent_items": freq_items,
+            "support_counts": support_counts,
+        }
 
 
 def _interest_prune(

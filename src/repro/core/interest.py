@@ -42,12 +42,31 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..engine.stage import PipelineStage
 from .config import SUPPORT_AND_CONFIDENCE, MinerConfig
 from .counting import PrefixSumCounter
 from .frequent_items import FrequentItems
 from .items import Item
 from .mapper import TableMapper
 from .rules import QuantitativeRule
+
+
+class InterestFilterStage(PipelineStage):
+    """Step 5 as a pipeline stage: keep the interesting rules."""
+
+    name = "interest"
+    inputs = ("rules", "support_counts", "frequent_items", "mapper", "config")
+    outputs = ("interesting_rules",)
+
+    def run(self, context) -> dict:
+        a = context.artifacts
+        evaluator = InterestEvaluator(
+            a["support_counts"], a["frequent_items"], a["mapper"], a["config"]
+        )
+        interesting = evaluator.filter_rules(a["rules"])
+        if context.stats is not None:
+            context.stats.num_interesting_rules = len(interesting)
+        return {"interesting_rules": interesting}
 
 _EPS = 1e-9
 

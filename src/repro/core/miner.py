@@ -21,13 +21,13 @@ import time
 from dataclasses import dataclass
 
 from ..table import RelationalTable
-from .apriori_quant import find_frequent_itemsets
-from .config import MinerConfig
+from .apriori_quant import FrequentItemsetSearch, build_engine_context
+from .config import ExecutionConfig, MinerConfig
 from .frequent_items import FrequentItems
-from .interest import InterestEvaluator
+from .interest import InterestEvaluator, InterestFilterStage
 from .mapper import TableMapper
 from .partial_completeness import completeness_from_partitioning
-from .rulegen import generate_rules
+from .rulegen import RuleGenerationStage
 from .rules import QuantitativeRule
 from .stats import MiningStats
 
@@ -82,10 +82,19 @@ class MiningResult:
         )
 
     def describe_rules(self, rules=None, limit=None) -> str:
-        """Multi-line rendering of a rule list (default: interesting)."""
+        """Multi-line rendering of a rule list (default: interesting).
+
+        Ordered by descending support, then descending confidence, with
+        the rule's canonical (antecedent, consequent) identity as the
+        final tie-break so equal-metric rules render in a deterministic
+        order regardless of how the input list was produced.
+        """
         if rules is None:
             rules = self.interesting_rules
-        ordered = sorted(rules, key=lambda r: (-r.support, -r.confidence))
+        ordered = sorted(
+            rules,
+            key=lambda r: (-r.support, -r.confidence, r.sort_key()),
+        )
         if limit is not None:
             ordered = ordered[:limit]
         return "\n".join(self.describe(r) for r in ordered)
@@ -107,7 +116,6 @@ class MiningResult:
                 "interest parameters it was mined with"
             )
         from .explain import explain_rule
-        from .interest import InterestEvaluator
 
         evaluator = InterestEvaluator(
             self.support_counts, self.frequent_items, self.mapper, self.config
@@ -172,6 +180,11 @@ class QuantitativeMiner:
         ``config`` overrides the construction-time configuration for this
         run (callers are responsible for keeping partitioning-relevant
         fields unchanged; see the class docstring).
+
+        The three steps run as pipeline stages through the execution
+        engine: the executor and shard layout come from
+        ``config.execution``, and the engine's per-stage wall-clock lands
+        in ``stats.phase_seconds`` under the historical phase names.
         """
         config = config or self._config
         stats = MiningStats(
@@ -186,33 +199,31 @@ class QuantitativeMiner:
         )
         started = time.perf_counter()
 
-        phase = time.perf_counter()
-        support_counts, frequent_items = find_frequent_itemsets(
-            self._mapper, config, stats
-        )
-        stats.phase_seconds["frequent_itemsets"] = time.perf_counter() - phase
-
-        phase = time.perf_counter()
-        rules = generate_rules(
-            support_counts, self._mapper.num_records, config.effective_min_confidence
-        )
-        stats.num_rules = len(rules)
-        stats.phase_seconds["rule_generation"] = time.perf_counter() - phase
-
-        phase = time.perf_counter()
-        evaluator = InterestEvaluator(
-            support_counts, frequent_items, self._mapper, config
-        )
-        interesting = evaluator.filter_rules(rules)
-        stats.num_interesting_rules = len(interesting)
-        stats.phase_seconds["interest"] = time.perf_counter() - phase
+        engine, context = build_engine_context(self._mapper, config, stats)
+        with context.executor:
+            engine.run(
+                [
+                    FrequentItemsetSearch(),
+                    RuleGenerationStage(),
+                    InterestFilterStage(),
+                ],
+                context,
+            )
+        artifacts = context.artifacts
+        stats.phase_seconds["frequent_itemsets"] = engine.stage_seconds[
+            "frequent_itemsets"
+        ]
+        stats.phase_seconds["rule_generation"] = engine.stage_seconds[
+            "rule_generation"
+        ]
+        stats.phase_seconds["interest"] = engine.stage_seconds["interest"]
 
         stats.total_seconds = time.perf_counter() - started
         return MiningResult(
-            rules=rules,
-            interesting_rules=interesting,
-            support_counts=support_counts,
-            frequent_items=frequent_items,
+            rules=artifacts["rules"],
+            interesting_rules=artifacts["interesting_rules"],
+            support_counts=artifacts["support_counts"],
+            frequent_items=artifacts["frequent_items"],
             mapper=self._mapper,
             stats=stats,
             config=config,
@@ -252,9 +263,24 @@ def mine_quantitative_rules(
     """One-call API: encode ``table`` and mine with ``config``.
 
     Keyword overrides build a :class:`MinerConfig` when none is given,
-    e.g. ``mine_quantitative_rules(table, min_support=0.2)``.
+    e.g. ``mine_quantitative_rules(table, min_support=0.2)``.  The
+    execution-engine knobs are accepted directly —
+    ``mine_quantitative_rules(table, executor="parallel", num_workers=4)``
+    — and folded into the config's ``execution`` block.
     """
     if config is None:
+        execution_overrides = {
+            key: overrides.pop(key)
+            for key in ("executor", "num_workers", "shard_size")
+            if key in overrides
+        }
+        if execution_overrides:
+            if "execution" in overrides:
+                raise TypeError(
+                    "pass either an execution= block or the flat "
+                    "executor/num_workers/shard_size overrides, not both"
+                )
+            overrides["execution"] = ExecutionConfig(**execution_overrides)
         config = MinerConfig(**overrides)
     elif overrides:
         raise TypeError(

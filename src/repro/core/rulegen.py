@@ -15,8 +15,28 @@ them), so confidence lookups never miss.
 from __future__ import annotations
 
 from ..booleans.apriori import generate_candidates as _grow_consequents
+from ..engine.stage import PipelineStage
 from .items import make_itemset
 from .rules import QuantitativeRule
+
+
+class RuleGenerationStage(PipelineStage):
+    """Step 4 as a pipeline stage: frequent itemsets in, rules out."""
+
+    name = "rule_generation"
+    inputs = ("support_counts", "mapper", "config")
+    outputs = ("rules",)
+
+    def run(self, context) -> dict:
+        a = context.artifacts
+        rules = generate_rules(
+            a["support_counts"],
+            a["mapper"].num_records,
+            a["config"].effective_min_confidence,
+        )
+        if context.stats is not None:
+            context.stats.num_rules = len(rules)
+        return {"rules": rules}
 
 
 def generate_rules(

@@ -23,6 +23,37 @@ class PassStats:
 
 
 @dataclass
+class ExecutionStats:
+    """How the execution engine ran: workers, shards, per-shard time.
+
+    ``stage_shard_seconds`` maps a sharded stage name (e.g.
+    ``"count_itemsets"``) to the wall-clock seconds of every shard task
+    it dispatched, in dispatch order — the raw material for judging
+    shard balance and parallel efficiency.
+    """
+
+    executor: str = "serial"
+    num_workers: int = 1
+    num_shards: int = 1
+    shard_size: int | None = None
+    stage_shard_seconds: dict = field(default_factory=dict)
+
+    def record_shards(self, stage: str, seconds) -> None:
+        """Append one sharded dispatch's per-shard worker timings."""
+        self.stage_shard_seconds.setdefault(stage, []).extend(seconds)
+
+    @property
+    def num_shard_tasks(self) -> int:
+        return sum(len(v) for v in self.stage_shard_seconds.values())
+
+    def total_shard_seconds(self, stage: str | None = None) -> float:
+        """Summed worker seconds, for one stage or across all stages."""
+        if stage is not None:
+            return sum(self.stage_shard_seconds.get(stage, ()))
+        return sum(sum(v) for v in self.stage_shard_seconds.values())
+
+
+@dataclass
 class MiningStats:
     """Aggregated statistics for a full mining run."""
 
@@ -38,6 +69,7 @@ class MiningStats:
     num_interesting_rules: int = 0
     total_seconds: float = 0.0
     phase_seconds: dict = field(default_factory=dict)
+    execution: ExecutionStats | None = None
 
     @property
     def num_passes(self) -> int:
@@ -78,5 +110,16 @@ class MiningStats:
         lines.append(f"frequent itemsets:   {self.num_frequent_itemsets}")
         lines.append(f"rules:               {self.num_rules}")
         lines.append(f"interesting rules:   {self.num_interesting_rules}")
+        if self.execution is not None:
+            e = self.execution
+            lines.append(
+                f"executor:            {e.executor} "
+                f"({e.num_workers} worker(s), {e.num_shards} shard(s))"
+            )
+            for stage, seconds in sorted(e.stage_shard_seconds.items()):
+                lines.append(
+                    f"  {stage}: {len(seconds)} shard task(s), "
+                    f"{sum(seconds):.2f}s worker time"
+                )
         lines.append(f"total time:          {self.total_seconds:.2f}s")
         return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Staged execution engine.
+
+The miner's five-step pipeline used to run as implicit sequential control
+flow inside ``core``.  This package makes the orchestration explicit and
+pluggable:
+
+- :mod:`~repro.engine.executor` — *where* work runs: an
+  :class:`Executor` maps task lists either in-process
+  (:class:`SerialExecutor`) or across worker processes
+  (:class:`ParallelExecutor`).
+- :mod:`~repro.engine.shards` — *how the table splits*: a
+  :class:`TableShard` is a contiguous record range; per-shard support
+  counts are plain integer sums, so they merge associatively into exact
+  (bit-identical) global counts regardless of the shard layout.
+- :mod:`~repro.engine.stage` — *what runs*: a :class:`PipelineStage`
+  declares its inputs/outputs over a shared artifact namespace and the
+  :class:`ExecutionEngine` validates and times each stage.
+- :mod:`~repro.engine.sharded` — the map-reduce bridge: run a worker
+  function over every shard under whichever executor is configured.
+
+The engine is deliberately domain-free: it never imports ``repro.core``.
+Core modules implement stages and shard workers against these
+interfaces, which keeps the dependency graph acyclic and leaves a single
+seam for future scaling work (async serving, caching, distributed
+backends).
+"""
+
+from .executor import (
+    EXECUTOR_NAMES,
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    resolve_executor,
+)
+from .shards import ShardView, TableShard, plan_shards, shard_view
+from .sharded import sharded_map
+from .stage import ExecutionEngine, PipelineStage, StageContext, StageError
+
+__all__ = [
+    "EXECUTOR_NAMES",
+    "ExecutionEngine",
+    "Executor",
+    "ParallelExecutor",
+    "PipelineStage",
+    "SerialExecutor",
+    "ShardView",
+    "StageContext",
+    "StageError",
+    "TableShard",
+    "plan_shards",
+    "resolve_executor",
+    "shard_view",
+    "sharded_map",
+]

@@ -1,0 +1,97 @@
+"""Pluggable executors: where pipeline work actually runs.
+
+An :class:`Executor` exposes one operation — :meth:`~Executor.map` a
+picklable function over a list of tasks — which is all the sharded
+counting layer needs.  :class:`SerialExecutor` runs in-process;
+:class:`ParallelExecutor` fans tasks out over a lazily created
+``concurrent.futures.ProcessPoolExecutor``.
+
+Task functions handed to :meth:`Executor.map` must be module-level
+callables and their tasks/results picklable, so the same call site works
+under either implementation.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+
+#: User-facing executor names (the ``execution.executor`` config values).
+EXECUTOR_NAMES = ("serial", "parallel")
+
+
+class Executor(ABC):
+    """Maps a function over tasks; context manager owning worker state."""
+
+    #: Name matching the configuration value that selects this executor.
+    name: str = "executor"
+    #: Worker processes the executor may use (1 for serial).
+    num_workers: int = 1
+
+    @abstractmethod
+    def map(self, fn, tasks) -> list:
+        """Apply ``fn`` to every task, preserving task order."""
+
+    def close(self) -> None:
+        """Release worker resources; the executor is unusable afterwards."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """In-process execution — the default, and the reference semantics."""
+
+    name = "serial"
+    num_workers = 1
+
+    def map(self, fn, tasks) -> list:
+        return [fn(task) for task in tasks]
+
+
+class ParallelExecutor(Executor):
+    """Process-pool execution.
+
+    The pool is created on first use so constructing a config-resolved
+    executor stays free, and single-task maps short-circuit in-process
+    (spawning workers for one task only adds overhead).
+    """
+
+    name = "parallel"
+
+    def __init__(self, num_workers: int | None = None) -> None:
+        if num_workers is not None and num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = num_workers or os.cpu_count() or 1
+        self._pool = None
+
+    def map(self, fn, tasks) -> list:
+        tasks = list(tasks)
+        if len(tasks) <= 1 or self.num_workers == 1:
+            return [fn(task) for task in tasks]
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=self.num_workers)
+        return list(self._pool.map(fn, tasks))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def resolve_executor(
+    name: str = "serial", num_workers: int | None = None
+) -> Executor:
+    """Build the executor a configuration names."""
+    if name == "serial":
+        return SerialExecutor()
+    if name == "parallel":
+        return ParallelExecutor(num_workers)
+    raise ValueError(
+        f"executor must be one of {EXECUTOR_NAMES}, got {name!r}"
+    )

@@ -1,0 +1,54 @@
+"""Shard-parallel map: run a worker function over every table shard.
+
+The single bridge between the executor layer and the counting layer:
+``sharded_map(executor, view, shards, fn, payload)`` applies
+``fn(shard_view, payload)`` to each shard under the executor and returns
+the per-shard results in shard order (callers merge them — for support
+counting the merge is integer addition, hence exact).
+
+``fn`` must be a module-level function and ``payload`` picklable so the
+same call works under :class:`~repro.engine.executor.ParallelExecutor`.
+Per-shard wall-clock is measured inside the worker and reported to an
+optional stats sink via ``stats.record_shards(stage, seconds)`` — the
+engine stays duck-typed here so it never imports ``repro.core``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .shards import shard_view
+
+
+def _run_shard(task):
+    """Worker trampoline: unpack one shard task and time it."""
+    fn, view, payload = task
+    started = time.perf_counter()
+    result = fn(view, payload)
+    return result, time.perf_counter() - started
+
+
+def sharded_map(
+    executor,
+    view,
+    shards,
+    fn,
+    payload,
+    *,
+    stats=None,
+    stage: str | None = None,
+) -> list:
+    """Apply ``fn(shard_view, payload)`` to every shard; shard order kept.
+
+    ``executor=None`` runs in-process (identical to a
+    :class:`~repro.engine.executor.SerialExecutor`).  When ``stats`` is
+    given, per-shard worker seconds are recorded under ``stage``.
+    """
+    tasks = [(fn, shard_view(view, shard), payload) for shard in shards]
+    if executor is None:
+        results = [_run_shard(task) for task in tasks]
+    else:
+        results = executor.map(_run_shard, tasks)
+    if stats is not None and stage is not None:
+        stats.record_shards(stage, [seconds for _, seconds in results])
+    return [result for result, _ in results]

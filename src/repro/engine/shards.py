@@ -1,0 +1,107 @@
+"""Record-range sharding of the encoded table.
+
+Support counts are integer sums over records, so counting each
+:class:`TableShard` independently and adding the per-shard results gives
+*exactly* the global counts — no floating point, no approximation — for
+any shard layout.  That associativity is what lets the counting hot path
+run under any executor while staying bit-identical to a serial run.
+
+:class:`ShardView` carries one shard's column slices and presents the
+small "encoded view" surface the counting layer reads from a
+``TableMapper`` (``num_records`` / ``num_attributes`` / ``column`` /
+``cardinality``), so counting code is oblivious to whether it sees the
+whole table or one shard.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Default shards per worker: a little finer than one-per-worker so a
+#: fast worker can steal a second shard instead of idling at the barrier.
+_SHARDS_PER_WORKER = 2
+
+
+@dataclass(frozen=True)
+class TableShard:
+    """A contiguous half-open record range ``[start, stop)``."""
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop < self.start:
+            raise ValueError(
+                f"invalid shard range [{self.start}, {self.stop})"
+            )
+
+    @property
+    def num_records(self) -> int:
+        return self.stop - self.start
+
+
+def plan_shards(
+    num_records: int,
+    shard_size: int | None = None,
+    num_workers: int = 1,
+) -> tuple:
+    """Split ``num_records`` into contiguous shards.
+
+    ``shard_size`` pins the records per shard; when ``None`` the layout
+    follows the executor — one shard for a single worker (no slicing
+    overhead), otherwise ``_SHARDS_PER_WORKER`` shards per worker.  The
+    returned shards always cover ``[0, num_records)`` exactly.
+    """
+    if num_records <= 0:
+        return (TableShard(0, 0),)
+    if shard_size is None:
+        if num_workers <= 1:
+            shard_size = num_records
+        else:
+            shard_size = math.ceil(
+                num_records / (num_workers * _SHARDS_PER_WORKER)
+            )
+    shard_size = max(1, shard_size)
+    return tuple(
+        TableShard(start, min(start + shard_size, num_records))
+        for start in range(0, num_records, shard_size)
+    )
+
+
+class ShardView:
+    """Mapper-compatible view over one shard's integer-coded columns.
+
+    Instances are picklable (plain arrays + ints), so they travel to
+    worker processes; slicing keeps numpy views in-process and copies
+    only the shard's records when pickled across a process boundary.
+    """
+
+    def __init__(self, columns, cardinalities, num_records: int) -> None:
+        self._columns = list(columns)
+        self._cardinalities = list(cardinalities)
+        self._num_records = num_records
+
+    @property
+    def num_records(self) -> int:
+        return self._num_records
+
+    @property
+    def num_attributes(self) -> int:
+        return len(self._columns)
+
+    def column(self, index: int):
+        return self._columns[index]
+
+    def cardinality(self, index: int) -> int:
+        return self._cardinalities[index]
+
+
+def shard_view(view, shard: TableShard) -> ShardView:
+    """Slice a mapper-like ``view`` down to one shard's records."""
+    attrs = range(view.num_attributes)
+    return ShardView(
+        columns=[view.column(a)[shard.start:shard.stop] for a in attrs],
+        cardinalities=[view.cardinality(a) for a in attrs],
+        num_records=shard.num_records,
+    )

@@ -1,0 +1,108 @@
+"""Pipeline stages and the engine that runs them.
+
+A :class:`PipelineStage` declares which artifacts it reads (``inputs``)
+and which it produces (``outputs``) over a shared namespace held by the
+:class:`StageContext`.  The :class:`ExecutionEngine` validates those
+declarations at run time — a stage scheduled before its inputs exist, or
+one that fails to produce a declared output, raises :class:`StageError`
+instead of surfacing as a ``KeyError`` three stages later — and records
+per-stage wall-clock.
+
+Stages receive the context's executor and shard plan, so the *same*
+stage implementation runs serially or fanned out across workers
+depending on configuration, not code.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from .executor import Executor, SerialExecutor
+
+
+class StageError(RuntimeError):
+    """A stage's input/output contract was violated."""
+
+
+@dataclass
+class StageContext:
+    """Shared state threaded through a pipeline run.
+
+    ``artifacts`` is the blackboard stages read from and write to;
+    ``executor``/``shards`` tell sharded stages where and how to fan
+    out; ``stats`` / ``execution_stats`` are optional sinks for mining
+    and per-shard timing counters (duck-typed — the engine never imports
+    their classes).
+    """
+
+    artifacts: dict = field(default_factory=dict)
+    executor: Executor | None = None
+    shards: tuple = ()
+    stats: object = None
+    execution_stats: object = None
+    engine: "ExecutionEngine | None" = None
+
+
+class PipelineStage(ABC):
+    """One named step of the mining pipeline.
+
+    Subclasses set ``name`` (used for timing buckets), ``inputs`` (artifact
+    keys that must exist before the stage runs) and ``outputs`` (keys the
+    stage's return mapping must contain).  ``run`` returns a mapping of
+    newly produced artifacts, which the engine merges into the context.
+    """
+
+    name: str = "stage"
+    inputs: tuple = ()
+    outputs: tuple = ()
+
+    @abstractmethod
+    def run(self, context: StageContext) -> dict | None:
+        """Execute the stage; return produced artifacts (or ``None``)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class ExecutionEngine:
+    """Runs stages against a context, enforcing their declared contracts."""
+
+    def __init__(self, executor: Executor | None = None, shards=()) -> None:
+        self.executor = executor or SerialExecutor()
+        self.shards = tuple(shards)
+        #: Accumulated wall-clock per stage name (re-runs add up, so the
+        #: level-wise passes each get their own bucket).
+        self.stage_seconds: dict = {}
+
+    def run_stage(self, stage: PipelineStage, context: StageContext) -> float:
+        """Run one stage; returns its wall-clock seconds."""
+        if context.engine is None:
+            context.engine = self
+        missing = [k for k in stage.inputs if k not in context.artifacts]
+        if missing:
+            raise StageError(
+                f"stage {stage.name!r} is missing inputs {missing}; "
+                f"available artifacts: {sorted(context.artifacts)}"
+            )
+        started = time.perf_counter()
+        produced = stage.run(context) or {}
+        elapsed = time.perf_counter() - started
+        absent = [k for k in stage.outputs if k not in produced]
+        if absent:
+            raise StageError(
+                f"stage {stage.name!r} did not produce declared outputs "
+                f"{absent}"
+            )
+        context.artifacts.update(produced)
+        self.stage_seconds[stage.name] = (
+            self.stage_seconds.get(stage.name, 0.0) + elapsed
+        )
+        return elapsed
+
+    def run(self, stages, context: StageContext) -> dict:
+        """Run ``stages`` in order; returns the final artifact namespace."""
+        for stage in stages:
+            self.run_stage(stage, context)
+        return context.artifacts

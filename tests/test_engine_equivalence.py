@@ -1,0 +1,113 @@
+"""Property test: execution strategy never changes mining output.
+
+The engine's core guarantee is that executors and shard layouts are
+purely operational — per-shard integer support counts merge by addition,
+backends are resolved once against full-table cardinalities, and pass-2
+thresholding happens once on the merged global counts.  So for *any*
+table, *any* shard size, and *any* executor, the mining result must be
+bit-identical to the serial single-shard reference: same
+``support_counts`` (values *and* dict insertion order), same ``rules``,
+same ``interesting_rules``.
+
+One randomized property drives serial vs. fine-grained shards vs. a
+two-worker process pool across all three counting backends.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ExecutionConfig, MinerConfig, QuantitativeMiner
+from repro.table import RelationalTable, TableSchema, categorical, quantitative
+
+
+def build_table(x_values, y_values, c_values):
+    schema = TableSchema(
+        [
+            quantitative("x"),
+            quantitative("y"),
+            categorical("c", ("a", "b", "d")),
+        ]
+    )
+    return RelationalTable.from_columns(
+        schema,
+        [
+            np.array(x_values, dtype=float),
+            np.array(y_values, dtype=float),
+            np.array(c_values, dtype=np.int64) % 3,
+        ],
+    )
+
+
+draws = st.lists(st.integers(0, 9), min_size=30, max_size=80)
+
+
+def mine_with(table, backend, minsup, execution):
+    config = MinerConfig(
+        min_support=minsup,
+        min_confidence=0.3,
+        max_support=0.6,
+        partial_completeness=3.0,
+        counting=backend,
+        interest_level=1.1,
+        execution=execution,
+    )
+    return QuantitativeMiner(table, config).mine()
+
+
+class TestExecutionEquivalence:
+    @given(
+        draws,
+        draws,
+        draws,
+        st.floats(0.15, 0.4),
+        st.sampled_from(["array", "rtree", "direct"]),
+        st.integers(1, 25),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_execution_strategy_is_invisible(
+        self, xs, ys, cs, minsup, backend, shard_size
+    ):
+        n = min(len(xs), len(ys), len(cs))
+        table = build_table(xs[:n], ys[:n], cs[:n])
+
+        reference = mine_with(
+            table, backend, minsup, ExecutionConfig()
+        )
+        variants = {
+            "sharded-serial": ExecutionConfig(shard_size=shard_size),
+            "parallel": ExecutionConfig(
+                executor="parallel", num_workers=2
+            ),
+            "parallel-sharded": ExecutionConfig(
+                executor="parallel", num_workers=2, shard_size=shard_size
+            ),
+        }
+        for label, execution in variants.items():
+            result = mine_with(table, backend, minsup, execution)
+            assert result.support_counts == reference.support_counts, label
+            assert list(result.support_counts) == list(
+                reference.support_counts
+            ), f"{label}: iteration order diverged"
+            assert result.rules == reference.rules, label
+            assert (
+                result.interesting_rules == reference.interesting_rules
+            ), label
+
+    @given(draws, st.integers(1, 7))
+    @settings(max_examples=6, deadline=None)
+    def test_auto_backend_choice_ignores_shard_layout(
+        self, xs, shard_size
+    ):
+        """`auto` must pick its backend from full-table cardinalities,
+        so tiny shards cannot flip a group to a different backend."""
+        table = build_table(xs, list(reversed(xs)), xs)
+        reference = mine_with(table, "auto", 0.2, ExecutionConfig())
+        sharded = mine_with(
+            table, "auto", 0.2, ExecutionConfig(shard_size=shard_size)
+        )
+        assert sharded.support_counts == reference.support_counts
+        assert (
+            sharded.stats.counting_groups_by_backend
+            == reference.stats.counting_groups_by_backend
+        )
