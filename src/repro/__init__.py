@@ -17,6 +17,7 @@ Public API highlights
 """
 
 from .core import (
+    CacheConfig,
     ExecutionConfig,
     InterestEvaluator,
     Item,
@@ -44,6 +45,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Attribute",
     "AttributeKind",
+    "CacheConfig",
     "ExecutionConfig",
     "InterestEvaluator",
     "Item",

@@ -35,7 +35,13 @@ import argparse
 import json
 import sys
 
-from .core import ExecutionConfig, MinerConfig, QuantitativeMiner, Taxonomy
+from .core import (
+    CacheConfig,
+    ExecutionConfig,
+    MinerConfig,
+    QuantitativeMiner,
+    Taxonomy,
+)
 from .data import generate_credit_table
 from .table import load_csv, save_csv
 
@@ -121,6 +127,18 @@ def build_parser() -> argparse.ArgumentParser:
             "records per table shard for support counting "
             "(default: derived from the worker count; results are "
             "identical for any value)"
+        ),
+    )
+    mine.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the artifact cache (every stage runs)",
+    )
+    mine.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help=(
+            "cache stage artifacts on disk under DIR instead of in "
+            "memory, so repeated invocations reuse each other's work"
         ),
     )
     mine.add_argument(
@@ -223,6 +241,12 @@ def _run_mine(args) -> int:
         num_workers=args.jobs,
         shard_size=args.shard_size,
     )
+    if args.no_cache:
+        cache = CacheConfig(enabled=False)
+    elif args.cache_dir is not None:
+        cache = CacheConfig(backend="disk", directory=args.cache_dir)
+    else:
+        cache = CacheConfig()
     config = MinerConfig(
         min_support=args.min_support,
         min_confidence=args.min_confidence,
@@ -239,6 +263,7 @@ def _run_mine(args) -> int:
         max_itemset_size=args.max_itemset_size,
         taxonomies=taxonomies or None,
         execution=execution,
+        cache=cache,
     )
     categorical = set(_split_names(args.categorical)) | set(taxonomies)
     table = load_csv(

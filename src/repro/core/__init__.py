@@ -10,9 +10,11 @@ from .export import (
     save_rules_json,
 )
 from .config import (
+    CACHE_BACKENDS,
     EXECUTORS,
     SUPPORT_AND_CONFIDENCE,
     SUPPORT_OR_CONFIDENCE,
+    CacheConfig,
     ExecutionConfig,
     MinerConfig,
 )
@@ -63,6 +65,8 @@ __all__ = [
     "save_rules_csv",
     "save_rules_json",
     "AttributeMapping",
+    "CACHE_BACKENDS",
+    "CacheConfig",
     "EXECUTORS",
     "ExecutionConfig",
     "ExecutionStats",

@@ -27,7 +27,7 @@ from ..engine import (
     resolve_executor,
 )
 from .candidates import generate_candidates, pairs_by_attribute
-from .config import MinerConfig
+from .config import COUNTING_CONFIG_KEYS, MinerConfig
 from .counting import CountingStats, count_frequent_pairs, count_itemsets
 from .frequent_items import FrequentItemsStage
 from .mapper import TableMapper
@@ -149,11 +149,20 @@ class FrequentItemsetSearch(PipelineStage):
     Runs :class:`~repro.core.frequent_items.FrequentItemsStage` and then
     the data-dependent sequence of pass stages through the context's
     engine, so every pass shows up in the engine's per-stage timings.
+
+    Cacheable as a whole: a hit restores ``support_counts`` and
+    ``frequent_items`` without running any pass, which is what makes a
+    confidence/interest-only re-mine re-enter the pipeline at rule
+    generation.  The *inner* pass stages stay uncacheable by design —
+    they update ``support_counts`` in place rather than owning it, so
+    skipping one of them individually would corrupt the blackboard.
     """
 
     name = "frequent_itemsets"
     inputs = ("mapper", "config")
     outputs = ("support_counts", "frequent_items")
+    cacheable = True
+    config_keys = COUNTING_CONFIG_KEYS
 
     def run(self, context) -> dict:
         a = context.artifacts
@@ -213,7 +222,10 @@ class FrequentItemsetSearch(PipelineStage):
 
 
 def build_engine_context(
-    mapper: TableMapper, config: MinerConfig, stats: MiningStats | None = None
+    mapper: TableMapper,
+    config: MinerConfig,
+    stats: MiningStats | None = None,
+    cache=None,
 ):
     """Resolve the configured executor/shard plan into an engine + context.
 
@@ -221,6 +233,11 @@ def build_engine_context(
     ``context.executor`` (or use it as a context manager) once the run
     finishes.  When ``stats`` is given, its ``execution`` field is
     populated with the resolved layout.
+
+    ``cache`` is the :class:`~repro.engine.cache.ArtifactCache` the
+    engine consults for fingerprinted stages; pass the *same* cache
+    across runs (as :class:`~repro.core.miner.QuantitativeMiner` does)
+    to make repeated mining incremental.  ``None`` disables caching.
     """
     execution = config.execution
     executor = resolve_executor(execution.executor, execution.num_workers)
@@ -235,7 +252,7 @@ def build_engine_context(
     )
     if stats is not None:
         stats.execution = execution_stats
-    engine = ExecutionEngine(executor, shards)
+    engine = ExecutionEngine(executor, shards, cache=cache)
     context = StageContext(
         artifacts={"mapper": mapper, "config": config},
         executor=executor,

@@ -16,7 +16,6 @@ Three phases over the frequent (k-1)-itemsets L_{k-1}:
 
 from __future__ import annotations
 
-from .items import Item
 
 
 def join(frequent_prev: list, k: int) -> list:

@@ -25,6 +25,56 @@ COUNTING_BACKENDS = ("array", "rtree", "direct", "auto")
 #: Executor names understood by the execution engine.
 EXECUTORS = ("serial", "parallel")
 
+#: Artifact-cache backends understood by :class:`CacheConfig`.
+CACHE_BACKENDS = ("memory", "disk", "none")
+
+# ----------------------------------------------------------------------
+# Stage dependency declarations for the content-addressed artifact cache.
+#
+# Each tuple names the MinerConfig attributes (fields or derived
+# properties) a pipeline stage's declared outputs are a function of —
+# the *transitive* set, since every artifact ultimately derives from
+# (table, config).  The execution block is deliberately absent from all
+# of them: executors and shard layouts are purely operational and must
+# never invalidate cached artifacts.
+# ----------------------------------------------------------------------
+
+#: Fields that shape the encoded table (Steps 1-2: partitioning/mapping).
+PARTITIONING_CONFIG_KEYS = (
+    "min_support",
+    "partial_completeness",
+    "max_quantitative_in_rule",
+    "num_partitions",
+    "partition_method",
+    "taxonomies",
+)
+
+#: Step 3a (frequent items) adds the range cap and the Lemma 5 prune.
+FREQUENT_ITEMS_CONFIG_KEYS = PARTITIONING_CONFIG_KEYS + (
+    "max_support",
+    "item_prune_interest_level",
+)
+
+#: Step 3b (level-wise counting) adds the search bound and the backend
+#: knobs.  The backend choice cannot change *output* (all backends are
+#: bit-identical), but it does change the recorded pass statistics, so
+#: it conservatively participates in the fingerprint.
+COUNTING_CONFIG_KEYS = FREQUENT_ITEMS_CONFIG_KEYS + (
+    "max_itemset_size",
+    "counting",
+    "memory_budget_bytes",
+)
+
+#: Step 4 (rule generation) adds the effective confidence threshold.
+RULEGEN_CONFIG_KEYS = COUNTING_CONFIG_KEYS + ("effective_min_confidence",)
+
+#: Step 5 (interest filter) adds the full interest parameterization.
+INTEREST_CONFIG_KEYS = RULEGEN_CONFIG_KEYS + (
+    "interest_level",
+    "interest_mode",
+    "apply_specialization_check",
+)
+
 
 @dataclass
 class ExecutionConfig:
@@ -46,11 +96,19 @@ class ExecutionConfig:
         serial runs).  Any value yields identical mining output — the
         knob only trades scheduling granularity against per-shard
         overhead.
+    rule_block_size:
+        Work units per block when the *rule* stages fan out: frequent
+        itemsets per rule-generation block, attribute-signature groups
+        per interest-filter block.  ``None`` derives a block count from
+        the worker count (and keeps the rule stages serial under the
+        serial executor).  As with ``shard_size``, any value yields
+        bit-identical output.
     """
 
     executor: str = "serial"
     num_workers: int | None = None
     shard_size: int | None = None
+    rule_block_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTORS:
@@ -65,6 +123,10 @@ class ExecutionConfig:
             raise ValueError(
                 f"shard_size must be >= 1, got {self.shard_size}"
             )
+        if self.rule_block_size is not None and self.rule_block_size < 1:
+            raise ValueError(
+                f"rule_block_size must be >= 1, got {self.rule_block_size}"
+            )
 
     @property
     def resolved_num_workers(self) -> int:
@@ -72,6 +134,66 @@ class ExecutionConfig:
         if self.executor == "serial":
             return 1
         return self.num_workers or os.cpu_count() or 1
+
+
+@dataclass
+class CacheConfig:
+    """How the artifact cache behaves across mining runs.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch.  ``False`` disables caching entirely (every stage
+        runs); equivalent to the CLI's ``--no-cache``.
+    backend:
+        ``"memory"`` (bounded in-process LRU; the default), ``"disk"``
+        (one file per fingerprint under ``directory``, shared across
+        processes), or ``"none"`` (explicitly cache-free).
+    max_entries:
+        LRU bound for the memory backend; ignored by the others.
+    directory:
+        Location for the disk backend; ``None`` uses
+        ``~/.cache/repro``.  Setting a directory while leaving
+        ``backend`` at its default selects the disk backend.
+
+    Caching is purely an optimization: cache keys are content
+    fingerprints of the table plus every configuration field a stage
+    depends on, so a hit always restores exactly what a fresh run would
+    have produced (property-tested in ``tests/test_artifact_cache.py``).
+    """
+
+    enabled: bool = True
+    backend: str = "memory"
+    max_entries: int = 64
+    directory: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in CACHE_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {CACHE_BACKENDS}, "
+                f"got {self.backend!r}"
+            )
+        if self.max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1, got {self.max_entries}"
+            )
+        if self.directory is not None and self.backend == "memory":
+            self.backend = "disk"
+
+    def build(self):
+        """Resolve this configuration into an engine-layer cache.
+
+        Returns an :class:`~repro.engine.cache.ArtifactCache` or
+        ``None`` when caching is disabled (the engine then skips cache
+        consultation entirely).
+        """
+        if not self.enabled or self.backend == "none":
+            return None
+        from ..engine.cache import DiskCache, MemoryCache
+
+        if self.backend == "disk":
+            return DiskCache(self.directory)
+        return MemoryCache(max_entries=self.max_entries)
 
 
 @dataclass
@@ -145,6 +267,12 @@ class MinerConfig:
         shard size).  An :class:`ExecutionConfig`, a plain dict of its
         fields, or ``None`` for the serial default.  Purely operational:
         every setting produces bit-identical mining output.
+    cache:
+        How stage artifacts are cached across runs (see
+        :class:`CacheConfig`).  A :class:`CacheConfig`, a plain dict of
+        its fields, or ``None`` for the in-memory default.  Also purely
+        operational: a cache hit restores exactly what the stage would
+        have produced.
     """
 
     min_support: float = 0.1
@@ -163,6 +291,7 @@ class MinerConfig:
     taxonomies: dict | None = None
     lemma1_confidence_adjustment: bool = False
     execution: ExecutionConfig | None = field(default=None)
+    cache: CacheConfig | None = field(default=None)
 
     def __post_init__(self) -> None:
         if self.execution is None:
@@ -173,6 +302,15 @@ class MinerConfig:
             raise TypeError(
                 "execution must be an ExecutionConfig, a dict of its "
                 f"fields, or None; got {type(self.execution).__name__}"
+            )
+        if self.cache is None:
+            self.cache = CacheConfig()
+        elif isinstance(self.cache, dict):
+            self.cache = CacheConfig(**self.cache)
+        elif not isinstance(self.cache, CacheConfig):
+            raise TypeError(
+                "cache must be a CacheConfig, a dict of its fields, or "
+                f"None; got {type(self.cache).__name__}"
             )
         if not 0.0 < self.min_support <= 1.0:
             raise ValueError(
@@ -234,6 +372,26 @@ class MinerConfig:
         if not self.lemma1_confidence_adjustment:
             return self.min_confidence
         return self.min_confidence / self.partial_completeness
+
+    @property
+    def item_prune_interest_level(self) -> float | None:
+        """The interest level *as it affects frequent-item generation*.
+
+        The Lemma 5 prune deletes over-supported rangeable items during
+        the first pass, but only in support-and-confidence mode with
+        R > 1 — in every other configuration the interest level has no
+        effect on items or itemsets.  Cache fingerprints of the counting
+        stages use this derived value instead of ``interest_level``
+        itself, so a confidence/interest-only sweep in the default OR
+        mode re-uses cached ``support_counts``.
+        """
+        if (
+            self.interest_enabled
+            and self.interest_mode == SUPPORT_AND_CONFIDENCE
+            and self.effective_interest_level > 1.0
+        ):
+            return self.effective_interest_level
+        return None
 
     @property
     def interest_enabled(self) -> bool:

@@ -48,7 +48,6 @@ import numpy as np
 from ..engine.sharded import sharded_map
 from ..engine.shards import plan_shards
 from ..rtree import Rect, bulk_load
-from .items import Item
 from .mapper import TableMapper
 
 #: Prefer the array while its memory is within this factor of the

@@ -17,7 +17,7 @@ import numpy as np
 
 from ..engine.sharded import sharded_map
 from ..engine.stage import PipelineStage
-from .config import SUPPORT_AND_CONFIDENCE
+from .config import FREQUENT_ITEMS_CONFIG_KEYS, SUPPORT_AND_CONFIDENCE
 from .items import Item
 from .mapper import TableMapper
 from .stats import PassStats
@@ -225,11 +225,18 @@ class FrequentItemsStage(PipelineStage):
     ``support_counts`` dictionary with the 1-itemsets.  The per-attribute
     histogram scan — the only record-linear part of this pass — runs
     sharded under the context's executor.
+
+    Cacheable: the outputs are a pure function of the encoded table and
+    the declared config fields (note ``item_prune_interest_level``
+    rather than ``interest_level`` — the interest level only reaches
+    items through the Lemma 5 prune).
     """
 
     name = "frequent_items"
     inputs = ("mapper", "config")
     outputs = ("frequent_items", "support_counts")
+    cacheable = True
+    config_keys = FREQUENT_ITEMS_CONFIG_KEYS
 
     def run(self, context) -> dict:
         mapper = context.artifacts["mapper"]

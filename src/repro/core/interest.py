@@ -34,6 +34,12 @@ measure), so the group scan is vectorized: rules sharing an attribute
 signature become numpy bound/probability matrices, processed in batches
 of equal generality (equal total range width — rules of equal generality
 cannot be each other's ancestors).
+
+Groups are mutually independent — ancestry never crosses an attribute
+signature — so the filter also fans out by *blocks of signature groups*
+through :func:`~repro.engine.sharded.partitioned_map`.  Workers receive a
+picklable full-table view of the mapper; blocks merge in block order and
+the final canonical sort keeps the output bit-identical to serial.
 """
 
 from __future__ import annotations
@@ -42,28 +48,52 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..engine.sharded import partitioned_map, plan_blocks
+from ..engine.shards import TableShard, shard_view
 from ..engine.stage import PipelineStage
-from .config import SUPPORT_AND_CONFIDENCE, MinerConfig
+from .config import (
+    INTEREST_CONFIG_KEYS,
+    SUPPORT_AND_CONFIDENCE,
+    MinerConfig,
+)
 from .counting import PrefixSumCounter
 from .frequent_items import FrequentItems
 from .items import Item
 from .mapper import TableMapper
 from .rules import QuantitativeRule
 
+#: Fan the interest filter out only past this many signature groups —
+#: each task ships the full support dictionary and frequent-item
+#: distributions, which a few small groups cannot amortize.
+_MIN_GROUPS_TO_FAN_OUT = 8
+
 
 class InterestFilterStage(PipelineStage):
-    """Step 5 as a pipeline stage: keep the interesting rules."""
+    """Step 5 as a pipeline stage: keep the interesting rules.
+
+    Cacheable — the fingerprint covers the interest level, mode and
+    specialization toggle, so an interest-only sweep re-runs exactly
+    this stage against cached rules.
+    """
 
     name = "interest"
     inputs = ("rules", "support_counts", "frequent_items", "mapper", "config")
     outputs = ("interesting_rules",)
+    cacheable = True
+    config_keys = INTEREST_CONFIG_KEYS
 
     def run(self, context) -> dict:
         a = context.artifacts
+        config = a["config"]
         evaluator = InterestEvaluator(
-            a["support_counts"], a["frequent_items"], a["mapper"], a["config"]
+            a["support_counts"], a["frequent_items"], a["mapper"], config
         )
-        interesting = evaluator.filter_rules(a["rules"])
+        interesting = evaluator.filter_rules(
+            a["rules"],
+            executor=context.executor,
+            block_size=config.execution.rule_block_size,
+            execution_stats=context.execution_stats,
+        )
         if context.stats is not None:
             context.stats.num_interesting_rules = len(interesting)
         return {"interesting_rules": interesting}
@@ -373,7 +403,14 @@ class InterestEvaluator:
             return True
         return self.specialization_condition(rule.itemset, ancestor.itemset)
 
-    def filter_rules(self, rules) -> list:
+    def filter_rules(
+        self,
+        rules,
+        *,
+        executor=None,
+        block_size: int | None = None,
+        execution_stats=None,
+    ) -> list:
         """Return the rules that are interesting within ``rules``.
 
         Each attribute-signature group is processed most-general-first in
@@ -381,6 +418,12 @@ class InterestEvaluator:
         minimality and the deviation tests run as numpy matrix operations
         against the group's accumulated interesting set, and only
         deviation survivors reach the (cached) specialization check.
+
+        Groups are independent of one another, so with a multi-worker
+        ``executor`` (or an explicit ``block_size``) blocks of groups run
+        under the executor via :func:`~repro.engine.sharded.partitioned_map`;
+        the merged, canonically sorted output is bit-identical to the
+        serial path.
         """
         self.stats.rules_total = len(rules)
         if not self._config.interest_enabled:
@@ -390,10 +433,57 @@ class InterestEvaluator:
         groups: dict = {}
         for rule in rules:
             groups.setdefault(rule.attribute_signature(), []).append(rule)
+        group_list = list(groups.values())
+
+        # Mirror the rule-generation fan-out policy: an explicit block
+        # size always takes the block path, the derived layout only once
+        # there are enough groups to amortize the per-task payload.
+        if block_size is not None:
+            min_work = 1
+        else:
+            min_work = _MIN_GROUPS_TO_FAN_OUT
+        fan_out = (
+            executor is not None
+            and (
+                getattr(executor, "num_workers", 1) > 1
+                or block_size is not None
+            )
+            and len(group_list) >= min_work
+        )
 
         interesting: list = []
-        for group in groups.values():
-            interesting.extend(self._filter_group(group))
+        if fan_out:
+            # A full-table shard view is mapper-compatible and picklable,
+            # which is all the worker-side evaluator needs for on-demand
+            # (difference itemset) support counting.
+            view = shard_view(
+                self._mapper, TableShard(0, self._mapper.num_records)
+            )
+            blocks = plan_blocks(
+                group_list, getattr(executor, "num_workers", 1), block_size
+            )
+            payloads = [
+                (block, self._supports, self._freq, view, self._config)
+                for block in blocks
+            ]
+            for kept, worker_stats in partitioned_map(
+                executor,
+                _interest_block,
+                payloads,
+                stats=execution_stats,
+                stage="interest",
+            ):
+                interesting.extend(kept)
+                self.stats.deviation_tests += worker_stats.deviation_tests
+                self.stats.specialization_checks += (
+                    worker_stats.specialization_checks
+                )
+                self.stats.on_demand_supports += (
+                    worker_stats.on_demand_supports
+                )
+        else:
+            for group in group_list:
+                interesting.extend(self._filter_group(group))
         interesting.sort(key=QuantitativeRule.sort_key)
         self.stats.rules_interesting = len(interesting)
         return interesting
@@ -598,16 +688,40 @@ class _GroupFilter:
         np.fill_diagonal(among, False)
         return ancestor_rows[~among.any(axis=1)]
 
+def _interest_block(payload) -> tuple:
+    """Worker: filter one block of attribute-signature groups.
+
+    Builds a private evaluator over the shipped full-table view and runs
+    the group machinery on its block only; returns the kept rules (in
+    group order) plus the worker's counters for merging.
+    """
+    groups, support_counts, frequent_items, view, config = payload
+    evaluator = InterestEvaluator(support_counts, frequent_items, view, config)
+    kept: list = []
+    for group in groups:
+        kept.extend(evaluator._filter_group(group))
+    return kept, evaluator.stats
+
+
 def filter_interesting_rules(
     rules,
     support_counts,
     frequent_items,
     mapper,
     config,
+    *,
+    executor=None,
+    block_size: int | None = None,
+    execution_stats=None,
 ):
     """Convenience wrapper: build an evaluator and filter in one call."""
     evaluator = InterestEvaluator(
         support_counts, frequent_items, mapper, config
     )
-    kept = evaluator.filter_rules(rules)
+    kept = evaluator.filter_rules(
+        rules,
+        executor=executor,
+        block_size=block_size,
+        execution_stats=execution_stats,
+    )
     return kept, evaluator.stats

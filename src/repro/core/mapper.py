@@ -232,6 +232,22 @@ class TableMapper:
     def num_records(self) -> int:
         return self._table.num_records
 
+    def fingerprint(self) -> str:
+        """The underlying table's content fingerprint, memoized here too.
+
+        The mapper adds nothing to the key on purpose: everything the
+        encoding depends on beyond the raw table (partition counts,
+        method, taxonomies) is configuration, and cacheable stages
+        declare those fields via ``config_keys`` — so (table
+        fingerprint, declared config values) fully addresses any
+        encoded artifact.
+        """
+        fp = getattr(self, "_fingerprint", None)
+        if fp is None:
+            fp = self._table.fingerprint()
+            self._fingerprint = fp
+        return fp
+
     @property
     def num_attributes(self) -> int:
         return len(self._mappings)

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 from ..table import RelationalTable
 from .apriori_quant import FrequentItemsetSearch, build_engine_context
-from .config import ExecutionConfig, MinerConfig
+from .config import CacheConfig, ExecutionConfig, MinerConfig
 from .frequent_items import FrequentItems
 from .interest import InterestEvaluator, InterestFilterStage
 from .mapper import TableMapper
@@ -159,12 +159,20 @@ class QuantitativeMiner:
     ``partial_completeness`` affect the partitioning itself (Equation 2),
     so sweeps over those must construct a fresh miner per point, as the
     module-level convenience function does.
+
+    The miner also owns the artifact cache (built from
+    ``config.cache``) and hands it to every :meth:`mine` call, so a
+    sweep that only changes ``min_confidence`` or ``interest_level``
+    re-enters the pipeline at rule generation against cached
+    ``support_counts`` instead of re-counting the table.
     """
 
     def __init__(self, table: RelationalTable, config: MinerConfig) -> None:
         self._table = table
         self._config = config
         self._mapper = TableMapper(table, config)
+        self._cache = config.cache.build()
+        self._cumulative_stage_seconds: dict = {}
 
     @property
     def mapper(self) -> TableMapper:
@@ -173,6 +181,22 @@ class QuantitativeMiner:
     @property
     def config(self) -> MinerConfig:
         return self._config
+
+    @property
+    def cache(self):
+        """The artifact cache shared by this miner's runs (or ``None``)."""
+        return self._cache
+
+    def _cache_for(self, config: MinerConfig):
+        """The cache a run with ``config`` should use.
+
+        Runs whose cache configuration matches the construction-time one
+        share the miner's cache (that sharing is what makes sweeps
+        incremental); a run overriding the cache block gets its own.
+        """
+        if config is self._config or config.cache == self._config.cache:
+            return self._cache
+        return config.cache.build()
 
     def mine(self, config: MinerConfig | None = None) -> MiningResult:
         """Run steps 3-5 and return the full result.
@@ -199,7 +223,9 @@ class QuantitativeMiner:
         )
         started = time.perf_counter()
 
-        engine, context = build_engine_context(self._mapper, config, stats)
+        engine, context = build_engine_context(
+            self._mapper, config, stats, cache=self._cache_for(config)
+        )
         with context.executor:
             engine.run(
                 [
@@ -217,6 +243,24 @@ class QuantitativeMiner:
             "rule_generation"
         ]
         stats.phase_seconds["interest"] = engine.stage_seconds["interest"]
+        # The engine is rebuilt per run, so per-run timings come straight
+        # from it while the miner folds them into its own cumulative view
+        # (one per stage name across every mine() call on this miner).
+        for name, seconds in engine.stage_seconds.items():
+            self._cumulative_stage_seconds[name] = (
+                self._cumulative_stage_seconds.get(name, 0.0) + seconds
+            )
+        if stats.execution is not None:
+            stats.execution.stage_seconds = dict(engine.stage_seconds)
+            stats.execution.cumulative_stage_seconds = dict(
+                self._cumulative_stage_seconds
+            )
+        # Result-set sizes come from the artifacts, not from inside the
+        # stages: a cache hit restores outputs without running the stage,
+        # and these counts must be right either way.
+        stats.num_frequent_itemsets = len(artifacts["support_counts"])
+        stats.num_rules = len(artifacts["rules"])
+        stats.num_interesting_rules = len(artifacts["interesting_rules"])
 
         stats.total_seconds = time.perf_counter() - started
         return MiningResult(
@@ -266,21 +310,47 @@ def mine_quantitative_rules(
     e.g. ``mine_quantitative_rules(table, min_support=0.2)``.  The
     execution-engine knobs are accepted directly —
     ``mine_quantitative_rules(table, executor="parallel", num_workers=4)``
-    — and folded into the config's ``execution`` block.
+    — and folded into the config's ``execution`` block; likewise the
+    cache knobs (``cache_enabled``, ``cache_backend``, ``cache_dir``,
+    ``cache_max_entries``) fold into its ``cache`` block.
     """
     if config is None:
         execution_overrides = {
             key: overrides.pop(key)
-            for key in ("executor", "num_workers", "shard_size")
+            for key in (
+                "executor",
+                "num_workers",
+                "shard_size",
+                "rule_block_size",
+            )
             if key in overrides
         }
         if execution_overrides:
             if "execution" in overrides:
                 raise TypeError(
                     "pass either an execution= block or the flat "
-                    "executor/num_workers/shard_size overrides, not both"
+                    "executor/num_workers/shard_size/rule_block_size "
+                    "overrides, not both"
                 )
             overrides["execution"] = ExecutionConfig(**execution_overrides)
+        cache_overrides = {
+            field_name: overrides.pop(flat_name)
+            for flat_name, field_name in (
+                ("cache_enabled", "enabled"),
+                ("cache_backend", "backend"),
+                ("cache_max_entries", "max_entries"),
+                ("cache_dir", "directory"),
+            )
+            if flat_name in overrides
+        }
+        if cache_overrides:
+            if "cache" in overrides:
+                raise TypeError(
+                    "pass either a cache= block or the flat "
+                    "cache_enabled/cache_backend/cache_dir/"
+                    "cache_max_entries overrides, not both"
+                )
+            overrides["cache"] = CacheConfig(**cache_overrides)
         config = MinerConfig(**overrides)
     elif overrides:
         raise TypeError(

@@ -30,6 +30,16 @@ class ExecutionStats:
     ``"count_itemsets"``) to the wall-clock seconds of every shard task
     it dispatched, in dispatch order — the raw material for judging
     shard balance and parallel efficiency.
+
+    ``stage_seconds`` holds this run's per-stage wall-clock;
+    ``cumulative_stage_seconds`` additionally folds in every earlier
+    run executed by the same engine, so reusing a miner across a
+    parameter sweep reports both the latest run and the total.
+
+    ``stage_cache_events`` records, per stage, how the artifact cache
+    treated it this run: ``"hit"`` (outputs restored, stage skipped),
+    ``"miss"`` (ran, outputs stored) or ``"skipped"`` (not consulted —
+    the stage is uncacheable or caching is off).
     """
 
     executor: str = "serial"
@@ -37,10 +47,23 @@ class ExecutionStats:
     num_shards: int = 1
     shard_size: int | None = None
     stage_shard_seconds: dict = field(default_factory=dict)
+    stage_seconds: dict = field(default_factory=dict)
+    cumulative_stage_seconds: dict = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    stage_cache_events: dict = field(default_factory=dict)
 
     def record_shards(self, stage: str, seconds) -> None:
         """Append one sharded dispatch's per-shard worker timings."""
         self.stage_shard_seconds.setdefault(stage, []).extend(seconds)
+
+    def record_cache(self, stage: str, event: str) -> None:
+        """Record how the artifact cache treated one stage execution."""
+        self.stage_cache_events[stage] = event
+        if event == "hit":
+            self.cache_hits += 1
+        elif event == "miss":
+            self.cache_misses += 1
 
     @property
     def num_shard_tasks(self) -> int:
@@ -121,5 +144,12 @@ class MiningStats:
                     f"  {stage}: {len(seconds)} shard task(s), "
                     f"{sum(seconds):.2f}s worker time"
                 )
+            if e.stage_cache_events:
+                lines.append(
+                    f"cache:               {e.cache_hits} hit(s), "
+                    f"{e.cache_misses} miss(es)"
+                )
+                for stage, event in e.stage_cache_events.items():
+                    lines.append(f"  {stage}: {event}")
         lines.append(f"total time:          {self.total_seconds:.2f}s")
         return "\n".join(lines)

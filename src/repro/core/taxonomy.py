@@ -96,6 +96,15 @@ class Taxonomy:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def fingerprint_parts(self) -> tuple:
+        """Content identity for the artifact cache.
+
+        The child->parent edge set fully determines the taxonomy
+        (leaf order, ranges — everything is derived from it); the
+        fingerprint layer hashes the dict order-insensitively.
+        """
+        return (self._parents,)
+
     def leaves_in_order(self) -> tuple:
         """Leaf values in DFS order — the attribute's mapped code order."""
         return tuple(self._leaf_order)

@@ -50,7 +50,7 @@ def weighted_choice(rng, weights: dict, size: int) -> np.ndarray:
         raise ValueError("weights must be non-empty")
     values = np.array(list(weights.values()), dtype=np.float64)
     if np.any(values < 0) or values.sum() <= 0:
-        raise ValueError(f"weights must be non-negative and not all zero")
+        raise ValueError("weights must be non-negative and not all zero")
     p = values / values.sum()
     return rng.choice(len(values), size=size, p=p)
 

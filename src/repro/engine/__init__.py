@@ -16,15 +16,29 @@ pluggable:
   declares its inputs/outputs over a shared artifact namespace and the
   :class:`ExecutionEngine` validates and times each stage.
 - :mod:`~repro.engine.sharded` — the map-reduce bridge: run a worker
-  function over every shard under whichever executor is configured.
+  function over every table shard (:func:`sharded_map`) or over an
+  arbitrary work partition (:func:`partitioned_map`) under whichever
+  executor is configured.
+- :mod:`~repro.engine.fingerprint` — content fingerprints: stable
+  hashes of the values a stage's output depends on.
+- :mod:`~repro.engine.cache` — pluggable :class:`ArtifactCache`
+  backends (in-memory LRU, on-disk, null) the engine consults before
+  running a fingerprinted stage, making repeated runs incremental.
 
 The engine is deliberately domain-free: it never imports ``repro.core``.
 Core modules implement stages and shard workers against these
 interfaces, which keeps the dependency graph acyclic and leaves a single
-seam for future scaling work (async serving, caching, distributed
-backends).
+seam for future scaling work (async serving, distributed backends).
 """
 
+from .cache import (
+    DEFAULT_CACHE_DIR,
+    MISSING,
+    ArtifactCache,
+    DiskCache,
+    MemoryCache,
+    NullCache,
+)
 from .executor import (
     EXECUTOR_NAMES,
     Executor,
@@ -32,14 +46,21 @@ from .executor import (
     SerialExecutor,
     resolve_executor,
 )
+from .fingerprint import Unfingerprintable, fingerprint
 from .shards import ShardView, TableShard, plan_shards, shard_view
-from .sharded import sharded_map
+from .sharded import partitioned_map, plan_blocks, sharded_map
 from .stage import ExecutionEngine, PipelineStage, StageContext, StageError
 
 __all__ = [
+    "DEFAULT_CACHE_DIR",
     "EXECUTOR_NAMES",
+    "MISSING",
+    "ArtifactCache",
+    "DiskCache",
     "ExecutionEngine",
     "Executor",
+    "MemoryCache",
+    "NullCache",
     "ParallelExecutor",
     "PipelineStage",
     "SerialExecutor",
@@ -47,6 +68,10 @@ __all__ = [
     "StageContext",
     "StageError",
     "TableShard",
+    "Unfingerprintable",
+    "fingerprint",
+    "partitioned_map",
+    "plan_blocks",
     "plan_shards",
     "resolve_executor",
     "shard_view",

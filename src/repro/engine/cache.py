@@ -1,0 +1,162 @@
+"""Pluggable artifact caches for fingerprinted pipeline stages.
+
+The :class:`~repro.engine.stage.ExecutionEngine` consults an
+:class:`ArtifactCache` before running a cacheable stage: the stage's
+content fingerprint (see :mod:`~repro.engine.fingerprint`) is the key,
+the mapping of its declared output artifacts is the value.  A hit
+replaces the stage's run wholesale, which is what makes re-mining with
+only downstream parameters changed (confidence, interest level)
+incremental — the expensive counting stages short-circuit to their
+cached artifacts.
+
+Values are stored *serialized* (pickle) and deserialized on every
+``get``.  That costs a copy but buys aliasing safety: cached artifacts
+are handed to pipelines that may mutate them (the level-wise search
+updates ``support_counts`` in place), and a cache that returned the
+stored object itself would be poisoned by the first such mutation.  It
+also makes the in-memory and on-disk stores behaviorally identical.
+
+Backends:
+
+- :class:`MemoryCache` — bounded LRU in process memory; the default.
+- :class:`DiskCache` — one file per key under a directory (default
+  ``~/.cache/repro``), so fingerprints persist across processes; a CLI
+  sweep over confidence values skips counting on every invocation after
+  the first.
+- :class:`NullCache` — never stores, never hits; an explicit off switch
+  that keeps call sites unconditional.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+
+#: Sentinel distinguishing "cached None" from "not cached".
+MISSING = object()
+
+#: Default on-disk cache location (override per :class:`DiskCache`).
+DEFAULT_CACHE_DIR = os.path.join("~", ".cache", "repro")
+
+
+class ArtifactCache(ABC):
+    """Key/value store for stage artifacts, keyed by content fingerprint.
+
+    Implementations count their own ``hits`` / ``misses`` / ``puts`` so
+    callers can report effectiveness without wrapping every access.
+    """
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    @abstractmethod
+    def get(self, key: str):
+        """Return the cached value for ``key``, or :data:`MISSING`."""
+
+    @abstractmethod
+    def put(self, key: str, value) -> None:
+        """Store ``value`` under ``key`` (overwrites silently)."""
+
+
+class NullCache(ArtifactCache):
+    """The cache that is not there: every get misses, puts are dropped."""
+
+    def get(self, key: str):
+        self.misses += 1
+        return MISSING
+
+    def put(self, key: str, value) -> None:
+        pass
+
+
+class MemoryCache(ArtifactCache):
+    """Bounded in-memory LRU over pickled artifact blobs."""
+
+    def __init__(self, max_entries: int = 64) -> None:
+        super().__init__()
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str):
+        blob = self._entries.get(key)
+        if blob is None:
+            self.misses += 1
+            return MISSING
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return pickle.loads(blob)
+
+    def put(self, key: str, value) -> None:
+        self._entries[key] = pickle.dumps(
+            value, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        self._entries.move_to_end(key)
+        self.puts += 1
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+
+class DiskCache(ArtifactCache):
+    """One pickle file per fingerprint under ``directory``.
+
+    Writes go through a temporary file in the same directory plus
+    ``os.replace``, so concurrent processes sharing the directory never
+    observe a torn entry.  Unreadable/corrupt entries count as misses
+    and are removed.
+    """
+
+    def __init__(self, directory: str | None = None) -> None:
+        super().__init__()
+        self.directory = os.path.expanduser(directory or DEFAULT_CACHE_DIR)
+        os.makedirs(self.directory, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.pkl")
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def get(self, key: str):
+        path = self._path(key)
+        try:
+            with open(path, "rb") as f:
+                value = pickle.load(f)
+        except FileNotFoundError:
+            self.misses += 1
+            return MISSING
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            self.misses += 1
+            return MISSING
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        self.puts += 1

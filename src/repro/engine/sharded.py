@@ -1,23 +1,54 @@
-"""Shard-parallel map: run a worker function over every table shard.
+"""Shard-parallel map: run a worker function over partitioned work.
 
-The single bridge between the executor layer and the counting layer:
-``sharded_map(executor, view, shards, fn, payload)`` applies
-``fn(shard_view, payload)`` to each shard under the executor and returns
-the per-shard results in shard order (callers merge them — for support
-counting the merge is integer addition, hence exact).
+The bridge between the executor layer and the stages' hot paths.  Two
+entry points share one trampoline:
 
-``fn`` must be a module-level function and ``payload`` picklable so the
-same call works under :class:`~repro.engine.executor.ParallelExecutor`.
-Per-shard wall-clock is measured inside the worker and reported to an
-optional stats sink via ``stats.record_shards(stage, seconds)`` — the
-engine stays duck-typed here so it never imports ``repro.core``.
+- ``sharded_map(executor, view, shards, fn, payload)`` applies
+  ``fn(shard_view, payload)`` to each *table shard* (contiguous record
+  range) — the record-linear counting surface.
+- ``partitioned_map(executor, fn, payloads)`` applies ``fn(payload)``
+  to each element of an arbitrary work partition — the surface the rule
+  stages fan out through, where work splits by frequent-itemset block
+  or attribute-signature group rather than by record range.
+
+Results always come back in task order, so callers get a deterministic
+merge for free.  ``fn`` must be a module-level function and payloads
+picklable so the same call works under
+:class:`~repro.engine.executor.ParallelExecutor`.  Per-task wall-clock
+is measured inside the worker and reported to an optional stats sink
+via ``stats.record_shards(stage, seconds)`` — the engine stays
+duck-typed here so it never imports ``repro.core``.
 """
 
 from __future__ import annotations
 
+import math
 import time
 
 from .shards import shard_view
+
+
+def plan_blocks(items, num_workers: int = 1, block_size: int | None = None):
+    """Split a work list into deterministic contiguous blocks.
+
+    The work-partition sibling of
+    :func:`~repro.engine.shards.plan_shards`: ``block_size`` pins the
+    items per block; ``None`` derives two blocks per worker so a fast
+    worker steals a second block instead of idling at the barrier.
+    Blocks preserve item order, so order-sensitive merges stay
+    deterministic.
+    """
+    items = list(items)
+    if block_size is None:
+        block_size = max(
+            1, math.ceil(len(items) / (max(1, num_workers) * 2))
+        )
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    return [
+        items[start:start + block_size]
+        for start in range(0, len(items), block_size)
+    ]
 
 
 def _run_shard(task):
@@ -49,6 +80,39 @@ def sharded_map(
         results = [_run_shard(task) for task in tasks]
     else:
         results = executor.map(_run_shard, tasks)
+    if stats is not None and stage is not None:
+        stats.record_shards(stage, [seconds for _, seconds in results])
+    return [result for result, _ in results]
+
+
+def _run_partition(task):
+    """Worker trampoline: unpack one work-partition task and time it."""
+    fn, payload = task
+    started = time.perf_counter()
+    result = fn(payload)
+    return result, time.perf_counter() - started
+
+
+def partitioned_map(
+    executor,
+    fn,
+    payloads,
+    *,
+    stats=None,
+    stage: str | None = None,
+) -> list:
+    """Apply ``fn(payload)`` to every payload; payload order kept.
+
+    The non-record-sharded sibling of :func:`sharded_map`: the caller
+    has already partitioned its work (itemset blocks, rule groups) and
+    just needs each partition run under the configured executor with
+    per-task timing.  ``executor=None`` runs in-process.
+    """
+    tasks = [(fn, payload) for payload in payloads]
+    if executor is None:
+        results = [_run_partition(task) for task in tasks]
+    else:
+        results = executor.map(_run_partition, tasks)
     if stats is not None and stage is not None:
         stats.record_shards(stage, [seconds for _, seconds in results])
     return [result for result, _ in results]

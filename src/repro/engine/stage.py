@@ -11,6 +11,16 @@ per-stage wall-clock.
 Stages receive the context's executor and shard plan, so the *same*
 stage implementation runs serially or fanned out across workers
 depending on configuration, not code.
+
+Cacheable stages additionally declare ``config_keys`` — the
+configuration fields their output is a function of — and the engine
+consults its :class:`~repro.engine.cache.ArtifactCache` (when given
+one) before running them: the stage's content fingerprint (table bytes
++ declared config fields + stage identity) addresses the cache, a hit
+restores the declared outputs without running the stage, and a miss
+runs the stage and stores them.  Because the key is content-addressed,
+invalidation is automatic — any change to the table or to a declared
+config field changes the key.
 """
 
 from __future__ import annotations
@@ -19,7 +29,9 @@ import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
+from .cache import MISSING, ArtifactCache
 from .executor import Executor, SerialExecutor
+from .fingerprint import Unfingerprintable, fingerprint
 
 
 class StageError(RuntimeError):
@@ -52,15 +64,58 @@ class PipelineStage(ABC):
     keys that must exist before the stage runs) and ``outputs`` (keys the
     stage's return mapping must contain).  ``run`` returns a mapping of
     newly produced artifacts, which the engine merges into the context.
+
+    Stages whose declared outputs are a pure function of the encoded
+    table plus a known set of configuration fields opt into caching by
+    setting ``cacheable = True`` and listing those fields (attribute
+    names on the context's ``config`` artifact — plain fields or derived
+    properties) in ``config_keys``.  Stages that mutate artifacts in
+    place, or whose output depends on other run-time state, must stay
+    uncacheable (the default).
     """
 
     name: str = "stage"
     inputs: tuple = ()
     outputs: tuple = ()
+    #: Whether the engine may satisfy this stage from its artifact cache.
+    cacheable: bool = False
+    #: Config attribute names this stage's declared outputs depend on.
+    config_keys: tuple = ()
 
     @abstractmethod
     def run(self, context: StageContext) -> dict | None:
         """Execute the stage; return produced artifacts (or ``None``)."""
+
+    def fingerprint(self, context: StageContext) -> str | None:
+        """Content-address of this stage's outputs, or ``None``.
+
+        Combines the stage identity (class, name, declared outputs), the
+        table fingerprint exposed by the context's ``mapper`` artifact,
+        and the values of the declared ``config_keys`` on the ``config``
+        artifact.  Returns ``None`` — "do not cache" — when the stage is
+        not cacheable, when the context lacks a fingerprintable mapper,
+        or when any config value has no stable encoding.
+        """
+        if not self.cacheable:
+            return None
+        artifacts = context.artifacts
+        mapper = artifacts.get("mapper")
+        config = artifacts.get("config")
+        table_fingerprint = getattr(mapper, "fingerprint", None)
+        if table_fingerprint is None or config is None:
+            return None
+        try:
+            return fingerprint(
+                type(self).__name__,
+                self.name,
+                tuple(self.outputs),
+                table_fingerprint(),
+                tuple(
+                    (key, getattr(config, key)) for key in self.config_keys
+                ),
+            )
+        except Unfingerprintable:
+            return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"
@@ -69,15 +124,29 @@ class PipelineStage(ABC):
 class ExecutionEngine:
     """Runs stages against a context, enforcing their declared contracts."""
 
-    def __init__(self, executor: Executor | None = None, shards=()) -> None:
+    def __init__(
+        self,
+        executor: Executor | None = None,
+        shards=(),
+        cache: ArtifactCache | None = None,
+    ) -> None:
         self.executor = executor or SerialExecutor()
         self.shards = tuple(shards)
-        #: Accumulated wall-clock per stage name (re-runs add up, so the
-        #: level-wise passes each get their own bucket).
+        self.cache = cache
+        #: Wall-clock per stage name for the *current* run (reset by
+        #: :meth:`begin_run`); within a run, re-runs of a same-named
+        #: stage add up.
         self.stage_seconds: dict = {}
+        #: Wall-clock per stage name accumulated across every run this
+        #: engine has executed (never reset).
+        self.cumulative_stage_seconds: dict = {}
+
+    def begin_run(self) -> None:
+        """Start a new run: per-run timings reset, cumulative ones keep."""
+        self.stage_seconds = {}
 
     def run_stage(self, stage: PipelineStage, context: StageContext) -> float:
-        """Run one stage; returns its wall-clock seconds."""
+        """Run one stage (or restore it from cache); returns its seconds."""
         if context.engine is None:
             context.engine = self
         missing = [k for k in stage.inputs if k not in context.artifacts]
@@ -86,8 +155,14 @@ class ExecutionEngine:
                 f"stage {stage.name!r} is missing inputs {missing}; "
                 f"available artifacts: {sorted(context.artifacts)}"
             )
+        key = stage.fingerprint(context) if self.cache is not None else None
         started = time.perf_counter()
-        produced = stage.run(context) or {}
+        produced = MISSING
+        if key is not None:
+            produced = self.cache.get(key)
+        cache_hit = produced is not MISSING
+        if not cache_hit:
+            produced = stage.run(context) or {}
         elapsed = time.perf_counter() - started
         absent = [k for k in stage.outputs if k not in produced]
         if absent:
@@ -96,13 +171,32 @@ class ExecutionEngine:
                 f"{absent}"
             )
         context.artifacts.update(produced)
-        self.stage_seconds[stage.name] = (
-            self.stage_seconds.get(stage.name, 0.0) + elapsed
-        )
+        if key is not None and not cache_hit:
+            self.cache.put(key, {k: produced[k] for k in stage.outputs})
+        self._record_cache_event(context, stage, key, cache_hit)
+        for bucket in (self.stage_seconds, self.cumulative_stage_seconds):
+            bucket[stage.name] = bucket.get(stage.name, 0.0) + elapsed
         return elapsed
 
+    @staticmethod
+    def _record_cache_event(context, stage, key, cache_hit) -> None:
+        sink = context.execution_stats
+        record = getattr(sink, "record_cache", None)
+        if record is None:
+            return
+        if key is None:
+            record(stage.name, "skipped")
+        else:
+            record(stage.name, "hit" if cache_hit else "miss")
+
     def run(self, stages, context: StageContext) -> dict:
-        """Run ``stages`` in order; returns the final artifact namespace."""
+        """Run ``stages`` in order; returns the final artifact namespace.
+
+        Each call is one *run*: per-run ``stage_seconds`` start empty
+        while ``cumulative_stage_seconds`` keep accumulating, so a
+        reused engine reports both faithfully.
+        """
+        self.begin_run()
         for stage in stages:
             self.run_stage(stage, context)
         return context.artifacts

@@ -24,7 +24,7 @@ class Rect:
             )
         if not lo:
             raise ValueError("rectangles must have at least one dimension")
-        if any(l > h for l, h in zip(lo, hi)):
+        if any(a > b for a, b in zip(lo, hi)):
             raise ValueError(f"inverted bounds: lo={lo}, hi={hi}")
         self.lo = lo
         self.hi = hi
@@ -45,16 +45,16 @@ class Rect:
     def area(self) -> float:
         """Volume of the rectangle (product of side lengths)."""
         out = 1.0
-        for l, h in zip(self.lo, self.hi):
-            out *= h - l
+        for a, b in zip(self.lo, self.hi):
+            out *= b - a
         return out
 
     def margin(self) -> float:
         """Sum of side lengths (the R* split criterion's 'perimeter')."""
-        return sum(h - l for l, h in zip(self.lo, self.hi))
+        return sum(b - a for a, b in zip(self.lo, self.hi))
 
     def center(self) -> tuple:
-        return tuple((l + h) / 2.0 for l, h in zip(self.lo, self.hi))
+        return tuple((a + b) / 2.0 for a, b in zip(self.lo, self.hi))
 
     def union(self, other: "Rect") -> "Rect":
         """Smallest rectangle covering both operands."""
@@ -70,15 +70,15 @@ class Rect:
     def intersects(self, other: "Rect") -> bool:
         """True when the rectangles share at least one point."""
         return all(
-            l <= oh and ol <= h
-            for l, h, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
+            a <= oh and ol <= b
+            for a, b, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
         )
 
     def overlap_area(self, other: "Rect") -> float:
         """Volume of the intersection (0.0 when disjoint)."""
         out = 1.0
-        for l, h, ol, oh in zip(self.lo, self.hi, other.lo, other.hi):
-            lo, hi = max(l, ol), min(h, oh)
+        for a, b, ol, oh in zip(self.lo, self.hi, other.lo, other.hi):
+            lo, hi = max(a, ol), min(b, oh)
             if lo > hi:
                 return 0.0
             out *= hi - lo
@@ -87,24 +87,24 @@ class Rect:
     def contains_point(self, point) -> bool:
         """Inclusive containment test for a coordinate tuple."""
         return all(
-            l <= p <= h for l, p, h in zip(self.lo, point, self.hi)
+            a <= p <= b for a, p, b in zip(self.lo, point, self.hi)
         )
 
     def contains_rect(self, other: "Rect") -> bool:
         """True when ``other`` lies entirely within this rectangle."""
         return all(
-            l <= ol and oh <= h
-            for l, h, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
+            a <= ol and oh <= b
+            for a, b, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
         )
 
     def distance_sq_to(self, point) -> float:
         """Squared distance from a point to the rectangle (0 inside)."""
         out = 0.0
-        for l, p, h in zip(self.lo, point, self.hi):
-            if p < l:
-                out += (l - p) ** 2
-            elif p > h:
-                out += (p - h) ** 2
+        for a, p, b in zip(self.lo, point, self.hi):
+            if p < a:
+                out += (a - p) ** 2
+            elif p > b:
+                out += (p - b) ** 2
         return out
 
     # ------------------------------------------------------------------
@@ -120,7 +120,7 @@ class Rect:
 
     def __repr__(self) -> str:
         spans = ", ".join(
-            f"[{l:g}, {h:g}]" for l, h in zip(self.lo, self.hi)
+            f"[{a:g}, {b:g}]" for a, b in zip(self.lo, self.hi)
         )
         return f"Rect({spans})"
 

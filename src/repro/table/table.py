@@ -37,6 +37,7 @@ class RelationalTable:
             raise ValueError(f"columns have differing lengths: {lengths}")
         self._schema = schema
         self._num_records = lengths.pop() if lengths else 0
+        self._fingerprint: str | None = None
         self._columns = []
         for attr, col in zip(schema, columns):
             if attr.is_quantitative:
@@ -132,6 +133,31 @@ class RelationalTable:
         if not attr.is_categorical:
             raise TypeError(f"attribute {attr.name!r} is not categorical")
         return attr.values[code]
+
+    def fingerprint(self) -> str:
+        """Stable content fingerprint of this table, memoized.
+
+        Hashes the shape, the schema (attribute names, kinds and
+        domains) and every column's bytes, so two tables fingerprint
+        equally exactly when they hold the same data under the same
+        schema — regardless of how either was constructed.  Computed
+        once per table (the table is immutable) and used by the
+        execution engine's artifact cache to content-address stage
+        outputs.
+        """
+        if self._fingerprint is None:
+            from ..engine.fingerprint import fingerprint
+
+            self._fingerprint = fingerprint(
+                "RelationalTable",
+                self._num_records,
+                tuple(
+                    (attr.name, attr.kind.value, tuple(attr.values))
+                    for attr in self._schema
+                ),
+                tuple(self._columns),
+            )
+        return self._fingerprint
 
     def record(self, i: int) -> tuple:
         """Return record ``i`` with categorical codes decoded to raw values."""

@@ -12,7 +12,7 @@ def random_rects(rng, n, ndim, extent=100.0, max_side=12.0):
     out = []
     for i in range(n):
         lo = tuple(rng.uniform(0, extent) for _ in range(ndim))
-        hi = tuple(l + rng.uniform(0, max_side) for l in lo)
+        hi = tuple(low + rng.uniform(0, max_side) for low in lo)
         out.append((Rect(lo, hi), i))
     return out
 

@@ -6,7 +6,6 @@ import pytest
 from repro.core import MinerConfig, QuantitativeMiner, partition_column
 from repro.core.clustering import cluster_partition, kmeans_1d
 from repro.data import generate_skewed_table
-from repro.table import RelationalTable, TableSchema, quantitative
 
 
 class TestKMeans1D:

@@ -1,0 +1,250 @@
+"""Content fingerprints: stability, type discrimination, invalidation.
+
+The artifact cache is only correct if fingerprints change exactly when
+the content they cover changes: equal inputs must collide, different
+inputs must not, and the stage-level fingerprint must ignore parameters
+a stage's output does not depend on (that indifference is what makes
+confidence/interest sweeps incremental) while reacting to every
+parameter it does depend on.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import MinerConfig, TableMapper
+from repro.core.apriori_quant import FrequentItemsetSearch
+from repro.core.interest import InterestFilterStage
+from repro.core.rulegen import RuleGenerationStage
+from repro.engine import StageContext, Unfingerprintable, fingerprint
+from repro.table import RelationalTable, TableSchema, categorical, quantitative
+
+
+def build_table(values):
+    schema = TableSchema(
+        [quantitative("x"), categorical("c", ("a", "b"))]
+    )
+    return RelationalTable.from_columns(
+        schema,
+        [
+            np.array(values, dtype=float),
+            np.array([v % 2 for v in values], dtype=np.int64),
+        ],
+    )
+
+
+class TestFingerprintFunction:
+    def test_deterministic(self):
+        assert fingerprint(1, "a", (2.5, None)) == fingerprint(
+            1, "a", (2.5, None)
+        )
+
+    def test_type_tags_distinguish_look_alikes(self):
+        # 1, 1.0, True and "1" stringify alike but are different values.
+        prints = {
+            fingerprint(1),
+            fingerprint(1.0),
+            fingerprint(True),
+            fingerprint("1"),
+            fingerprint(b"1"),
+            fingerprint((1,)),
+        }
+        assert len(prints) == 6
+
+    def test_none_differs_from_zero_and_empty(self):
+        assert fingerprint(None) != fingerprint(0)
+        assert fingerprint(None) != fingerprint("")
+        assert fingerprint(None) != fingerprint(())
+
+    def test_nesting_is_not_flattened(self):
+        assert fingerprint((1, 2), 3) != fingerprint(1, (2, 3))
+        assert fingerprint(((1,), 2)) != fingerprint((1, (2,)))
+
+    def test_dict_order_insensitive(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint(
+            {"b": 2, "a": 1}
+        )
+        assert fingerprint({"a": 1, "b": 2}) != fingerprint(
+            {"a": 2, "b": 1}
+        )
+
+    def test_set_order_insensitive(self):
+        assert fingerprint({3, 1, 2}) == fingerprint({1, 2, 3})
+        assert fingerprint({1, 2}) != fingerprint({1, 3})
+        # ...but lists are sequences: order matters.
+        assert fingerprint([1, 2]) != fingerprint([2, 1])
+
+    def test_array_content_and_dtype(self):
+        a = np.array([1, 2, 3], dtype=np.int64)
+        assert fingerprint(a) == fingerprint(a.copy())
+        assert fingerprint(a) != fingerprint(a.astype(np.int32))
+        assert fingerprint(a) != fingerprint(np.array([1, 2, 4]))
+        # Same bytes, different shape.
+        b = np.zeros(4, dtype=np.int64)
+        assert fingerprint(b) != fingerprint(b.reshape(2, 2))
+
+    def test_dataclass_generic_handling(self):
+        @dataclasses.dataclass
+        class Point:
+            x: int
+            y: int
+
+        assert fingerprint(Point(1, 2)) == fingerprint(Point(1, 2))
+        assert fingerprint(Point(1, 2)) != fingerprint(Point(2, 1))
+
+    def test_fingerprint_parts_protocol(self):
+        class Tagged:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def fingerprint_parts(self):
+                return (self.tag,)
+
+        assert fingerprint(Tagged("a")) == fingerprint(Tagged("a"))
+        assert fingerprint(Tagged("a")) != fingerprint(Tagged("b"))
+
+    def test_opaque_objects_raise(self):
+        with pytest.raises(Unfingerprintable):
+            fingerprint(object())
+        with pytest.raises(Unfingerprintable):
+            fingerprint({"key": object()})
+
+
+class TestTableFingerprint:
+    def test_equal_content_equal_fingerprint(self):
+        assert (
+            build_table([1, 2, 3, 4]).fingerprint()
+            == build_table([1, 2, 3, 4]).fingerprint()
+        )
+
+    def test_content_change_changes_fingerprint(self):
+        assert (
+            build_table([1, 2, 3, 4]).fingerprint()
+            != build_table([1, 2, 3, 5]).fingerprint()
+        )
+
+    def test_memoized(self):
+        table = build_table([1, 2, 3, 4])
+        assert table.fingerprint() is table.fingerprint()
+
+    def test_mapper_delegates_to_table(self):
+        table = build_table(list(range(12)))
+        config = MinerConfig(min_support=0.2)
+        mapper = TableMapper(table, config)
+        assert mapper.fingerprint() == table.fingerprint()
+
+
+def stage_key(stage, table_values, config):
+    table = build_table(table_values)
+    mapper = TableMapper(table, config)
+    context = StageContext(artifacts={"mapper": mapper, "config": config})
+    return stage.fingerprint(context)
+
+
+class TestStageFingerprints:
+    """The invalidation semantics the incremental sweeps rely on."""
+
+    values = list(range(24))
+    base = MinerConfig(
+        min_support=0.2, min_confidence=0.5, interest_level=1.1
+    )
+
+    def test_counting_ignores_confidence_and_or_mode_interest(self):
+        key = stage_key(FrequentItemsetSearch(), self.values, self.base)
+        for change in (
+            {"min_confidence": 0.9},
+            {"interest_level": 2.0},
+            {"interest_level": None},
+        ):
+            varied = dataclasses.replace(self.base, **change)
+            assert (
+                stage_key(FrequentItemsetSearch(), self.values, varied)
+                == key
+            ), change
+
+    def test_counting_reacts_to_partitioning_keys(self):
+        key = stage_key(FrequentItemsetSearch(), self.values, self.base)
+        for change in (
+            {"min_support": 0.3},
+            {"partial_completeness": 2.0},
+            {"max_support": 0.6},
+            {"max_itemset_size": 2},
+        ):
+            varied = dataclasses.replace(self.base, **change)
+            assert (
+                stage_key(FrequentItemsetSearch(), self.values, varied)
+                != key
+            ), change
+
+    def test_counting_reacts_to_and_mode_interest(self):
+        # AND mode enables the Lemma 5 item prune, so the interest level
+        # becomes a real input of the counting stages.
+        and_mode = dataclasses.replace(
+            self.base, interest_mode="support_and_confidence"
+        )
+        key = stage_key(FrequentItemsetSearch(), self.values, and_mode)
+        varied = dataclasses.replace(and_mode, interest_level=2.0)
+        assert (
+            stage_key(FrequentItemsetSearch(), self.values, varied) != key
+        )
+
+    def test_counting_reacts_to_table_change(self):
+        key = stage_key(FrequentItemsetSearch(), self.values, self.base)
+        mutated = self.values[:-1] + [99]
+        assert (
+            stage_key(FrequentItemsetSearch(), mutated, self.base) != key
+        )
+
+    def test_rulegen_reacts_to_confidence_but_not_interest(self):
+        key = stage_key(RuleGenerationStage(), self.values, self.base)
+        conf = dataclasses.replace(self.base, min_confidence=0.9)
+        assert stage_key(RuleGenerationStage(), self.values, conf) != key
+        interest = dataclasses.replace(self.base, interest_level=2.0)
+        assert (
+            stage_key(RuleGenerationStage(), self.values, interest) == key
+        )
+
+    def test_interest_stage_reacts_to_interest_parameters(self):
+        key = stage_key(InterestFilterStage(), self.values, self.base)
+        for change in (
+            {"interest_level": 2.0},
+            {"interest_mode": "support_and_confidence"},
+            {"apply_specialization_check": False},
+        ):
+            varied = dataclasses.replace(self.base, **change)
+            assert (
+                stage_key(InterestFilterStage(), self.values, varied)
+                != key
+            ), change
+
+    def test_execution_layout_never_enters_the_key(self):
+        key = stage_key(FrequentItemsetSearch(), self.values, self.base)
+        varied = dataclasses.replace(
+            self.base,
+            execution={
+                "executor": "parallel",
+                "num_workers": 2,
+                "shard_size": 3,
+                "rule_block_size": 2,
+            },
+        )
+        assert (
+            stage_key(FrequentItemsetSearch(), self.values, varied) == key
+        )
+
+    def test_distinct_stages_get_distinct_keys(self):
+        keys = {
+            stage_key(stage, self.values, self.base)
+            for stage in (
+                FrequentItemsetSearch(),
+                RuleGenerationStage(),
+                InterestFilterStage(),
+            )
+        }
+        assert len(keys) == 3
+
+    def test_uncacheable_stage_has_no_key(self):
+        stage = RuleGenerationStage()
+        stage.cacheable = False
+        assert stage_key(stage, self.values, self.base) is None

@@ -1,6 +1,5 @@
 """Unit tests for the interest measure (repro.core.interest, Section 4)."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

@@ -13,7 +13,7 @@ from repro.core import (
 from repro.core.counting import choose_backend, group_candidates
 from repro.core.items import specializations_within
 from repro.data import age_partition_edges, people_table
-from repro.table import RelationalTable, TableSchema, categorical, quantitative
+from repro.table import RelationalTable, TableSchema, quantitative
 
 
 class TestSpecializationsWithin:

@@ -13,7 +13,6 @@ from repro.core import (
     Item,
     MinerConfig,
     QuantitativeMiner,
-    TableMapper,
     make_itemset,
 )
 from repro.data import (

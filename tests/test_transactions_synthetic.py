@@ -1,6 +1,5 @@
 """Unit tests for the [AS94]-style basket generator."""
 
-import numpy as np
 import pytest
 
 from repro.booleans import apriori
