@@ -7,6 +7,9 @@ Public API highlights
   typed relational tables (quantitative + categorical attributes).
 - :func:`~repro.core.mine_quantitative_rules` /
   :class:`~repro.core.QuantitativeMiner`: the paper's five-step pipeline.
+- :func:`~repro.core.mine_quantitative_rules_async` /
+  :class:`~repro.core.MiningJobRunner`: the asyncio front end — await a
+  mining run, or multiplex many concurrent jobs over one shared pool.
 - :class:`~repro.core.MinerConfig`: minsup / minconf / maxsup, partial
   completeness level K, interest level R.
 - :mod:`repro.booleans`: boolean Apriori [AS94] substrate.
@@ -17,17 +20,21 @@ Public API highlights
 """
 
 from .core import (
+    AsyncConfig,
     CacheConfig,
     ExecutionConfig,
     InterestEvaluator,
     Item,
     MinerConfig,
+    MiningJob,
+    MiningJobRunner,
     MiningResult,
     MiningStats,
     QuantitativeMiner,
     QuantitativeRule,
     Taxonomy,
     mine_quantitative_rules,
+    mine_quantitative_rules_async,
 )
 from .table import (
     Attribute,
@@ -43,6 +50,7 @@ from .table import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AsyncConfig",
     "Attribute",
     "AttributeKind",
     "CacheConfig",
@@ -50,6 +58,8 @@ __all__ = [
     "InterestEvaluator",
     "Item",
     "MinerConfig",
+    "MiningJob",
+    "MiningJobRunner",
     "MiningResult",
     "MiningStats",
     "QuantitativeMiner",
@@ -61,6 +71,7 @@ __all__ = [
     "categorical",
     "load_csv",
     "mine_quantitative_rules",
+    "mine_quantitative_rules_async",
     "quantitative",
     "save_csv",
 ]

@@ -173,6 +173,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="print at most N rules",
     )
     mine.add_argument(
+        "--async-jobs", type=int, default=None, metavar="N",
+        help=(
+            "batch mode: mine every sweep variant concurrently, at most "
+            "N jobs at a time, sharing one warm artifact cache"
+        ),
+    )
+    mine.add_argument(
+        "--sweep-confidence", metavar="FRAC,FRAC,...", default=None,
+        help=(
+            "comma-separated min-confidence values to sweep "
+            "(with --async-jobs; default: just --min-confidence)"
+        ),
+    )
+    mine.add_argument(
+        "--sweep-interest", metavar="R,R,...", default=None,
+        help=(
+            "comma-separated interest levels to sweep "
+            "(with --async-jobs; default: just --interest)"
+        ),
+    )
+    mine.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECS",
+        help="per-job wall-clock budget in batch mode (default: none)",
+    )
+    mine.add_argument(
         "--stats", action="store_true", help="print mining statistics"
     )
 
@@ -271,6 +296,8 @@ def _run_mine(args) -> int:
         quantitative=_split_names(args.quantitative),
         categorical=sorted(categorical),
     )
+    if args.async_jobs is not None:
+        return _run_mine_batch(args, table, config)
     result = QuantitativeMiner(table, config).mine()
     rules = result.rules if args.all_rules else result.interesting_rules
     print(result.describe_rules(rules, limit=args.limit))
@@ -288,6 +315,73 @@ def _run_mine(args) -> int:
         print(file=sys.stderr)
         print(result.stats.summary(), file=sys.stderr)
     return 0
+
+
+def _sweep_configs(args, config) -> list:
+    """Expand --sweep-* flags into one MinerConfig per batch job.
+
+    The cross product of the swept min-confidence and interest values;
+    an omitted sweep axis contributes the base config's single value.
+    """
+    import dataclasses
+
+    confidences = [
+        float(v) for v in _split_names(args.sweep_confidence)
+    ] or [config.min_confidence]
+    interests = [
+        float(v) for v in _split_names(args.sweep_interest)
+    ] or [config.interest_level]
+    return [
+        dataclasses.replace(
+            config, min_confidence=conf, interest_level=interest
+        )
+        for conf in confidences
+        for interest in interests
+    ]
+
+
+def _run_mine_batch(args, table, config) -> int:
+    """Mine every sweep variant concurrently (the --async-jobs path)."""
+    import asyncio
+
+    from .core import MiningJobRunner
+
+    configs = _sweep_configs(args, config)
+
+    async def sweep():
+        async with MiningJobRunner(
+            max_concurrent_jobs=args.async_jobs,
+            job_timeout=args.job_timeout,
+            cache=config.cache.build(),
+        ) as runner:
+            jobs = [runner.submit(table, variant) for variant in configs]
+            await runner.join()
+            return runner, jobs
+
+    runner, jobs = asyncio.run(sweep())
+    failures = 0
+    for job in jobs:
+        variant = job.config
+        interest = (
+            "-" if variant.interest_level is None
+            else f"{variant.interest_level:g}"
+        )
+        print(
+            f"== {job.job_id}: min_conf={variant.min_confidence:g} "
+            f"interest={interest} -> {job.status}"
+        )
+        if job.result is None:
+            failures += 1
+            if job.error is not None:
+                print(f"   {job.error}", file=sys.stderr)
+            continue
+        result = job.result
+        rules = result.rules if args.all_rules else result.interesting_rules
+        print(result.describe_rules(rules, limit=args.limit))
+        print()
+    if args.stats:
+        print(runner.stats.summary(), file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _run_generate(args) -> int:

@@ -9,11 +9,18 @@ from .export import (
     save_rules_csv,
     save_rules_json,
 )
+from .async_miner import (
+    MiningJob,
+    MiningJobCancelled,
+    MiningJobRunner,
+    MiningJobTimeout,
+)
 from .config import (
     CACHE_BACKENDS,
     EXECUTORS,
     SUPPORT_AND_CONFIDENCE,
     SUPPORT_OR_CONFIDENCE,
+    AsyncConfig,
     CacheConfig,
     ExecutionConfig,
     MinerConfig,
@@ -32,7 +39,12 @@ from .items import (
     subtract_specialization,
 )
 from .mapper import AttributeMapping, TableMapper
-from .miner import MiningResult, QuantitativeMiner, mine_quantitative_rules
+from .miner import (
+    MiningResult,
+    QuantitativeMiner,
+    mine_quantitative_rules,
+    mine_quantitative_rules_async,
+)
 from .partial_completeness import (
     completeness_from_partitioning,
     intervals_for_range_completeness,
@@ -51,7 +63,13 @@ from .partitioner import (
 from .rulegen import generate_rules
 from .rules import QuantitativeRule, close_ancestors, itemset_close_ancestors
 from .ruleset import RuleMetrics, RuleSet
-from .stats import ExecutionStats, MiningStats, PassStats
+from .stats import (
+    ExecutionStats,
+    JobStats,
+    MiningStats,
+    PassStats,
+    RunnerStats,
+)
 from .taxonomy import Taxonomy
 
 __all__ = [
@@ -64,6 +82,7 @@ __all__ = [
     "rules_to_json",
     "save_rules_csv",
     "save_rules_json",
+    "AsyncConfig",
     "AttributeMapping",
     "CACHE_BACKENDS",
     "CacheConfig",
@@ -73,11 +92,17 @@ __all__ = [
     "FrequentItems",
     "InterestEvaluator",
     "Item",
+    "JobStats",
     "MinerConfig",
+    "MiningJob",
+    "MiningJobCancelled",
+    "MiningJobRunner",
+    "MiningJobTimeout",
     "MiningResult",
     "MiningStats",
     "Partitioning",
     "PassStats",
+    "RunnerStats",
     "QuantitativeMiner",
     "QuantitativeRule",
     "RuleMetrics",
@@ -106,6 +131,7 @@ __all__ = [
     "make_item",
     "make_itemset",
     "mine_quantitative_rules",
+    "mine_quantitative_rules_async",
     "partition_column",
     "range_completeness_level",
     "required_intervals",

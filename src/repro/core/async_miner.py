@@ -1,0 +1,332 @@
+"""Concurrent mining jobs: multiplex many miners over one shared pool.
+
+The asyncio front end of the staged engine lets one event loop drive
+many mining pipelines at once; this module adds the service-side
+plumbing a production caller needs around that:
+
+- :class:`MiningJobRunner` — submits jobs (table + config), bounds how
+  many mine at once with a semaphore, offloads all blocking work to one
+  shared worker pool, and hands every job the *same*
+  :class:`~repro.engine.ArtifactCache` so concurrent parameter sweeps
+  share warm stages.
+- :class:`MiningJob` — a handle on one submitted job: status, result,
+  error, timing, ``await job.wait()`` and ``job.cancel()``.
+
+Timeout and cancellation semantics
+----------------------------------
+A job's timeout (per submission, defaulting to the runner's) covers its
+mining phase, not its time queued behind the concurrency limit.  Both
+timeout and explicit :meth:`MiningJob.cancel` take effect at the next
+stage boundary — worker threads are uninterruptible — and the engine
+waits out the in-flight stage before the cancellation is observed, so a
+cancelled job never leaks its pool slot and the shared cache never sees
+a torn write (entries are content-addressed; whatever a cancelled job
+finished computing is warm state for the next job, not damage).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+
+from .config import MinerConfig
+from .miner import MiningResult, QuantitativeMiner, _resolve_config
+from .stats import JobStats, RunnerStats
+
+#: Job lifecycle states (``MiningJob.status``).
+JOB_PENDING = "pending"
+JOB_RUNNING = "running"
+JOB_COMPLETED = "completed"
+JOB_FAILED = "failed"
+JOB_CANCELLED = "cancelled"
+JOB_TIMED_OUT = "timed_out"
+
+#: Sentinel for "use the runner's default timeout".
+_DEFAULT = object()
+
+
+class MiningJobCancelled(RuntimeError):
+    """Awaited a job that was cancelled before it produced a result."""
+
+
+class MiningJobTimeout(TimeoutError):
+    """Awaited a job that exceeded its wall-clock budget."""
+
+
+class MiningJob:
+    """Handle on one submitted mining job.
+
+    Attributes
+    ----------
+    job_id:
+        The submission's identifier (caller-chosen or ``job-N``).
+    status:
+        One of ``pending`` / ``running`` / ``completed`` / ``failed`` /
+        ``cancelled`` / ``timed_out``.
+    result:
+        The :class:`~repro.core.miner.MiningResult` once completed.
+    error:
+        The exception a failed or timed-out job ended with.
+    seconds:
+        Submission-to-finish wall-clock (queueing included).
+    """
+
+    def __init__(self, job_id: str, config: MinerConfig) -> None:
+        self.job_id = job_id
+        self.config = config
+        self.status = JOB_PENDING
+        self.result: MiningResult | None = None
+        self.error: BaseException | None = None
+        self.seconds = 0.0
+        self._task: asyncio.Task | None = None
+        self._submitted = 0.0
+
+    def cancel(self) -> bool:
+        """Request cancellation; return False if the job already ended.
+
+        A queued job cancels immediately; a running one at its next
+        stage boundary (see the module docstring).
+        """
+        if self._task is None or self._task.done():
+            return False
+        return self._task.cancel()
+
+    @property
+    def done(self) -> bool:
+        """Whether the job has reached a terminal status."""
+        return self.status in (
+            JOB_COMPLETED, JOB_FAILED, JOB_CANCELLED, JOB_TIMED_OUT
+        )
+
+    async def wait(self) -> MiningResult:
+        """Wait for the job; return its result or raise its outcome.
+
+        Raises :class:`MiningJobCancelled` for a cancelled job,
+        :class:`MiningJobTimeout` for a timed-out one, and the original
+        exception for a failed one.
+        """
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            if self.status == JOB_CANCELLED or self._task.cancelled():
+                raise MiningJobCancelled(self.job_id) from None
+            raise  # the *waiter* was cancelled, not the job
+        if self.status == JOB_TIMED_OUT:
+            raise MiningJobTimeout(
+                f"job {self.job_id!r} exceeded its timeout"
+            ) from self.error
+        if self.status == JOB_FAILED:
+            raise self.error
+        return self.result
+
+    def job_stats(self) -> JobStats:
+        """This job's outcome as a :class:`~repro.core.stats.JobStats`."""
+        stats = JobStats(
+            job_id=self.job_id, status=self.status, seconds=self.seconds
+        )
+        if self.result is not None:
+            stats.num_rules = self.result.stats.num_rules
+            stats.num_interesting_rules = (
+                self.result.stats.num_interesting_rules
+            )
+            execution = self.result.stats.execution
+            if execution is not None:
+                stats.cache_hits = execution.cache_hits
+                stats.cache_misses = execution.cache_misses
+        return stats
+
+
+class MiningJobRunner:
+    """Multiplex N concurrent mining jobs over one shared worker pool.
+
+    Parameters
+    ----------
+    max_concurrent_jobs:
+        How many jobs may mine simultaneously; excess submissions queue
+        on a semaphore.  ``None`` uses the host's core count.
+    job_timeout:
+        Default per-job wall-clock budget in seconds (``None`` = no
+        limit); individual submissions may override it.
+    cache:
+        The :class:`~repro.engine.ArtifactCache` every job's miner
+        shares, so concurrent sweeps reuse each other's warm stages.
+        ``None`` builds the default bounded in-memory LRU; pass a
+        :class:`~repro.engine.NullCache` to disable sharing.
+    offload:
+        A ``concurrent.futures`` executor for the blocking mining work.
+        ``None`` lets the runner own a thread pool sized to the
+        concurrency bound (closed by :meth:`aclose`).
+
+    Use as an async context manager to guarantee the pool is released::
+
+        async with MiningJobRunner(max_concurrent_jobs=4) as runner:
+            jobs = [runner.submit(table, cfg) for cfg in configs]
+            results = [await job.wait() for job in jobs]
+    """
+
+    def __init__(
+        self,
+        max_concurrent_jobs: int | None = None,
+        job_timeout: float | None = None,
+        *,
+        cache=None,
+        offload=None,
+    ) -> None:
+        from .config import AsyncConfig, CacheConfig
+
+        limits = AsyncConfig(
+            max_concurrent_jobs=max_concurrent_jobs,
+            job_timeout=job_timeout,
+        )
+        self.max_concurrent_jobs = limits.resolved_max_concurrent_jobs
+        self.job_timeout = limits.job_timeout
+        self.cache = cache if cache is not None else CacheConfig().build()
+        self.stats = RunnerStats()
+        self.jobs: list = []
+        self._offload = offload
+        self._owns_offload = offload is None
+        self._semaphore: asyncio.Semaphore | None = None
+        self._ids = itertools.count(1)
+
+    @classmethod
+    def from_config(cls, config: MinerConfig) -> "MiningJobRunner":
+        """Build a runner from a config's ``async_mining``/``cache`` blocks."""
+        return cls(
+            max_concurrent_jobs=config.async_mining.max_concurrent_jobs,
+            job_timeout=config.async_mining.job_timeout,
+            cache=config.cache.build(),
+        )
+
+    def _ensure_started(self) -> None:
+        if self._semaphore is None:
+            self._semaphore = asyncio.Semaphore(self.max_concurrent_jobs)
+        if self._offload is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._offload = ThreadPoolExecutor(
+                max_workers=self.max_concurrent_jobs,
+                thread_name_prefix="repro-mine",
+            )
+
+    def submit(
+        self,
+        table,
+        config: MinerConfig | None = None,
+        *,
+        job_id: str | None = None,
+        timeout=_DEFAULT,
+        progress=None,
+        **overrides,
+    ) -> MiningJob:
+        """Queue one mining job; return its handle immediately.
+
+        ``config``/``overrides`` follow
+        :func:`~repro.core.miner.mine_quantitative_rules` exactly.
+        ``timeout`` overrides the runner's default budget for this job;
+        ``progress`` receives a :class:`~repro.engine.StageEvent` per
+        completed stage.  Must be called with a running event loop.
+        """
+        resolved = _resolve_config(config, overrides)
+        if timeout is _DEFAULT:
+            timeout = self.job_timeout
+        job = MiningJob(job_id or f"job-{next(self._ids)}", resolved)
+        self._ensure_started()
+        job._submitted = time.perf_counter()
+        job._task = asyncio.get_running_loop().create_task(
+            self._run_job(job, table, timeout, progress),
+            name=f"mining-{job.job_id}",
+        )
+        job._task.add_done_callback(lambda task: self._reap(job, task))
+        self.jobs.append(job)
+        self.stats.submitted += 1
+        return job
+
+    def _reap(self, job, task) -> None:
+        """Account for a job cancelled before its task ever started.
+
+        ``Task.cancel`` on a never-scheduled task prevents its coroutine
+        from running at all, so :meth:`_run_job`'s own bookkeeping never
+        fires; this done-callback catches exactly that window.
+        """
+        if task.cancelled() and not job.done:
+            job.status = JOB_CANCELLED
+            job.seconds = time.perf_counter() - job._submitted
+            self.stats.cancelled += 1
+            self.stats.record(job.job_stats())
+
+    async def _run_job(self, job, table, timeout, progress) -> None:
+        """Drive one job through the semaphore, recording its outcome."""
+        try:
+            async with self._semaphore:
+                job.status = JOB_RUNNING
+                mining = self._mine(job, table, progress)
+                if timeout is not None:
+                    job.result = await asyncio.wait_for(mining, timeout)
+                else:
+                    job.result = await mining
+        except asyncio.CancelledError:
+            job.status = JOB_CANCELLED
+            self.stats.cancelled += 1
+            raise
+        except (TimeoutError, asyncio.TimeoutError) as exc:
+            job.status = JOB_TIMED_OUT
+            job.error = exc
+            self.stats.timed_out += 1
+        except Exception as exc:
+            job.status = JOB_FAILED
+            job.error = exc
+            self.stats.failed += 1
+        else:
+            job.status = JOB_COMPLETED
+            self.stats.completed += 1
+        finally:
+            job.seconds = time.perf_counter() - job._submitted
+            self.stats.record(job.job_stats())
+
+    async def _mine(self, job, table, progress) -> MiningResult:
+        """Encode and mine one job off the event loop."""
+        loop = asyncio.get_running_loop()
+        # Table encoding (steps 1-2) is CPU-bound; off the loop with it.
+        miner = await loop.run_in_executor(
+            self._offload,
+            lambda: QuantitativeMiner(table, job.config, cache=self.cache),
+        )
+        return await miner.mine_async(
+            progress=progress, offload=self._offload
+        )
+
+    async def run_sweep(self, table, configs, *, progress=None) -> list:
+        """Mine ``table`` under every config concurrently; results in order.
+
+        The convenience wrapper for the common sweep shape: submits one
+        job per config, awaits them all, and returns their
+        :class:`~repro.core.miner.MiningResult` in config order (any
+        failure propagates).
+        """
+        jobs = [
+            self.submit(table, config, progress=progress)
+            for config in configs
+        ]
+        return [await job.wait() for job in jobs]
+
+    async def join(self) -> None:
+        """Wait until every submitted job has reached a terminal state."""
+        tasks = [j._task for j in self.jobs if j._task is not None]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def aclose(self) -> None:
+        """Wait for outstanding jobs and release the owned worker pool."""
+        await self.join()
+        if self._owns_offload and self._offload is not None:
+            self._offload.shutdown(wait=True)
+            self._offload = None
+
+    async def __aenter__(self) -> "MiningJobRunner":
+        """Enter the runner's scope (no-op; pools start lazily)."""
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        """Close the runner, waiting for whatever is still mining."""
+        await self.aclose()

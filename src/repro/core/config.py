@@ -137,6 +137,50 @@ class ExecutionConfig:
 
 
 @dataclass
+class AsyncConfig:
+    """How the asyncio front end multiplexes concurrent mining jobs.
+
+    Parameters
+    ----------
+    max_concurrent_jobs:
+        Upper bound on jobs mining at the same time in one
+        :class:`~repro.core.async_miner.MiningJobRunner` (a semaphore;
+        excess submissions queue).  ``None`` uses the host's core count.
+    job_timeout:
+        Default per-job wall-clock budget in seconds; ``None`` means no
+        timeout.  A job exceeding it is cancelled at the next stage
+        boundary and reports ``"timed_out"``.  Individual submissions
+        may override this.
+
+    Like the execution and cache blocks, this block is purely
+    operational: it decides when and how concurrently jobs run, never
+    what they compute, so it participates in no cache fingerprint.
+    """
+
+    max_concurrent_jobs: int | None = None
+    job_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if (
+            self.max_concurrent_jobs is not None
+            and self.max_concurrent_jobs < 1
+        ):
+            raise ValueError(
+                "max_concurrent_jobs must be >= 1, "
+                f"got {self.max_concurrent_jobs}"
+            )
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise ValueError(
+                f"job_timeout must be > 0, got {self.job_timeout}"
+            )
+
+    @property
+    def resolved_max_concurrent_jobs(self) -> int:
+        """Concrete concurrency bound (``None`` means the core count)."""
+        return self.max_concurrent_jobs or os.cpu_count() or 1
+
+
+@dataclass
 class CacheConfig:
     """How the artifact cache behaves across mining runs.
 
@@ -273,6 +317,11 @@ class MinerConfig:
         its fields, or ``None`` for the in-memory default.  Also purely
         operational: a cache hit restores exactly what the stage would
         have produced.
+    async_mining:
+        How the asyncio front end multiplexes concurrent jobs (see
+        :class:`AsyncConfig`).  An :class:`AsyncConfig`, a plain dict of
+        its fields, or ``None`` for the defaults.  Purely operational
+        like the other engine blocks.
     """
 
     min_support: float = 0.1
@@ -292,6 +341,7 @@ class MinerConfig:
     lemma1_confidence_adjustment: bool = False
     execution: ExecutionConfig | None = field(default=None)
     cache: CacheConfig | None = field(default=None)
+    async_mining: AsyncConfig | None = field(default=None)
 
     def __post_init__(self) -> None:
         if self.execution is None:
@@ -311,6 +361,15 @@ class MinerConfig:
             raise TypeError(
                 "cache must be a CacheConfig, a dict of its fields, or "
                 f"None; got {type(self.cache).__name__}"
+            )
+        if self.async_mining is None:
+            self.async_mining = AsyncConfig()
+        elif isinstance(self.async_mining, dict):
+            self.async_mining = AsyncConfig(**self.async_mining)
+        elif not isinstance(self.async_mining, AsyncConfig):
+            raise TypeError(
+                "async_mining must be an AsyncConfig, a dict of its "
+                f"fields, or None; got {type(self.async_mining).__name__}"
             )
         if not 0.0 < self.min_support <= 1.0:
             raise ValueError(

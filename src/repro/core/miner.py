@@ -20,9 +20,10 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from ..engine import AsyncExecutionEngine
 from ..table import RelationalTable
 from .apriori_quant import FrequentItemsetSearch, build_engine_context
-from .config import CacheConfig, ExecutionConfig, MinerConfig
+from .config import AsyncConfig, CacheConfig, ExecutionConfig, MinerConfig
 from .frequent_items import FrequentItems
 from .interest import InterestEvaluator, InterestFilterStage
 from .mapper import TableMapper
@@ -167,11 +168,21 @@ class QuantitativeMiner:
     ``support_counts`` instead of re-counting the table.
     """
 
-    def __init__(self, table: RelationalTable, config: MinerConfig) -> None:
+    def __init__(
+        self,
+        table: RelationalTable,
+        config: MinerConfig,
+        *,
+        cache=None,
+    ) -> None:
         self._table = table
         self._config = config
         self._mapper = TableMapper(table, config)
-        self._cache = config.cache.build()
+        #: An explicitly injected cache (the async job runner shares one
+        #: across every job's miner) wins over the config-built one for
+        #: every run on this miner.
+        self._injected_cache = cache
+        self._cache = cache if cache is not None else config.cache.build()
         self._cumulative_stage_seconds: dict = {}
 
     @property
@@ -193,7 +204,11 @@ class QuantitativeMiner:
         Runs whose cache configuration matches the construction-time one
         share the miner's cache (that sharing is what makes sweeps
         incremental); a run overriding the cache block gets its own.
+        An explicitly injected cache always wins — that is how the async
+        job runner makes concurrent jobs share warm stages.
         """
+        if self._injected_cache is not None:
+            return self._injected_cache
         if config is self._config or config.cache == self._config.cache:
             return self._cache
         return config.cache.build()
@@ -210,6 +225,50 @@ class QuantitativeMiner:
         ``config.execution``, and the engine's per-stage wall-clock lands
         in ``stats.phase_seconds`` under the historical phase names.
         """
+        config, stats, started, engine, context = self._begin_run(config)
+        with context.executor:
+            engine.run(self._stages(), context)
+        return self._finish_run(config, stats, started, engine, context)
+
+    async def mine_async(
+        self, config: MinerConfig | None = None, *, progress=None, offload=None
+    ) -> MiningResult:
+        """Run steps 3-5 off the event loop; awaitable :meth:`mine`.
+
+        Identical semantics and bit-identical output to :meth:`mine` —
+        the same stages run through the same engine against the same
+        cache; only the driving thread differs (stage work executes on
+        ``offload``, a ``concurrent.futures`` executor, or the event
+        loop's default pool).  ``progress`` — sync or ``async`` callable
+        — receives a :class:`~repro.engine.StageEvent` per completed
+        stage, nested level-wise passes included.
+
+        Cancelling the awaiting task takes effect at the next stage
+        boundary (threads are uninterruptible); the shared cache stays
+        consistent because entries are content-addressed and writes
+        complete before cancellation propagates.
+        """
+        config, stats, started, engine, context = self._begin_run(config)
+        async_engine = AsyncExecutionEngine(engine, offload=offload)
+        try:
+            await async_engine.run(
+                self._stages(), context, progress=progress
+            )
+        finally:
+            context.executor.close()
+        return self._finish_run(config, stats, started, engine, context)
+
+    @staticmethod
+    def _stages() -> list:
+        """The pipeline steps 3-5, in order, as fresh stage objects."""
+        return [
+            FrequentItemsetSearch(),
+            RuleGenerationStage(),
+            InterestFilterStage(),
+        ]
+
+    def _begin_run(self, config: MinerConfig | None):
+        """Resolve one run's config, stats, engine and context."""
         config = config or self._config
         stats = MiningStats(
             num_records=self._mapper.num_records,
@@ -226,15 +285,12 @@ class QuantitativeMiner:
         engine, context = build_engine_context(
             self._mapper, config, stats, cache=self._cache_for(config)
         )
-        with context.executor:
-            engine.run(
-                [
-                    FrequentItemsetSearch(),
-                    RuleGenerationStage(),
-                    InterestFilterStage(),
-                ],
-                context,
-            )
+        return config, stats, started, engine, context
+
+    def _finish_run(
+        self, config, stats, started, engine, context
+    ) -> MiningResult:
+        """Fold one finished run's artifacts and timings into a result."""
         artifacts = context.artifacts
         stats.phase_seconds["frequent_itemsets"] = engine.stage_seconds[
             "frequent_itemsets"
@@ -301,6 +357,75 @@ class QuantitativeMiner:
         )
 
 
+def _fold_block_overrides(
+    overrides: dict, block: str, block_type, flat_fields
+) -> None:
+    """Fold flat engine-knob overrides into their config block, in place.
+
+    ``flat_fields`` maps each accepted flat keyword to the block field
+    it sets (``{"cache_dir": "directory", ...}``).  Mixing flat
+    overrides with an explicit ``block=`` keyword is rejected, exactly
+    as the historical inline logic did.
+    """
+    block_overrides = {
+        field_name: overrides.pop(flat_name)
+        for flat_name, field_name in flat_fields.items()
+        if flat_name in overrides
+    }
+    if block_overrides:
+        if block in overrides:
+            flats = "/".join(flat_fields)
+            raise TypeError(
+                f"pass either a {block}= block or the flat "
+                f"{flats} overrides, not both"
+            )
+        overrides[block] = block_type(**block_overrides)
+
+
+def _resolve_config(
+    config: MinerConfig | None, overrides: dict
+) -> MinerConfig:
+    """Build the effective config for a one-call mining API."""
+    if config is not None:
+        if overrides:
+            raise TypeError(
+                "pass either a MinerConfig or keyword overrides, not both"
+            )
+        return config
+    _fold_block_overrides(
+        overrides,
+        "execution",
+        ExecutionConfig,
+        {
+            "executor": "executor",
+            "num_workers": "num_workers",
+            "shard_size": "shard_size",
+            "rule_block_size": "rule_block_size",
+        },
+    )
+    _fold_block_overrides(
+        overrides,
+        "cache",
+        CacheConfig,
+        {
+            "cache_enabled": "enabled",
+            "cache_backend": "backend",
+            "cache_max_entries": "max_entries",
+            "cache_dir": "directory",
+        },
+    )
+    _fold_block_overrides(
+        overrides,
+        "async_mining",
+        AsyncConfig,
+        {
+            "max_concurrent_jobs": "max_concurrent_jobs",
+            "job_timeout": "job_timeout",
+        },
+    )
+    return MinerConfig(**overrides)
+
+
 def mine_quantitative_rules(
     table: RelationalTable, config: MinerConfig | None = None, **overrides
 ) -> MiningResult:
@@ -312,48 +437,42 @@ def mine_quantitative_rules(
     ``mine_quantitative_rules(table, executor="parallel", num_workers=4)``
     — and folded into the config's ``execution`` block; likewise the
     cache knobs (``cache_enabled``, ``cache_backend``, ``cache_dir``,
-    ``cache_max_entries``) fold into its ``cache`` block.
+    ``cache_max_entries``) fold into its ``cache`` block and the async
+    knobs (``max_concurrent_jobs``, ``job_timeout``) into its
+    ``async_mining`` block.
     """
-    if config is None:
-        execution_overrides = {
-            key: overrides.pop(key)
-            for key in (
-                "executor",
-                "num_workers",
-                "shard_size",
-                "rule_block_size",
-            )
-            if key in overrides
-        }
-        if execution_overrides:
-            if "execution" in overrides:
-                raise TypeError(
-                    "pass either an execution= block or the flat "
-                    "executor/num_workers/shard_size/rule_block_size "
-                    "overrides, not both"
-                )
-            overrides["execution"] = ExecutionConfig(**execution_overrides)
-        cache_overrides = {
-            field_name: overrides.pop(flat_name)
-            for flat_name, field_name in (
-                ("cache_enabled", "enabled"),
-                ("cache_backend", "backend"),
-                ("cache_max_entries", "max_entries"),
-                ("cache_dir", "directory"),
-            )
-            if flat_name in overrides
-        }
-        if cache_overrides:
-            if "cache" in overrides:
-                raise TypeError(
-                    "pass either a cache= block or the flat "
-                    "cache_enabled/cache_backend/cache_dir/"
-                    "cache_max_entries overrides, not both"
-                )
-            overrides["cache"] = CacheConfig(**cache_overrides)
-        config = MinerConfig(**overrides)
-    elif overrides:
-        raise TypeError(
-            "pass either a MinerConfig or keyword overrides, not both"
-        )
+    config = _resolve_config(config, overrides)
     return QuantitativeMiner(table, config).mine()
+
+
+async def mine_quantitative_rules_async(
+    table: RelationalTable,
+    config: MinerConfig | None = None,
+    *,
+    progress=None,
+    offload=None,
+    cache=None,
+    **overrides,
+) -> MiningResult:
+    """One-call async API: ``await`` an encode-and-mine of ``table``.
+
+    Accepts exactly the configs and flat overrides of
+    :func:`mine_quantitative_rules` and returns a bit-identical
+    :class:`MiningResult`; the pipeline runs off the event loop (table
+    encoding and every stage execute on ``offload`` or the loop's
+    default thread pool).  ``progress`` receives a
+    :class:`~repro.engine.StageEvent` per completed stage; ``cache``
+    injects a shared :class:`~repro.engine.ArtifactCache` so concurrent
+    calls reuse each other's warm stages (see
+    :class:`~repro.core.async_miner.MiningJobRunner` for the managed
+    version with concurrency limits, timeouts and cancellation).
+    """
+    import asyncio
+
+    resolved = _resolve_config(config, overrides)
+    loop = asyncio.get_running_loop()
+    # Table encoding (steps 1-2) is CPU work too; keep it off the loop.
+    miner = await loop.run_in_executor(
+        offload, lambda: QuantitativeMiner(table, resolved, cache=cache)
+    )
+    return await miner.mine_async(progress=progress, offload=offload)

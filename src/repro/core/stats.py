@@ -77,6 +77,75 @@ class ExecutionStats:
 
 
 @dataclass
+class JobStats:
+    """One async mining job's outcome, as the runner accounts for it.
+
+    ``cache_hits`` / ``cache_misses`` are the job's *stage-level* cache
+    events (from its :class:`ExecutionStats`); ``seconds`` is wall-clock
+    from submission to completion, queueing included.
+    """
+
+    job_id: str
+    status: str = "pending"
+    seconds: float = 0.0
+    num_rules: int = 0
+    num_interesting_rules: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+@dataclass
+class RunnerStats:
+    """What a :class:`~repro.core.async_miner.MiningJobRunner` did.
+
+    One entry per submitted job plus aggregate outcome counters; the
+    per-stage detail stays on each job's own
+    :class:`ExecutionStats`/:class:`MiningStats`.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    timed_out: int = 0
+    jobs: list = field(default_factory=list)
+
+    def record(self, job: JobStats) -> None:
+        """Fold one finished (or submitted) job into the aggregates."""
+        self.jobs.append(job)
+
+    @property
+    def cache_hits(self) -> int:
+        """Stage-level cache hits summed over every accounted job."""
+        return sum(j.cache_hits for j in self.jobs)
+
+    @property
+    def cache_misses(self) -> int:
+        """Stage-level cache misses summed over every accounted job."""
+        return sum(j.cache_misses for j in self.jobs)
+
+    def summary(self) -> str:
+        """Multi-line human-readable report of the runner's jobs."""
+        lines = [
+            f"jobs submitted:      {self.submitted}",
+            f"  completed:         {self.completed}",
+            f"  failed:            {self.failed}",
+            f"  cancelled:         {self.cancelled}",
+            f"  timed out:         {self.timed_out}",
+            f"stage cache events:  {self.cache_hits} hit(s), "
+            f"{self.cache_misses} miss(es)",
+        ]
+        for job in self.jobs:
+            lines.append(
+                f"  {job.job_id}: {job.status} in {job.seconds:.2f}s "
+                f"({job.num_rules} rule(s), "
+                f"{job.num_interesting_rules} interesting, "
+                f"cache {job.cache_hits}h/{job.cache_misses}m)"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
 class MiningStats:
     """Aggregated statistics for a full mining run."""
 

@@ -24,6 +24,10 @@ pluggable:
 - :mod:`~repro.engine.cache` — pluggable :class:`ArtifactCache`
   backends (in-memory LRU, on-disk, null) the engine consults before
   running a fingerprinted stage, making repeated runs incremental.
+- :mod:`~repro.engine.async_engine` — the asyncio front end:
+  :class:`AsyncExecutionEngine` drives the same stages off the event
+  loop (blocking work offloaded to a worker thread), with per-stage
+  progress events and stage-boundary cancellation.
 
 The engine is deliberately domain-free: it never imports ``repro.core``.
 Core modules implement stages and shard workers against these
@@ -31,6 +35,7 @@ interfaces, which keeps the dependency graph acyclic and leaves a single
 seam for future scaling work (async serving, distributed backends).
 """
 
+from .async_engine import AsyncExecutionEngine
 from .cache import (
     DEFAULT_CACHE_DIR,
     MISSING,
@@ -49,13 +54,20 @@ from .executor import (
 from .fingerprint import Unfingerprintable, fingerprint
 from .shards import ShardView, TableShard, plan_shards, shard_view
 from .sharded import partitioned_map, plan_blocks, sharded_map
-from .stage import ExecutionEngine, PipelineStage, StageContext, StageError
+from .stage import (
+    ExecutionEngine,
+    PipelineStage,
+    StageContext,
+    StageError,
+    StageEvent,
+)
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
     "EXECUTOR_NAMES",
     "MISSING",
     "ArtifactCache",
+    "AsyncExecutionEngine",
     "DiskCache",
     "ExecutionEngine",
     "Executor",
@@ -67,6 +79,7 @@ __all__ = [
     "ShardView",
     "StageContext",
     "StageError",
+    "StageEvent",
     "TableShard",
     "Unfingerprintable",
     "fingerprint",

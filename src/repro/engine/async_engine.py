@@ -1,0 +1,155 @@
+"""Asyncio front end over the staged execution engine.
+
+:class:`AsyncExecutionEngine` drives :class:`~repro.engine.stage.PipelineStage`
+sequences *off the event loop*: each stage executes through the wrapped
+synchronous :class:`~repro.engine.stage.ExecutionEngine` on a worker
+thread (``loop.run_in_executor``), so a service can ``await`` a mining
+run — and multiplex many of them over one pool — without blocking a
+thread per caller on the event loop side.  The stage itself still fans
+its sharded work out through whatever
+:class:`~repro.engine.executor.Executor` the context carries, so the
+thread offload composes with (rather than replaces) process-pool
+parallelism.
+
+Because every stage runs through the *same* ``ExecutionEngine.run_stage``
+code path as a synchronous run — same contract validation, same artifact
+cache consultation, same timing buckets — an async run is bit-identical
+to a sync run by construction.
+
+Cancellation semantics
+----------------------
+A Python thread cannot be interrupted, so cancelling a task that is
+awaiting a stage takes effect at the *stage boundary*: the in-flight
+stage runs to completion on its worker thread, after which
+``CancelledError`` propagates.  :meth:`AsyncExecutionEngine.run_stage`
+waits for that in-flight work before re-raising, which guarantees that
+(a) the worker-pool slot is genuinely free once the cancellation is
+observed, and (b) any cache write the stage performs has finished — the
+artifact cache is content-addressed, so an entry written by a cancelled
+job is simply warm state for the next one, never an inconsistency.
+
+Progress
+--------
+:meth:`AsyncExecutionEngine.run` accepts a per-stage progress callback
+(sync or async) which receives every :class:`~repro.engine.stage.StageEvent`
+the wrapped engine emits — including stages nested inside composite
+stages, so a long level-wise search reports each pass as it completes.
+Events are forwarded thread-safely onto the event loop; async callbacks
+are awaited before the next top-level stage starts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from .stage import ExecutionEngine, PipelineStage, StageContext
+
+__all__ = ["AsyncExecutionEngine"]
+
+
+class AsyncExecutionEngine:
+    """Drive pipeline stages off the event loop via a worker thread.
+
+    Parameters
+    ----------
+    engine:
+        The synchronous :class:`~repro.engine.stage.ExecutionEngine`
+        that actually runs each stage (contract validation, cache,
+        timing).  A fresh serial engine is built when omitted.
+    offload:
+        A ``concurrent.futures`` executor the blocking stage work is
+        submitted to; ``None`` uses the event loop's default thread
+        pool.  One shared offload pool bounded at N threads is how a
+        job runner caps the CPU concurrency of N concurrent jobs.
+    """
+
+    def __init__(
+        self,
+        engine: ExecutionEngine | None = None,
+        *,
+        offload=None,
+    ) -> None:
+        self.engine = engine or ExecutionEngine()
+        self._offload = offload
+
+    @property
+    def stage_seconds(self) -> dict:
+        """Per-stage wall-clock of the wrapped engine's current run."""
+        return self.engine.stage_seconds
+
+    async def run_stage(
+        self, stage: PipelineStage, context: StageContext
+    ) -> float:
+        """Run one stage on the offload pool; return its seconds.
+
+        Delegates to the wrapped engine's ``run_stage`` (identical
+        semantics to a synchronous run).  If the awaiting task is
+        cancelled while the stage is in flight, the stage completes on
+        its worker thread first — see the module docstring — and only
+        then does ``CancelledError`` propagate.
+        """
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(
+            self._offload, self.engine.run_stage, stage, context
+        )
+        try:
+            return await asyncio.shield(future)
+        except asyncio.CancelledError:
+            if not future.done():
+                # Wait out the uninterruptible worker thread so the
+                # pool slot is free and any cache write has landed.
+                await asyncio.wait((future,))
+            raise
+
+    async def run(
+        self,
+        stages,
+        context: StageContext,
+        progress=None,
+    ) -> dict:
+        """Run ``stages`` in order; return the final artifact namespace.
+
+        The async counterpart of
+        :meth:`~repro.engine.stage.ExecutionEngine.run`: one call is one
+        run of the wrapped engine (per-run timings reset, cumulative
+        ones keep).  ``progress`` — a callable taking a
+        :class:`~repro.engine.stage.StageEvent`, plain or ``async`` —
+        is invoked for every stage execution, nested ones included.
+        """
+        loop = asyncio.get_running_loop()
+        pending: list = []
+        closed = False
+        hook = None
+        if progress is not None:
+
+            def dispatch(event) -> None:
+                if closed:
+                    return
+                outcome = progress(event)
+                if asyncio.iscoroutine(outcome):
+                    pending.append(loop.create_task(outcome))
+
+            def hook(event) -> None:
+                loop.call_soon_threadsafe(dispatch, event)
+
+            self.engine.stage_hooks.append(hook)
+        try:
+            self.engine.begin_run()
+            for stage in stages:
+                await self.run_stage(stage, context)
+                await self._drain(pending)
+            await self._drain(pending)
+        finally:
+            closed = True
+            if hook is not None:
+                self.engine.stage_hooks.remove(hook)
+            for task in pending:
+                task.cancel()
+        return context.artifacts
+
+    @staticmethod
+    async def _drain(pending: list) -> None:
+        """Await and clear any queued async progress callbacks."""
+        while pending:
+            task = pending.pop()
+            await task

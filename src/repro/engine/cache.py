@@ -32,6 +32,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import threading
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 
@@ -47,12 +48,18 @@ class ArtifactCache(ABC):
 
     Implementations count their own ``hits`` / ``misses`` / ``puts`` so
     callers can report effectiveness without wrapping every access.
+
+    Caches may be shared across concurrently mining jobs (the async job
+    runner hands one cache to every job), so implementations must keep
+    ``get`` / ``put`` and the counters safe to call from multiple
+    threads; ``_lock`` is provided for that.
     """
 
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        self._lock = threading.Lock()
 
     @abstractmethod
     def get(self, key: str):
@@ -67,11 +74,13 @@ class NullCache(ArtifactCache):
     """The cache that is not there: every get misses, puts are dropped."""
 
     def get(self, key: str):
-        self.misses += 1
+        """Miss unconditionally."""
+        with self._lock:
+            self.misses += 1
         return MISSING
 
     def put(self, key: str, value) -> None:
-        pass
+        """Drop ``value`` on the floor."""
 
 
 class MemoryCache(ArtifactCache):
@@ -91,22 +100,25 @@ class MemoryCache(ArtifactCache):
         return key in self._entries
 
     def get(self, key: str):
-        blob = self._entries.get(key)
-        if blob is None:
-            self.misses += 1
-            return MISSING
-        self._entries.move_to_end(key)
-        self.hits += 1
+        """Return a fresh unpickle of the entry, or :data:`MISSING`."""
+        with self._lock:
+            blob = self._entries.get(key)
+            if blob is None:
+                self.misses += 1
+                return MISSING
+            self._entries.move_to_end(key)
+            self.hits += 1
         return pickle.loads(blob)
 
     def put(self, key: str, value) -> None:
-        self._entries[key] = pickle.dumps(
-            value, protocol=pickle.HIGHEST_PROTOCOL
-        )
-        self._entries.move_to_end(key)
-        self.puts += 1
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        """Pickle and store ``value``, evicting LRU entries past the bound."""
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        with self._lock:
+            self._entries[key] = blob
+            self._entries.move_to_end(key)
+            self.puts += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
 
 
 class DiskCache(ArtifactCache):
@@ -130,24 +142,29 @@ class DiskCache(ArtifactCache):
         return os.path.exists(self._path(key))
 
     def get(self, key: str):
+        """Load the entry's file, or :data:`MISSING` (corrupt files too)."""
         path = self._path(key)
         try:
             with open(path, "rb") as f:
                 value = pickle.load(f)
         except FileNotFoundError:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return MISSING
         except (OSError, pickle.UnpicklingError, EOFError, ValueError):
             try:
                 os.remove(path)
             except OSError:
                 pass
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return MISSING
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         return value
 
     def put(self, key: str, value) -> None:
+        """Write the entry atomically (tempfile + ``os.replace``)."""
         fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as f:
@@ -159,4 +176,5 @@ class DiskCache(ArtifactCache):
             except OSError:
                 pass
             raise
-        self.puts += 1
+        with self._lock:
+            self.puts += 1

@@ -49,6 +49,7 @@ class SerialExecutor(Executor):
     num_workers = 1
 
     def map(self, fn, tasks) -> list:
+        """Apply ``fn`` to every task in order, in the calling process."""
         return [fn(task) for task in tasks]
 
 
@@ -69,6 +70,7 @@ class ParallelExecutor(Executor):
         self._pool = None
 
     def map(self, fn, tasks) -> list:
+        """Apply ``fn`` to every task over the process pool, in task order."""
         tasks = list(tasks)
         if len(tasks) <= 1 or self.num_workers == 1:
             return [fn(task) for task in tasks]
@@ -79,6 +81,7 @@ class ParallelExecutor(Executor):
         return list(self._pool.map(fn, tasks))
 
     def close(self) -> None:
+        """Shut the pool down (waiting for workers); safe to call twice."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

@@ -33,8 +33,11 @@ _DIGEST_SIZE = 16
 
 
 class Unfingerprintable(TypeError):
-    """A value has no stable content encoding; the caller should treat
-    whatever depends on it as uncacheable."""
+    """A value has no stable content encoding.
+
+    Callers should treat whatever depends on the value as uncacheable
+    rather than guessing at its identity.
+    """
 
 
 def fingerprint(*parts) -> str:

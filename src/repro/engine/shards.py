@@ -38,6 +38,7 @@ class TableShard:
 
     @property
     def num_records(self) -> int:
+        """Number of records the range covers."""
         return self.stop - self.start
 
 
@@ -84,16 +85,20 @@ class ShardView:
 
     @property
     def num_records(self) -> int:
+        """Number of records in this shard."""
         return self._num_records
 
     @property
     def num_attributes(self) -> int:
+        """Number of attributes (same as the full table's)."""
         return len(self._columns)
 
     def column(self, index: int):
+        """Return the shard's slice of attribute ``index``'s column."""
         return self._columns[index]
 
     def cardinality(self, index: int) -> int:
+        """Return attribute ``index``'s *full-table* cardinality."""
         return self._cardinalities[index]
 
 

@@ -38,6 +38,27 @@ class StageError(RuntimeError):
     """A stage's input/output contract was violated."""
 
 
+@dataclass(frozen=True)
+class StageEvent:
+    """One completed stage execution, as observed by a stage hook.
+
+    Parameters
+    ----------
+    stage:
+        The stage's ``name`` (its timing bucket).
+    seconds:
+        Wall-clock the execution took (near zero for a cache hit).
+    cache_event:
+        How the artifact cache treated the stage: ``"hit"`` (outputs
+        restored without running), ``"miss"`` (ran, outputs stored) or
+        ``"skipped"`` (cache not consulted).
+    """
+
+    stage: str
+    seconds: float
+    cache_event: str
+
+
 @dataclass
 class StageContext:
     """Shared state threaded through a pipeline run.
@@ -133,6 +154,10 @@ class ExecutionEngine:
         self.executor = executor or SerialExecutor()
         self.shards = tuple(shards)
         self.cache = cache
+        #: Callables invoked with a :class:`StageEvent` after every stage
+        #: execution — including stages nested inside composite stages.
+        #: Hooks observe; they must not mutate artifacts or raise.
+        self.stage_hooks: list = []
         #: Wall-clock per stage name for the *current* run (reset by
         #: :meth:`begin_run`); within a run, re-runs of a same-named
         #: stage add up.
@@ -176,6 +201,18 @@ class ExecutionEngine:
         self._record_cache_event(context, stage, key, cache_hit)
         for bucket in (self.stage_seconds, self.cumulative_stage_seconds):
             bucket[stage.name] = bucket.get(stage.name, 0.0) + elapsed
+        if self.stage_hooks:
+            event = StageEvent(
+                stage=stage.name,
+                seconds=elapsed,
+                cache_event=(
+                    "skipped"
+                    if key is None
+                    else ("hit" if cache_hit else "miss")
+                ),
+            )
+            for hook in self.stage_hooks:
+                hook(event)
         return elapsed
 
     @staticmethod

@@ -197,3 +197,75 @@ class TestFigureCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "relative" in out.lower() or "minsup" in out
+
+
+class TestAsyncBatchMode:
+    def test_async_jobs_sweep(self, people_csv, capsys):
+        rc = main(
+            [
+                "mine", str(people_csv),
+                "--min-support", "0.4",
+                "--max-support", "0.6",
+                "--categorical", "Married",
+                "--async-jobs", "2",
+                "--sweep-confidence", "0.5,0.7",
+                "--stats",
+            ]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "== job-1: min_conf=0.5" in captured.out
+        assert "== job-2: min_conf=0.7" in captured.out
+        assert "completed" in captured.out
+        assert "jobs submitted:      2" in captured.err
+        assert "completed:         2" in captured.err
+
+    def test_async_jobs_sweep_interest(self, people_csv, capsys):
+        rc = main(
+            [
+                "mine", str(people_csv),
+                "--min-support", "0.4",
+                "--max-support", "0.6",
+                "--categorical", "Married",
+                "--async-jobs", "1",
+                "--sweep-interest", "1.1,2.0",
+                "--all-rules",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "interest=1.1" in out
+        assert "interest=2" in out
+
+    def test_async_jobs_single_config(self, people_csv, capsys):
+        # No sweep flags: batch mode degrades to one job.
+        rc = main(
+            [
+                "mine", str(people_csv),
+                "--min-support", "0.4",
+                "--max-support", "0.6",
+                "--categorical", "Married",
+                "--async-jobs", "2",
+                "--job-timeout", "300",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "== job-1:" in out
+        assert "completed" in out
+
+    def test_async_jobs_matches_sync_output_rules(self, people_csv, capsys):
+        args = [
+            "mine", str(people_csv),
+            "--min-support", "0.4",
+            "--min-confidence", "0.5",
+            "--max-support", "0.6",
+            "--categorical", "Married",
+        ]
+        assert main(args) == 0
+        sync_out = capsys.readouterr().out
+        assert main(args + ["--async-jobs", "1"]) == 0
+        batch_out = capsys.readouterr().out
+        for line in sync_out.strip().splitlines():
+            if "=>" in line:
+                assert line in batch_out

@@ -1,0 +1,60 @@
+"""The documentation link checker: repo docs pass, broken refs are caught."""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).parent.parent
+CHECKER = ROOT / "tools" / "check_doc_links.py"
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location("check_doc_links", CHECKER)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRepositoryDocs:
+    def test_all_references_resolve(self):
+        proc = subprocess.run(
+            [sys.executable, str(CHECKER)],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "all documentation references resolve" in proc.stdout
+
+
+class TestCheckerCatchesBreakage:
+    def test_broken_relative_link(self, tmp_path):
+        checker = load_checker()
+        doc = tmp_path / "guide.md"
+        doc.write_text("see [the example](../examples/missing.py) here\n")
+        broken = list(checker._check_file(doc))
+        assert broken == [(1, "../examples/missing.py")]
+
+    def test_broken_inline_code_path(self, tmp_path):
+        checker = load_checker()
+        doc = tmp_path / "guide.md"
+        doc.write_text("run `benchmarks/bench_nonexistent.py` first\n")
+        broken = list(checker._check_file(doc))
+        assert broken == [(1, "benchmarks/bench_nonexistent.py")]
+
+    def test_non_repo_paths_ignored(self, tmp_path):
+        checker = load_checker()
+        doc = tmp_path / "guide.md"
+        doc.write_text(
+            "writes `rules.json` and `out.csv`; "
+            "see [docs](https://example.com/x.md) and [top](#anchor)\n"
+        )
+        assert list(checker._check_file(doc)) == []
+
+    def test_existing_references_pass(self, tmp_path):
+        checker = load_checker()
+        doc = tmp_path / "guide.md"
+        (tmp_path / "other.md").write_text("x\n")
+        doc.write_text("see [other](other.md) and `README.md`\n")
+        assert list(checker._check_file(doc)) == []

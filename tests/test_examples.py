@@ -49,6 +49,14 @@ class TestExamples:
         assert "K=1.5: 40 intervals" in out
         assert "interesting" in out
 
+    def test_async_sweep(self):
+        out = run_example("async_sweep.py", "2000")
+        assert "single async run over 2000 records" in out
+        assert "stage frequent_items" in out
+        assert "confidence sweep (3 concurrent jobs, shared cache):" in out
+        assert "jobs submitted:      3" in out
+        assert "completed:         3" in out
+
     def test_retail_taxonomy(self):
         out = run_example("retail_taxonomy.py")
         assert "outerwear" in out

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Check documentation references against the repository tree.
+
+Two kinds of reference are verified in README.md and ``docs/``:
+
+- markdown links with relative targets — ``[text](../examples/x.py)`` —
+  resolved against the containing file's directory;
+- inline-code repository paths — `` `docs/async_guide.md` `` or
+  `` `benchmarks/bench_async_multiplex.py` `` — resolved against the
+  repository root.  Only paths under a known top-level directory (or
+  bare top-level ``*.md`` names) are treated as repository paths, so
+  example file names like `` `rules.json` `` never false-positive.
+
+External targets (``http(s)://``, ``mailto:``) and in-page anchors are
+skipped.  Exit status is 0 when every reference resolves, 1 otherwise,
+with one ``file:line`` diagnostic per broken reference — the format CI
+and ``tests/test_doc_links.py`` rely on.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Documentation scanned for references.
+DOC_SOURCES = ("README.md", "docs")
+
+#: Top-level directories whose inline-code paths are repository paths.
+KNOWN_DIRS = ("benchmarks", "docs", "examples", "src", "tests", "tools")
+
+#: ``[text](target)`` markdown links (target captured up to ``)``/space).
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: `path/to/file.ext` inline code spans that look like file paths.
+_CODE_PATH = re.compile(r"`([A-Za-z0-9_.\-/]+\.[A-Za-z0-9]+)`")
+
+
+def _doc_files():
+    for source in DOC_SOURCES:
+        path = ROOT / source
+        if path.is_file():
+            yield path
+        elif path.is_dir():
+            yield from sorted(path.glob("**/*.md"))
+
+
+def _is_repo_path(candidate: str) -> bool:
+    if "/" in candidate:
+        return candidate.split("/", 1)[0] in KNOWN_DIRS
+    return candidate.endswith(".md")
+
+
+def _check_file(doc: Path):
+    """Yield ``(line_number, reference)`` for every broken reference."""
+    for number, line in enumerate(doc.read_text().splitlines(), start=1):
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target = target.split("#", 1)[0]
+            if target and not (doc.parent / target).exists():
+                yield number, target
+        for match in _CODE_PATH.finditer(line):
+            target = match.group(1)
+            if _is_repo_path(target) and not (ROOT / target).exists():
+                yield number, target
+
+
+def main() -> int:
+    broken = []
+    for doc in _doc_files():
+        for number, target in _check_file(doc):
+            broken.append(f"{doc.relative_to(ROOT)}:{number}: "
+                          f"broken reference {target!r}")
+    for problem in broken:
+        print(problem)
+    if broken:
+        print(f"{len(broken)} broken documentation reference(s)")
+        return 1
+    print("all documentation references resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
