@@ -140,6 +140,26 @@ def test_async_multiplex_beats_cold_serial(credit_table_cache, reporter):
         f"concurrent sweep vs serial-cold: "
         f"{serial_seconds / concurrent_seconds:.2f}x faster"
     )
+    common = {
+        "num_records": NUM_RECORDS,
+        "sweep_points": len(configs),
+        "host_cores": cores,
+    }
+    reporter.record(
+        mode="serial-cold", cache="off", seconds=serial_seconds, **common
+    )
+    reporter.record(
+        mode="warm-up", cache="shared", seconds=warm_seconds, **common
+    )
+    reporter.record(
+        mode="concurrent",
+        cache="shared",
+        seconds=concurrent_seconds,
+        speedup_vs_cold=serial_seconds / concurrent_seconds,
+        cache_hits=stats.cache_hits,
+        cache_misses=stats.cache_misses,
+        **common,
+    )
 
     # The timing claim the ISSUE asks this benchmark to record: N >= 2
     # concurrent jobs against the shared warm cache beat the cold

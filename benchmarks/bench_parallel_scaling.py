@@ -41,6 +41,15 @@ def test_parallel_scaling(credit_table_cache, reporter):
     cores = os.cpu_count() or 1
 
     serial, serial_seconds = _mine(table, ExecutionConfig())
+    reporter.record(
+        executor="serial",
+        workers=1,
+        shards=1,
+        seconds=serial_seconds,
+        speedup=1.0,
+        host_cores=cores,
+        num_records=NUM_RECORDS,
+    )
     reporter.line(
         f"\nParallel scaling: {NUM_RECORDS} records, "
         f"minsup={MIN_SUPPORT:.0%}, host cores={cores}"
@@ -77,3 +86,12 @@ def test_parallel_scaling(credit_table_cache, reporter):
         if cores > 1:
             cells.append(f"{serial_seconds / seconds:.2f}x")
         reporter.row(*cells)
+        reporter.record(
+            executor="parallel",
+            workers=workers,
+            shards=result.stats.execution.num_shards,
+            seconds=seconds,
+            speedup=serial_seconds / seconds,
+            host_cores=cores,
+            num_records=NUM_RECORDS,
+        )

@@ -9,6 +9,7 @@ and each benchmark appends its reproduced series to a text report under
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -33,11 +34,19 @@ def credit_table_cache():
 
 
 class ResultReporter:
-    """Accumulates one experiment's table and writes it at teardown."""
+    """Accumulates one experiment's table and writes it at teardown.
+
+    Two parallel outputs: the human text table (``line``/``row``,
+    appended to ``results/<name>.txt``) and machine-readable rows
+    (``record``, appended to the run list in ``results/<name>.json``)
+    so downstream tooling can track the numbers without parsing the
+    prose.
+    """
 
     def __init__(self, name: str) -> None:
         self._name = name
         self._lines: list = []
+        self._records: list = []
 
     def line(self, text: str = "") -> None:
         self._lines.append(text)
@@ -51,6 +60,10 @@ class ResultReporter:
         )
         self.line(text)
 
+    def record(self, **fields) -> None:
+        """Add one machine-readable result row to the JSON report."""
+        self._records.append(fields)
+
     def flush(self) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{self._name}.txt"
@@ -61,6 +74,17 @@ class ResultReporter:
             if not existing:
                 f.write(f"# {self._name}\n")
             f.write("\n".join(self._lines) + "\n")
+        if self._records:
+            json_path = RESULTS_DIR / f"{self._name}.json"
+            runs = (
+                json.loads(json_path.read_text())
+                if json_path.exists()
+                else []
+            )
+            runs.append(
+                {"benchmark": self._name, "results": self._records}
+            )
+            json_path.write_text(json.dumps(runs, indent=2) + "\n")
 
 
 @pytest.fixture

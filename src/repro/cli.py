@@ -39,6 +39,7 @@ from .core import (
     CacheConfig,
     ExecutionConfig,
     MinerConfig,
+    ObsConfig,
     QuantitativeMiner,
     Taxonomy,
 )
@@ -200,6 +201,27 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument(
         "--stats", action="store_true", help="print mining statistics"
     )
+    mine.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help=(
+            "write the run's span trace as JSON lines to PATH, plus a "
+            "Chrome trace-event file next to it (.chrome.json) for "
+            "chrome://tracing / Perfetto"
+        ),
+    )
+    mine.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the run's metrics snapshot as JSON to PATH",
+    )
+    mine.add_argument(
+        "--log-level", metavar="LEVEL", default=None,
+        help="enable pipeline logging at LEVEL (DEBUG, INFO, ...)",
+    )
+    mine.add_argument(
+        "--explain-timing",
+        action="store_true",
+        help="print the span-tree timing report after mining",
+    )
 
     gen = sub.add_parser(
         "generate", help="write a synthetic credit dataset CSV"
@@ -272,6 +294,16 @@ def _run_mine(args) -> int:
         cache = CacheConfig(backend="disk", directory=args.cache_dir)
     else:
         cache = CacheConfig()
+    observability = ObsConfig(
+        enabled=(
+            True
+            if (args.trace_out or args.metrics_out or args.explain_timing)
+            else None
+        ),
+        trace_path=args.trace_out,
+        metrics_path=args.metrics_out,
+        log_level=args.log_level,
+    )
     config = MinerConfig(
         min_support=args.min_support,
         min_confidence=args.min_confidence,
@@ -289,6 +321,7 @@ def _run_mine(args) -> int:
         taxonomies=taxonomies or None,
         execution=execution,
         cache=cache,
+        observability=observability,
     )
     categorical = set(_split_names(args.categorical)) | set(taxonomies)
     table = load_csv(
@@ -314,7 +347,19 @@ def _run_mine(args) -> int:
     if args.stats:
         print(file=sys.stderr)
         print(result.stats.summary(), file=sys.stderr)
+    _report_observability(args, result.observability)
     return 0
+
+
+def _report_observability(args, obs) -> None:
+    """Print the timing report and exported-artifact notices for a run."""
+    if obs is None:
+        return
+    if args.explain_timing:
+        print(file=sys.stderr)
+        print(obs.timing_report(), file=sys.stderr)
+    for path in obs.export():
+        print(f"wrote {path}", file=sys.stderr)
 
 
 def _sweep_configs(args, config) -> list:
@@ -347,12 +392,14 @@ def _run_mine_batch(args, table, config) -> int:
     from .core import MiningJobRunner
 
     configs = _sweep_configs(args, config)
+    observability = config.observability.build()
 
     async def sweep():
         async with MiningJobRunner(
             max_concurrent_jobs=args.async_jobs,
             job_timeout=args.job_timeout,
             cache=config.cache.build(),
+            observability=observability,
         ) as runner:
             jobs = [runner.submit(table, variant) for variant in configs]
             await runner.join()
@@ -381,6 +428,9 @@ def _run_mine_batch(args, table, config) -> int:
         print()
     if args.stats:
         print(runner.stats.summary(), file=sys.stderr)
+    # One export at the end, so the files cover every job in the sweep
+    # (including the final job's outcome counters).
+    _report_observability(args, observability)
     return 1 if failures else 0
 
 

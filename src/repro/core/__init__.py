@@ -24,6 +24,7 @@ from .config import (
     CacheConfig,
     ExecutionConfig,
     MinerConfig,
+    ObsConfig,
 )
 from .frequent_items import FrequentItems, find_frequent_items
 from .interest import InterestEvaluator, filter_interesting_rules
@@ -100,6 +101,7 @@ __all__ = [
     "MiningJobTimeout",
     "MiningResult",
     "MiningStats",
+    "ObsConfig",
     "Partitioning",
     "PassStats",
     "RunnerStats",

@@ -17,8 +17,6 @@ addition, so every executor/shard layout produces bit-identical
 
 from __future__ import annotations
 
-import time
-
 from ..engine import (
     ExecutionEngine,
     PipelineStage,
@@ -26,6 +24,7 @@ from ..engine import (
     plan_shards,
     resolve_executor,
 )
+from ..obs import timeit
 from .candidates import generate_candidates, pairs_by_attribute
 from .config import COUNTING_CONFIG_KEYS, MinerConfig
 from .counting import CountingStats, count_frequent_pairs, count_itemsets
@@ -52,28 +51,32 @@ class PairPassStage(PipelineStage):
     def run(self, context) -> dict:
         a = context.artifacts
         config = a["config"]
-        started = time.perf_counter()
-        buckets = pairs_by_attribute(a["frequent_items"].supports)
-        current, num_candidates = count_frequent_pairs(
-            buckets,
-            a["mapper"],
-            a["rangeable"],
-            a["min_count"],
-            backend=config.counting,
-            memory_budget_bytes=config.memory_budget_bytes,
-            stats=a["counting_stats"],
-            executor=context.executor,
-            shards=context.shards,
-            execution_stats=context.execution_stats,
-        )
+        with timeit() as timer:
+            buckets = pairs_by_attribute(a["frequent_items"].supports)
+            current, num_candidates = count_frequent_pairs(
+                buckets,
+                a["mapper"],
+                a["rangeable"],
+                a["min_count"],
+                backend=config.counting,
+                memory_budget_bytes=config.memory_budget_bytes,
+                stats=a["counting_stats"],
+                executor=context.executor,
+                shards=context.shards,
+                execution_stats=context.execution_stats,
+                tracer=context.tracer,
+                span_parent=context.current_span,
+                metrics=context.metrics,
+            )
         a["support_counts"].update(current)
+        context.annotate(candidates=num_candidates, frequent=len(current))
         if context.stats is not None:
             context.stats.passes.append(
                 PassStats(
                     size=2,
                     num_candidates=num_candidates,
                     num_frequent=len(current),
-                    counting_seconds=time.perf_counter() - started,
+                    counting_seconds=timer.seconds,
                 )
             )
         return {"current_level": current}
@@ -105,24 +108,28 @@ class JoinPassStage(PipelineStage):
     def run(self, context) -> dict:
         a = context.artifacts
         config = a["config"]
-        started = time.perf_counter()
-        candidates = generate_candidates(sorted(a["current_level"]), self.k)
-        generation_seconds = time.perf_counter() - started
+        with timeit() as generation:
+            candidates = generate_candidates(
+                sorted(a["current_level"]), self.k
+            )
         if not candidates:
+            context.annotate(candidates=0, frequent=0)
             return {"current_level": {}, "num_candidates": 0}
-        started = time.perf_counter()
-        counted = count_itemsets(
-            candidates,
-            a["mapper"],
-            a["rangeable"],
-            backend=config.counting,
-            memory_budget_bytes=config.memory_budget_bytes,
-            stats=a["counting_stats"],
-            executor=context.executor,
-            shards=context.shards,
-            execution_stats=context.execution_stats,
-        )
-        counting_seconds = time.perf_counter() - started
+        with timeit() as counting:
+            counted = count_itemsets(
+                candidates,
+                a["mapper"],
+                a["rangeable"],
+                backend=config.counting,
+                memory_budget_bytes=config.memory_budget_bytes,
+                stats=a["counting_stats"],
+                executor=context.executor,
+                shards=context.shards,
+                execution_stats=context.execution_stats,
+                tracer=context.tracer,
+                span_parent=context.current_span,
+                metrics=context.metrics,
+            )
         min_count = a["min_count"]
         current = {
             itemset: count
@@ -130,14 +137,15 @@ class JoinPassStage(PipelineStage):
             if count >= min_count
         }
         a["support_counts"].update(current)
+        context.annotate(candidates=len(candidates), frequent=len(current))
         if context.stats is not None:
             context.stats.passes.append(
                 PassStats(
                     size=self.k,
                     num_candidates=len(candidates),
                     num_frequent=len(current),
-                    generation_seconds=generation_seconds,
-                    counting_seconds=counting_seconds,
+                    generation_seconds=generation.seconds,
+                    counting_seconds=counting.seconds,
                 )
             )
         return {"current_level": current, "num_candidates": len(candidates)}
@@ -226,6 +234,7 @@ def build_engine_context(
     config: MinerConfig,
     stats: MiningStats | None = None,
     cache=None,
+    observability=None,
 ):
     """Resolve the configured executor/shard plan into an engine + context.
 
@@ -238,6 +247,11 @@ def build_engine_context(
     engine consults for fingerprinted stages; pass the *same* cache
     across runs (as :class:`~repro.core.miner.QuantitativeMiner` does)
     to make repeated mining incremental.  ``None`` disables caching.
+
+    ``observability`` is a :class:`~repro.obs.Observability` bundle;
+    when given, its tracer and metrics registry land on the context so
+    every stage, shard task and cache lookup of the run is recorded.
+    ``None`` leaves the context on the no-op instruments.
     """
     execution = config.execution
     executor = resolve_executor(execution.executor, execution.num_workers)
@@ -260,6 +274,8 @@ def build_engine_context(
         stats=stats,
         execution_stats=execution_stats,
         engine=engine,
+        tracer=observability.tracer if observability is not None else None,
+        metrics=observability.metrics if observability is not None else None,
     )
     return engine, context
 

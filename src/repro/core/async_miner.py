@@ -30,6 +30,7 @@ import asyncio
 import itertools
 import time
 
+from ..obs import NULL_TRACER
 from .config import MinerConfig
 from .miner import MiningResult, QuantitativeMiner, _resolve_config
 from .stats import JobStats, RunnerStats
@@ -157,6 +158,13 @@ class MiningJobRunner:
         A ``concurrent.futures`` executor for the blocking mining work.
         ``None`` lets the runner own a thread pool sized to the
         concurrency bound (closed by :meth:`aclose`).
+    observability:
+        A shared :class:`~repro.obs.Observability` bundle.  When given,
+        every job gets a ``job`` span and its miner records into the
+        *same* tracer/registry, so a whole concurrent sweep
+        reconstructs as one span forest (one ``job`` root per job, the
+        runs and stages nested beneath).  ``None`` leaves jobs on
+        whatever their own configs say.
 
     Use as an async context manager to guarantee the pool is released::
 
@@ -172,6 +180,7 @@ class MiningJobRunner:
         *,
         cache=None,
         offload=None,
+        observability=None,
     ) -> None:
         from .config import AsyncConfig, CacheConfig
 
@@ -182,6 +191,7 @@ class MiningJobRunner:
         self.max_concurrent_jobs = limits.resolved_max_concurrent_jobs
         self.job_timeout = limits.job_timeout
         self.cache = cache if cache is not None else CacheConfig().build()
+        self.observability = observability
         self.stats = RunnerStats()
         self.jobs: list = []
         self._offload = offload
@@ -191,11 +201,17 @@ class MiningJobRunner:
 
     @classmethod
     def from_config(cls, config: MinerConfig) -> "MiningJobRunner":
-        """Build a runner from a config's ``async_mining``/``cache`` blocks."""
+        """Build a runner from a config's operational blocks.
+
+        Reads ``async_mining``, ``cache`` and ``observability`` — the
+        built observability bundle (or ``None``) is shared by every job
+        the runner executes.
+        """
         return cls(
             max_concurrent_jobs=config.async_mining.max_concurrent_jobs,
             job_timeout=config.async_mining.job_timeout,
             cache=config.cache.build(),
+            observability=config.observability.build(),
         )
 
     def _ensure_started(self) -> None:
@@ -283,18 +299,37 @@ class MiningJobRunner:
         finally:
             job.seconds = time.perf_counter() - job._submitted
             self.stats.record(job.job_stats())
+            if self.observability is not None:
+                metrics = self.observability.metrics
+                metrics.counter(f"jobs.{job.status}").increment()
+                metrics.histogram("job_seconds").observe(job.seconds)
 
     async def _mine(self, job, table, progress) -> MiningResult:
         """Encode and mine one job off the event loop."""
         loop = asyncio.get_running_loop()
-        # Table encoding (steps 1-2) is CPU-bound; off the loop with it.
-        miner = await loop.run_in_executor(
-            self._offload,
-            lambda: QuantitativeMiner(table, job.config, cache=self.cache),
-        )
-        return await miner.mine_async(
-            progress=progress, offload=self._offload
-        )
+        obs = self.observability
+        tracer = obs.tracer if obs is not None else NULL_TRACER
+        job_span = tracer.start_span(job.job_id, kind="job")
+        try:
+            # Table encoding (steps 1-2) is CPU-bound; off the loop too.
+            miner = await loop.run_in_executor(
+                self._offload,
+                lambda: QuantitativeMiner(
+                    table,
+                    job.config,
+                    cache=self.cache,
+                    observability=obs,
+                    span_parent=job_span if obs is not None else None,
+                ),
+            )
+            result = await miner.mine_async(
+                progress=progress, offload=self._offload
+            )
+        except BaseException as exc:
+            job_span.finish(error=type(exc).__name__)
+            raise
+        job_span.finish(rules=result.stats.num_rules)
+        return result
 
     async def run_sweep(self, table, configs, *, progress=None) -> list:
         """Mine ``table`` under every config concurrently; results in order.

@@ -241,6 +241,90 @@ class CacheConfig:
 
 
 @dataclass
+class ObsConfig:
+    """What the observability layer records and where it exports.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch.  ``None`` (the default) means "on exactly when
+        some export target is set", so passing ``trace_path`` is enough
+        to get a trace; ``True`` forces live instruments even without
+        file targets (the programmatic API reads them off the result);
+        ``False`` forces the no-op instruments regardless of paths.
+    trace_path:
+        Target for the JSON-lines span log (the CLI's ``--trace-out``),
+        or ``None``.
+    chrome_trace_path:
+        Target for the Chrome trace-event file.  ``None`` derives
+        ``<trace_path stem>.chrome.json`` whenever ``trace_path`` is
+        set, so one flag yields both machine formats.
+    metrics_path:
+        Target for the metrics snapshot JSON (``--metrics-out``), or
+        ``None``.
+    log_level:
+        When set, :func:`repro.obs.configure_logging` is applied at
+        build time with this level name (``"DEBUG"``, ``"info"``, ...).
+
+    Like the execution, cache and async blocks, this block is purely
+    operational — it observes a run without changing what it computes —
+    so it participates in no cache fingerprint (property-tested in
+    ``tests/test_fingerprint.py``).
+    """
+
+    enabled: bool | None = None
+    trace_path: str | None = None
+    chrome_trace_path: str | None = None
+    metrics_path: str | None = None
+    log_level: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.log_level is not None:
+            import logging
+
+            if not isinstance(
+                logging.getLevelName(str(self.log_level).upper()), int
+            ):
+                raise ValueError(f"unknown log_level {self.log_level!r}")
+        if self.chrome_trace_path is None and self.trace_path is not None:
+            stem = str(self.trace_path)
+            if stem.endswith(".jsonl"):
+                stem = stem[: -len(".jsonl")]
+            elif stem.endswith(".json"):
+                stem = stem[: -len(".json")]
+            self.chrome_trace_path = stem + ".chrome.json"
+        if self.enabled is None:
+            self.enabled = any(
+                path is not None
+                for path in (
+                    self.trace_path,
+                    self.chrome_trace_path,
+                    self.metrics_path,
+                )
+            )
+
+    def build(self):
+        """Resolve this block into a live observability bundle.
+
+        Returns a :class:`~repro.obs.Observability` (fresh tracer +
+        registry plus the configured export targets) or ``None`` when
+        disabled — callers then fall back to the no-op instruments.
+        Applies ``log_level`` as a side effect when set.
+        """
+        from ..obs import Observability, configure_logging
+
+        if self.log_level is not None:
+            configure_logging(self.log_level)
+        if not self.enabled:
+            return None
+        return Observability(
+            trace_path=self.trace_path,
+            chrome_trace_path=self.chrome_trace_path,
+            metrics_path=self.metrics_path,
+        )
+
+
+@dataclass
 class MinerConfig:
     """All knobs of the quantitative rule miner.
 
@@ -322,6 +406,12 @@ class MinerConfig:
         :class:`AsyncConfig`).  An :class:`AsyncConfig`, a plain dict of
         its fields, or ``None`` for the defaults.  Purely operational
         like the other engine blocks.
+    observability:
+        What the tracing/metrics layer records and where it exports
+        (see :class:`ObsConfig`).  An :class:`ObsConfig`, a plain dict
+        of its fields, or ``None`` for "off".  Purely operational like
+        the other engine blocks: observing a run never changes its
+        output or its cache keys.
     """
 
     min_support: float = 0.1
@@ -342,6 +432,7 @@ class MinerConfig:
     execution: ExecutionConfig | None = field(default=None)
     cache: CacheConfig | None = field(default=None)
     async_mining: AsyncConfig | None = field(default=None)
+    observability: ObsConfig | None = field(default=None)
 
     def __post_init__(self) -> None:
         if self.execution is None:
@@ -370,6 +461,15 @@ class MinerConfig:
             raise TypeError(
                 "async_mining must be an AsyncConfig, a dict of its "
                 f"fields, or None; got {type(self.async_mining).__name__}"
+            )
+        if self.observability is None:
+            self.observability = ObsConfig()
+        elif isinstance(self.observability, dict):
+            self.observability = ObsConfig(**self.observability)
+        elif not isinstance(self.observability, ObsConfig):
+            raise TypeError(
+                "observability must be an ObsConfig, a dict of its "
+                f"fields, or None; got {type(self.observability).__name__}"
             )
         if not 0.0 < self.min_support <= 1.0:
             raise ValueError(

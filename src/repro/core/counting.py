@@ -358,6 +358,9 @@ def count_itemsets(
     executor=None,
     shards=None,
     execution_stats=None,
+    tracer=None,
+    span_parent=None,
+    metrics=None,
 ) -> dict:
     """Support counts for explicit candidate itemsets.
 
@@ -365,7 +368,9 @@ def count_itemsets(
     group and returns ``{itemset: absolute support count}``.  With an
     ``executor``/``shards`` pair the counting fans out per record shard
     and the per-shard counts are summed — bit-identical to the direct
-    path for any shard layout.
+    path for any shard layout.  ``tracer``/``span_parent``/``metrics``
+    ride through to :func:`~repro.engine.sharded.sharded_map` so the
+    fan-out shows up as ``shard_task`` spans under the calling stage.
     """
     counts: dict = {}
     groups = group_candidates(candidates, quantitative)
@@ -387,6 +392,9 @@ def count_itemsets(
             (groups, backends),
             stats=execution_stats,
             stage="count_itemsets",
+            tracer=tracer,
+            parent=span_parent,
+            metrics=metrics,
         )
         per_group = _merge_group_counts(per_shard)
     for group, resolved, group_counts in zip(groups, backends, per_group):
@@ -580,6 +588,9 @@ def count_frequent_pairs(
     executor=None,
     shards=None,
     execution_stats=None,
+    tracer=None,
+    span_parent=None,
+    metrics=None,
 ):
     """Pass 2, specialized: return frequent 2-itemsets and the candidate tally.
 
@@ -616,6 +627,9 @@ def count_frequent_pairs(
             plans,
             stats=execution_stats,
             stage="count_pairs",
+            tracer=tracer,
+            parent=span_parent,
+            metrics=metrics,
         )
         merged = per_shard[0]
         for shard_result in per_shard[1:]:

@@ -10,13 +10,13 @@ all longer itemsets are grown.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..engine.sharded import sharded_map
 from ..engine.stage import PipelineStage
+from ..obs import timeit
 from .config import FREQUENT_ITEMS_CONFIG_KEYS, SUPPORT_AND_CONFIDENCE
 from .items import Item
 from .mapper import TableMapper
@@ -101,6 +101,9 @@ def attribute_histograms(
     executor=None,
     shards=None,
     execution_stats=None,
+    tracer=None,
+    span_parent=None,
+    metrics=None,
 ) -> list:
     """Per-attribute value counts, optionally sharded over records.
 
@@ -122,6 +125,9 @@ def attribute_histograms(
         None,
         stats=execution_stats,
         stage="item_histograms",
+        tracer=tracer,
+        parent=span_parent,
+        metrics=metrics,
     )
     merged = per_shard[0]
     for shard_counts in per_shard[1:]:
@@ -139,6 +145,9 @@ def find_frequent_items(
     executor=None,
     shards=None,
     execution_stats=None,
+    tracer=None,
+    span_parent=None,
+    metrics=None,
 ) -> FrequentItems:
     """Generate all frequent items of the mapped table.
 
@@ -166,6 +175,9 @@ def find_frequent_items(
         executor=executor,
         shards=shards,
         execution_stats=execution_stats,
+        tracer=tracer,
+        span_parent=span_parent,
+        metrics=metrics,
     )
     supports: dict = {}
     attribute_counts: list = []
@@ -241,24 +253,31 @@ class FrequentItemsStage(PipelineStage):
     def run(self, context) -> dict:
         mapper = context.artifacts["mapper"]
         config = context.artifacts["config"]
-        started = time.perf_counter()
         prune = (
             config.interest_enabled
             and config.interest_mode == SUPPORT_AND_CONFIDENCE
         )
-        freq_items = find_frequent_items(
-            mapper,
-            config.min_support,
-            config.max_support,
-            interest_level=config.effective_interest_level,
-            prune_by_interest=prune,
-            executor=context.executor,
-            shards=context.shards,
-            execution_stats=context.execution_stats,
-        )
+        with timeit() as timer:
+            freq_items = find_frequent_items(
+                mapper,
+                config.min_support,
+                config.max_support,
+                interest_level=config.effective_interest_level,
+                prune_by_interest=prune,
+                executor=context.executor,
+                shards=context.shards,
+                execution_stats=context.execution_stats,
+                tracer=context.tracer,
+                span_parent=context.current_span,
+                metrics=context.metrics,
+            )
         support_counts = {
             (item,): count for item, count in freq_items.supports.items()
         }
+        context.annotate(
+            frequent_items=len(support_counts),
+            items_pruned_by_interest=len(freq_items.pruned_by_interest),
+        )
         stats = context.stats
         if stats is not None:
             stats.items_pruned_by_interest = len(
@@ -272,7 +291,7 @@ class FrequentItemsStage(PipelineStage):
                         for a in range(mapper.num_attributes)
                     ),
                     num_frequent=len(support_counts),
-                    counting_seconds=time.perf_counter() - started,
+                    counting_seconds=timer.seconds,
                 )
             )
         return {

@@ -93,9 +93,17 @@ class InterestFilterStage(PipelineStage):
             executor=context.executor,
             block_size=config.execution.rule_block_size,
             execution_stats=context.execution_stats,
+            tracer=context.tracer,
+            span_parent=context.current_span,
+            metrics=context.metrics,
         )
         if context.stats is not None:
             context.stats.num_interesting_rules = len(interesting)
+        context.annotate(
+            rules_in=len(a["rules"]),
+            rules_out=len(interesting),
+            pruned_by_interest=len(a["rules"]) - len(interesting),
+        )
         return {"interesting_rules": interesting}
 
 _EPS = 1e-9
@@ -410,6 +418,9 @@ class InterestEvaluator:
         executor=None,
         block_size: int | None = None,
         execution_stats=None,
+        tracer=None,
+        span_parent=None,
+        metrics=None,
     ) -> list:
         """Return the rules that are interesting within ``rules``.
 
@@ -472,6 +483,9 @@ class InterestEvaluator:
                 payloads,
                 stats=execution_stats,
                 stage="interest",
+                tracer=tracer,
+                parent=span_parent,
+                metrics=metrics,
             ):
                 interesting.extend(kept)
                 self.stats.deviation_tests += worker_stats.deviation_tests

@@ -21,9 +21,16 @@ import time
 from dataclasses import dataclass
 
 from ..engine import AsyncExecutionEngine
+from ..obs import NULL_TRACER
 from ..table import RelationalTable
 from .apriori_quant import FrequentItemsetSearch, build_engine_context
-from .config import AsyncConfig, CacheConfig, ExecutionConfig, MinerConfig
+from .config import (
+    AsyncConfig,
+    CacheConfig,
+    ExecutionConfig,
+    MinerConfig,
+    ObsConfig,
+)
 from .frequent_items import FrequentItems
 from .interest import InterestEvaluator, InterestFilterStage
 from .mapper import TableMapper
@@ -52,6 +59,11 @@ class MiningResult:
         The encoded table; knows how to render items in raw-value terms.
     stats:
         Counters and timings for the run.
+    observability:
+        The run's :class:`~repro.obs.Observability` bundle (live tracer
+        + metrics registry), or ``None`` when observability was off.
+        ``result.observability.tracer.spans()`` is the full trace;
+        ``result.observability.timing_report()`` renders it.
     """
 
     rules: list
@@ -61,6 +73,7 @@ class MiningResult:
     mapper: TableMapper
     stats: MiningStats
     config: MinerConfig | None = None
+    observability: object = None
 
     @property
     def num_records(self) -> int:
@@ -174,6 +187,8 @@ class QuantitativeMiner:
         config: MinerConfig,
         *,
         cache=None,
+        observability=None,
+        span_parent=None,
     ) -> None:
         self._table = table
         self._config = config
@@ -183,6 +198,18 @@ class QuantitativeMiner:
         #: every run on this miner.
         self._injected_cache = cache
         self._cache = cache if cache is not None else config.cache.build()
+        #: Likewise for observability: an injected bundle (the job
+        #: runner shares one tracer/registry across concurrent jobs)
+        #: wins over the config-built one.
+        self._injected_obs = observability
+        self._observability = (
+            observability
+            if observability is not None
+            else config.observability.build()
+        )
+        #: Parent span for this miner's run spans (the job runner passes
+        #: its job span so runs nest under their jobs).
+        self._span_parent = span_parent
         self._cumulative_stage_seconds: dict = {}
 
     @property
@@ -197,6 +224,11 @@ class QuantitativeMiner:
     def cache(self):
         """The artifact cache shared by this miner's runs (or ``None``)."""
         return self._cache
+
+    @property
+    def observability(self):
+        """The observability bundle this miner's runs record into."""
+        return self._observability
 
     def _cache_for(self, config: MinerConfig):
         """The cache a run with ``config`` should use.
@@ -213,6 +245,24 @@ class QuantitativeMiner:
             return self._cache
         return config.cache.build()
 
+    def _obs_for(self, config: MinerConfig):
+        """The observability bundle a run with ``config`` records into.
+
+        Same resolution as :meth:`_cache_for`: an injected bundle always
+        wins (concurrent jobs then share one tracer, nesting their runs
+        in one tree), runs matching the construction-time block share
+        the miner's bundle (a sweep accumulates one trace), and a run
+        overriding the block gets its own.
+        """
+        if self._injected_obs is not None:
+            return self._injected_obs
+        if (
+            config is self._config
+            or config.observability == self._config.observability
+        ):
+            return self._observability
+        return config.observability.build()
+
     def mine(self, config: MinerConfig | None = None) -> MiningResult:
         """Run steps 3-5 and return the full result.
 
@@ -225,10 +275,17 @@ class QuantitativeMiner:
         ``config.execution``, and the engine's per-stage wall-clock lands
         in ``stats.phase_seconds`` under the historical phase names.
         """
-        config, stats, started, engine, context = self._begin_run(config)
-        with context.executor:
-            engine.run(self._stages(), context)
-        return self._finish_run(config, stats, started, engine, context)
+        run = self._begin_run(config)
+        config, stats, started, engine, context, obs, run_span = run
+        try:
+            with context.executor:
+                engine.run(self._stages(), context)
+        except BaseException:
+            run_span.finish(error=True)
+            raise
+        return self._finish_run(
+            config, stats, started, engine, context, obs, run_span
+        )
 
     async def mine_async(
         self, config: MinerConfig | None = None, *, progress=None, offload=None
@@ -248,15 +305,21 @@ class QuantitativeMiner:
         consistent because entries are content-addressed and writes
         complete before cancellation propagates.
         """
-        config, stats, started, engine, context = self._begin_run(config)
+        run = self._begin_run(config)
+        config, stats, started, engine, context, obs, run_span = run
         async_engine = AsyncExecutionEngine(engine, offload=offload)
         try:
             await async_engine.run(
                 self._stages(), context, progress=progress
             )
+        except BaseException:
+            run_span.finish(error=True)
+            raise
         finally:
             context.executor.close()
-        return self._finish_run(config, stats, started, engine, context)
+        return self._finish_run(
+            config, stats, started, engine, context, obs, run_span
+        )
 
     @staticmethod
     def _stages() -> list:
@@ -268,7 +331,7 @@ class QuantitativeMiner:
         ]
 
     def _begin_run(self, config: MinerConfig | None):
-        """Resolve one run's config, stats, engine and context."""
+        """Resolve one run's config, stats, engine, context and run span."""
         config = config or self._config
         stats = MiningStats(
             num_records=self._mapper.num_records,
@@ -282,13 +345,30 @@ class QuantitativeMiner:
         )
         started = time.perf_counter()
 
-        engine, context = build_engine_context(
-            self._mapper, config, stats, cache=self._cache_for(config)
+        obs = self._obs_for(config)
+        tracer = obs.tracer if obs is not None else NULL_TRACER
+        run_span = tracer.start_span(
+            "mine",
+            kind="run",
+            parent=self._span_parent,
+            records=self._mapper.num_records,
+            attributes_counted=self._mapper.num_attributes,
+            executor=config.execution.executor,
         )
-        return config, stats, started, engine, context
+        engine, context = build_engine_context(
+            self._mapper,
+            config,
+            stats,
+            cache=self._cache_for(config),
+            observability=obs,
+        )
+        # The run span is the root of this run's stage stack: stages the
+        # engine executes nest under it.
+        context.span_stack.append(run_span)
+        return config, stats, started, engine, context, obs, run_span
 
     def _finish_run(
-        self, config, stats, started, engine, context
+        self, config, stats, started, engine, context, obs=None, run_span=None
     ) -> MiningResult:
         """Fold one finished run's artifacts and timings into a result."""
         artifacts = context.artifacts
@@ -319,6 +399,17 @@ class QuantitativeMiner:
         stats.num_interesting_rules = len(artifacts["interesting_rules"])
 
         stats.total_seconds = time.perf_counter() - started
+        if run_span is not None:
+            if context.span_stack and context.span_stack[-1] is run_span:
+                context.span_stack.pop()
+            run_span.finish(
+                frequent_itemsets=stats.num_frequent_itemsets,
+                rules=stats.num_rules,
+                interesting_rules=stats.num_interesting_rules,
+            )
+        if obs is not None:
+            self._record_run_metrics(obs, stats)
+            obs.export()
         return MiningResult(
             rules=artifacts["rules"],
             interesting_rules=artifacts["interesting_rules"],
@@ -327,7 +418,29 @@ class QuantitativeMiner:
             mapper=self._mapper,
             stats=stats,
             config=config,
+            observability=obs,
         )
+
+    @staticmethod
+    def _record_run_metrics(obs, stats) -> None:
+        """Fold one run's summary quantities into the metrics registry."""
+        metrics = obs.metrics
+        metrics.counter("runs.completed").increment()
+        metrics.histogram("run_seconds").observe(stats.total_seconds)
+        metrics.gauge("run.records").set(stats.num_records)
+        metrics.gauge("run.rules").set(stats.num_rules)
+        metrics.gauge("run.interesting_rules").set(
+            stats.num_interesting_rules
+        )
+        counting_seconds = sum(p.counting_seconds for p in stats.passes)
+        if counting_seconds > 0:
+            metrics.gauge("run.rows_counted_per_second").set(
+                stats.num_records * len(stats.passes) / counting_seconds
+            )
+        hits = metrics.counter("cache.hit").value
+        misses = metrics.counter("cache.miss").value
+        if hits + misses:
+            metrics.gauge("cache.hit_ratio").set(hits / (hits + misses))
 
     def realized_completeness(self, min_support: float) -> float:
         """Equation 1 applied to the realized partitioning.
@@ -423,6 +536,18 @@ def _resolve_config(
             "job_timeout": "job_timeout",
         },
     )
+    _fold_block_overrides(
+        overrides,
+        "observability",
+        ObsConfig,
+        {
+            "obs_enabled": "enabled",
+            "trace_path": "trace_path",
+            "chrome_trace_path": "chrome_trace_path",
+            "metrics_path": "metrics_path",
+            "log_level": "log_level",
+        },
+    )
     return MinerConfig(**overrides)
 
 
@@ -437,9 +562,11 @@ def mine_quantitative_rules(
     ``mine_quantitative_rules(table, executor="parallel", num_workers=4)``
     — and folded into the config's ``execution`` block; likewise the
     cache knobs (``cache_enabled``, ``cache_backend``, ``cache_dir``,
-    ``cache_max_entries``) fold into its ``cache`` block and the async
+    ``cache_max_entries``) fold into its ``cache`` block, the async
     knobs (``max_concurrent_jobs``, ``job_timeout``) into its
-    ``async_mining`` block.
+    ``async_mining`` block, and the observability knobs
+    (``obs_enabled``, ``trace_path``, ``chrome_trace_path``,
+    ``metrics_path``, ``log_level``) into its ``observability`` block.
     """
     config = _resolve_config(config, overrides)
     return QuantitativeMiner(table, config).mine()

@@ -58,9 +58,15 @@ class RuleGenerationStage(PipelineStage):
             executor=context.executor,
             block_size=config.execution.rule_block_size,
             execution_stats=context.execution_stats,
+            tracer=context.tracer,
+            span_parent=context.current_span,
+            metrics=context.metrics,
         )
         if context.stats is not None:
             context.stats.num_rules = len(rules)
+        context.annotate(
+            frequent_itemsets=len(a["support_counts"]), rules=len(rules)
+        )
         return {"rules": rules}
 
 
@@ -87,6 +93,9 @@ def generate_rules(
     executor=None,
     block_size: int | None = None,
     execution_stats=None,
+    tracer=None,
+    span_parent=None,
+    metrics=None,
 ) -> list:
     """All rules meeting ``min_confidence`` from the frequent itemsets.
 
@@ -136,6 +145,9 @@ def generate_rules(
             payloads,
             stats=execution_stats,
             stage="rule_generation",
+            tracer=tracer,
+            parent=span_parent,
+            metrics=metrics,
         ):
             rules.extend(block_rules)
     else:

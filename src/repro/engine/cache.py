@@ -36,6 +36,10 @@ import threading
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 
+from ..obs import get_logger
+
+_log = get_logger(__name__)
+
 #: Sentinel distinguishing "cached None" from "not cached".
 MISSING = object()
 
@@ -152,6 +156,7 @@ class DiskCache(ArtifactCache):
                 self.misses += 1
             return MISSING
         except (OSError, pickle.UnpicklingError, EOFError, ValueError):
+            _log.warning("removing corrupt cache entry %s", path)
             try:
                 os.remove(path)
             except OSError:

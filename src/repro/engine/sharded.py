@@ -25,7 +25,40 @@ from __future__ import annotations
 import math
 import time
 
+from ..obs import NULL_METRICS, NULL_TRACER
 from .shards import shard_view
+
+
+def _record_task_spans(
+    tracer, metrics, stage, parent, results, dispatched, *, records=None
+) -> None:
+    """Record one ``shard_task`` span + histogram sample per task.
+
+    Workers measure their own wall-clock (they may live in another
+    process, out of the tracer's reach); the dispatching side records
+    the measurements post-hoc, on synthetic per-task lanes so exporters
+    draw the fan-out as parallel bars.  ``records`` optionally gives
+    the per-task record counts (table shards know theirs).
+    """
+    if stage is None:
+        return
+    if tracer.enabled:
+        for i, (_, seconds) in enumerate(results):
+            attributes = {"stage": stage, "task": i}
+            if records is not None:
+                attributes["records"] = records[i]
+            tracer.record(
+                f"{stage}[{i}]",
+                "shard_task",
+                parent,
+                start=dispatched,
+                duration=seconds,
+                thread=f"{stage}/task-{i}",
+                **attributes,
+            )
+    metrics.histogram(f"shard_seconds.{stage}").observe_many(
+        seconds for _, seconds in results
+    )
 
 
 def plan_blocks(items, num_workers: int = 1, block_size: int | None = None):
@@ -68,20 +101,37 @@ def sharded_map(
     *,
     stats=None,
     stage: str | None = None,
+    tracer=None,
+    parent=None,
+    metrics=None,
 ) -> list:
     """Apply ``fn(shard_view, payload)`` to every shard; shard order kept.
 
     ``executor=None`` runs in-process (identical to a
     :class:`~repro.engine.executor.SerialExecutor`).  When ``stats`` is
-    given, per-shard worker seconds are recorded under ``stage``.
+    given, per-shard worker seconds are recorded under ``stage``.  A
+    ``tracer`` additionally gets one ``shard_task`` span per shard
+    (child of ``parent``, worker-measured duration) and a ``metrics``
+    registry a ``shard_seconds.<stage>`` histogram sample per shard.
     """
+    shards = tuple(shards)
     tasks = [(fn, shard_view(view, shard), payload) for shard in shards]
+    dispatched = time.perf_counter()
     if executor is None:
         results = [_run_shard(task) for task in tasks]
     else:
         results = executor.map(_run_shard, tasks)
     if stats is not None and stage is not None:
         stats.record_shards(stage, [seconds for _, seconds in results])
+    _record_task_spans(
+        tracer if tracer is not None else NULL_TRACER,
+        metrics if metrics is not None else NULL_METRICS,
+        stage,
+        parent,
+        results,
+        dispatched,
+        records=[shard.num_records for shard in shards],
+    )
     return [result for result, _ in results]
 
 
@@ -100,19 +150,32 @@ def partitioned_map(
     *,
     stats=None,
     stage: str | None = None,
+    tracer=None,
+    parent=None,
+    metrics=None,
 ) -> list:
     """Apply ``fn(payload)`` to every payload; payload order kept.
 
     The non-record-sharded sibling of :func:`sharded_map`: the caller
     has already partitioned its work (itemset blocks, rule groups) and
     just needs each partition run under the configured executor with
-    per-task timing.  ``executor=None`` runs in-process.
+    per-task timing.  ``executor=None`` runs in-process.  ``tracer`` /
+    ``parent`` / ``metrics`` behave as in :func:`sharded_map`.
     """
     tasks = [(fn, payload) for payload in payloads]
+    dispatched = time.perf_counter()
     if executor is None:
         results = [_run_partition(task) for task in tasks]
     else:
         results = executor.map(_run_partition, tasks)
     if stats is not None and stage is not None:
         stats.record_shards(stage, [seconds for _, seconds in results])
+    _record_task_spans(
+        tracer if tracer is not None else NULL_TRACER,
+        metrics if metrics is not None else NULL_METRICS,
+        stage,
+        parent,
+        results,
+        dispatched,
+    )
     return [result for result, _ in results]

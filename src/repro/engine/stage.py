@@ -29,9 +29,12 @@ import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
+from ..obs import NULL_METRICS, NULL_TRACER, get_logger
 from .cache import MISSING, ArtifactCache
 from .executor import Executor, SerialExecutor
 from .fingerprint import Unfingerprintable, fingerprint
+
+_log = get_logger(__name__)
 
 
 class StageError(RuntimeError):
@@ -76,6 +79,26 @@ class StageContext:
     stats: object = None
     execution_stats: object = None
     engine: "ExecutionEngine | None" = None
+    #: Span sink (:class:`~repro.obs.tracer.Tracer` or ``None`` = off).
+    tracer: object = None
+    #: Metric sink (:class:`~repro.obs.metrics.MetricsRegistry` or ``None``).
+    metrics: object = None
+    #: Open-span stack maintained by the engine; the top is the parent
+    #: for anything a running stage records (stages within one run are
+    #: sequential, so a plain stack is race-free even under the async
+    #: engine's thread offload).
+    span_stack: list = field(default_factory=list)
+
+    @property
+    def current_span(self):
+        """The innermost open span (parent for new spans), or ``None``."""
+        return self.span_stack[-1] if self.span_stack else None
+
+    def annotate(self, **attributes) -> None:
+        """Attach attributes to the innermost open span (no-op untraced)."""
+        span = self.current_span
+        if span is not None:
+            span.set(**attributes)
 
 
 class PipelineStage(ABC):
@@ -180,24 +203,62 @@ class ExecutionEngine:
                 f"stage {stage.name!r} is missing inputs {missing}; "
                 f"available artifacts: {sorted(context.artifacts)}"
             )
+        tracer = context.tracer if context.tracer is not None else NULL_TRACER
+        metrics = (
+            context.metrics if context.metrics is not None else NULL_METRICS
+        )
         key = stage.fingerprint(context) if self.cache is not None else None
+        stage_span = tracer.start_span(
+            stage.name, kind="stage", parent=context.current_span
+        )
+        context.span_stack.append(stage_span)
         started = time.perf_counter()
-        produced = MISSING
-        if key is not None:
-            produced = self.cache.get(key)
-        cache_hit = produced is not MISSING
-        if not cache_hit:
-            produced = stage.run(context) or {}
-        elapsed = time.perf_counter() - started
-        absent = [k for k in stage.outputs if k not in produced]
-        if absent:
-            raise StageError(
-                f"stage {stage.name!r} did not produce declared outputs "
-                f"{absent}"
+        try:
+            produced = MISSING
+            if key is not None:
+                with tracer.span(
+                    "cache.get",
+                    kind="cache_lookup",
+                    parent=stage_span,
+                    stage=stage.name,
+                    backend=type(self.cache).__name__,
+                ) as lookup:
+                    produced = self.cache.get(key)
+                    lookup.set(
+                        outcome="hit" if produced is not MISSING else "miss"
+                    )
+            cache_hit = produced is not MISSING
+            if not cache_hit:
+                produced = stage.run(context) or {}
+            elapsed = time.perf_counter() - started
+            absent = [k for k in stage.outputs if k not in produced]
+            if absent:
+                raise StageError(
+                    f"stage {stage.name!r} did not produce declared outputs "
+                    f"{absent}"
+                )
+            context.artifacts.update(produced)
+            if key is not None and not cache_hit:
+                self.cache.put(key, {k: produced[k] for k in stage.outputs})
+        except BaseException:
+            context.span_stack.pop()
+            stage_span.finish(error=True)
+            raise
+        cache_event = (
+            "skipped" if key is None else ("hit" if cache_hit else "miss")
+        )
+        context.span_stack.pop()
+        stage_span.finish(cache=cache_event)
+        metrics.counter("stages.executed").increment()
+        metrics.counter(f"cache.{cache_event}").increment()
+        metrics.histogram(f"stage_seconds.{stage.name}").observe(elapsed)
+        if tracer.enabled:
+            _log.debug(
+                "stage %s finished in %.4fs (cache=%s)",
+                stage.name,
+                elapsed,
+                cache_event,
             )
-        context.artifacts.update(produced)
-        if key is not None and not cache_hit:
-            self.cache.put(key, {k: produced[k] for k in stage.outputs})
         self._record_cache_event(context, stage, key, cache_hit)
         for bucket in (self.stage_seconds, self.cumulative_stage_seconds):
             bucket[stage.name] = bucket.get(stage.name, 0.0) + elapsed
@@ -205,11 +266,7 @@ class ExecutionEngine:
             event = StageEvent(
                 stage=stage.name,
                 seconds=elapsed,
-                cache_event=(
-                    "skipped"
-                    if key is None
-                    else ("hit" if cache_hit else "miss")
-                ),
+                cache_event=cache_event,
             )
             for hook in self.stage_hooks:
                 hook(event)

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from ..core import InterestEvaluator, MinerConfig
 from ..core.miner import QuantitativeMiner
+from ..obs import timeit
 
 #: The paper's sweep values (Section 6, Figure 7).
 PAPER_COMPLETENESS_LEVELS = (1.5, 2.0, 3.0, 5.0)
@@ -77,8 +78,6 @@ def run_figure7(
     Defaults are the paper's parameters (with Equation 2's n' = 2
     refinement; see DESIGN.md §4b).
     """
-    import time
-
     base = dict(
         min_support=min_support,
         min_confidence=min_confidence,
@@ -87,24 +86,26 @@ def run_figure7(
     )
     result = Figure7Result(interest_levels=tuple(interest_levels))
     for completeness in completeness_levels:
-        started = time.perf_counter()
-        mining = QuantitativeMiner(
-            table,
-            MinerConfig(**base, partial_completeness=completeness),
-        ).mine()
-        interesting = {}
-        for r_level in interest_levels:
-            evaluator = InterestEvaluator(
-                mining.support_counts,
-                mining.frequent_items,
-                mining.mapper,
-                MinerConfig(
-                    **base,
-                    partial_completeness=completeness,
-                    interest_level=r_level,
-                ),
-            )
-            interesting[r_level] = len(evaluator.filter_rules(mining.rules))
+        with timeit() as timer:
+            mining = QuantitativeMiner(
+                table,
+                MinerConfig(**base, partial_completeness=completeness),
+            ).mine()
+            interesting = {}
+            for r_level in interest_levels:
+                evaluator = InterestEvaluator(
+                    mining.support_counts,
+                    mining.frequent_items,
+                    mining.mapper,
+                    MinerConfig(
+                        **base,
+                        partial_completeness=completeness,
+                        interest_level=r_level,
+                    ),
+                )
+                interesting[r_level] = len(
+                    evaluator.filter_rules(mining.rules)
+                )
         quantitative = [
             m for m in mining.mapper.mappings if m.is_quantitative
         ]
@@ -116,7 +117,7 @@ def run_figure7(
                 ),
                 total_rules=len(mining.rules),
                 interesting=interesting,
-                seconds=time.perf_counter() - started,
+                seconds=timer.seconds,
             )
         )
     return result

@@ -9,12 +9,12 @@ does.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from ..core import MinerConfig
 from ..core.apriori_quant import find_frequent_itemsets
 from ..core.mapper import TableMapper
+from ..obs import timeit
 
 DEFAULT_SIZES = (50_000, 100_000, 200_000, 350_000, 500_000)
 PAPER_MIN_SUPPORTS = (0.3, 0.2, 0.1)
@@ -76,12 +76,13 @@ def time_mining(table, min_support, num_partitions=10, max_itemset_size=4,
     best = None
     num_itemsets = 0
     for _ in range(max(1, repetitions)):
-        started = time.perf_counter()
-        mapper = TableMapper(table, config)
-        support_counts, _ = find_frequent_itemsets(mapper, config)
-        elapsed = time.perf_counter() - started
+        with timeit() as timer:
+            mapper = TableMapper(table, config)
+            support_counts, _ = find_frequent_itemsets(mapper, config)
         num_itemsets = len(support_counts)
-        best = elapsed if best is None else min(best, elapsed)
+        best = (
+            timer.seconds if best is None else min(best, timer.seconds)
+        )
     return best, num_itemsets
 
 

@@ -1,0 +1,105 @@
+"""Unified observability for the staged mining pipeline.
+
+One dependency-free subsystem answering "what did this run do, and
+where did the time go" for every layer at once:
+
+- :mod:`~repro.obs.tracer` — hierarchical spans (run → job → stage →
+  shard task / cache lookup) with monotonic timing, attributes, and
+  thread/process-safe collection; :class:`NullTracer` keeps the hot
+  path free when tracing is off; :class:`timeit` is the one idiom for
+  ad-hoc block timing.
+- :mod:`~repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges and histograms, snapshotable at any point.
+- :mod:`~repro.obs.export` — JSON-lines span logs, Chrome trace-event
+  files, the ``--explain-timing`` text report, and the schema
+  validators ``tools/check_trace_schema.py`` runs in CI.
+- :mod:`~repro.obs.views` — aggregates derived from one span list
+  (per-stage seconds, shard balance, cache economics); the legacy
+  ``ExecutionStats`` timing fields are compatibility views of the same
+  measurements.
+- :mod:`~repro.obs.log` — the ``repro`` structured-logging hierarchy.
+- :mod:`~repro.obs.session` — :class:`Observability`, the bundle the
+  configuration layer builds and the pipeline threads through.
+
+Like the engine, this package never imports ``repro.core``; the
+dependency arrow points the other way (core and engine emit into obs).
+"""
+
+from .export import (
+    chrome_trace_document,
+    read_spans_jsonl,
+    render_timing_report,
+    span_from_record,
+    span_to_record,
+    validate_chrome_trace,
+    validate_metrics_snapshot,
+    validate_span_record,
+    validate_spans_jsonl,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from .log import configure_logging, get_logger
+from .metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+)
+from .session import Observability
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanHandle,
+    Tracer,
+    timeit,
+)
+from .views import (
+    cache_events,
+    cache_hit_ratio,
+    children_of,
+    shard_seconds,
+    shard_skew,
+    span_tree,
+    spans_by_kind,
+    stage_seconds,
+)
+
+__all__ = [
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NullTracer",
+    "Observability",
+    "Span",
+    "SpanHandle",
+    "Tracer",
+    "cache_events",
+    "cache_hit_ratio",
+    "children_of",
+    "chrome_trace_document",
+    "configure_logging",
+    "get_logger",
+    "read_spans_jsonl",
+    "render_timing_report",
+    "shard_seconds",
+    "shard_skew",
+    "span_from_record",
+    "span_to_record",
+    "span_tree",
+    "spans_by_kind",
+    "stage_seconds",
+    "timeit",
+    "validate_chrome_trace",
+    "validate_metrics_snapshot",
+    "validate_span_record",
+    "validate_spans_jsonl",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+]

@@ -1,0 +1,69 @@
+"""Structured logging for the mining pipeline: the ``repro`` hierarchy.
+
+Every module logs through :func:`get_logger`, which namespaces under
+the single ``repro`` root logger — so one :func:`configure_logging`
+call (or the CLI's ``--log-level``) controls the whole pipeline, and a
+host application embedding the library can attach its own handlers to
+``logging.getLogger("repro")`` without this package ever touching the
+root logger.
+
+Library rule: the package itself never installs handlers; a
+``NullHandler`` on the root keeps unconfigured imports silent.
+:func:`configure_logging` is the *application-side* convenience
+(CLI, scripts) and is idempotent — repeated calls re-level the one
+handler it owns instead of stacking duplicates.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+#: Root of the package's logger hierarchy.
+ROOT_LOGGER_NAME = "repro"
+
+#: Format applied by :func:`configure_logging`.
+LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+#: The handler :func:`configure_logging` owns (one per process).
+_handler: logging.Handler | None = None
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """The logger for ``name`` under the ``repro`` hierarchy.
+
+    Pass a dotted suffix (``"engine.cache"``) or a module's
+    ``__name__`` — a leading ``repro.`` is not doubled, so
+    ``get_logger(__name__)`` does the right thing everywhere.
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(level="WARNING", stream=None) -> logging.Logger:
+    """Point the ``repro`` hierarchy at a stream handler; returns the root.
+
+    ``level`` is a logging level name (``"DEBUG"``, ``"info"``, ...) or
+    numeric value; ``stream`` defaults to ``sys.stderr``.  Idempotent:
+    calling again replaces the previously installed handler and level
+    rather than stacking a second one.
+    """
+    global _handler
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    if _handler is not None:
+        root.removeHandler(_handler)
+    _handler = logging.StreamHandler(stream or sys.stderr)
+    _handler.setFormatter(logging.Formatter(LOG_FORMAT))
+    root.addHandler(_handler)
+    root.setLevel(level)
+    return root

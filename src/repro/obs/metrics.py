@@ -1,0 +1,225 @@
+"""Run-wide metrics: counters, gauges and histograms behind one registry.
+
+The paper's evaluation reasons in aggregate quantities — candidates
+generated vs. counted, pruning effectiveness, rows counted per second —
+and the :class:`MetricsRegistry` is where the pipeline accumulates them
+as it runs.  Unlike the trace (a list of *events*), the registry holds
+*state*: snapshot it at any point and you get the totals so far.
+
+Three instrument kinds, mirroring the usual metrics vocabulary:
+
+- :class:`Counter` — monotonically increasing totals (cache hits,
+  candidates counted, rules generated).
+- :class:`Gauge` — last-written values (records in the table, cache
+  hit ratio at the end of a run).
+- :class:`Histogram` — streaming summaries (count/sum/min/max) of a
+  value distribution (per-shard worker seconds, candidates per pass)
+  without retaining the observations.
+
+All instruments share the registry's lock, so concurrent async jobs
+may write through one registry.  Snapshots are deterministic in
+structure — instruments sorted by name, fixed field order — so a fixed
+run produces a fixed snapshot modulo measured durations.
+
+:data:`NULL_METRICS` is the no-op twin, letting instrumented call sites
+stay unconditional at zero cost when observability is off.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock) -> None:
+        self.name = name
+        self.value = 0
+        self._lock = lock
+
+    def increment(self, amount=1) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount}")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """A last-written value."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock) -> None:
+        self.name = name
+        self.value = 0.0
+        self._lock = lock
+
+    def set(self, value) -> None:
+        """Overwrite the gauge with ``value``."""
+        with self._lock:
+            self.value = value
+
+
+class Histogram:
+    """A streaming summary (count/sum/min/max) of observed values."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str, lock) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        self._lock = lock
+
+    def observe(self, value) -> None:
+        """Fold one observation into the summary."""
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+
+    def observe_many(self, values) -> None:
+        """Fold a batch of observations into the summary."""
+        for value in values:
+            self.observe(value)
+
+    @property
+    def mean(self):
+        """Arithmetic mean of the observations (``None`` when empty)."""
+        return self.total / self.count if self.count else None
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshotable at any point.
+
+    ``counter(name)`` / ``gauge(name)`` / ``histogram(name)`` return
+    the instrument registered under ``name``, creating it on first
+    access; asking for an existing name with a different kind raises.
+    One lock serializes creation and every write, which keeps
+    cross-thread totals exact (instrument writes are tiny compared to
+    the work they measure).
+    """
+
+    #: Discriminates real registries from :class:`NullMetrics`.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict = {}
+
+    def _instrument(self, name: str, kind):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is None:
+                existing = self._instruments[name] = kind(name, self._lock)
+            elif type(existing) is not kind:
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {kind.__name__}"
+                )
+        return existing
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        return self._instrument(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        return self._instrument(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name`` (created on first use)."""
+        return self._instrument(name, Histogram)
+
+    def snapshot(self) -> dict:
+        """Deterministically ordered dump of every instrument.
+
+        Returns ``{"counters": {...}, "gauges": {...},
+        "histograms": {...}}`` with instrument names sorted and
+        histogram summaries as ``{count, sum, min, max, mean}`` — the
+        document ``--metrics-out`` writes and
+        ``tools/check_trace_schema.py`` validates.
+        """
+        with self._lock:
+            instruments = dict(self._instruments)
+        counters = {}
+        gauges = {}
+        histograms = {}
+        for name in sorted(instruments):
+            instrument = instruments[name]
+            if isinstance(instrument, Counter):
+                counters[name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[name] = instrument.value
+            else:
+                histograms[name] = {
+                    "count": instrument.count,
+                    "sum": instrument.total,
+                    "min": instrument.min,
+                    "max": instrument.max,
+                    "mean": instrument.mean,
+                }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+    name = ""
+    value = 0
+    count = 0
+    total = 0.0
+    min = None
+    max = None
+    mean = None
+
+    def increment(self, amount=1) -> None:
+        """Do nothing."""
+
+    def set(self, value) -> None:
+        """Do nothing."""
+
+    def observe(self, value) -> None:
+        """Do nothing."""
+
+    def observe_many(self, values) -> None:
+        """Do nothing."""
+
+
+class NullMetrics:
+    """The registry that is not there: every instrument is a no-op."""
+
+    enabled = False
+    _instrument = _NullInstrument()
+
+    def counter(self, name: str) -> _NullInstrument:
+        """Return the shared no-op instrument."""
+        return self._instrument
+
+    def gauge(self, name: str) -> _NullInstrument:
+        """Return the shared no-op instrument."""
+        return self._instrument
+
+    def histogram(self, name: str) -> _NullInstrument:
+        """Return the shared no-op instrument."""
+        return self._instrument
+
+    def snapshot(self) -> dict:
+        """Empty snapshot, matching the real schema."""
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+#: Shared no-op registry instance (stateless, safe to share everywhere).
+NULL_METRICS = NullMetrics()

@@ -1,0 +1,82 @@
+"""One run's observability bundle: a tracer + a registry + export targets.
+
+:class:`Observability` is what the configuration layer hands the miner
+(and what an async job runner shares across every job): the live
+:class:`~repro.obs.tracer.Tracer` and
+:class:`~repro.obs.metrics.MetricsRegistry` plus the file targets the
+caller asked for, with one :meth:`Observability.export` writing them
+all.  Keeping the bundle in ``repro.obs`` (not ``repro.core``) lets
+the engine layer accept it without ever importing the domain.
+"""
+
+from __future__ import annotations
+
+from .export import (
+    render_timing_report,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+
+
+class Observability:
+    """Live tracer + metrics registry + the export targets of one session.
+
+    Parameters
+    ----------
+    tracer, metrics:
+        Existing instruments to adopt (an async runner shares one pair
+        across jobs); fresh ones are built when omitted.
+    trace_path:
+        Target for the JSON-lines span log, or ``None``.
+    chrome_trace_path:
+        Target for the Chrome trace-event file, or ``None``.
+    metrics_path:
+        Target for the metrics snapshot JSON, or ``None``.
+    """
+
+    def __init__(
+        self,
+        *,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        trace_path=None,
+        chrome_trace_path=None,
+        metrics_path=None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.trace_path = trace_path
+        self.chrome_trace_path = chrome_trace_path
+        self.metrics_path = metrics_path
+
+    def export(self) -> list:
+        """Write every configured target; returns the paths written.
+
+        Idempotent over the current state: call mid-sweep for a
+        partial view or once at the end for the full one.
+        """
+        import json
+
+        written = []
+        spans = self.tracer.spans()
+        if self.trace_path is not None:
+            write_spans_jsonl(spans, self.trace_path)
+            written.append(self.trace_path)
+        if self.chrome_trace_path is not None:
+            write_chrome_trace(
+                spans, self.chrome_trace_path, self.tracer.epoch_wall
+            )
+            written.append(self.chrome_trace_path)
+        if self.metrics_path is not None:
+            with open(self.metrics_path, "w") as f:
+                json.dump(self.metrics.snapshot(), f, indent=2)
+            written.append(self.metrics_path)
+        return written
+
+    def timing_report(self) -> str:
+        """The human ``--explain-timing`` text for the current trace."""
+        return render_timing_report(
+            self.tracer.spans(), self.metrics.snapshot()
+        )

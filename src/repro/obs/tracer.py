@@ -1,0 +1,387 @@
+"""Hierarchical tracing: spans over the staged mining pipeline.
+
+A :class:`Span` is one timed region of a run — the run itself, a
+pipeline stage, one shard task of a fan-out, or one artifact-cache
+lookup — with a name, a kind, free-form attributes and an explicit
+parent, so a whole mining run (including concurrent async jobs and
+process-pool fan-outs) reconstructs as a single tree from one flat
+span list.
+
+Design constraints, in order:
+
+- **Zero cost when off.**  :data:`NULL_TRACER` implements the full
+  surface as no-ops over shared singletons, so instrumented call sites
+  stay unconditional and the disabled hot path allocates nothing
+  (asserted by ``benchmarks/bench_obs_overhead.py``).
+- **Thread/process safety.**  Span collection appends completed spans
+  under a lock, so stages driven from asyncio offload threads and
+  concurrent :class:`~repro.core.async_miner.MiningJobRunner` jobs
+  interleave safely.  Process-pool shard tasks cannot append across the
+  process boundary; their wall-clock is measured *inside* the worker
+  (as the sharded layer always has) and recorded by the dispatching
+  process via :meth:`Tracer.record`, preserving the tree.
+- **Explicit parents.**  Parentage is passed explicitly (a span handle
+  or id), never inferred from ambient thread-local state — offload
+  threads and pool workers would silently break implicit context, and
+  an explicit tree is trivially deterministic.
+
+Timestamps are monotonic (``time.perf_counter``) offsets from the
+tracer's construction; the tracer also records the wall-clock epoch so
+exporters can place spans on a real timeline.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from itertools import count
+
+#: Span kinds the pipeline emits (free-form; these are the conventions).
+SPAN_KINDS = ("run", "job", "stage", "shard_task", "cache_lookup", "span")
+
+
+@dataclass
+class Span:
+    """One completed timed region of a traced run.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label (stage name, ``"mine"``, ``"pass_3[shard 2]"``).
+    kind:
+        Coarse classification — one of :data:`SPAN_KINDS` by convention.
+    span_id:
+        Identifier unique within the owning tracer.
+    parent_id:
+        ``span_id`` of the enclosing span, or ``None`` for a root.
+    start:
+        Monotonic offset (seconds) from the tracer's epoch.
+    duration:
+        Wall-clock seconds the region took.
+    attributes:
+        Free-form measurements (candidate counts, cache outcome, shard
+        sizes...).  Values should be JSON-serializable.
+    thread:
+        Label of the thread (or synthetic lane) the work ran on.
+    pid:
+        Process id of the recording process.
+    """
+
+    name: str
+    kind: str = "span"
+    span_id: int = 0
+    parent_id: int | None = None
+    start: float = 0.0
+    duration: float = 0.0
+    attributes: dict = field(default_factory=dict)
+    thread: str = ""
+    pid: int = 0
+
+
+def _parent_id(parent) -> int | None:
+    """Normalize a parent (handle, span, id or ``None``) to a span id."""
+    if parent is None:
+        return None
+    if isinstance(parent, int):
+        return parent
+    try:
+        # A null handle's span_id is None — a root, not an error — so a
+        # disabled layer can hand its handle to an enabled one safely.
+        return parent.span_id
+    except AttributeError:
+        raise TypeError(
+            f"parent must be a span, span handle, id or None; got "
+            f"{type(parent).__name__}"
+        ) from None
+
+
+class SpanHandle:
+    """An in-flight span: a context manager that records on exit.
+
+    Returned by :meth:`Tracer.span` / :meth:`Tracer.start_span`.  Set
+    attributes as the work progresses with :meth:`set`; the span is
+    appended to the tracer's collection when the ``with`` block exits
+    (or :meth:`finish` is called).  An exception escaping the block is
+    recorded as an ``error`` attribute before propagating.
+    """
+
+    __slots__ = (
+        "_tracer", "name", "kind", "span_id", "parent_id", "attributes",
+        "_started", "_finished",
+    )
+
+    def __init__(self, tracer, name, kind, span_id, parent_id, attributes):
+        self._tracer = tracer
+        self.name = name
+        self.kind = kind
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attributes = attributes
+        self._started = time.perf_counter()
+        self._finished = False
+
+    def set(self, **attributes) -> "SpanHandle":
+        """Attach attributes to the in-flight span; returns ``self``."""
+        self.attributes.update(attributes)
+        return self
+
+    def finish(self, **attributes) -> None:
+        """Close the span now (idempotent), recording final attributes."""
+        if self._finished:
+            return
+        self._finished = True
+        self.attributes.update(attributes)
+        self._tracer._append(
+            Span(
+                name=self.name,
+                kind=self.kind,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                start=self._started - self._tracer.epoch,
+                duration=time.perf_counter() - self._started,
+                attributes=self.attributes,
+                thread=threading.current_thread().name,
+                pid=os.getpid(),
+            )
+        )
+
+    def __enter__(self) -> "SpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self.finish()
+
+
+class _NullSpanHandle:
+    """The shared do-nothing handle :class:`NullTracer` hands out."""
+
+    __slots__ = ()
+    span_id = None
+    parent_id = None
+    name = ""
+    kind = "span"
+
+    def set(self, **attributes) -> "_NullSpanHandle":
+        """Discard attributes; returns ``self``."""
+        return self
+
+    def finish(self, **attributes) -> None:
+        """Do nothing."""
+
+    def __enter__(self) -> "_NullSpanHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+class Tracer:
+    """Collects the spans of one (or many concurrent) mining runs.
+
+    Handles are cheap; completed spans are appended under a lock, so
+    one tracer may be shared by every job of an async runner.  The
+    tracer never prunes: a long-lived service should hand each run (or
+    bounded batch of runs) its own tracer and export between batches.
+
+    Attributes
+    ----------
+    epoch:
+        ``time.perf_counter()`` at construction; span ``start`` offsets
+        are relative to it.
+    epoch_wall:
+        ``time.time()`` at construction, letting exporters place the
+        monotonic offsets on the wall clock.
+    """
+
+    #: Discriminates real tracers from :class:`NullTracer` without
+    #: isinstance checks at call sites.
+    enabled = True
+
+    def __init__(self) -> None:
+        self.epoch = time.perf_counter()
+        self.epoch_wall = time.time()
+        self._spans: list = []
+        self._lock = threading.Lock()
+        self._ids = count(1)
+
+    def span(self, name, kind: str = "span", parent=None, **attributes):
+        """Open a span as a context manager.
+
+        ``parent`` is a :class:`SpanHandle`, :class:`Span`, span id or
+        ``None`` (a root span).  Keyword arguments become initial
+        attributes; add more later via :meth:`SpanHandle.set`.
+        """
+        return self.start_span(name, kind, parent, **attributes)
+
+    def start_span(
+        self, name, kind: str = "span", parent=None, **attributes
+    ) -> SpanHandle:
+        """Open a span explicitly; close it with :meth:`SpanHandle.finish`.
+
+        The non-``with`` form for regions that start and end in
+        different scopes (a run span opened in ``_begin_run`` and
+        finished in ``_finish_run``).
+        """
+        return SpanHandle(
+            self, name, kind, next(self._ids), _parent_id(parent), attributes
+        )
+
+    def record(
+        self,
+        name,
+        kind: str = "span",
+        parent=None,
+        *,
+        start: float | None = None,
+        duration: float = 0.0,
+        thread: str | None = None,
+        **attributes,
+    ) -> Span:
+        """Append an already-measured span (no handle, no clock reads).
+
+        The bridge for work timed somewhere this tracer cannot reach —
+        a process-pool worker measures its own wall-clock and the
+        dispatching side records it here.  ``start`` is a monotonic
+        ``time.perf_counter()`` reading (defaulting to "now minus
+        duration"); ``thread`` labels the lane the work conceptually ran
+        on (e.g. ``"shard-3"``) for exporters that draw lanes.
+        """
+        if start is None:
+            start = time.perf_counter() - duration
+        span = Span(
+            name=name,
+            kind=kind,
+            span_id=next(self._ids),
+            parent_id=_parent_id(parent),
+            start=start - self.epoch,
+            duration=duration,
+            attributes=dict(attributes),
+            thread=thread or threading.current_thread().name,
+            pid=os.getpid(),
+        )
+        self._append(span)
+        return span
+
+    def _append(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    def spans(self) -> list:
+        """Snapshot of every completed span, in completion order."""
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+class NullTracer:
+    """The tracer that is not there: every operation is a shared no-op.
+
+    Instrumented call sites use it unconditionally
+    (``tracer = context.tracer or NULL_TRACER``), so disabling
+    observability costs one attribute lookup and a no-op method call
+    per *stage* — and nothing at all per record counted.
+    """
+
+    enabled = False
+    epoch = 0.0
+    epoch_wall = 0.0
+    _handle = _NullSpanHandle()
+
+    def span(self, name, kind: str = "span", parent=None, **attributes):
+        """Return the shared no-op handle."""
+        return self._handle
+
+    def start_span(self, name, kind: str = "span", parent=None, **attributes):
+        """Return the shared no-op handle."""
+        return self._handle
+
+    def record(self, name, kind: str = "span", parent=None, **kwargs):
+        """Discard the measurement."""
+        return None
+
+    def spans(self) -> list:
+        """No spans, ever."""
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared no-op tracer instance (stateless, safe to share everywhere).
+NULL_TRACER = NullTracer()
+
+
+class timeit:
+    """Time a block; optionally record it as a span.
+
+    The one idiom for ad-hoc wall-clock measurement across the
+    codebase, replacing paired ``time.perf_counter()`` reads::
+
+        with timeit() as timer:
+            work()
+        seconds = timer.seconds
+
+    With a tracer the measurement is also recorded as a span::
+
+        with timeit("encode", tracer=tracer, parent=run_span) as timer:
+            work()
+
+    Parameters
+    ----------
+    name:
+        Span name when recording (ignored without a tracer).
+    tracer:
+        A :class:`Tracer` (or :data:`NULL_TRACER`/``None``) to record
+        the measurement on.
+    kind:
+        Span kind when recording.
+    parent:
+        Parent span handle/id when recording.
+    **attributes:
+        Initial span attributes; extend in-flight via :meth:`set`.
+    """
+
+    __slots__ = ("name", "kind", "seconds", "_tracer", "_parent",
+                 "_attributes", "_started")
+
+    def __init__(
+        self, name: str = "timed", *, tracer=None, kind: str = "span",
+        parent=None, **attributes,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.seconds = 0.0
+        self._tracer = tracer
+        self._parent = parent
+        self._attributes = attributes
+
+    def set(self, **attributes) -> "timeit":
+        """Attach attributes to the recorded span; returns ``self``."""
+        self._attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "timeit":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.seconds = time.perf_counter() - self._started
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            if exc_type is not None:
+                self._attributes.setdefault("error", exc_type.__name__)
+            tracer.record(
+                self.name,
+                self.kind,
+                self._parent,
+                start=self._started,
+                duration=self.seconds,
+                **self._attributes,
+            )

@@ -1,0 +1,115 @@
+"""Aggregate views over a span list: one trace, many summaries.
+
+Historically the engine scattered its timing into ad-hoc dataclass
+fields (``ExecutionStats.stage_seconds`` / ``stage_shard_seconds`` /
+``stage_cache_events``).  With tracing on, every one of those
+quantities is derivable from the span list alone, and these functions
+are the single place that derivation lives — the ``--explain-timing``
+report, the benchmark JSON emitters and the tests all read the trace
+through them.  The legacy stats fields remain as a compatibility view
+(``tests/test_obs_integration.py`` asserts both agree).
+
+All functions take a plain span iterable (from
+:meth:`~repro.obs.tracer.Tracer.spans` or a reloaded JSON-lines log),
+so they work equally on live and exported traces.
+"""
+
+from __future__ import annotations
+
+
+def spans_by_kind(spans, kind: str) -> list:
+    """The subset of ``spans`` with the given ``kind``, order kept."""
+    return [span for span in spans if span.kind == kind]
+
+
+def children_of(spans, parent) -> list:
+    """Direct children of ``parent`` (a span, handle or id)."""
+    parent_id = getattr(parent, "span_id", parent)
+    return [span for span in spans if span.parent_id == parent_id]
+
+
+def span_tree(spans) -> dict:
+    """Map each span id to its list of direct children, roots under ``None``.
+
+    The one traversal structure the report renderer needs; iteration
+    order inside each list follows span completion order.
+    """
+    tree: dict = {None: []}
+    for span in spans:
+        tree.setdefault(span.span_id, [])
+    for span in spans:
+        tree.setdefault(span.parent_id, []).append(span)
+    return tree
+
+
+def stage_seconds(spans) -> dict:
+    """Per-stage wall-clock summed over every ``stage`` span.
+
+    The trace-derived equivalent of the engine's ``stage_seconds``
+    bucket: re-runs of a same-named stage within the trace add up.
+    """
+    seconds: dict = {}
+    for span in spans_by_kind(spans, "stage"):
+        seconds[span.name] = seconds.get(span.name, 0.0) + span.duration
+    return seconds
+
+
+def shard_seconds(spans) -> dict:
+    """Per-stage worker seconds of every ``shard_task`` span, in order.
+
+    The trace-derived equivalent of
+    ``ExecutionStats.stage_shard_seconds``: the key is the sharded
+    stage name recorded on the span (its ``stage`` attribute), the
+    value the dispatch-ordered list of worker wall-clocks.
+    """
+    seconds: dict = {}
+    for span in spans_by_kind(spans, "shard_task"):
+        stage = span.attributes.get("stage", span.name)
+        seconds.setdefault(stage, []).append(span.duration)
+    return seconds
+
+
+def shard_skew(spans) -> dict:
+    """Per-stage shard balance: ``max / mean`` of worker seconds.
+
+    1.0 is perfectly balanced; the higher the ratio the more the
+    slowest shard dominates the fan-out's critical path.  Stages whose
+    shards measured no time at all are omitted.
+    """
+    skew: dict = {}
+    for stage, seconds in shard_seconds(spans).items():
+        mean = sum(seconds) / len(seconds)
+        if mean > 0.0:
+            skew[stage] = max(seconds) / mean
+    return skew
+
+
+def cache_events(spans) -> dict:
+    """Per-stage artifact-cache outcome from the ``stage`` spans.
+
+    The trace-derived equivalent of
+    ``ExecutionStats.stage_cache_events``: the *last* execution of a
+    stage name wins, mirroring how the stats sink records it.
+    """
+    events: dict = {}
+    for span in spans_by_kind(spans, "stage"):
+        event = span.attributes.get("cache")
+        if event is not None:
+            events[span.name] = event
+    return events
+
+
+def cache_hit_ratio(spans):
+    """Fraction of consulted stage lookups that hit, or ``None``.
+
+    ``skipped`` stages (uncacheable, or caching off) do not count as
+    consultations.
+    """
+    outcomes = [
+        span.attributes.get("cache")
+        for span in spans_by_kind(spans, "stage")
+    ]
+    consulted = [o for o in outcomes if o in ("hit", "miss")]
+    if not consulted:
+        return None
+    return consulted.count("hit") / len(consulted)

@@ -269,3 +269,80 @@ class TestAsyncBatchMode:
         for line in sync_out.strip().splitlines():
             if "=>" in line:
                 assert line in batch_out
+
+
+class TestObservabilityFlags:
+    base = [
+        "--min-support", "0.4",
+        "--max-support", "0.6",
+        "--categorical", "Married",
+    ]
+
+    def test_trace_and_metrics_out(self, people_csv, tmp_path, capsys):
+        import json
+
+        from repro.obs import (
+            validate_chrome_trace,
+            validate_metrics_snapshot,
+            validate_spans_jsonl,
+        )
+
+        trace = tmp_path / "run.jsonl"
+        metrics = tmp_path / "run-metrics.json"
+        rc = main(
+            [
+                "mine", str(people_csv), *self.base,
+                "--trace-out", str(trace),
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert validate_spans_jsonl(trace) == []
+        chrome = tmp_path / "run.chrome.json"
+        assert validate_chrome_trace(json.loads(chrome.read_text())) == []
+        assert (
+            validate_metrics_snapshot(json.loads(metrics.read_text()))
+            == []
+        )
+        for path in (trace, chrome, metrics):
+            assert f"wrote {path}" in err
+
+    def test_explain_timing_report(self, people_csv, capsys):
+        rc = main(
+            ["mine", str(people_csv), *self.base, "--explain-timing"]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "mine [run]" in err
+        assert "frequent_itemsets [stage]" in err
+        assert "metrics:" in err
+        assert "runs.completed: 1" in err
+
+    def test_batch_mode_shared_trace(self, people_csv, tmp_path, capsys):
+        from repro.obs import read_spans_jsonl, spans_by_kind
+
+        trace = tmp_path / "sweep.jsonl"
+        rc = main(
+            [
+                "mine", str(people_csv), *self.base,
+                "--async-jobs", "2",
+                "--sweep-confidence", "0.5,0.7",
+                "--trace-out", str(trace),
+            ]
+        )
+        assert rc == 0
+        spans = read_spans_jsonl(trace)
+        jobs = spans_by_kind(spans, "job")
+        assert {span.name for span in jobs} == {"job-1", "job-2"}
+        runs = spans_by_kind(spans, "run")
+        assert {span.parent_id for span in runs} == {
+            span.span_id for span in jobs
+        }
+
+    def test_flags_off_by_default(self, people_csv, capsys):
+        rc = main(["mine", str(people_csv), *self.base])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "wrote" not in err
+        assert "[run]" not in err

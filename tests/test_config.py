@@ -120,3 +120,83 @@ class TestLemma1Adjustment:
         extra = set(adjusted.rules) - set(plain.rules)
         for rule in extra:
             assert 0.5 / 3.0 - 1e-9 <= rule.confidence < 0.5
+
+
+class TestObsConfigBlock:
+    def test_disabled_by_default(self):
+        from repro.core import ObsConfig
+
+        config = MinerConfig()
+        assert config.observability.enabled is False
+        assert config.observability.build() is None
+        assert isinstance(config.observability, ObsConfig)
+
+    def test_any_export_target_enables(self):
+        from repro.core import ObsConfig
+
+        assert ObsConfig(trace_path="t.jsonl").enabled is True
+        assert ObsConfig(metrics_path="m.json").enabled is True
+        assert ObsConfig().enabled is False
+        # An explicit False wins over the paths.
+        off = ObsConfig(enabled=False, trace_path="t.jsonl")
+        assert off.enabled is False
+        assert off.build() is None
+
+    def test_chrome_path_derived_from_trace_path(self):
+        from repro.core import ObsConfig
+
+        assert (
+            ObsConfig(trace_path="run.jsonl").chrome_trace_path
+            == "run.chrome.json"
+        )
+        assert (
+            ObsConfig(trace_path="run.json").chrome_trace_path
+            == "run.chrome.json"
+        )
+        explicit = ObsConfig(
+            trace_path="run.jsonl", chrome_trace_path="other.json"
+        )
+        assert explicit.chrome_trace_path == "other.json"
+        assert ObsConfig().chrome_trace_path is None
+
+    def test_bad_log_level_rejected(self):
+        from repro.core import ObsConfig
+
+        with pytest.raises(ValueError):
+            ObsConfig(log_level="CHATTY")
+        ObsConfig(log_level="debug")  # case-insensitive
+
+    def test_dict_normalization_and_type_check(self):
+        config = MinerConfig(observability={"enabled": True})
+        assert config.observability.enabled is True
+        with pytest.raises(TypeError):
+            MinerConfig(observability="loud")
+
+    def test_build_returns_live_bundle(self, tmp_path):
+        from repro.core import ObsConfig
+        from repro.obs import Observability
+
+        obs = ObsConfig(
+            trace_path=str(tmp_path / "t.jsonl"),
+            metrics_path=str(tmp_path / "m.json"),
+        ).build()
+        assert isinstance(obs, Observability)
+        assert obs.tracer.enabled
+        assert obs.metrics.enabled
+        assert obs.chrome_trace_path == str(tmp_path / "t.chrome.json")
+
+    def test_flat_overrides_fold_into_block(self):
+        from repro.core.miner import _resolve_config
+
+        config = _resolve_config(
+            None,
+            {
+                "min_support": 0.2,
+                "trace_path": "run.jsonl",
+                "log_level": "INFO",
+            },
+        )
+        assert config.observability.trace_path == "run.jsonl"
+        assert config.observability.log_level == "INFO"
+        assert config.observability.enabled is True
+        assert config.min_support == 0.2

@@ -233,6 +233,27 @@ class TestStageFingerprints:
             stage_key(FrequentItemsetSearch(), self.values, varied) == key
         )
 
+    def test_observability_block_never_enters_the_key(self):
+        # Observability is purely operational: tracing a run must not
+        # fragment the cache or miss warm artifacts from untraced runs.
+        varied = dataclasses.replace(
+            self.base,
+            observability={
+                "enabled": True,
+                "trace_path": "trace.jsonl",
+                "metrics_path": "metrics.json",
+                "log_level": "DEBUG",
+            },
+        )
+        for stage in (
+            FrequentItemsetSearch(),
+            RuleGenerationStage(),
+            InterestFilterStage(),
+        ):
+            assert stage_key(stage, self.values, varied) == stage_key(
+                stage, self.values, self.base
+            ), stage.name
+
     def test_distinct_stages_get_distinct_keys(self):
         keys = {
             stage_key(stage, self.values, self.base)

@@ -1,0 +1,222 @@
+"""Exporters: JSONL round-trip, Chrome trace schema, validators, report."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace_document,
+    read_spans_jsonl,
+    render_timing_report,
+    span_from_record,
+    span_to_record,
+    validate_chrome_trace,
+    validate_metrics_snapshot,
+    validate_span_record,
+    validate_spans_jsonl,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+
+
+def traced_run():
+    """A small but structurally complete trace: run > stage > shards."""
+    tracer = Tracer()
+    run = tracer.start_span("mine", kind="run", records=30)
+    with tracer.span("frequent_items", "stage", parent=run) as stage:
+        stage.set(cache="miss")
+        for i in range(3):
+            tracer.record(
+                f"frequent_items[{i}]",
+                "shard_task",
+                stage,
+                duration=0.01 * (i + 1),
+                thread=f"frequent_items/task-{i}",
+                stage="item_histograms",
+                task=i,
+            )
+    run.finish(rules=4)
+    return tracer
+
+
+class TestJsonlRoundTrip:
+    def test_record_round_trip_preserves_everything(self):
+        for span in traced_run().spans():
+            clone = span_from_record(
+                json.loads(json.dumps(span_to_record(span)))
+            )
+            assert clone == span
+
+    def test_file_round_trip(self, tmp_path):
+        spans = traced_run().spans()
+        path = tmp_path / "trace.jsonl"
+        write_spans_jsonl(spans, path)
+        assert read_spans_jsonl(path) == spans
+
+    def test_written_log_validates_clean(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_spans_jsonl(traced_run().spans(), path)
+        assert validate_spans_jsonl(path) == []
+
+
+class TestSpanValidators:
+    def test_missing_field_flagged(self):
+        record = span_to_record(traced_run().spans()[0])
+        del record["duration"]
+        assert any(
+            "duration" in error for error in validate_span_record(record)
+        )
+
+    def test_wrong_type_flagged(self):
+        record = span_to_record(traced_run().spans()[0])
+        record["span_id"] = "one"
+        assert validate_span_record(record)
+
+    def test_bool_is_not_a_number(self):
+        record = span_to_record(traced_run().spans()[0])
+        record["start"] = True
+        assert validate_span_record(record)
+
+    def test_unknown_field_flagged(self):
+        record = span_to_record(traced_run().spans()[0])
+        record["surprise"] = 1
+        assert any(
+            "surprise" in error for error in validate_span_record(record)
+        )
+
+    def test_negative_duration_flagged(self):
+        record = span_to_record(traced_run().spans()[0])
+        record["duration"] = -1.0
+        assert any(
+            "negative" in error for error in validate_span_record(record)
+        )
+
+    def test_dangling_parent_flagged(self, tmp_path):
+        spans = traced_run().spans()
+        orphan = spans[0]
+        orphan.parent_id = 999
+        path = tmp_path / "trace.jsonl"
+        write_spans_jsonl(spans, path)
+        assert any(
+            "missing parent" in error
+            for error in validate_spans_jsonl(path)
+        )
+
+    def test_empty_log_flagged(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("")
+        assert validate_spans_jsonl(path) == ["no span records found"]
+
+    def test_garbage_line_flagged(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("not json\n")
+        assert any(
+            "not valid JSON" in error
+            for error in validate_spans_jsonl(path)
+        )
+
+
+class TestChromeTrace:
+    def test_document_structure(self):
+        tracer = traced_run()
+        document = chrome_trace_document(tracer.spans(), tracer.epoch_wall)
+        assert document["displayTimeUnit"] == "ms"
+        complete = [
+            e for e in document["traceEvents"] if e["ph"] == "X"
+        ]
+        metadata = [
+            e for e in document["traceEvents"] if e["ph"] == "M"
+        ]
+        assert len(complete) == len(tracer.spans())
+        # One named lane per distinct (pid, thread) pair; the three
+        # shard tasks carry synthetic per-task lanes.
+        lanes = {e["args"]["name"] for e in metadata}
+        assert {
+            f"frequent_items/task-{i}" for i in range(3)
+        } <= lanes
+
+    def test_events_carry_span_identity_and_microseconds(self):
+        tracer = traced_run()
+        document = chrome_trace_document(tracer.spans(), tracer.epoch_wall)
+        by_id = {
+            e["args"]["span_id"]: e
+            for e in document["traceEvents"]
+            if e["ph"] == "X"
+        }
+        for span in tracer.spans():
+            event = by_id[span.span_id]
+            assert event["cat"] == span.kind
+            assert event["dur"] == pytest.approx(span.duration * 1e6)
+            assert event["args"]["parent_id"] == span.parent_id
+
+    def test_written_file_validates_clean(self, tmp_path):
+        tracer = traced_run()
+        path = tmp_path / "trace.chrome.json"
+        write_chrome_trace(tracer.spans(), path, tracer.epoch_wall)
+        document = json.loads(path.read_text())
+        assert validate_chrome_trace(document) == []
+
+    def test_validator_rejects_malformed(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"traceEvents": "no"}) != []
+        assert validate_chrome_trace({"traceEvents": []}) != []
+        assert validate_chrome_trace(
+            {"traceEvents": [{"ph": "B", "name": "x"}]}
+        ) != []
+        assert validate_chrome_trace(
+            {"traceEvents": [{"ph": "X", "name": "x"}]}
+        ) != []
+
+
+class TestMetricsValidator:
+    def test_real_snapshot_validates_clean(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.hit").increment()
+        registry.gauge("run.records").set(30)
+        registry.histogram("stage_seconds.pass_2").observe(0.5)
+        assert validate_metrics_snapshot(registry.snapshot()) == []
+
+    def test_malformed_snapshots_flagged(self):
+        assert validate_metrics_snapshot([]) != []
+        assert validate_metrics_snapshot({}) != []
+        assert validate_metrics_snapshot(
+            {"counters": {"c": 1.5}, "gauges": {}, "histograms": {}}
+        ) != []
+        assert validate_metrics_snapshot(
+            {"counters": {}, "gauges": {"g": True}, "histograms": {}}
+        ) != []
+        assert validate_metrics_snapshot(
+            {"counters": {}, "gauges": {}, "histograms": {"h": {}}}
+        ) != []
+        assert validate_metrics_snapshot(
+            {
+                "counters": {},
+                "gauges": {},
+                "histograms": {},
+                "extras": {},
+            }
+        ) != []
+
+
+class TestTimingReport:
+    def test_tree_shards_and_metrics_render(self):
+        tracer = traced_run()
+        registry = MetricsRegistry()
+        registry.counter("cache.miss").increment()
+        registry.gauge("run.rules").set(4)
+        registry.histogram("shard_seconds.item_histograms").observe(0.01)
+        report = render_timing_report(tracer.spans(), registry.snapshot())
+        assert "mine [run]" in report
+        assert "frequent_items [stage] cache=miss" in report
+        assert "3 shard task(s)" in report
+        assert "cache.miss: 1" in report
+        assert "run.rules: 4" in report
+        # Stage nesting renders as indentation under the run.
+        run_line, stage_line = report.splitlines()[:2]
+        assert not run_line.startswith(" ")
+        assert stage_line.startswith("  ")
+
+    def test_empty_trace_renders_placeholder(self):
+        assert "(no spans recorded)" in render_timing_report([])

@@ -1,0 +1,345 @@
+"""End-to-end observability: real runs produce correctly nested traces.
+
+The structural contracts the instrumented pipeline promises:
+
+- one traced run is one span tree — a ``run`` root, ``stage`` spans
+  nested under it (inner passes under the composite search stage),
+  ``shard_task`` spans under their stage — even when the fan-out runs
+  on a process pool;
+- concurrent async jobs sharing one tracer produce one ``job`` root
+  per job with that job's run nested beneath, nothing cross-linked;
+- a warm re-run's trace shows the cache hit;
+- the trace-derived views agree with the legacy ``ExecutionStats``
+  compatibility fields;
+- observability never changes results or cache identity.
+"""
+
+import asyncio
+
+import numpy as np
+
+from repro.core import (
+    MinerConfig,
+    MiningJobRunner,
+    ObsConfig,
+    QuantitativeMiner,
+)
+from repro.engine import MemoryCache
+from repro.obs import (
+    Observability,
+    cache_events,
+    cache_hit_ratio,
+    children_of,
+    shard_seconds,
+    spans_by_kind,
+    stage_seconds,
+)
+from repro.table import RelationalTable, TableSchema, categorical, quantitative
+
+
+def build_table(n=30):
+    schema = TableSchema(
+        [quantitative("x"), categorical("c", ("a", "b", "d"))]
+    )
+    return RelationalTable.from_columns(
+        schema,
+        [
+            np.arange(n, dtype=float),
+            np.arange(n, dtype=np.int64) % 3,
+        ],
+    )
+
+
+def traced_config(**overrides):
+    return MinerConfig(
+        min_support=0.2,
+        min_confidence=0.4,
+        observability=ObsConfig(enabled=True),
+        **overrides,
+    )
+
+
+def assert_single_tree(spans):
+    """Every span's parent exists in the list; exactly one root."""
+    ids = {span.span_id for span in spans}
+    assert len(ids) == len(spans)
+    roots = [span for span in spans if span.parent_id is None]
+    assert len(roots) == 1
+    for span in spans:
+        if span.parent_id is not None:
+            assert span.parent_id in ids
+    return roots[0]
+
+
+class TestSingleRunTrace:
+    def test_run_stage_shard_nesting(self):
+        result = QuantitativeMiner(build_table(), traced_config()).mine()
+        spans = result.observability.tracer.spans()
+        root = assert_single_tree(spans)
+        assert root.kind == "run"
+        assert root.name == "mine"
+        assert root.attributes["records"] == 30
+
+        stages = spans_by_kind(spans, "stage")
+        by_name = {span.name: span for span in stages}
+        # Top-level stages hang off the run; inner passes hang off the
+        # composite search stage.
+        for name in ("frequent_itemsets", "rule_generation", "interest"):
+            assert by_name[name].parent_id == root.span_id, name
+        search = by_name["frequent_itemsets"]
+        assert by_name["frequent_items"].parent_id == search.span_id
+        assert by_name["pass_2"].parent_id == search.span_id
+
+        for shard in spans_by_kind(spans, "shard_task"):
+            parent = next(
+                span for span in spans if span.span_id == shard.parent_id
+            )
+            assert parent.kind == "stage"
+            assert shard.attributes["stage"] in (
+                "item_histograms", "count_pairs", "count_itemsets",
+                "rule_generation", "interest",
+            )
+
+        # The run span closes last and covers the whole pipeline.
+        assert root.duration >= max(
+            span.duration for span in stages
+        )
+
+    def test_parallel_fanout_nests_under_stages(self):
+        config = traced_config(
+            execution={
+                "executor": "parallel",
+                "num_workers": 2,
+                "shard_size": 8,
+            },
+        )
+        result = QuantitativeMiner(build_table(64), config).mine()
+        spans = result.observability.tracer.spans()
+        assert_single_tree(spans)
+        shards = spans_by_kind(spans, "shard_task")
+        histogram_tasks = [
+            span
+            for span in shards
+            if span.attributes["stage"] == "item_histograms"
+        ]
+        # 64 records at shard_size=8 fan out over 8 shard tasks, each
+        # recorded on its own synthetic lane with its record count.
+        assert len(histogram_tasks) == 8
+        assert {span.thread for span in histogram_tasks} == {
+            f"item_histograms/task-{i}" for i in range(8)
+        }
+        assert all(
+            span.attributes["records"] == 8 for span in histogram_tasks
+        )
+        (stage_parent,) = {span.parent_id for span in histogram_tasks}
+        parent = next(
+            span for span in spans if span.span_id == stage_parent
+        )
+        assert parent.name == "frequent_items"
+
+    def test_views_match_legacy_execution_stats(self):
+        result = QuantitativeMiner(build_table(), traced_config()).mine()
+        spans = result.observability.tracer.spans()
+        execution = result.stats.execution
+
+        derived = shard_seconds(spans)
+        assert set(derived) == set(execution.stage_shard_seconds)
+        for stage, seconds in execution.stage_shard_seconds.items():
+            assert derived[stage] == seconds, stage
+
+        assert cache_events(spans) == execution.stage_cache_events
+
+        derived_stage = stage_seconds(spans)
+        for stage, seconds in execution.stage_seconds.items():
+            # The span additionally covers the stage's cache put/get,
+            # so it can only be at least the legacy measurement.
+            assert derived_stage[stage] >= seconds * 0.5, stage
+
+    def test_metrics_cover_the_run(self):
+        result = QuantitativeMiner(build_table(), traced_config()).mine()
+        snapshot = result.observability.metrics.snapshot()
+        execution = result.stats.execution
+        counters = snapshot["counters"]
+        assert counters["runs.completed"] == 1
+        assert counters["cache.hit"] == execution.cache_hits
+        assert counters["cache.miss"] == execution.cache_misses
+        assert counters["stages.executed"] == len(
+            execution.stage_seconds
+        )
+        assert snapshot["gauges"]["run.records"] == 30
+        assert snapshot["gauges"]["run.rules"] == len(result.rules)
+        assert (
+            snapshot["histograms"]["run_seconds"]["count"] == 1
+        )
+
+    def test_disabled_config_records_nothing(self):
+        result = QuantitativeMiner(
+            build_table(), MinerConfig(min_support=0.2, min_confidence=0.4)
+        ).mine()
+        assert result.observability is None
+
+
+class TestWarmRerun:
+    def test_second_run_trace_shows_cache_hits(self):
+        table = build_table()
+        miner = QuantitativeMiner(table, traced_config())
+        cold = miner.mine()
+        # Both runs share the miner's tracer, so snapshot the cold
+        # trace before re-mining and diff the warm spans out of it.
+        cold_spans = cold.observability.tracer.spans()
+        assert cache_events(cold_spans)["frequent_itemsets"] == "miss"
+        warm = miner.mine()
+        warm_spans = warm.observability.tracer.spans()[len(cold_spans):]
+        events = cache_events(warm_spans)
+        assert events["frequent_itemsets"] == "hit"
+        assert events["rule_generation"] == "hit"
+        assert cache_hit_ratio(warm_spans) == 1.0
+        # A hit stage never fans out: its shard work was skipped.
+        assert shard_seconds(warm_spans) == {}
+
+    def test_observability_does_not_change_results_or_cache_identity(
+        self,
+    ):
+        # The async-block exclusion test's twin: a traced run and an
+        # untraced run must share cache entries (ObsConfig is excluded
+        # from every stage fingerprint) and produce identical rules.
+        table = build_table()
+        cache = MemoryCache()
+        plain = QuantitativeMiner(
+            table,
+            MinerConfig(min_support=0.2, min_confidence=0.4),
+            cache=cache,
+        ).mine()
+        traced = QuantitativeMiner(
+            table, traced_config(), cache=cache
+        ).mine()
+        assert cache.hits > 0
+        assert traced.rules == plain.rules
+        assert traced.support_counts == plain.support_counts
+        assert list(traced.support_counts) == list(plain.support_counts)
+
+
+class TestConcurrentJobs:
+    def test_shared_tracer_one_forest_one_root_per_job(self):
+        table = build_table()
+        obs = Observability()
+
+        async def sweep():
+            async with MiningJobRunner(
+                max_concurrent_jobs=3, observability=obs
+            ) as runner:
+                jobs = [
+                    runner.submit(
+                        table,
+                        min_support=0.2,
+                        min_confidence=confidence,
+                    )
+                    for confidence in (0.3, 0.5, 0.7)
+                ]
+                await runner.join()
+                return jobs
+
+        jobs = asyncio.run(sweep())
+        assert all(job.status == "completed" for job in jobs)
+        spans = obs.tracer.spans()
+
+        job_spans = spans_by_kind(spans, "job")
+        assert {span.name for span in job_spans} == {
+            job.job_id for job in jobs
+        }
+        assert all(span.parent_id is None for span in job_spans)
+
+        runs = spans_by_kind(spans, "run")
+        assert len(runs) == 3
+        assert {span.parent_id for span in runs} == {
+            span.span_id for span in job_spans
+        }
+        # Every stage belongs to exactly one job's subtree.
+        run_ids = {span.span_id for span in runs}
+        for stage in spans_by_kind(spans, "stage"):
+            if stage.parent_id not in run_ids:
+                parent = next(
+                    span
+                    for span in spans
+                    if span.span_id == stage.parent_id
+                )
+                assert parent.kind == "stage"
+
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["jobs.completed"] == 3
+        assert counters["runs.completed"] == 3
+        assert (
+            obs.metrics.snapshot()["histograms"]["job_seconds"]["count"]
+            == 3
+        )
+
+    def test_jobs_share_cache_and_later_jobs_hit(self):
+        table = build_table()
+        obs = Observability()
+
+        async def sweep():
+            async with MiningJobRunner(
+                max_concurrent_jobs=1, observability=obs
+            ) as runner:
+                for confidence in (0.4, 0.6):
+                    await runner.submit(
+                        table,
+                        min_support=0.2,
+                        min_confidence=confidence,
+                    ).wait()
+
+        asyncio.run(sweep())
+        spans = obs.tracer.spans()
+        jobs = spans_by_kind(spans, "job")
+        second_run = next(
+            span
+            for span in spans_by_kind(spans, "run")
+            if span.parent_id == jobs[1].span_id
+        )
+        second_stages = children_of(spans, second_run)
+        search = next(
+            span
+            for span in second_stages
+            if span.name == "frequent_itemsets"
+        )
+        assert search.attributes["cache"] == "hit"
+
+
+class TestExportedRunArtifacts:
+    def test_miner_exports_configured_targets(self, tmp_path):
+        from repro.obs import (
+            read_spans_jsonl,
+            validate_chrome_trace,
+            validate_metrics_snapshot,
+            validate_spans_jsonl,
+        )
+        import json
+
+        trace_path = tmp_path / "run.jsonl"
+        metrics_path = tmp_path / "metrics.json"
+        config = MinerConfig(
+            min_support=0.2,
+            min_confidence=0.4,
+            observability=ObsConfig(
+                trace_path=str(trace_path),
+                metrics_path=str(metrics_path),
+            ),
+        )
+        result = QuantitativeMiner(build_table(), config).mine()
+
+        assert validate_spans_jsonl(trace_path) == []
+        reloaded = read_spans_jsonl(trace_path)
+        assert reloaded == result.observability.tracer.spans()
+
+        chrome_path = tmp_path / "run.chrome.json"
+        assert chrome_path.exists()
+        assert (
+            validate_chrome_trace(json.loads(chrome_path.read_text()))
+            == []
+        )
+        assert (
+            validate_metrics_snapshot(
+                json.loads(metrics_path.read_text())
+            )
+            == []
+        )

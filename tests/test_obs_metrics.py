@@ -1,0 +1,122 @@
+"""The metrics registry: instrument semantics and deterministic snapshots."""
+
+import threading
+
+import pytest
+
+from repro.obs import NULL_METRICS, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("cache.hit")
+        counter.increment()
+        counter.increment(4)
+        assert registry.counter("cache.hit").value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").increment(-1)
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("run.records").set(10)
+        registry.gauge("run.records").set(30)
+        assert registry.gauge("run.records").value == 30
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("stage_seconds.pass_2")
+        histogram.observe(2.0)
+        histogram.observe_many([1.0, 4.0])
+        assert histogram.count == 3
+        assert histogram.total == 7.0
+        assert histogram.min == 1.0
+        assert histogram.max == 4.0
+        assert histogram.mean == pytest.approx(7.0 / 3)
+
+    def test_empty_histogram_mean_is_none(self):
+        assert MetricsRegistry().histogram("h").mean is None
+
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("n") is registry.counter("n")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("n")
+        with pytest.raises(TypeError):
+            registry.gauge("n")
+        with pytest.raises(TypeError):
+            registry.histogram("n")
+
+
+class TestSnapshot:
+    def test_structure_and_sorting(self):
+        registry = MetricsRegistry()
+        registry.counter("z.count").increment(2)
+        registry.counter("a.count").increment(1)
+        registry.gauge("m.gauge").set(1.5)
+        registry.histogram("h.hist").observe(3.0)
+        snapshot = registry.snapshot()
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        assert list(snapshot["counters"]) == ["a.count", "z.count"]
+        assert snapshot["gauges"] == {"m.gauge": 1.5}
+        assert snapshot["histograms"]["h.hist"] == {
+            "count": 1, "sum": 3.0, "min": 3.0, "max": 3.0, "mean": 3.0,
+        }
+
+    def test_deterministic_for_fixed_writes(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("stages.executed").increment(5)
+            registry.gauge("run.rules").set(12)
+            registry.histogram("shard_seconds.pass_2").observe_many(
+                [0.5, 0.25]
+            )
+            return registry.snapshot()
+
+        assert build() == build()
+
+    def test_snapshot_is_a_point_in_time_copy(self):
+        registry = MetricsRegistry()
+        registry.counter("c").increment()
+        before = registry.snapshot()
+        registry.counter("c").increment()
+        assert before["counters"]["c"] == 1
+        assert registry.snapshot()["counters"]["c"] == 2
+
+
+class TestConcurrency:
+    def test_cross_thread_counts_exact(self):
+        registry = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                registry.counter("n").increment()
+                registry.histogram("h").observe(1.0)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.counter("n").value == 4000
+        assert registry.histogram("h").count == 4000
+        assert registry.histogram("h").total == 4000.0
+
+
+class TestNullMetrics:
+    def test_full_surface_is_noop(self):
+        assert NULL_METRICS.enabled is False
+        NULL_METRICS.counter("c").increment(5)
+        NULL_METRICS.gauge("g").set(1.0)
+        NULL_METRICS.histogram("h").observe(2.0)
+        NULL_METRICS.histogram("h").observe_many([1.0, 2.0])
+        assert NULL_METRICS.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_shared_instrument(self):
+        assert NULL_METRICS.counter("a") is NULL_METRICS.histogram("b")

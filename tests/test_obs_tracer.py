@@ -1,0 +1,191 @@
+"""The tracer: span lifecycle, parenting, thread safety, null twin.
+
+The tracer's contract is structural: every completed region becomes
+exactly one span, parentage is explicit and survives any thread or
+process interleaving, and the disabled twin implements the full
+surface as no-ops so call sites never branch on whether tracing is on.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    timeit,
+)
+from repro.obs.tracer import _parent_id
+
+
+class TestSpanLifecycle:
+    def test_context_manager_records_on_exit(self):
+        tracer = Tracer()
+        with tracer.span("work", kind="stage", items=3) as span:
+            span.set(outcome="done")
+        (recorded,) = tracer.spans()
+        assert recorded.name == "work"
+        assert recorded.kind == "stage"
+        assert recorded.attributes == {"items": 3, "outcome": "done"}
+        assert recorded.parent_id is None
+        assert recorded.duration >= 0.0
+
+    def test_start_finish_split_scope(self):
+        tracer = Tracer()
+        handle = tracer.start_span("run", kind="run")
+        assert tracer.spans() == []  # in flight, not yet recorded
+        handle.finish(rules=7)
+        (recorded,) = tracer.spans()
+        assert recorded.attributes == {"rules": 7}
+
+    def test_finish_is_idempotent(self):
+        tracer = Tracer()
+        handle = tracer.start_span("once")
+        handle.finish()
+        handle.finish(extra=1)
+        assert len(tracer.spans()) == 1
+        assert tracer.spans()[0].attributes == {}
+
+    def test_exception_recorded_as_error_attribute(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        (recorded,) = tracer.spans()
+        assert recorded.attributes["error"] == "ValueError"
+
+    def test_span_ids_unique_and_monotonic(self):
+        tracer = Tracer()
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        ids = [span.span_id for span in tracer.spans()]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 5
+
+
+class TestParenting:
+    def test_parent_by_handle_span_and_id(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("by-handle", parent=root):
+                pass
+        root_span = tracer.spans()[1]
+        tracer.record("by-span", parent=root_span, duration=0.0)
+        tracer.record("by-id", parent=root_span.span_id, duration=0.0)
+        children = [
+            span
+            for span in tracer.spans()
+            if span.parent_id == root_span.span_id
+        ]
+        assert {span.name for span in children} == {
+            "by-handle", "by-span", "by-id",
+        }
+
+    def test_null_handle_parent_means_root(self):
+        # A disabled layer may hand its (null) handle to an enabled one.
+        tracer = Tracer()
+        null_handle = NULL_TRACER.span("nothing")
+        with tracer.span("child", parent=null_handle):
+            pass
+        assert tracer.spans()[0].parent_id is None
+
+    def test_bad_parent_type_raises(self):
+        with pytest.raises(TypeError):
+            _parent_id("span-3")
+
+    def test_record_preserves_measured_duration(self):
+        tracer = Tracer()
+        span = tracer.record(
+            "shard", "shard_task", None,
+            duration=1.25, thread="lane-0", stage="pass_2",
+        )
+        assert span.duration == 1.25
+        assert span.thread == "lane-0"
+        assert span.attributes == {"stage": "pass_2"}
+
+
+class TestThreadSafety:
+    def test_concurrent_spans_all_collected(self):
+        tracer = Tracer()
+        root = tracer.start_span("root")
+
+        def work(i):
+            for j in range(50):
+                with tracer.span(f"t{i}.{j}", parent=root):
+                    pass
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        root.finish()
+        spans = tracer.spans()
+        assert len(spans) == 4 * 50 + 1
+        assert len({span.span_id for span in spans}) == len(spans)
+        child_parents = {
+            span.parent_id for span in spans if span.name != "root"
+        }
+        assert child_parents == {root.span_id}
+
+
+class TestNullTracer:
+    def test_full_surface_is_noop(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+        with NULL_TRACER.span("x", kind="stage", a=1) as handle:
+            assert handle.set(b=2) is handle
+        handle = NULL_TRACER.start_span("y")
+        handle.finish(c=3)
+        assert NULL_TRACER.record("z", duration=1.0) is None
+        assert NULL_TRACER.spans() == []
+        assert len(NULL_TRACER) == 0
+
+    def test_shared_handle_carries_no_state(self):
+        a = NULL_TRACER.span("a")
+        b = NULL_TRACER.span("b")
+        assert a is b
+        assert a.span_id is None
+
+
+class TestTimeit:
+    def test_measures_block(self):
+        with timeit() as timer:
+            pass
+        assert timer.seconds >= 0.0
+
+    def test_records_span_when_traced(self):
+        tracer = Tracer()
+        with timeit("encode", tracer=tracer, kind="stage", rows=9) as t:
+            t.set(phase="map")
+        (span,) = tracer.spans()
+        assert span.name == "encode"
+        assert span.kind == "stage"
+        assert span.attributes == {"rows": 9, "phase": "map"}
+        assert span.duration == t.seconds
+
+    def test_null_tracer_records_nothing(self):
+        with timeit("encode", tracer=NULL_TRACER) as t:
+            pass
+        assert t.seconds >= 0.0
+        assert NULL_TRACER.spans() == []
+
+    def test_exception_sets_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with timeit("bad", tracer=tracer):
+                raise RuntimeError("nope")
+        (span,) = tracer.spans()
+        assert span.attributes["error"] == "RuntimeError"
+
+
+def test_span_dataclass_defaults():
+    span = Span("bare")
+    assert span.kind == "span"
+    assert span.parent_id is None
+    assert span.attributes == {}

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Validate exported observability artifacts against their schemas.
+
+The CI smoke step mines a small table with ``--trace-out`` /
+``--metrics-out`` and then runs this tool over everything the run
+wrote::
+
+    python tools/check_trace_schema.py \
+        --trace trace.jsonl \
+        --chrome trace.chrome.json \
+        --metrics metrics.json
+
+Validation is delegated to the ``repro.obs`` validators — the schema
+*is* whatever those functions accept, so the tool can never drift from
+the library.  Exit status is 0 when every given artifact validates,
+1 otherwise, with one ``file: problem`` diagnostic per error.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Runnable straight from a checkout: put src/ on the path when the
+# package is not installed.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.obs import (  # noqa: E402
+    validate_chrome_trace,
+    validate_metrics_snapshot,
+    validate_spans_jsonl,
+)
+
+
+def _load_json(path):
+    try:
+        with open(path) as f:
+            return json.load(f), []
+    except OSError as exc:
+        return None, [f"cannot read: {exc}"]
+    except json.JSONDecodeError as exc:
+        return None, [f"not valid JSON: {exc}"]
+
+
+def _check_trace(path):
+    try:
+        return validate_spans_jsonl(path)
+    except OSError as exc:
+        return [f"cannot read: {exc}"]
+
+
+def _check_chrome(path):
+    document, errors = _load_json(path)
+    return errors if errors else validate_chrome_trace(document)
+
+
+def _check_metrics(path):
+    document, errors = _load_json(path)
+    return errors if errors else validate_metrics_snapshot(document)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="validate trace/metrics files written by quantrules"
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="JSON-lines span log (--trace-out)",
+    )
+    parser.add_argument(
+        "--chrome", metavar="PATH", default=None,
+        help="Chrome trace-event file (derived .chrome.json)",
+    )
+    parser.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="metrics snapshot JSON (--metrics-out)",
+    )
+    args = parser.parse_args(argv)
+    checks = [
+        (path, check)
+        for path, check in (
+            (args.trace, _check_trace),
+            (args.chrome, _check_chrome),
+            (args.metrics, _check_metrics),
+        )
+        if path is not None
+    ]
+    if not checks:
+        parser.error("give at least one of --trace / --chrome / --metrics")
+
+    failures = 0
+    for path, check in checks:
+        errors = check(path)
+        if errors:
+            failures += 1
+            for error in errors:
+                print(f"{path}: {error}")
+        else:
+            print(f"{path}: ok")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
