@@ -1,0 +1,170 @@
+"""Serving overhead — HTTP job throughput vs. the direct async runner.
+
+The serving layer's pitch is operational (durability, recovery,
+streaming), so its cost has to stay boring: the HTTP + journal + event
+plumbing should add small constant overhead per job, not change the
+shape of mining time.  This benchmark submits one batch of identical
+jobs three ways and compares wall-clock throughput:
+
+- ``direct``: the batch on a bare :class:`~repro.core.MiningJobRunner`
+  (the floor — what a library caller pays);
+- ``service``: the same batch through
+  :class:`~repro.serve.MiningService` with the in-memory store (adds
+  the loop bridge, journaling and event streams);
+- ``http``: the same batch as real ``POST /v1/jobs`` requests against
+  an in-process :class:`~repro.serve.MiningHTTPServer`, polled to
+  completion over HTTP (adds sockets and JSON framing).
+
+Every path must produce the same number of rules — the overhead
+comparison is only honest between identical workloads.  Results land
+in ``benchmarks/results/serve_throughput.json`` via the shared
+reporter.
+"""
+
+import asyncio
+import json
+import threading
+import time
+import urllib.request
+
+from repro.core import MinerConfig, MiningJobRunner
+from repro.serve import MiningHTTPServer, MiningService
+from repro.table import save_csv
+
+NUM_RECORDS = 20_000
+NUM_JOBS = 8
+CONFIG = {
+    "min_support": 0.25,
+    "min_confidence": 0.5,
+    "max_support": 0.5,
+    "partial_completeness": 3.0,
+    "max_itemset_size": 2,
+    "cache": {"enabled": False},
+}
+
+
+def _run_direct(table, num_jobs):
+    """The batch on a bare runner: the throughput floor."""
+
+    async def run():
+        async with MiningJobRunner(max_concurrent_jobs=2) as runner:
+            jobs = [
+                runner.submit(table, MinerConfig.from_dict(CONFIG))
+                for _ in range(num_jobs)
+            ]
+            results = [await job.wait() for job in jobs]
+        return [len(r.rules) for r in results]
+
+    start = time.perf_counter()
+    rule_counts = asyncio.run(run())
+    return time.perf_counter() - start, rule_counts
+
+
+def _run_service(csv_text, num_jobs):
+    """The batch through MiningService (memory store, no sockets)."""
+    service = MiningService(max_concurrent_jobs=2).start()
+    try:
+        name = service.tables.register_inline(csv_text, [], [])
+        start = time.perf_counter()
+        records = [
+            service.submit_job(table_name=name, config=CONFIG)
+            for _ in range(num_jobs)
+        ]
+        rule_counts = []
+        for record in records:
+            events = list(
+                service.event_stream(record.job_id).subscribe()
+            )
+            assert events[-1]["event"] == "completed", events[-1]
+            rule_counts.append(len(events[-1]["result"]["rules"]))
+        elapsed = time.perf_counter() - start
+    finally:
+        service.shutdown(drain_seconds=0)
+    return elapsed, rule_counts
+
+
+def _run_http(csv_text, num_jobs):
+    """The batch as real HTTP requests against an in-process server."""
+    service = MiningService(max_concurrent_jobs=2).start()
+    server = MiningHTTPServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = server.url
+    try:
+        body = csv_text.encode()
+        request = urllib.request.Request(
+            f"{base}/v1/tables/bench", data=body, method="PUT"
+        )
+        urllib.request.urlopen(request).read()
+        submission = json.dumps(
+            {"table": "bench", "config": CONFIG}
+        ).encode()
+        start = time.perf_counter()
+        job_ids = []
+        for _ in range(num_jobs):
+            with urllib.request.urlopen(
+                urllib.request.Request(
+                    f"{base}/v1/jobs", data=submission, method="POST"
+                )
+            ) as response:
+                job_ids.append(json.load(response)["job_id"])
+        rule_counts = []
+        for job_id in job_ids:
+            while True:
+                with urllib.request.urlopen(
+                    f"{base}/v1/jobs/{job_id}"
+                ) as response:
+                    payload = json.load(response)
+                if payload["status"] not in ("queued", "running"):
+                    break
+                time.sleep(0.01)
+            assert payload["status"] == "completed", payload
+            rule_counts.append(payload["stats"]["num_rules"])
+        elapsed = time.perf_counter() - start
+    finally:
+        server.shutdown()
+        thread.join(timeout=10)
+        server.server_close()
+        service.shutdown(drain_seconds=0)
+    return elapsed, rule_counts
+
+
+def test_serve_throughput(credit_table_cache, reporter, tmp_path):
+    table = credit_table_cache(NUM_RECORDS)
+    csv_path = tmp_path / "credit.csv"
+    save_csv(table, csv_path)
+    csv_text = csv_path.read_text()
+
+    reporter.line(
+        f"serving overhead: {NUM_JOBS} identical jobs over "
+        f"{NUM_RECORDS} records (2-wide runner, cache off)"
+    )
+    reporter.row("path", "seconds", "jobs/s", "overhead", widths=(10, 10, 10, 10))
+
+    baseline = None
+    for path, runner in (
+        ("direct", lambda: _run_direct(table, NUM_JOBS)),
+        ("service", lambda: _run_service(csv_text, NUM_JOBS)),
+        ("http", lambda: _run_http(csv_text, NUM_JOBS)),
+    ):
+        elapsed, rule_counts = runner()
+        assert len(set(rule_counts)) == 1, rule_counts
+        if baseline is None:
+            baseline = elapsed
+        overhead = elapsed / baseline
+        reporter.row(
+            path,
+            f"{elapsed:.2f}",
+            f"{NUM_JOBS / elapsed:.2f}",
+            f"{overhead:.2f}x",
+            widths=(10, 10, 10, 10),
+        )
+        reporter.record(
+            path=path,
+            num_jobs=NUM_JOBS,
+            num_records=NUM_RECORDS,
+            seconds=round(elapsed, 3),
+            jobs_per_second=round(NUM_JOBS / elapsed, 3),
+            overhead_vs_direct=round(overhead, 3),
+            num_rules=rule_counts[0],
+        )

@@ -256,6 +256,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated record counts",
     )
     fig9.add_argument("--seed", type=int, default=42)
+
+    serve = sub.add_parser(
+        "serve", help="run the HTTP mining service"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="port to bind (0 = OS-assigned; read the 'serving on' line)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="max concurrent mining jobs (default: core count)",
+    )
+    serve.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help=(
+            "durable store directory (job journal, results, uploaded "
+            "tables); omit for a memory-only server"
+        ),
+    )
+    serve.add_argument(
+        "--recover", action="store_true",
+        help="re-queue jobs a previous server left unfinished",
+    )
+    serve.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="default wall-clock budget per job (none by default)",
+    )
+    serve.add_argument(
+        "--max-body", type=int, default=None, metavar="BYTES",
+        help="largest accepted request body (default: 32 MiB)",
+    )
+    serve.add_argument(
+        "--drain-seconds", type=float, default=None, metavar="SECONDS",
+        help=(
+            "grace for in-flight jobs on shutdown before they are "
+            "interrupted (default: wait for them)"
+        ),
+    )
     return parser
 
 
@@ -474,12 +515,58 @@ def _run_figure9(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    from pathlib import Path
+
+    from .obs import Observability
+    from .serve import (
+        DEFAULT_MAX_BODY,
+        DiskJobStore,
+        MiningHTTPServer,
+        MiningService,
+        TableRegistry,
+        run_server,
+    )
+
+    store = tables = None
+    if args.store_dir is not None:
+        store = DiskJobStore(args.store_dir)
+        tables = TableRegistry(Path(args.store_dir) / "tables")
+    service = MiningService(
+        store=store,
+        tables=tables,
+        max_concurrent_jobs=args.jobs,
+        default_job_timeout=args.job_timeout,
+        observability=Observability(),
+    ).start()
+    if args.recover:
+        requeued = service.recover()
+        print(
+            f"recovered {len(requeued)} interrupted job(s)",
+            file=sys.stderr,
+        )
+    server = MiningHTTPServer(
+        (args.host, args.port),
+        service,
+        max_body=(
+            DEFAULT_MAX_BODY if args.max_body is None else args.max_body
+        ),
+    )
+    run_server(
+        server,
+        drain_seconds=args.drain_seconds,
+        announce=lambda line: print(line, flush=True),
+    )
+    return 0
+
+
 _COMMANDS = {
     "mine": _run_mine,
     "generate": _run_generate,
     "figure7": _run_figure7,
     "figure8": _run_figure8,
     "figure9": _run_figure9,
+    "serve": _run_serve,
 }
 
 

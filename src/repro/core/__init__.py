@@ -3,11 +3,17 @@
 from .diagnostics import DiagnosticsReport, check_result
 from .explain import RuleExplanation, explain_rule
 from .export import (
+    DecodedResult,
+    load_result_json,
     load_rules_json,
+    result_from_document,
+    result_to_document,
     rules_from_json,
     rules_to_json,
+    save_result_json,
     save_rules_csv,
     save_rules_json,
+    write_json_atomic,
 )
 from .async_miner import (
     MiningJob,
@@ -74,15 +80,21 @@ from .stats import (
 from .taxonomy import Taxonomy
 
 __all__ = [
+    "DecodedResult",
     "DiagnosticsReport",
     "RuleExplanation",
     "check_result",
     "explain_rule",
+    "load_result_json",
     "load_rules_json",
+    "result_from_document",
+    "result_to_document",
     "rules_from_json",
     "rules_to_json",
+    "save_result_json",
     "save_rules_csv",
     "save_rules_json",
+    "write_json_atomic",
     "AsyncConfig",
     "AttributeMapping",
     "CACHE_BACKENDS",

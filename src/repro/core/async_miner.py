@@ -71,6 +71,23 @@ class MiningJob:
         The exception a failed or timed-out job ended with.
     seconds:
         Submission-to-finish wall-clock (queueing included).
+    timeout:
+        The wall-clock budget this job runs under (``None`` = none);
+        resolved at submission from the explicit override or the
+        runner's default, so status payloads can report it.
+    cancel_reason:
+        Why a cancelled or timed-out job ended early (the reason given
+        to :meth:`cancel`, or the timeout description), ``None``
+        otherwise.
+    status_hook:
+        Optional callable invoked with the job on every status
+        transition (on the event loop for transitions the runner makes
+        there).  The serving layer uses it to journal lifecycle changes
+        and feed event streams.
+    span:
+        The job's root :class:`~repro.obs.SpanHandle` when the runner
+        has a shared observability bundle, else ``None`` — external
+        layers parent their own spans (e.g. per-HTTP-request) under it.
     """
 
     def __init__(self, job_id: str, config: MinerConfig) -> None:
@@ -80,18 +97,37 @@ class MiningJob:
         self.result: MiningResult | None = None
         self.error: BaseException | None = None
         self.seconds = 0.0
+        self.timeout: float | None = None
+        self.cancel_reason: str | None = None
+        self.status_hook = None
+        self.span = None
         self._task: asyncio.Task | None = None
         self._submitted = 0.0
 
-    def cancel(self) -> bool:
+    def _set_status(self, status: str) -> None:
+        """Transition to ``status``, notifying the hook (if any)."""
+        self.status = status
+        hook = self.status_hook
+        if hook is not None:
+            hook(self)
+
+    def cancel(self, reason: str | None = None) -> bool:
         """Request cancellation; return False if the job already ended.
 
         A queued job cancels immediately; a running one at its next
-        stage boundary (see the module docstring).
+        stage boundary (see the module docstring).  ``reason`` is
+        recorded as :attr:`cancel_reason` for status payloads.  A job
+        that already reached a terminal state — including one whose
+        final stage finished while this call raced it — is left
+        untouched and reports ``False``.
         """
         if self._task is None or self._task.done():
             return False
-        return self._task.cancel()
+        if not self._task.cancel():
+            return False
+        if self.cancel_reason is None:
+            self.cancel_reason = reason or "cancelled by caller"
+        return True
 
     @property
     def done(self) -> bool:
@@ -110,6 +146,12 @@ class MiningJob:
         try:
             await self._task
         except asyncio.CancelledError:
+            if self.status == JOB_COMPLETED and self.result is not None:
+                # A cancel raced the final step and lost: CPython marks
+                # the *task* cancelled when cancel() lands during its
+                # last synchronous stretch, but the job finished.
+                # Completed means completed.
+                return self.result
             if self.status == JOB_CANCELLED or self._task.cancelled():
                 raise MiningJobCancelled(self.job_id) from None
             raise  # the *waiter* was cancelled, not the job
@@ -124,7 +166,11 @@ class MiningJob:
     def job_stats(self) -> JobStats:
         """This job's outcome as a :class:`~repro.core.stats.JobStats`."""
         stats = JobStats(
-            job_id=self.job_id, status=self.status, seconds=self.seconds
+            job_id=self.job_id,
+            status=self.status,
+            seconds=self.seconds,
+            timeout=self.timeout,
+            cancel_reason=self.cancel_reason,
         )
         if self.result is not None:
             stats.num_rules = self.result.stats.num_rules
@@ -233,6 +279,7 @@ class MiningJobRunner:
         job_id: str | None = None,
         timeout=_DEFAULT,
         progress=None,
+        status_hook=None,
         **overrides,
     ) -> MiningJob:
         """Queue one mining job; return its handle immediately.
@@ -241,12 +288,16 @@ class MiningJobRunner:
         :func:`~repro.core.miner.mine_quantitative_rules` exactly.
         ``timeout`` overrides the runner's default budget for this job;
         ``progress`` receives a :class:`~repro.engine.StageEvent` per
-        completed stage.  Must be called with a running event loop.
+        completed stage; ``status_hook`` is called with the job on
+        every lifecycle transition.  Must be called with a running
+        event loop.
         """
         resolved = _resolve_config(config, overrides)
         if timeout is _DEFAULT:
             timeout = self.job_timeout
         job = MiningJob(job_id or f"job-{next(self._ids)}", resolved)
+        job.timeout = timeout
+        job.status_hook = status_hook
         self._ensure_started()
         job._submitted = time.perf_counter()
         job._task = asyncio.get_running_loop().create_task(
@@ -266,8 +317,8 @@ class MiningJobRunner:
         fires; this done-callback catches exactly that window.
         """
         if task.cancelled() and not job.done:
-            job.status = JOB_CANCELLED
             job.seconds = time.perf_counter() - job._submitted
+            job._set_status(JOB_CANCELLED)
             self.stats.cancelled += 1
             self.stats.record(job.job_stats())
 
@@ -275,26 +326,38 @@ class MiningJobRunner:
         """Drive one job through the semaphore, recording its outcome."""
         try:
             async with self._semaphore:
-                job.status = JOB_RUNNING
+                job._set_status(JOB_RUNNING)
                 mining = self._mine(job, table, progress)
                 if timeout is not None:
                     job.result = await asyncio.wait_for(mining, timeout)
                 else:
                     job.result = await mining
         except asyncio.CancelledError:
-            job.status = JOB_CANCELLED
+            job.seconds = time.perf_counter() - job._submitted
+            job._set_status(JOB_CANCELLED)
             self.stats.cancelled += 1
             raise
         except (TimeoutError, asyncio.TimeoutError) as exc:
-            job.status = JOB_TIMED_OUT
             job.error = exc
+            job.seconds = time.perf_counter() - job._submitted
+            if job.cancel_reason is None:
+                job.cancel_reason = (
+                    f"exceeded {timeout:g}s wall-clock budget"
+                )
+            job._set_status(JOB_TIMED_OUT)
             self.stats.timed_out += 1
         except Exception as exc:
-            job.status = JOB_FAILED
             job.error = exc
+            job.seconds = time.perf_counter() - job._submitted
+            job._set_status(JOB_FAILED)
             self.stats.failed += 1
         else:
-            job.status = JOB_COMPLETED
+            # A cancel() that raced natural completion may have stamped
+            # a reason without ever stopping the job; completed means
+            # completed.
+            job.cancel_reason = None
+            job.seconds = time.perf_counter() - job._submitted
+            job._set_status(JOB_COMPLETED)
             self.stats.completed += 1
         finally:
             job.seconds = time.perf_counter() - job._submitted
@@ -310,6 +373,10 @@ class MiningJobRunner:
         obs = self.observability
         tracer = obs.tracer if obs is not None else NULL_TRACER
         job_span = tracer.start_span(job.job_id, kind="job")
+        if obs is not None:
+            # Expose the root so external layers (e.g. the HTTP server's
+            # per-request spans) can parent under this job.
+            job.span = job_span
         try:
             # Table encoding (steps 1-2) is CPU-bound; off the loop too.
             miner = await loop.run_in_executor(

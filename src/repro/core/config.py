@@ -514,6 +514,66 @@ class MinerConfig:
         ):
             raise ValueError("max_quantitative_in_rule must be >= 1")
 
+    def to_dict(self) -> dict:
+        """This configuration as a JSON-ready dictionary.
+
+        The wire format of the serving layer: nested engine blocks
+        serialize as plain dicts of their fields and taxonomies as
+        their defining ``{child: parent}`` edge sets, so
+        ``MinerConfig.from_dict(json.loads(json.dumps(c.to_dict())))``
+        reconstructs an equal configuration.  ``num_partitions`` passes
+        through as given; JSON transport normalizes any tuples in it to
+        lists (the partitioner accepts either).
+        """
+        import dataclasses
+
+        out = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if f.name in ("execution", "cache", "async_mining",
+                          "observability"):
+                value = dataclasses.asdict(value)
+            elif f.name == "taxonomies":
+                value = (
+                    None
+                    if value is None
+                    else {name: tax.edges for name, tax in value.items()}
+                )
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MinerConfig":
+        """Inverse of :meth:`to_dict`.
+
+        Unknown keys are rejected (a mistyped field in a job submission
+        must fail loudly, not silently mine with defaults); nested
+        blocks may be dicts (normalized by ``__post_init__``) and
+        taxonomies are rebuilt from their edge sets.
+        """
+        import dataclasses
+
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown MinerConfig field(s): {sorted(unknown)}"
+            )
+        kwargs = dict(data)
+        taxonomies = kwargs.get("taxonomies")
+        if taxonomies is not None:
+            from .taxonomy import Taxonomy
+
+            kwargs["taxonomies"] = {
+                name: (
+                    edges
+                    if isinstance(edges, Taxonomy)
+                    else Taxonomy(edges)
+                )
+                for name, edges in taxonomies.items()
+            }
+        return cls(**kwargs)
+
     @property
     def effective_interest_level(self) -> float:
         """R with "disabled" normalized to 0.0."""

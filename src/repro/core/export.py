@@ -9,12 +9,19 @@ renders :class:`~repro.core.miner.MiningResult` content in two forms:
   :func:`rules_from_json` round-trips the rule objects.
 * **CSV** — one row per rule with rendered antecedent/consequent, for
   spreadsheets and downstream scripts.
+* **Result documents** — a full :class:`MiningResult` snapshot (every
+  rule with its interest annotation, the mining statistics, the
+  configuration) as one JSON object; the durable payload the serving
+  layer's job store persists.  :func:`result_from_document` round-trips
+  the rules, interesting subset and stats exactly.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+import os
+from dataclasses import dataclass
 from pathlib import Path
 
 from .items import Item, make_itemset
@@ -22,6 +29,9 @@ from .rules import QuantitativeRule
 
 #: Format version stamped into every JSON export.
 JSON_FORMAT_VERSION = 1
+
+#: Format tag of full mining-result documents.
+RESULT_FORMAT = "repro.mining_result"
 
 
 def _item_to_dict(item: Item, mapper=None) -> dict:
@@ -135,6 +145,121 @@ def save_rules_csv(rules, path, mapper=None) -> None:
                     f"{rule.confidence:.6f}",
                 ]
             )
+
+
+@dataclass
+class DecodedResult:
+    """What :func:`result_from_document` reconstructs.
+
+    ``rules`` and ``interesting_rules`` are real
+    :class:`~repro.core.rules.QuantitativeRule` objects (the
+    interesting list preserves the document's rule order); ``stats`` is
+    a rebuilt :class:`~repro.core.stats.MiningStats` or ``None``;
+    ``config`` a rebuilt :class:`~repro.core.config.MinerConfig` (or
+    ``None``) ready to re-mine with; and ``metadata`` whatever the
+    writer embedded.
+    """
+
+    rules: list
+    interesting_rules: list
+    stats: object = None
+    config: object = None
+    metadata: dict | None = None
+
+
+def result_to_document(result, metadata: dict | None = None) -> dict:
+    """Serialize a full :class:`~repro.core.miner.MiningResult`.
+
+    Every rule carries an ``"interesting"`` annotation (membership in
+    the result's interesting subset), so one document holds both rule
+    lists without duplication.  The mining statistics and configuration
+    ride along via their own ``to_dict`` contracts; ``metadata`` is
+    embedded verbatim.  The returned dict contains only JSON types.
+    """
+    interesting = set(result.interesting_rules)
+    rules = []
+    for rule in result.rules:
+        data = rule_to_dict(rule, result.mapper)
+        data["interesting"] = rule in interesting
+        rules.append(data)
+    return {
+        "format": RESULT_FORMAT,
+        "version": JSON_FORMAT_VERSION,
+        "metadata": metadata or {},
+        "num_records": result.num_records,
+        "config": (
+            None if result.config is None else result.config.to_dict()
+        ),
+        "stats": None if result.stats is None else result.stats.to_dict(),
+        "rules": rules,
+    }
+
+
+def result_from_document(document: dict) -> DecodedResult:
+    """Parse a document produced by :func:`result_to_document`.
+
+    The interesting subset is rebuilt from the per-rule annotations, in
+    document order, so ``decoded.interesting_rules`` equals the
+    original result's list exactly.
+    """
+    if document.get("format") != RESULT_FORMAT:
+        raise ValueError(
+            "not a repro mining-result document "
+            f"(format={document.get('format')!r})"
+        )
+    version = document.get("version")
+    if version != JSON_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported result-document version {version!r} "
+            f"(expected {JSON_FORMAT_VERSION})"
+        )
+    rules = []
+    interesting = []
+    for data in document.get("rules", []):
+        rule = rule_from_dict(data)
+        rules.append(rule)
+        if data.get("interesting"):
+            interesting.append(rule)
+    stats_data = document.get("stats")
+    if stats_data is not None:
+        from .stats import MiningStats
+
+        stats_data = MiningStats.from_dict(stats_data)
+    config_data = document.get("config")
+    if config_data is not None:
+        from .config import MinerConfig
+
+        config_data = MinerConfig.from_dict(config_data)
+    return DecodedResult(
+        rules=rules,
+        interesting_rules=interesting,
+        stats=stats_data,
+        config=config_data,
+        metadata=document.get("metadata", {}),
+    )
+
+
+def write_json_atomic(document: dict, path, indent: int | None = 2) -> None:
+    """Write a JSON document via a same-directory temp file + rename.
+
+    A reader (or a crash) never observes a torn file: the rename is
+    atomic on POSIX, so the path either holds the previous content or
+    the complete new document.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(document, indent=indent))
+    os.replace(tmp, path)
+
+
+def save_result_json(result, path, metadata: dict | None = None) -> None:
+    """Atomically write :func:`result_to_document` output to ``path``."""
+    write_json_atomic(result_to_document(result, metadata), path)
+
+
+def load_result_json(path) -> DecodedResult:
+    """Read a result document from ``path``."""
+    return result_from_document(json.loads(Path(path).read_text()))
 
 
 def itemsets_to_json(support_counts: dict, num_records: int, mapper=None) -> str:

@@ -8,7 +8,17 @@ benchmarks and tests can assert on them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
+
+
+def _from_flat_dict(cls, data: dict):
+    """Build a flat dataclass from a dict, ignoring unknown keys.
+
+    Unknown keys are tolerated (not round-tripped) so documents written
+    by a newer library version still load on an older one.
+    """
+    known = {f.name for f in fields(cls)}
+    return cls(**{k: v for k, v in data.items() if k in known})
 
 
 @dataclass
@@ -20,6 +30,15 @@ class PassStats:
     num_frequent: int
     generation_seconds: float = 0.0
     counting_seconds: float = 0.0
+
+    def to_dict(self) -> dict:
+        """This pass as a JSON-ready dictionary."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PassStats":
+        """Inverse of :meth:`to_dict`."""
+        return _from_flat_dict(cls, data)
 
 
 @dataclass
@@ -75,6 +94,15 @@ class ExecutionStats:
             return sum(self.stage_shard_seconds.get(stage, ()))
         return sum(sum(v) for v in self.stage_shard_seconds.values())
 
+    def to_dict(self) -> dict:
+        """These execution stats as a JSON-ready dictionary."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExecutionStats":
+        """Inverse of :meth:`to_dict` (shard-second lists stay lists)."""
+        return _from_flat_dict(cls, data)
+
 
 @dataclass
 class JobStats:
@@ -82,7 +110,10 @@ class JobStats:
 
     ``cache_hits`` / ``cache_misses`` are the job's *stage-level* cache
     events (from its :class:`ExecutionStats`); ``seconds`` is wall-clock
-    from submission to completion, queueing included.
+    from submission to completion, queueing included.  ``timeout`` is
+    the wall-clock budget the job ran under (``None`` = unlimited) and
+    ``cancel_reason`` the human-readable reason a cancelled or
+    timed-out job ended early (``None`` otherwise).
     """
 
     job_id: str
@@ -92,6 +123,17 @@ class JobStats:
     num_interesting_rules: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    timeout: float | None = None
+    cancel_reason: str | None = None
+
+    def to_dict(self) -> dict:
+        """This job outcome as a JSON-ready dictionary."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobStats":
+        """Inverse of :meth:`to_dict`."""
+        return _from_flat_dict(cls, data)
 
 
 @dataclass
@@ -113,6 +155,23 @@ class RunnerStats:
     def record(self, job: JobStats) -> None:
         """Fold one finished (or submitted) job into the aggregates."""
         self.jobs.append(job)
+
+    def to_dict(self) -> dict:
+        """These runner stats as a JSON-ready dictionary."""
+        out = asdict(self)
+        out["jobs"] = [job.to_dict() for job in self.jobs]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunnerStats":
+        """Inverse of :meth:`to_dict`."""
+        stats = _from_flat_dict(
+            cls, {k: v for k, v in data.items() if k != "jobs"}
+        )
+        stats.jobs = [
+            JobStats.from_dict(job) for job in data.get("jobs", [])
+        ]
+        return stats
 
     @property
     def cache_hits(self) -> int:
@@ -162,6 +221,54 @@ class MiningStats:
     total_seconds: float = 0.0
     phase_seconds: dict = field(default_factory=dict)
     execution: ExecutionStats | None = None
+
+    def to_dict(self) -> dict:
+        """These mining stats as a JSON-ready dictionary.
+
+        Nested :class:`PassStats` and :class:`ExecutionStats` serialize
+        through their own ``to_dict``; ``execution`` is ``None`` or a
+        dict.  The result contains only JSON types, so
+        ``MiningStats.from_dict(json.loads(json.dumps(s.to_dict())))``
+        reconstructs an equal object.
+        """
+        out = {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name not in ("passes", "execution")
+        }
+        out["partitions_per_attribute"] = dict(
+            self.partitions_per_attribute
+        )
+        out["phase_seconds"] = dict(self.phase_seconds)
+        out["counting_groups_by_backend"] = dict(
+            self.counting_groups_by_backend
+        )
+        out["passes"] = [p.to_dict() for p in self.passes]
+        out["execution"] = (
+            None if self.execution is None else self.execution.to_dict()
+        )
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MiningStats":
+        """Inverse of :meth:`to_dict`."""
+        stats = _from_flat_dict(
+            cls,
+            {
+                k: v
+                for k, v in data.items()
+                if k not in ("passes", "execution")
+            },
+        )
+        stats.passes = [
+            PassStats.from_dict(p) for p in data.get("passes", [])
+        ]
+        execution = data.get("execution")
+        stats.execution = (
+            None if execution is None
+            else ExecutionStats.from_dict(execution)
+        )
+        return stats
 
     @property
     def num_passes(self) -> int:

@@ -96,6 +96,24 @@ class Taxonomy:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    @property
+    def edges(self) -> dict:
+        """The defining ``{child: parent}`` edge set (a copy).
+
+        The edge set fully determines the taxonomy, so it is also the
+        JSON serialization used by config documents:
+        ``Taxonomy(t.edges)`` reconstructs an equal taxonomy.
+        """
+        return dict(self._parents)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Taxonomy):
+            return NotImplemented
+        return self._parents == other._parents
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._parents.items()))
+
     def fingerprint_parts(self) -> tuple:
         """Content identity for the artifact cache.
 

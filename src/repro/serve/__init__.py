@@ -1,0 +1,75 @@
+"""``repro.serve`` — the HTTP mining service.
+
+A dependency-free serving layer over the async mining engine: REST
+endpoints for table upload and job submission, a durable
+:class:`JobStore` that survives restarts (``--recover`` re-queues
+interrupted work), and per-job event streams that end with the mined
+rules.  The mining itself goes through the same
+:class:`~repro.core.async_miner.MiningJobRunner` as library callers, so
+server-mined rules are bit-identical to
+:func:`~repro.core.miner.mine_quantitative_rules` on the same inputs.
+
+Layering: ``store``/``tables`` know nothing of asyncio; ``service``
+bridges threads onto one event loop; ``protocol`` defines the wire
+payloads; ``http`` is the only module that touches sockets.
+"""
+
+from .http import DEFAULT_MAX_BODY, MiningHTTPServer, run_server
+from .protocol import (
+    ApiError,
+    format_ndjson,
+    format_sse,
+    job_status_payload,
+    parse_submission,
+)
+from .service import (
+    RESTART_REASON,
+    SHUTDOWN_REASON,
+    JobEventStream,
+    MiningService,
+    ServiceClosed,
+)
+from .store import (
+    JOB_STATES,
+    RECOVERABLE_STATES,
+    TERMINAL_STATES,
+    DiskJobStore,
+    JobRecord,
+    JobStore,
+    MemoryJobStore,
+    mark_interrupted,
+)
+from .tables import (
+    TableRegistry,
+    UnknownTableError,
+    inline_table_name,
+    validate_table_name,
+)
+
+__all__ = [
+    "DEFAULT_MAX_BODY",
+    "JOB_STATES",
+    "RECOVERABLE_STATES",
+    "RESTART_REASON",
+    "SHUTDOWN_REASON",
+    "TERMINAL_STATES",
+    "ApiError",
+    "DiskJobStore",
+    "JobEventStream",
+    "JobRecord",
+    "JobStore",
+    "MemoryJobStore",
+    "MiningHTTPServer",
+    "MiningService",
+    "ServiceClosed",
+    "TableRegistry",
+    "UnknownTableError",
+    "format_ndjson",
+    "format_sse",
+    "inline_table_name",
+    "job_status_payload",
+    "mark_interrupted",
+    "parse_submission",
+    "run_server",
+    "validate_table_name",
+]

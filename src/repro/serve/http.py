@@ -1,0 +1,445 @@
+"""The HTTP front end: a stdlib REST server over the mining service.
+
+Built on :class:`http.server.ThreadingHTTPServer` — no framework, no
+third-party dependency — with one handler thread per connection calling
+into the thread-safe :class:`~repro.serve.service.MiningService`:
+
+================================  =====================================
+Route                             Meaning
+================================  =====================================
+``GET  /healthz``                 Liveness + runner counters.
+``GET  /metrics``                 The shared metrics registry snapshot.
+``GET  /v1/tables``               Registered table names.
+``PUT  /v1/tables/{name}``        Upload a CSV (body = CSV text;
+                                  ``?quantitative=``/``?categorical=``
+                                  force attribute kinds).
+``GET  /v1/tables/{name}``        One table's description.
+``POST /v1/jobs``                 Submit a mining job (JSON body, see
+                                  :func:`~repro.serve.protocol.parse_submission`).
+``GET  /v1/jobs``                 Every job's status document.
+``GET  /v1/jobs/{id}``            One job's status document.
+``DELETE /v1/jobs/{id}``          Request cancellation.
+``GET  /v1/jobs/{id}/rules``      The completed job's result document.
+``GET  /v1/jobs/{id}/events``     Live event stream — Server-Sent
+                                  Events by default, NDJSON with
+                                  ``?format=ndjson``; replays from the
+                                  first event and ends with the
+                                  terminal one (rules included).
+================================  =====================================
+
+Every request runs under a ``request`` span in the service's shared
+tracer (parented under the job's root span when the route names a live
+job), so an exported trace shows HTTP traffic and mining work as one
+forest.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from .protocol import (
+    ApiError,
+    format_ndjson,
+    format_sse,
+    job_status_payload,
+    parse_submission,
+)
+from .tables import UnknownTableError
+
+#: Default cap on request bodies (CSV uploads, job submissions).
+DEFAULT_MAX_BODY = 32 * 1024 * 1024
+
+
+class MiningHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one mining service.
+
+    Parameters
+    ----------
+    address:
+        ``(host, port)`` to bind; port ``0`` asks the OS for a free one
+        (read the outcome back from ``server.server_address``).
+    service:
+        The started :class:`~repro.serve.service.MiningService` the
+        handlers call into.
+    max_body:
+        Largest request body accepted, in bytes (larger uploads get a
+        413 without being read).
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self, address, service, *, max_body: int = DEFAULT_MAX_BODY
+    ) -> None:
+        self.service = service
+        self.max_body = max_body
+        super().__init__(address, _Handler)
+
+    @property
+    def url(self) -> str:
+        """The server's reachable base URL."""
+        host, port = self.server_address[:2]
+        if host in ("0.0.0.0", "::", ""):
+            host = "127.0.0.1"
+        return f"http://{host}:{port}"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route one HTTP request into the mining service."""
+
+    protocol_version = "HTTP/1.1"
+    server: MiningHTTPServer
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server contract)
+        """Dispatch a GET request."""
+        self._dispatch("GET")
+
+    def do_PUT(self) -> None:  # noqa: N802
+        """Dispatch a PUT request."""
+        self._dispatch("PUT")
+
+    def do_POST(self) -> None:  # noqa: N802
+        """Dispatch a POST request."""
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        """Dispatch a DELETE request."""
+        self._dispatch("DELETE")
+
+    def log_message(self, format, *args) -> None:  # noqa: A002
+        """Silence the default stderr access log (metrics cover it)."""
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, method: str) -> None:
+        """Route, trace and error-wrap one request."""
+        split = urlsplit(self.path)
+        parts = [p for p in split.path.split("/") if p]
+        self._query = parse_qs(split.query)
+        span = self._start_span(method, split.path, parts)
+        status = 500
+        try:
+            status = self._route(method, parts)
+        except ApiError as exc:
+            status = exc.status
+            self._send_json(exc.status, exc.payload())
+        except UnknownTableError as exc:
+            status = 404
+            self._send_json(
+                404, ApiError(404, f"unknown table {exc.args[0]!r}").payload()
+            )
+        except BrokenPipeError:
+            status = 499  # client went away mid-stream
+        except Exception as exc:  # pragma: no cover - defensive
+            status = 500
+            try:
+                self._send_json(
+                    500,
+                    ApiError(
+                        500, f"{type(exc).__name__}: {exc}"
+                    ).payload(),
+                )
+            except Exception:
+                pass
+        finally:
+            self._finish_span(span, method, status)
+
+    def _route(self, method: str, parts: list) -> int:
+        """Handle one parsed route; returns the HTTP status sent."""
+        if method == "GET" and parts == ["healthz"]:
+            return self._get_healthz()
+        if method == "GET" and parts == ["metrics"]:
+            return self._get_metrics()
+        if parts[:1] == ["v1"]:
+            rest = parts[1:]
+            if rest == ["tables"] and method == "GET":
+                return self._list_tables()
+            if len(rest) == 2 and rest[0] == "tables":
+                if method == "PUT":
+                    return self._put_table(rest[1])
+                if method == "GET":
+                    return self._get_table(rest[1])
+            if rest == ["jobs"]:
+                if method == "POST":
+                    return self._post_job()
+                if method == "GET":
+                    return self._list_jobs()
+            if len(rest) >= 2 and rest[0] == "jobs":
+                job_id = rest[1]
+                if len(rest) == 2 and method == "GET":
+                    return self._get_job(job_id)
+                if len(rest) == 2 and method == "DELETE":
+                    return self._delete_job(job_id)
+                if rest[2:] == ["rules"] and method == "GET":
+                    return self._get_rules(job_id)
+                if rest[2:] == ["events"] and method == "GET":
+                    return self._get_events(job_id)
+        raise ApiError(404, f"no route for {method} {self.path}")
+
+    # ------------------------------------------------------------------
+    # Route handlers
+    # ------------------------------------------------------------------
+    def _get_healthz(self) -> int:
+        """Liveness probe with runner counters."""
+        stats = self.server.service.runner_stats
+        payload = {"status": "ok"}
+        if stats is not None:
+            payload["jobs"] = {
+                "submitted": stats.submitted,
+                "completed": stats.completed,
+                "failed": stats.failed,
+                "cancelled": stats.cancelled,
+                "timed_out": stats.timed_out,
+            }
+        return self._send_json(200, payload)
+
+    def _get_metrics(self) -> int:
+        """The shared metrics registry snapshot (empty without obs)."""
+        obs = self.server.service.observability
+        snapshot = {} if obs is None else obs.metrics.snapshot()
+        return self._send_json(200, snapshot)
+
+    def _list_tables(self) -> int:
+        """Registered table names."""
+        return self._send_json(
+            200, {"tables": self.server.service.tables.names()}
+        )
+
+    def _put_table(self, name: str) -> int:
+        """Upload (or replace) one table from CSV body text."""
+        body = self._read_body()
+        try:
+            csv_text = body.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ApiError(400, f"CSV body is not UTF-8: {exc}") from exc
+        try:
+            description = self.server.service.tables.put_csv(
+                name,
+                csv_text,
+                quantitative=self._query_names("quantitative"),
+                categorical=self._query_names("categorical"),
+            )
+        except ValueError as exc:
+            raise ApiError(400, str(exc)) from exc
+        return self._send_json(201, description)
+
+    def _get_table(self, name: str) -> int:
+        """One registered table's description."""
+        return self._send_json(
+            200, self.server.service.tables.describe(name)
+        )
+
+    def _post_job(self) -> int:
+        """Submit one mining job."""
+        payload = self._read_json()
+        kwargs = parse_submission(payload)
+        from .service import ServiceClosed
+
+        try:
+            record = self.server.service.submit_job(**kwargs)
+        except ServiceClosed as exc:
+            raise ApiError(503, str(exc)) from exc
+        except ValueError as exc:
+            raise ApiError(400, str(exc)) from exc
+        return self._send_json(201, job_status_payload(record))
+
+    def _list_jobs(self) -> int:
+        """Every job's status document."""
+        return self._send_json(
+            200,
+            {
+                "jobs": [
+                    job_status_payload(r)
+                    for r in self.server.service.list_records()
+                ]
+            },
+        )
+
+    def _get_job(self, job_id: str) -> int:
+        """One job's status document."""
+        record = self.server.service.get_record(job_id)
+        if record is None:
+            raise ApiError(404, f"unknown job {job_id!r}")
+        return self._send_json(200, job_status_payload(record))
+
+    def _delete_job(self, job_id: str) -> int:
+        """Request cancellation of one job."""
+        record = self.server.service.get_record(job_id)
+        if record is None:
+            raise ApiError(404, f"unknown job {job_id!r}")
+        cancelled = self.server.service.cancel_job(
+            job_id, reason="cancelled via DELETE"
+        )
+        return self._send_json(
+            202 if cancelled else 200,
+            {"job_id": job_id, "cancelled": cancelled},
+        )
+
+    def _get_rules(self, job_id: str) -> int:
+        """The completed job's result document."""
+        record = self.server.service.get_record(job_id)
+        if record is None:
+            raise ApiError(404, f"unknown job {job_id!r}")
+        document = self.server.service.result_document(job_id)
+        if document is None:
+            raise ApiError(
+                409,
+                f"job {job_id!r} has no result (status: {record.status})",
+            )
+        return self._send_json(200, document)
+
+    def _get_events(self, job_id: str) -> int:
+        """Stream one job's events (SSE, or NDJSON on request)."""
+        try:
+            stream = self.server.service.event_stream(job_id)
+        except KeyError as exc:
+            raise ApiError(404, f"unknown job {job_id!r}") from exc
+        ndjson = (
+            self._query.get("format", [""])[0] == "ndjson"
+            or "application/x-ndjson" in self.headers.get("Accept", "")
+        )
+        frame = format_ndjson if ndjson else format_sse
+        content_type = (
+            "application/x-ndjson" if ndjson else "text/event-stream"
+        )
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Cache-Control", "no-store")
+        # Stream length is unknowable up front; close delimits it.
+        self.send_header("Connection", "close")
+        self.end_headers()
+        for event in stream.subscribe():
+            self.wfile.write(frame(event))
+            self.wfile.flush()
+        self.close_connection = True
+        return 200
+
+    # ------------------------------------------------------------------
+    # Request/response plumbing
+    # ------------------------------------------------------------------
+    def _query_names(self, key: str) -> list:
+        """A comma-separated query parameter as a list of names."""
+        names = []
+        for chunk in self._query.get(key, []):
+            names.extend(
+                v.strip() for v in chunk.split(",") if v.strip()
+            )
+        return names
+
+    def _read_body(self) -> bytes:
+        """The request body, enforcing the server's size cap."""
+        length = self.headers.get("Content-Length")
+        if length is None:
+            raise ApiError(411, "Content-Length required")
+        length = int(length)
+        if length > self.server.max_body:
+            # Drain in bounded chunks (never buffering the oversized
+            # body) so the client reliably reads the 413 instead of a
+            # broken pipe mid-upload.
+            remaining = length
+            while remaining > 0:
+                chunk = self.rfile.read(min(remaining, 65536))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+            raise ApiError(
+                413,
+                f"body of {length} bytes exceeds the "
+                f"{self.server.max_body}-byte limit",
+            )
+        return self.rfile.read(length)
+
+    def _read_json(self):
+        """The request body parsed as JSON."""
+        body = self._read_body()
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ApiError(400, f"request body is not JSON: {exc}") from exc
+
+    def _send_json(self, status: int, payload) -> int:
+        """Send one JSON response; returns ``status`` for the span."""
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        return status
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def _start_span(self, method: str, path: str, parts: list):
+        """Open the request span, parented under a live job if named."""
+        obs = self.server.service.observability
+        if obs is None:
+            return None
+        parent = None
+        if parts[:2] == ["v1", "jobs"] and len(parts) >= 3:
+            parent = self.server.service.job_span(parts[2])
+        return obs.tracer.start_span(
+            f"{method} {path}", kind="request", parent=parent
+        )
+
+    def _finish_span(self, span, method: str, status: int) -> None:
+        """Close the request span and bump the request counters."""
+        obs = self.server.service.observability
+        if obs is not None:
+            obs.metrics.counter(
+                f"http.requests.{method.lower()}"
+            ).increment()
+            obs.metrics.counter(f"http.status.{status}").increment()
+        if span is not None:
+            span.finish(status=status)
+
+
+def run_server(
+    server: MiningHTTPServer,
+    *,
+    drain_seconds: float | None = None,
+    install_signal_handlers: bool = True,
+    announce=None,
+) -> None:
+    """Serve until SIGINT/SIGTERM, then drain the service and return.
+
+    Prints (via ``announce``) one ``serving on http://host:port`` line
+    once the socket is listening — the smoke harness and the
+    kill-and-restart test parse it to find an OS-assigned port.
+    Shutdown stops accepting connections first, then hands unfinished
+    jobs ``drain_seconds`` of grace before cancelling them into the
+    recoverable ``interrupted`` state (see
+    :meth:`~repro.serve.service.MiningService.shutdown`).
+    """
+    stop = threading.Event()
+
+    def request_stop(signum=None, frame=None) -> None:
+        stop.set()
+
+    if install_signal_handlers:
+        signal.signal(signal.SIGINT, request_stop)
+        signal.signal(signal.SIGTERM, request_stop)
+    if announce is not None:
+        announce(f"serving on {server.url}")
+    thread = threading.Thread(
+        target=server.serve_forever,
+        kwargs={"poll_interval": 0.2},
+        name="repro-serve-http",
+        daemon=True,
+    )
+    thread.start()
+    try:
+        stop.wait()
+    finally:
+        server.shutdown()
+        thread.join(timeout=10)
+        server.server_close()
+        server.service.shutdown(drain_seconds=drain_seconds)

@@ -1,0 +1,140 @@
+"""Wire contracts of the mining service: payloads in, payloads out.
+
+Everything the HTTP layer parses or renders lives here, away from
+socket handling, so the service and its tests speak the same dicts:
+
+- :func:`parse_submission` — the ``POST /v1/jobs`` body (registered or
+  inline table, config dict, timeout, optional job id).
+- :func:`job_status_payload` — the status document of one
+  :class:`~repro.serve.store.JobRecord` (as returned by
+  ``GET /v1/jobs/{id}`` and embedded in job listings).
+- :func:`format_sse` / :func:`format_ndjson` — the two framings of the
+  ``GET /v1/jobs/{id}/events`` stream.
+- :class:`ApiError` — an HTTP-status-carrying error the handler turns
+  into a JSON error envelope.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..core.config import MinerConfig
+
+
+class ApiError(Exception):
+    """A client-visible request failure with its HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+    def payload(self) -> dict:
+        """The JSON error envelope for this failure."""
+        return {"error": {"status": self.status, "message": self.message}}
+
+
+def _string_list(payload: dict, key: str) -> list:
+    """A list-of-strings field, tolerating a single comma-joined string."""
+    value = payload.get(key) or []
+    if isinstance(value, str):
+        value = [v.strip() for v in value.split(",") if v.strip()]
+    if not isinstance(value, list) or not all(
+        isinstance(v, str) for v in value
+    ):
+        raise ApiError(400, f"{key!r} must be a list of column names")
+    return value
+
+
+def parse_submission(payload) -> dict:
+    """Validate a ``POST /v1/jobs`` body into submission keywords.
+
+    The body names its input table either by registry name
+    (``"table": "credit"``) or inline
+    (``"table": {"csv": "...", "quantitative": [...], ...}``), carries
+    an optional ``"config"`` dict (the
+    :meth:`~repro.core.config.MinerConfig.to_dict` contract — unknown
+    or invalid fields are a 400, never a silent default), an optional
+    ``"timeout"`` in seconds and an optional caller-chosen
+    ``"job_id"``.  Returns keyword arguments for
+    :meth:`~repro.serve.service.MiningService.submit_job`.
+    """
+    if not isinstance(payload, dict):
+        raise ApiError(400, "request body must be a JSON object")
+    out: dict = {}
+    table = payload.get("table")
+    if isinstance(table, str) and table:
+        out["table_name"] = table
+    elif isinstance(table, dict):
+        csv_text = table.get("csv")
+        if not isinstance(csv_text, str) or not csv_text.strip():
+            raise ApiError(400, "inline table needs a non-empty 'csv'")
+        out["csv"] = csv_text
+        out["quantitative"] = _string_list(table, "quantitative")
+        out["categorical"] = _string_list(table, "categorical")
+    else:
+        raise ApiError(
+            400,
+            "'table' must be a registered table name or an inline "
+            "{'csv': ...} object",
+        )
+    config = payload.get("config") or {}
+    if not isinstance(config, dict):
+        raise ApiError(400, "'config' must be an object")
+    try:
+        MinerConfig.from_dict(config)  # fail the submit, not the job
+    except (ValueError, TypeError) as exc:
+        raise ApiError(400, f"invalid config: {exc}") from exc
+    out["config"] = config
+    timeout = payload.get("timeout")
+    if timeout is not None:
+        if not isinstance(timeout, (int, float)) or timeout <= 0:
+            raise ApiError(400, "'timeout' must be a positive number")
+        out["timeout"] = float(timeout)
+    job_id = payload.get("job_id")
+    if job_id is not None:
+        if not isinstance(job_id, str) or not job_id:
+            raise ApiError(400, "'job_id' must be a non-empty string")
+        out["job_id"] = job_id
+    unknown = set(payload) - {"table", "config", "timeout", "job_id"}
+    if unknown:
+        raise ApiError(
+            400, f"unknown submission field(s): {sorted(unknown)}"
+        )
+    return out
+
+
+def job_status_payload(record) -> dict:
+    """One job's status document, straight from its stored record.
+
+    Served by ``GET /v1/jobs/{id}`` and repeated in ``GET /v1/jobs``;
+    always includes the wall-clock budget the job runs under and — for
+    jobs that ended early — the cancellation reason, so a poller never
+    has to guess why a job stopped.
+    """
+    return {
+        "job_id": record.job_id,
+        "status": record.status,
+        "table": record.table_ref,
+        "submitted_at": record.submitted_at,
+        "started_at": record.started_at,
+        "finished_at": record.finished_at,
+        "timeout": record.timeout,
+        "error": record.error,
+        "cancel_reason": record.cancel_reason,
+        "stats": record.stats,
+        "recovered": record.recovered,
+        "config": record.config,
+    }
+
+
+def format_sse(event: dict) -> bytes:
+    """Frame one event dict as a Server-Sent-Events message."""
+    name = event.get("event", "message")
+    data = json.dumps(event)
+    return f"event: {name}\ndata: {data}\n\n".encode()
+
+
+def format_ndjson(event: dict) -> bytes:
+    """Frame one event dict as a newline-delimited-JSON line."""
+    return (json.dumps(event) + "\n").encode()

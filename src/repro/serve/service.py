@@ -1,0 +1,579 @@
+"""The mining service: durable jobs over one shared async runner.
+
+:class:`MiningService` is the transport-free core of ``repro serve``:
+HTTP handler threads (or tests, or a future task-queue front end) call
+plain thread-safe methods, and the service bridges them onto a
+dedicated asyncio event loop running one
+:class:`~repro.core.async_miner.MiningJobRunner` — so every job still
+shares the runner's warm artifact cache, bounded concurrency and
+stage-boundary cancellation, and a job mined through the service is
+bit-identical to :func:`~repro.core.miner.mine_quantitative_rules` on
+the same table and config.
+
+Durability
+----------
+Every lifecycle transition is journaled through the
+:class:`~repro.serve.store.JobStore` *as it happens* (submission before
+the job is scheduled, ``running`` when the runner picks it up, the
+result document before the ``completed`` transition), so a killed
+process leaves a journal from which :meth:`MiningService.recover`
+re-queues everything that never finished.
+
+Event streams
+-------------
+Each job owns a replayable :class:`JobEventStream`: status
+transitions, one event per completed pipeline stage (fed from the
+engine's :class:`~repro.engine.StageEvent` hooks), and a terminal
+event that — for completed jobs — carries the full result document,
+so a client that only watches the stream still ends up holding the
+rules.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import uuid
+
+from ..core.async_miner import (
+    JOB_RUNNING,
+    MiningJobRunner,
+)
+from ..core.config import MinerConfig
+from ..core.export import result_to_document
+from .store import (
+    JobRecord,
+    MemoryJobStore,
+    mark_interrupted,
+    utcnow,
+)
+from .tables import TableRegistry, UnknownTableError
+
+#: Cancel reason stamped on jobs a graceful shutdown had to stop; the
+#: finalizer maps it to the recoverable ``interrupted`` state instead
+#: of terminal ``cancelled``.
+SHUTDOWN_REASON = "server shutdown"
+
+#: Cancel reason stamped on jobs found mid-run by a recovery scan.
+RESTART_REASON = "server restarted"
+
+#: Sentinel for "use the service's default timeout".
+_DEFAULT = object()
+
+
+class ServiceClosed(RuntimeError):
+    """A submission arrived after the service stopped accepting work."""
+
+
+class JobEventStream:
+    """A replayable, append-only event feed for one job.
+
+    Subscribers always see the full history: iteration starts at event
+    zero and follows live appends until the stream closes, so a client
+    that connects after the job finished still receives every event
+    (ending with the terminal one).
+    """
+
+    def __init__(self) -> None:
+        self._events: list = []
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def append(self, event: dict) -> None:
+        """Append one event and wake every subscriber."""
+        with self._cond:
+            if self._closed:
+                return
+            self._events.append(event)
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """Mark the stream complete; subscribers drain and stop."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        """Whether the stream has been completed."""
+        with self._cond:
+            return self._closed
+
+    def subscribe(self, poll_seconds: float = 0.5):
+        """Yield every event from the beginning until the stream closes.
+
+        Blocks between events; ``poll_seconds`` bounds each wait so a
+        consumer writing to a dead socket discovers the breakage
+        promptly (its write raises and the generator is closed).
+        """
+        index = 0
+        while True:
+            with self._cond:
+                while index >= len(self._events) and not self._closed:
+                    self._cond.wait(timeout=poll_seconds)
+                if index < len(self._events):
+                    event = self._events[index]
+                    index += 1
+                elif self._closed:
+                    return
+                else:
+                    continue
+            yield event
+
+    def snapshot(self) -> list:
+        """The events so far (a copy)."""
+        with self._cond:
+            return list(self._events)
+
+
+class MiningService:
+    """Durable mining jobs over one shared runner and store.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.serve.store.JobStore` journaling lifecycles
+        and holding result documents; defaults to an in-memory store.
+    tables:
+        The :class:`~repro.serve.tables.TableRegistry` jobs reference;
+        defaults to a memory-only registry.
+    max_concurrent_jobs:
+        Concurrency bound of the underlying runner (``None`` = core
+        count).
+    default_job_timeout:
+        Wall-clock budget applied to submissions that set none.
+    observability:
+        A shared :class:`~repro.obs.Observability` bundle; when given,
+        every job records into it (one ``job`` span root per job) and
+        the HTTP layer snapshots its registry for ``/metrics``.
+    """
+
+    def __init__(
+        self,
+        store=None,
+        tables=None,
+        *,
+        max_concurrent_jobs=None,
+        default_job_timeout=None,
+        observability=None,
+    ) -> None:
+        self.store = store if store is not None else MemoryJobStore()
+        self.tables = tables if tables is not None else TableRegistry()
+        self.observability = observability
+        self.default_job_timeout = default_job_timeout
+        self._max_concurrent_jobs = max_concurrent_jobs
+        self._runner: MiningJobRunner | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._jobs: dict = {}
+        self._streams: dict = {}
+        self._finalizers: set = set()
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "MiningService":
+        """Start the event-loop thread and the job runner; idempotent."""
+        if self._loop is not None:
+            return self
+        self._runner = MiningJobRunner(
+            max_concurrent_jobs=self._max_concurrent_jobs,
+            job_timeout=self.default_job_timeout,
+            observability=self.observability,
+        )
+        self._loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def run() -> None:
+            asyncio.set_event_loop(self._loop)
+            self._loop.call_soon(started.set)
+            self._loop.run_forever()
+
+        self._thread = threading.Thread(
+            target=run, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        started.wait()
+        return self
+
+    @property
+    def runner_stats(self):
+        """The underlying runner's :class:`~repro.core.RunnerStats`."""
+        return self._runner.stats if self._runner is not None else None
+
+    def recover(self) -> list:
+        """Re-queue every interrupted/queued job from the store.
+
+        Jobs the previous process left ``running`` are first stamped
+        ``interrupted`` (they will never finish on their own), then
+        every recoverable record is resubmitted against its registered
+        table under its original job id and config.  Records whose
+        table is no longer available fail immediately with a
+        diagnostic.  Returns the re-queued records.
+        """
+        if self._loop is None:
+            raise RuntimeError("start() the service before recover()")
+        mark_interrupted(self.store, RESTART_REASON)
+        requeued = []
+        for record in self.store.recoverable():
+            try:
+                table = self.tables.get(record.table_ref)
+                config = MinerConfig.from_dict(record.config)
+            except UnknownTableError:
+                self.store.update(
+                    record.job_id,
+                    status="failed",
+                    error=(
+                        f"recovery: table {record.table_ref!r} is no "
+                        "longer registered"
+                    ),
+                    finished_at=utcnow(),
+                )
+                continue
+            except (ValueError, TypeError) as exc:
+                self.store.update(
+                    record.job_id,
+                    status="failed",
+                    error=f"recovery: invalid stored config: {exc}",
+                    finished_at=utcnow(),
+                )
+                continue
+            self.store.update(
+                record.job_id,
+                status="queued",
+                recovered=record.recovered + 1,
+                cancel_reason=None,
+                error=None,
+            )
+            with self._lock:
+                stream = self._streams.setdefault(
+                    record.job_id, JobEventStream()
+                )
+            stream.append(
+                self._event(
+                    record.job_id, "status", status="queued",
+                    recovered=record.recovered,
+                )
+            )
+            self._schedule(record, table, config, record.timeout)
+            requeued.append(record)
+        return requeued
+
+    def shutdown(self, drain_seconds: float | None = None) -> None:
+        """Stop accepting work, drain, and release every resource.
+
+        New submissions are rejected immediately.  In-flight and queued
+        jobs get ``drain_seconds`` of wall-clock to finish naturally
+        (``None`` = wait indefinitely); whatever is still unfinished
+        after the grace period is cancelled through the runner's
+        stage-boundary cancellation and journaled ``interrupted`` so a
+        restart with ``--recover`` re-queues it.  Idempotent.
+        """
+        self._closed = True
+        if self._loop is None:
+            return
+        drained = self._wait_all(drain_seconds)
+        if not drained:
+            self._run_on_loop(
+                self._cancel_all(SHUTDOWN_REASON), timeout=30
+            )
+            # Cancellation lands at stage boundaries; wait those out.
+            self._wait_all(None)
+        self._run_on_loop(self._runner.aclose(), timeout=60)
+        self._run_on_loop(self._drain_finalizers(), timeout=60)
+        # Belt and braces: anything the finalizers missed (there should
+        # be nothing) must not be journaled as live.
+        mark_interrupted(self.store, SHUTDOWN_REASON)
+        loop, self._loop = self._loop, None
+        loop.call_soon_threadsafe(loop.stop)
+        self._thread.join(timeout=10)
+        close = getattr(self.store, "close", None)
+        if close is not None:
+            close()
+
+    def _wait_all(self, timeout: float | None) -> bool:
+        """Wait for every submitted job task; False on timeout."""
+        import concurrent.futures
+
+        try:
+            self._run_on_loop(self._runner.join(), timeout=timeout)
+        except concurrent.futures.TimeoutError:
+            return False
+        return True
+
+    async def _drain_finalizers(self) -> None:
+        """Wait until every finalizer task has journaled its outcome."""
+        pending = list(self._finalizers)
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+
+    async def _cancel_all(self, reason: str) -> None:
+        """Cancel every unfinished job with ``reason`` (on the loop)."""
+        for job in list(self._jobs.values()):
+            if not job.done:
+                job.cancel(reason=reason)
+
+    def _run_on_loop(self, coroutine, timeout=None):
+        """Run ``coroutine`` on the service loop from any other thread."""
+        future = asyncio.run_coroutine_threadsafe(coroutine, self._loop)
+        return future.result(timeout)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit_job(
+        self,
+        *,
+        table_name: str | None = None,
+        csv: str | None = None,
+        quantitative=(),
+        categorical=(),
+        config: dict | None = None,
+        timeout=_DEFAULT,
+        job_id: str | None = None,
+    ) -> JobRecord:
+        """Accept one mining job; returns its journaled record.
+
+        The table is resolved eagerly — either ``table_name`` from the
+        registry or inline ``csv`` (registered under a content-derived
+        name so the job record stays recoverable).  ``config`` follows
+        :meth:`~repro.core.config.MinerConfig.from_dict`; validation
+        errors raise here, before anything is journaled.  By the time
+        this returns, the submission is durable and the job is
+        scheduled on the runner.
+        """
+        if self._closed or self._loop is None:
+            raise ServiceClosed(
+                "service is shutting down"
+                if self._closed
+                else "service not started"
+            )
+        miner_config = MinerConfig.from_dict(config or {})
+        if csv is not None:
+            table_name = self.tables.register_inline(
+                csv, quantitative, categorical
+            )
+        elif table_name is None:
+            raise ValueError("submission needs a table name or inline csv")
+        table = self.tables.get(table_name)
+        if timeout is _DEFAULT:
+            timeout = self.default_job_timeout
+        record = JobRecord(
+            job_id=job_id or f"job-{uuid.uuid4().hex[:12]}",
+            table_ref=table_name,
+            config=config or {},
+            status="queued",
+            submitted_at=utcnow(),
+            timeout=timeout,
+        )
+        self.store.create(record)
+        with self._lock:
+            self._streams[record.job_id] = JobEventStream()
+        self._emit(record.job_id, "status", status="queued")
+        self._schedule(record, table, miner_config, timeout)
+        return record
+
+    def _schedule(self, record, table, config, timeout) -> None:
+        """Launch the record on the runner; blocks until registered."""
+        self._run_on_loop(
+            self._launch(record, table, config, timeout), timeout=30
+        )
+
+    async def _launch(self, record, table, config, timeout) -> None:
+        """Submit to the runner and start the finalizer (on the loop)."""
+        job_id = record.job_id
+        job = self._runner.submit(
+            table,
+            config,
+            job_id=job_id,
+            timeout=timeout,
+            progress=lambda event: self._on_stage(job_id, event),
+            status_hook=lambda job: self._on_status(job_id, job),
+        )
+        with self._lock:
+            self._jobs[job_id] = job
+        finalizer = asyncio.get_running_loop().create_task(
+            self._finalize(job_id, job), name=f"finalize-{job_id}"
+        )
+        self._finalizers.add(finalizer)
+        finalizer.add_done_callback(self._finalizers.discard)
+
+    # ------------------------------------------------------------------
+    # Lifecycle plumbing (all on the loop thread)
+    # ------------------------------------------------------------------
+    def _event(self, job_id: str, name: str, **fields) -> dict:
+        """Build one event dict."""
+        event = {"event": name, "job_id": job_id, "time": utcnow()}
+        event.update(fields)
+        return event
+
+    def _emit(self, job_id: str, name: str, **fields) -> None:
+        """Append one event to the job's stream (if any)."""
+        with self._lock:
+            stream = self._streams.get(job_id)
+        if stream is not None:
+            stream.append(self._event(job_id, name, **fields))
+
+    def _on_status(self, job_id: str, job) -> None:
+        """Journal and broadcast a runner status transition.
+
+        Terminal transitions are left to :meth:`_finalize` (which must
+        persist the result document *before* journaling ``completed``);
+        this hook covers the queue-to-running edge.
+        """
+        if job.status == JOB_RUNNING:
+            self.store.update(
+                job_id, status="running", started_at=utcnow()
+            )
+            self._emit(job_id, "status", status="running")
+
+    def _on_stage(self, job_id: str, event) -> None:
+        """Broadcast one completed pipeline stage as a progress event."""
+        self._emit(
+            job_id,
+            "stage",
+            stage=event.stage,
+            seconds=event.seconds,
+            cache_event=event.cache_event,
+        )
+
+    async def _finalize(self, job_id: str, job) -> None:
+        """Persist a job's outcome once its task settles."""
+        try:
+            await asyncio.gather(job._task, return_exceptions=True)
+        except asyncio.CancelledError:
+            raise
+        status = job.status
+        stats = job.job_stats().to_dict()
+        if status == "completed":
+            record = self.store.get(job_id)
+            document = result_to_document(
+                job.result,
+                metadata={
+                    "job_id": job_id,
+                    "table": record.table_ref if record else None,
+                },
+            )
+            # Result lands (atomically) before the completed transition
+            # is journaled: a 'completed' record always has a result.
+            self.store.save_result(job_id, document)
+            self.store.update(
+                job_id,
+                status="completed",
+                finished_at=utcnow(),
+                stats=stats,
+            )
+            self._emit(
+                job_id,
+                "completed",
+                status="completed",
+                stats=stats,
+                result=document,
+            )
+        else:
+            store_status = status
+            if (
+                status == "cancelled"
+                and job.cancel_reason == SHUTDOWN_REASON
+            ):
+                store_status = "interrupted"
+            self.store.update(
+                job_id,
+                status=store_status,
+                finished_at=utcnow(),
+                error=(
+                    None if job.error is None
+                    else f"{type(job.error).__name__}: {job.error}"
+                ),
+                cancel_reason=job.cancel_reason,
+                stats=stats,
+            )
+            self._emit(
+                job_id,
+                store_status,
+                status=store_status,
+                error=(
+                    None if job.error is None else str(job.error)
+                ),
+                cancel_reason=job.cancel_reason,
+                stats=stats,
+            )
+        with self._lock:
+            stream = self._streams.get(job_id)
+        if stream is not None:
+            stream.close()
+
+    # ------------------------------------------------------------------
+    # Queries and control (any thread)
+    # ------------------------------------------------------------------
+    def get_record(self, job_id: str) -> JobRecord | None:
+        """The stored record for ``job_id``, or ``None``."""
+        return self.store.get(job_id)
+
+    def list_records(self) -> list:
+        """Every stored record, in submission order."""
+        return self.store.list_records()
+
+    def cancel_job(self, job_id: str, reason: str | None = None) -> bool:
+        """Request cancellation; False if unknown or already finished."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None or self._loop is None:
+            return False
+        future = asyncio.run_coroutine_threadsafe(
+            self._cancel_one(job, reason), self._loop
+        )
+        return future.result(timeout=30)
+
+    async def _cancel_one(self, job, reason) -> bool:
+        """Cancel one job on the loop (Task.cancel is loop-affine)."""
+        return job.cancel(reason=reason)
+
+    def result_document(self, job_id: str) -> dict | None:
+        """The stored result document for a completed job, or ``None``."""
+        return self.store.load_result(job_id)
+
+    def job_span(self, job_id: str):
+        """The live job's root span (for request-span parenting)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+        return None if job is None else job.span
+
+    def event_stream(self, job_id: str) -> JobEventStream:
+        """The job's event stream, synthesizing one for cold records.
+
+        A record from a previous process has no live stream; this
+        builds a closed replay (status + terminal event, with the
+        result document when one exists) so ``/events`` behaves the
+        same whether the job ran in this process or a dead one.
+        """
+        with self._lock:
+            stream = self._streams.get(job_id)
+            if stream is not None:
+                return stream
+        record = self.store.get(job_id)
+        if record is None:
+            raise KeyError(job_id)
+        stream = JobEventStream()
+        stream.append(
+            self._event(job_id, "status", status=record.status)
+        )
+        if record.done:
+            terminal = self._event(
+                job_id,
+                record.status,
+                status=record.status,
+                error=record.error,
+                cancel_reason=record.cancel_reason,
+                stats=record.stats,
+            )
+            if record.status == "completed":
+                document = self.store.load_result(job_id)
+                if document is not None:
+                    terminal["result"] = document
+            stream.append(terminal)
+            stream.close()
+        with self._lock:
+            return self._streams.setdefault(job_id, stream)

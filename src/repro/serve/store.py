@@ -1,0 +1,335 @@
+"""Durable job records: a journaled store the mining service survives on.
+
+The HTTP service accepts jobs it may not live to finish, so every
+lifecycle fact lives here rather than in process memory:
+
+- :class:`JobRecord` — one submitted job as plain data (table
+  reference, configuration dict, status, timestamps, outcome), with a
+  JSON round-trip contract.
+- :class:`MemoryJobStore` — the in-process backend for tests and
+  store-less servers.
+- :class:`DiskJobStore` — an append-only JSONL journal
+  (``jobs.jsonl``) plus one atomic result document per completed job
+  (``results/<job_id>.json``, written via
+  :func:`repro.core.export.write_json_atomic`).  Opening the store
+  replays the journal, so a restarted server sees exactly the
+  submissions and transitions the dead one recorded.
+
+Crash semantics
+---------------
+Every transition is appended and flushed before the caller proceeds, so
+after a kill the journal holds the last acknowledged state of every
+job.  :meth:`JobStore.recoverable` names the jobs a restarted server
+should re-queue: those still ``queued``, plus ``running``/
+``interrupted`` ones whose process died mid-mine.  Result documents are
+written atomically *before* the ``completed`` transition is journaled,
+so a ``completed`` record always has a readable result.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+
+from ..core.export import write_json_atomic
+
+#: Job lifecycle states as the store journals them.  ``interrupted``
+#: marks a job a dying server abandoned mid-run (stamped either by a
+#: graceful shutdown or by the recovery scan of the next boot).
+JOB_STATES = (
+    "queued",
+    "running",
+    "completed",
+    "failed",
+    "cancelled",
+    "timed_out",
+    "interrupted",
+)
+
+#: States a restarted server re-queues under ``--recover``.
+RECOVERABLE_STATES = ("queued", "running", "interrupted")
+
+#: States that end a job's lifecycle.
+TERMINAL_STATES = ("completed", "failed", "cancelled", "timed_out")
+
+
+@dataclass
+class JobRecord:
+    """One submitted mining job, as plain journalable data.
+
+    Attributes
+    ----------
+    job_id:
+        The job's identifier (unique within a store).
+    table_ref:
+        Name of the table in the service's registry the job mines.
+    config:
+        The job's :class:`~repro.core.config.MinerConfig` as the plain
+        dict of its ``to_dict`` contract.
+    status:
+        One of :data:`JOB_STATES`.
+    submitted_at, started_at, finished_at:
+        Wall-clock epochs (``None`` until reached).
+    timeout:
+        Wall-clock budget in seconds, or ``None``.
+    error:
+        Rendered exception text for a failed job.
+    cancel_reason:
+        Why a cancelled/timed-out/interrupted job ended early.
+    stats:
+        The finished job's :class:`~repro.core.stats.JobStats` as a
+        dict, or ``None``.
+    recovered:
+        How many times a restarted server re-queued this job.
+    """
+
+    job_id: str
+    table_ref: str
+    config: dict = field(default_factory=dict)
+    status: str = "queued"
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    timeout: float | None = None
+    error: str | None = None
+    cancel_reason: str | None = None
+    stats: dict | None = None
+    recovered: int = 0
+
+    def __post_init__(self) -> None:
+        if self.status not in JOB_STATES:
+            raise ValueError(f"unknown job status {self.status!r}")
+
+    @property
+    def done(self) -> bool:
+        """Whether the job reached a terminal state."""
+        return self.status in TERMINAL_STATES
+
+    def to_dict(self) -> dict:
+        """This record as a JSON-ready dictionary."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobRecord":
+        """Inverse of :meth:`to_dict` (unknown keys tolerated)."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+class JobStore:
+    """The store contract both backends implement.
+
+    All methods are thread-safe: HTTP handler threads create and read
+    records while the service's event loop transitions them.
+    """
+
+    def create(self, record: JobRecord) -> JobRecord:
+        """Persist a new record; rejects duplicate job ids."""
+        raise NotImplementedError
+
+    def update(self, job_id: str, **changes) -> JobRecord:
+        """Apply field changes to a record and persist the transition."""
+        raise NotImplementedError
+
+    def get(self, job_id: str) -> JobRecord | None:
+        """The record under ``job_id``, or ``None``."""
+        raise NotImplementedError
+
+    def list_records(self) -> list:
+        """Every record, in submission order."""
+        raise NotImplementedError
+
+    def recoverable(self) -> list:
+        """Records a restarted server should re-queue, oldest first."""
+        return [
+            r for r in self.list_records()
+            if r.status in RECOVERABLE_STATES
+        ]
+
+    def save_result(self, job_id: str, document: dict) -> None:
+        """Persist a job's result document atomically."""
+        raise NotImplementedError
+
+    def load_result(self, job_id: str) -> dict | None:
+        """The job's result document, or ``None`` if absent."""
+        raise NotImplementedError
+
+
+class MemoryJobStore(JobStore):
+    """Everything in process memory — the test and store-less backend."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: dict = {}
+        self._results: dict = {}
+
+    def create(self, record: JobRecord) -> JobRecord:
+        """Persist a new record; rejects duplicate job ids."""
+        with self._lock:
+            if record.job_id in self._records:
+                raise ValueError(f"duplicate job id {record.job_id!r}")
+            self._records[record.job_id] = record
+        return record
+
+    def update(self, job_id: str, **changes) -> JobRecord:
+        """Apply field changes to a record in place."""
+        with self._lock:
+            record = self._records[job_id]
+            for name, value in changes.items():
+                setattr(record, name, value)
+            if record.status not in JOB_STATES:
+                raise ValueError(f"unknown job status {record.status!r}")
+        return record
+
+    def get(self, job_id: str) -> JobRecord | None:
+        """The record under ``job_id``, or ``None``."""
+        with self._lock:
+            return self._records.get(job_id)
+
+    def list_records(self) -> list:
+        """Every record, in submission order."""
+        with self._lock:
+            return list(self._records.values())
+
+    def save_result(self, job_id: str, document: dict) -> None:
+        """Keep the result document in memory."""
+        with self._lock:
+            self._results[job_id] = document
+
+    def load_result(self, job_id: str) -> dict | None:
+        """The job's result document, or ``None`` if absent."""
+        with self._lock:
+            return self._results.get(job_id)
+
+
+class DiskJobStore(JobStore):
+    """JSONL journal + atomic result files under one directory.
+
+    Parameters
+    ----------
+    directory:
+        The store root.  Created (with its ``results/`` subdirectory)
+        if absent; an existing journal is replayed so the store opens
+        onto the state the previous process recorded.
+    """
+
+    def __init__(self, directory) -> None:
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._results_dir = self._dir / "results"
+        self._results_dir.mkdir(exist_ok=True)
+        self._journal_path = self._dir / "jobs.jsonl"
+        self._lock = threading.Lock()
+        self._records: dict = {}
+        self._replay()
+        self._journal = self._journal_path.open("a")
+
+    @property
+    def directory(self) -> Path:
+        """The store's root directory."""
+        return self._dir
+
+    def _replay(self) -> None:
+        """Rebuild in-memory state from the journal, tolerating a torn
+        final line (the process may have died mid-append)."""
+        if not self._journal_path.exists():
+            return
+        with self._journal_path.open() as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail write from a killed process
+                if entry.get("op") == "create":
+                    record = JobRecord.from_dict(entry["job"])
+                    self._records[record.job_id] = record
+                elif entry.get("op") == "update":
+                    record = self._records.get(entry.get("job_id"))
+                    if record is None:
+                        continue
+                    for name, value in entry.get("fields", {}).items():
+                        if hasattr(record, name):
+                            setattr(record, name, value)
+
+    def _append(self, entry: dict) -> None:
+        self._journal.write(json.dumps(entry) + "\n")
+        self._journal.flush()
+
+    def create(self, record: JobRecord) -> JobRecord:
+        """Persist a new record; rejects duplicate job ids."""
+        with self._lock:
+            if record.job_id in self._records:
+                raise ValueError(f"duplicate job id {record.job_id!r}")
+            self._records[record.job_id] = record
+            self._append({"op": "create", "job": record.to_dict()})
+        return record
+
+    def update(self, job_id: str, **changes) -> JobRecord:
+        """Apply field changes and journal the transition."""
+        with self._lock:
+            record = self._records[job_id]
+            for name, value in changes.items():
+                setattr(record, name, value)
+            if record.status not in JOB_STATES:
+                raise ValueError(f"unknown job status {record.status!r}")
+            self._append(
+                {"op": "update", "job_id": job_id, "fields": changes}
+            )
+        return record
+
+    def get(self, job_id: str) -> JobRecord | None:
+        """The record under ``job_id``, or ``None``."""
+        with self._lock:
+            return self._records.get(job_id)
+
+    def list_records(self) -> list:
+        """Every record, in submission order."""
+        with self._lock:
+            return list(self._records.values())
+
+    def save_result(self, job_id: str, document: dict) -> None:
+        """Write the result document atomically (temp file + rename)."""
+        write_json_atomic(document, self._results_dir / f"{job_id}.json")
+
+    def load_result(self, job_id: str) -> dict | None:
+        """The job's result document, or ``None`` if absent."""
+        path = self._results_dir / f"{job_id}.json"
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    def close(self) -> None:
+        """Close the journal file handle."""
+        with self._lock:
+            self._journal.close()
+
+
+def mark_interrupted(store: JobStore, reason: str) -> list:
+    """Stamp every non-terminal record ``interrupted``; return them.
+
+    Called on graceful shutdown (for jobs the drain cancelled) and on
+    recovery (for jobs a killed server left ``running``), so
+    ``--recover`` can tell re-queueable work from completed work by
+    status alone.
+    """
+    stamped = []
+    for record in store.list_records():
+        if record.status in ("queued", "running"):
+            store.update(
+                record.job_id,
+                status="interrupted",
+                cancel_reason=reason,
+            )
+            stamped.append(record)
+    return stamped
+
+
+def utcnow() -> float:
+    """Wall-clock epoch seconds (one seam for tests to patch)."""
+    return time.time()

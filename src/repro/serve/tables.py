@@ -1,0 +1,242 @@
+"""Named tables the mining service accepts jobs against.
+
+A job submission references its input either by registry name
+(``PUT /v1/tables/{name}`` beforehand) or as inline CSV; inline
+uploads are registered too (under a content-derived name) so a durable
+job record can always name its input — that is what makes ``--recover``
+able to re-run a job the original process never finished.
+
+With a directory, every registered table persists as
+``<name>.csv`` plus a ``<name>.meta.json`` sidecar carrying the forced
+attribute kinds; a restarted registry re-lists them lazily.  Without a
+directory the registry is memory-only (tests, ephemeral servers).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import threading
+from pathlib import Path
+
+from ..core.export import write_json_atomic
+from ..table import load_csv
+
+#: Registry names: filesystem- and URL-safe.
+_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,99}$")
+
+
+class UnknownTableError(KeyError):
+    """A job referenced a table the registry does not hold."""
+
+
+def validate_table_name(name: str) -> str:
+    """Return ``name`` if it is registry-safe, else raise ValueError."""
+    if not isinstance(name, str) or not _NAME.match(name):
+        raise ValueError(
+            "table name must be 1-100 chars of [A-Za-z0-9_.-] "
+            f"starting alphanumeric, got {name!r}"
+        )
+    return name
+
+
+def inline_table_name(csv_text: str, quantitative, categorical) -> str:
+    """Content-derived registry name for an inline CSV submission.
+
+    Identical uploads (same bytes, same forced kinds) land on the same
+    name, so resubmitting a job never duplicates table storage.
+    """
+    digest = hashlib.blake2b(digest_size=8)
+    digest.update(csv_text.encode())
+    digest.update(repr(sorted(quantitative or ())).encode())
+    digest.update(repr(sorted(categorical or ())).encode())
+    return f"inline-{digest.hexdigest()}"
+
+
+class TableRegistry:
+    """Thread-safe named-table storage with optional disk persistence.
+
+    Parameters
+    ----------
+    directory:
+        Where CSVs and their kind sidecars persist; ``None`` keeps
+        everything in memory.  Existing files are picked up on first
+        access, so a registry opened on a previous server's directory
+        serves its tables.
+    """
+
+    def __init__(self, directory=None) -> None:
+        self._dir = None if directory is None else Path(directory)
+        if self._dir is not None:
+            self._dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        #: name -> {"csv": str, "quantitative": [...], "categorical": [...]}
+        self._entries: dict = {}
+        #: name -> loaded RelationalTable (invalidated on re-upload).
+        self._tables: dict = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def put_csv(
+        self,
+        name: str,
+        csv_text: str,
+        quantitative=(),
+        categorical=(),
+    ) -> dict:
+        """Register (or replace) a table from CSV text.
+
+        The CSV is parsed eagerly so a malformed upload fails the
+        request that made it, not the first job that mines it.  Returns
+        the table's description (see :meth:`describe`).
+        """
+        validate_table_name(name)
+        quantitative = sorted(quantitative or ())
+        categorical = sorted(categorical or ())
+        entry = {
+            "csv": csv_text,
+            "quantitative": quantitative,
+            "categorical": categorical,
+        }
+        table = self._parse(entry)  # validate before any state changes
+        with self._lock:
+            self._entries[name] = entry
+            self._tables[name] = table
+            if self._dir is not None:
+                csv_path = self._dir / f"{name}.csv"
+                tmp = csv_path.with_name(csv_path.name + ".tmp")
+                tmp.write_text(csv_text)
+                tmp.replace(csv_path)
+                write_json_atomic(
+                    {
+                        "quantitative": quantitative,
+                        "categorical": categorical,
+                    },
+                    self._dir / f"{name}.meta.json",
+                )
+        return self.describe(name)
+
+    def register_inline(
+        self, csv_text: str, quantitative=(), categorical=()
+    ) -> str:
+        """Register an inline submission under its content name."""
+        name = inline_table_name(csv_text, quantitative, categorical)
+        self.put_csv(name, csv_text, quantitative, categorical)
+        return name
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _parse(entry: dict):
+        """Parse one entry's CSV text into a RelationalTable."""
+        return _load_csv_text(
+            entry["csv"],
+            quantitative=entry["quantitative"],
+            categorical=entry["categorical"],
+        )
+
+    def _load_entry(self, name: str) -> dict | None:
+        """The raw entry for ``name``, faulting disk files in lazily."""
+        entry = self._entries.get(name)
+        if entry is not None or self._dir is None:
+            return entry
+        csv_path = self._dir / f"{name}.csv"
+        if not csv_path.exists():
+            return None
+        meta_path = self._dir / f"{name}.meta.json"
+        meta = (
+            json.loads(meta_path.read_text())
+            if meta_path.exists()
+            else {}
+        )
+        entry = {
+            "csv": csv_path.read_text(),
+            "quantitative": meta.get("quantitative", []),
+            "categorical": meta.get("categorical", []),
+        }
+        self._entries[name] = entry
+        return entry
+
+    def get(self, name: str):
+        """The loaded :class:`~repro.table.RelationalTable` for ``name``.
+
+        Raises :class:`UnknownTableError` when the registry holds no
+        such table.  Parsed tables are cached, so repeated jobs against
+        one table share a single in-memory instance (and therefore its
+        memoized fingerprint).
+        """
+        with self._lock:
+            table = self._tables.get(name)
+            if table is not None:
+                return table
+            entry = self._load_entry(name)
+            if entry is None:
+                raise UnknownTableError(name)
+            table = self._parse(entry)
+            self._tables[name] = table
+            return table
+
+    def names(self) -> list:
+        """Registered table names, sorted (disk and memory merged)."""
+        with self._lock:
+            found = set(self._entries)
+            if self._dir is not None:
+                found.update(
+                    p.stem for p in self._dir.glob("*.csv")
+                )
+            return sorted(found)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            if name in self._entries:
+                return True
+            if self._dir is not None:
+                return (self._dir / f"{name}.csv").exists()
+            return False
+
+    def describe(self, name: str) -> dict:
+        """A JSON-ready description of one registered table."""
+        table = self.get(name)
+        with self._lock:
+            entry = self._entries[name]
+        return {
+            "name": name,
+            "num_records": table.num_records,
+            "attributes": [
+                {
+                    "name": attr.name,
+                    "kind": (
+                        "quantitative"
+                        if attr.is_quantitative
+                        else "categorical"
+                    ),
+                }
+                for attr in table.schema
+            ],
+            "quantitative": entry["quantitative"],
+            "categorical": entry["categorical"],
+        }
+
+
+def _load_csv_text(csv_text: str, quantitative, categorical):
+    """Parse CSV text through :func:`repro.table.load_csv` semantics.
+
+    ``load_csv`` takes a path; this spools the text to a temp file so
+    the registry and the file loader can never disagree on parsing.
+    """
+    import tempfile
+
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".csv", delete=False
+    ) as f:
+        f.write(csv_text)
+        path = f.name
+    try:
+        return load_csv(
+            path, quantitative=quantitative, categorical=categorical
+        )
+    finally:
+        Path(path).unlink(missing_ok=True)

@@ -418,3 +418,67 @@ class TestAsyncConfigBlock:
             run({**base, "async_mining": {"max_concurrent_jobs": 7}})
         )
         assert cache.hits > 0
+
+
+class TestCancelCompletionRace:
+    """A cancel that races natural completion must lose cleanly.
+
+    ``Task.cancel()`` can return True (the task is not done) and stamp
+    a cancel reason, yet the job coroutine may already be past its last
+    suspension point and complete normally — the CancelledError is
+    never delivered.  The job must then report a clean ``completed``
+    status with no lingering cancel reason: completed means completed.
+    """
+
+    def test_cancel_racing_completion_completes_clean(self):
+        table = small_table()
+        config = MinerConfig(min_support=0.2, min_confidence=0.5)
+        expected = mine_quantitative_rules(table, config)
+        transitions = []
+
+        async def run():
+            async with MiningJobRunner(max_concurrent_jobs=1) as runner:
+                async def racing_mine(job, table_, progress):
+                    # Simulate the race deterministically: cancel lands
+                    # while the coroutine is in its final synchronous
+                    # stretch, so Task.cancel() accepts (and stamps a
+                    # reason) but the job still finishes first.
+                    assert job.cancel(reason="raced too late")
+                    assert job.cancel_reason == "raced too late"
+                    return expected
+
+                runner._mine = racing_mine
+                job = runner.submit(
+                    table,
+                    config,
+                    status_hook=lambda j: transitions.append(
+                        (j.status, j.cancel_reason)
+                    ),
+                )
+                result = await job.wait()
+                return runner.stats, job, result
+
+        stats, job, result = asyncio.run(run())
+        assert job.status == JOB_COMPLETED
+        assert job.cancel_reason is None
+        assert job.job_stats().cancel_reason is None
+        assert result is expected
+        assert stats.completed == 1
+        assert stats.cancelled == 0
+        # The terminal transition the hook observed is the clean one.
+        assert transitions[-1] == (JOB_COMPLETED, None)
+
+    def test_cancel_after_completion_reports_false(self):
+        table = small_table()
+        config = MinerConfig(min_support=0.2, min_confidence=0.5)
+
+        async def run():
+            async with MiningJobRunner() as runner:
+                job = runner.submit(table, config)
+                await job.wait()
+                assert not job.cancel(reason="way too late")
+                return job
+
+        job = asyncio.run(run())
+        assert job.status == JOB_COMPLETED
+        assert job.cancel_reason is None

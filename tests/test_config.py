@@ -200,3 +200,60 @@ class TestObsConfigBlock:
         assert config.observability.log_level == "INFO"
         assert config.observability.enabled is True
         assert config.min_support == 0.2
+
+
+class TestDictContract:
+    """MinerConfig.to_dict()/from_dict(): the serving-layer contract."""
+
+    def json_round_trip(self, payload):
+        import json
+
+        return json.loads(json.dumps(payload))
+
+    def test_defaults_round_trip(self):
+        config = MinerConfig()
+        data = self.json_round_trip(config.to_dict())
+        assert MinerConfig.from_dict(data) == config
+
+    def test_tuned_config_round_trips(self):
+        from repro.core import (
+            CacheConfig,
+            ExecutionConfig,
+            ObsConfig,
+            Taxonomy,
+        )
+
+        config = MinerConfig(
+            min_support=0.2,
+            min_confidence=0.6,
+            max_support=0.5,
+            partial_completeness=2.0,
+            interest_level=1.1,
+            interest_mode=SUPPORT_AND_CONFIDENCE,
+            counting="rtree",
+            num_partitions={"age": 7},
+            taxonomies={
+                "item": Taxonomy(
+                    {"shirt": "clothes", "jacket": "outerwear",
+                     "outerwear": "clothes"}
+                )
+            },
+            execution=ExecutionConfig(executor="parallel", num_workers=2),
+            cache=CacheConfig(enabled=False),
+            observability=ObsConfig(enabled=True),
+        )
+        data = self.json_round_trip(config.to_dict())
+        rebuilt = MinerConfig.from_dict(data)
+        assert rebuilt == config
+        assert rebuilt.taxonomies["item"] == config.taxonomies["item"]
+
+    def test_empty_dict_is_defaults(self):
+        assert MinerConfig.from_dict({}) == MinerConfig()
+
+    def test_unknown_keys_rejected_loudly(self):
+        with pytest.raises(ValueError, match="unknown"):
+            MinerConfig.from_dict({"min_suport": 0.1})
+
+    def test_invalid_values_still_validated(self):
+        with pytest.raises(ValueError):
+            MinerConfig.from_dict({"min_support": 2.0})

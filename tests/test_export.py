@@ -127,3 +127,70 @@ class TestMiningResultHooks:
         result.save_rules_csv(path)
         lines = path.read_text().strip().splitlines()
         assert len(lines) == len(result.interesting_rules) + 1
+
+
+class TestResultDocuments:
+    """result_to_document / result_from_document round trips."""
+
+    def test_round_trip_rules_and_interest(self, result):
+        from repro.core.export import (
+            result_from_document,
+            result_to_document,
+        )
+
+        document = result_to_document(result, metadata={"job": "j1"})
+        assert document["format"] == "repro.mining_result"
+        assert document["num_records"] == result.num_records
+        assert document["metadata"] == {"job": "j1"}
+        # Every rule carries its interest annotation, and the flags
+        # reconstruct the interesting subset exactly.
+        flags = [r["interesting"] for r in document["rules"]]
+        assert sum(flags) == len(result.interesting_rules)
+
+        decoded = result_from_document(document)
+        assert decoded.rules == result.rules
+        assert decoded.interesting_rules == result.interesting_rules
+        assert decoded.stats == result.stats
+        assert decoded.config == result.config
+        assert decoded.metadata == {"job": "j1"}
+
+    def test_json_and_file_round_trip(self, result, tmp_path):
+        import json as json_module
+
+        from repro.core.export import (
+            load_result_json,
+            result_from_document,
+            result_to_document,
+            save_result_json,
+        )
+
+        document = result_to_document(result)
+        # The document must be pure JSON (no lossy conversions).
+        rehydrated = json_module.loads(json_module.dumps(document))
+        assert result_from_document(rehydrated).rules == result.rules
+
+        path = tmp_path / "result.json"
+        save_result_json(result, path)
+        decoded = load_result_json(path)
+        assert decoded.rules == result.rules
+        assert decoded.interesting_rules == result.interesting_rules
+
+    def test_wrong_format_rejected(self, result):
+        from repro.core.export import (
+            result_from_document,
+            result_to_document,
+        )
+
+        document = result_to_document(result)
+        document["format"] = "something.else"
+        with pytest.raises(ValueError, match="format"):
+            result_from_document(document)
+
+    def test_write_json_atomic_replaces(self, tmp_path):
+        from repro.core.export import write_json_atomic
+
+        path = tmp_path / "doc.json"
+        write_json_atomic({"v": 1}, path)
+        write_json_atomic({"v": 2}, path)
+        assert json.loads(path.read_text()) == {"v": 2}
+        assert list(tmp_path.iterdir()) == [path]  # no tmp litter

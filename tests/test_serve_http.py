@@ -1,0 +1,489 @@
+"""End-to-end tests for the HTTP layer of repro.serve.
+
+Two tiers: in-process servers (routing, payloads, streaming, limits,
+tracing) and one subprocess test that SIGKILLs a real ``quantrules
+serve`` process mid-queue and proves ``--recover`` finishes the
+journaled jobs with rules bit-identical to the direct miner.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.core import MinerConfig, mine_quantitative_rules
+from repro.core.export import result_to_document
+from repro.obs import Observability
+from repro.serve import (
+    MiningHTTPServer,
+    MiningService,
+    parse_submission,
+    ApiError,
+)
+
+CSV = "age,income,married\n" + "\n".join(
+    f"{20 + i % 30},{1000 + 137 * (i % 17)},{'yes' if i % 3 else 'no'}"
+    for i in range(60)
+)
+CONFIG = {"min_support": 0.2, "min_confidence": 0.5, "max_support": 0.5}
+
+
+# ----------------------------------------------------------------------
+# In-process server
+# ----------------------------------------------------------------------
+@pytest.fixture
+def server():
+    service = MiningService(observability=Observability()).start()
+    http_server = MiningHTTPServer(
+        ("127.0.0.1", 0), service, max_body=1 << 20
+    )
+    thread = threading.Thread(
+        target=http_server.serve_forever, daemon=True
+    )
+    thread.start()
+    yield http_server
+    http_server.shutdown()
+    thread.join(timeout=10)
+    http_server.server_close()
+    service.shutdown(drain_seconds=0)
+
+
+def request(server, method, path, body=None, headers=None):
+    req = urllib.request.Request(
+        f"{server.url}{path}",
+        data=body,
+        method=method,
+        headers=headers or {},
+    )
+    try:
+        with urllib.request.urlopen(req) as resp:
+            return resp.status, json.load(resp)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.load(exc)
+
+
+def upload_people(server):
+    status, payload = request(
+        server,
+        "PUT",
+        "/v1/tables/people?categorical=married",
+        CSV.encode(),
+    )
+    assert status == 201, payload
+    return payload
+
+
+def submit(server, body):
+    return request(
+        server,
+        "POST",
+        "/v1/jobs",
+        json.dumps(body).encode(),
+        {"Content-Type": "application/json"},
+    )
+
+
+def poll_done(server, job_id, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, payload = request(server, "GET", f"/v1/jobs/{job_id}")
+        assert status == 200
+        if payload["status"] not in ("queued", "running"):
+            return payload
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} never finished")
+
+
+class TestTables:
+    def test_upload_describe_list(self, server):
+        description = upload_people(server)
+        assert description["num_records"] == 60
+        status, got = request(server, "GET", "/v1/tables/people")
+        assert status == 200 and got == description
+        status, listing = request(server, "GET", "/v1/tables")
+        assert listing == {"tables": ["people"]}
+
+    def test_unknown_table_404(self, server):
+        status, payload = request(server, "GET", "/v1/tables/ghost")
+        assert status == 404
+        assert "ghost" in payload["error"]["message"]
+
+    def test_invalid_name_400(self, server):
+        status, payload = request(
+            server, "PUT", "/v1/tables/-bad", CSV.encode()
+        )
+        assert status == 400
+
+    def test_body_over_limit_413(self, server):
+        huge = b"x" * (server.max_body + 1)
+        status, payload = request(
+            server, "PUT", "/v1/tables/huge", huge
+        )
+        assert status == 413
+
+    def test_missing_length_411(self, server):
+        # urllib always sets Content-Length for bytes bodies, so drive
+        # the socket by hand.
+        import http.client
+
+        host, port = server.server_address[:2]
+        conn = http.client.HTTPConnection(host, port)
+        conn.putrequest("PUT", "/v1/tables/people")
+        conn.endheaders()
+        assert conn.getresponse().status == 411
+        conn.close()
+
+
+class TestJobLifecycle:
+    def test_submit_poll_rules(self, server):
+        upload_people(server)
+        status, job = submit(
+            server, {"table": "people", "config": CONFIG}
+        )
+        assert status == 201
+        assert job["timeout"] is None
+        final = poll_done(server, job["job_id"])
+        assert final["status"] == "completed"
+        assert final["stats"]["num_rules"] > 0
+        status, document = request(
+            server, "GET", f"/v1/jobs/{job['job_id']}/rules"
+        )
+        assert status == 200
+        direct = mine_quantitative_rules(
+            server.service.tables.get("people"),
+            MinerConfig.from_dict(CONFIG),
+        )
+        assert document["rules"] == result_to_document(direct)["rules"]
+
+    def test_inline_table_submission(self, server):
+        status, job = submit(
+            server,
+            {
+                "table": {"csv": CSV, "categorical": ["married"]},
+                "config": CONFIG,
+            },
+        )
+        assert status == 201
+        assert job["table"].startswith("inline-")
+        assert poll_done(server, job["job_id"])["status"] == "completed"
+
+    def test_listing_includes_submissions(self, server):
+        upload_people(server)
+        _, job = submit(server, {"table": "people", "config": CONFIG})
+        status, listing = request(server, "GET", "/v1/jobs")
+        assert job["job_id"] in [
+            j["job_id"] for j in listing["jobs"]
+        ]
+
+    def test_rules_before_completion_409(self, server):
+        upload_people(server)
+        _, job = submit(
+            server,
+            {"table": "people", "config": CONFIG, "timeout": 0.0001},
+        )
+        final = poll_done(server, job["job_id"])
+        assert final["status"] == "timed_out"
+        assert "wall-clock budget" in final["cancel_reason"]
+        status, payload = request(
+            server, "GET", f"/v1/jobs/{job['job_id']}/rules"
+        )
+        assert status == 409
+
+    def test_delete_cancels(self, server):
+        upload_people(server)
+        _, first = submit(server, {"table": "people", "config": CONFIG})
+        _, second = submit(
+            server, {"table": "people", "config": CONFIG}
+        )
+        status, payload = request(
+            server, "DELETE", f"/v1/jobs/{second['job_id']}"
+        )
+        assert status in (200, 202)
+        if payload["cancelled"]:
+            final = poll_done(server, second["job_id"])
+            assert final["status"] == "cancelled"
+            assert final["cancel_reason"] == "cancelled via DELETE"
+
+    def test_unknown_job_404(self, server):
+        for method, path in [
+            ("GET", "/v1/jobs/ghost"),
+            ("DELETE", "/v1/jobs/ghost"),
+            ("GET", "/v1/jobs/ghost/rules"),
+            ("GET", "/v1/jobs/ghost/events"),
+        ]:
+            status, _ = request(server, method, path)
+            assert status == 404, (method, path)
+
+    def test_unroutable_404_and_bad_json_400(self, server):
+        status, _ = request(server, "GET", "/v2/nothing")
+        assert status == 404
+        status, payload = submit_raw(server, b"{not json")
+        assert status == 400
+
+
+def submit_raw(server, body):
+    return request(
+        server, "POST", "/v1/jobs", body,
+        {"Content-Type": "application/json"},
+    )
+
+
+class TestEventStreams:
+    def consume(self, server, job_id, fmt):
+        url = f"{server.url}/v1/jobs/{job_id}/events"
+        headers = {}
+        if fmt == "ndjson":
+            url += "?format=ndjson"
+        with urllib.request.urlopen(
+            urllib.request.Request(url, headers=headers)
+        ) as resp:
+            return resp.headers.get("Content-Type"), resp.read()
+
+    def test_ndjson_stream_ends_with_result(self, server):
+        upload_people(server)
+        _, job = submit(server, {"table": "people", "config": CONFIG})
+        content_type, raw = self.consume(
+            server, job["job_id"], "ndjson"
+        )
+        assert content_type == "application/x-ndjson"
+        events = [
+            json.loads(line) for line in raw.splitlines() if line
+        ]
+        assert events[0]["event"] == "status"
+        assert any(e["event"] == "stage" for e in events)
+        assert events[-1]["event"] == "completed"
+        assert events[-1]["result"]["rules"]
+
+    def test_sse_framing(self, server):
+        upload_people(server)
+        _, job = submit(server, {"table": "people", "config": CONFIG})
+        content_type, raw = self.consume(server, job["job_id"], "sse")
+        assert content_type == "text/event-stream"
+        frames = [
+            f for f in raw.decode().split("\n\n") if f.strip()
+        ]
+        assert frames[0].startswith("event: status\ndata: ")
+        last = frames[-1]
+        assert last.startswith("event: completed\n")
+        payload = json.loads(last.split("data: ", 1)[1])
+        assert payload["result"]["format"] == "repro.mining_result"
+
+    def test_stream_replays_after_completion(self, server):
+        upload_people(server)
+        _, job = submit(server, {"table": "people", "config": CONFIG})
+        poll_done(server, job["job_id"])
+        _, raw = self.consume(server, job["job_id"], "ndjson")
+        events = [
+            json.loads(line) for line in raw.splitlines() if line
+        ]
+        assert events[-1]["event"] == "completed"
+
+
+class TestOpsEndpoints:
+    def test_healthz(self, server):
+        status, payload = request(server, "GET", "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert set(payload["jobs"]) >= {"submitted", "completed"}
+
+    def test_metrics_reflect_requests_and_jobs(self, server):
+        upload_people(server)
+        _, job = submit(server, {"table": "people", "config": CONFIG})
+        poll_done(server, job["job_id"])
+        status, snapshot = request(server, "GET", "/metrics")
+        assert status == 200
+        counters = snapshot["counters"]
+        assert counters["jobs.completed"] >= 1
+        assert counters["http.requests.post"] >= 1
+        assert counters["http.status.200"] >= 1
+
+    def test_request_spans_parent_under_job(self, server):
+        upload_people(server)
+        _, job = submit(server, {"table": "people", "config": CONFIG})
+        poll_done(server, job["job_id"])
+        spans = server.service.observability.tracer.spans()
+        kinds = {s.kind for s in spans}
+        assert "request" in kinds and "job" in kinds
+        job_ids = {
+            s.span_id for s in spans if s.kind == "job"
+        }
+        parented = [
+            s for s in spans
+            if s.kind == "request" and s.parent_id in job_ids
+        ]
+        assert parented, "no request span parented under a job span"
+
+
+class TestParseSubmission:
+    def test_rejects_non_object(self):
+        with pytest.raises(ApiError) as exc:
+            parse_submission([1, 2])
+        assert exc.value.status == 400
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            {},
+            {"table": 7},
+            {"table": {"csv": "   "}},
+            {"table": "t", "config": [1]},
+            {"table": "t", "config": {"min_support": "high"}},
+            {"table": "t", "config": {"not_a_knob": 1}},
+            {"table": "t", "timeout": -1},
+            {"table": "t", "job_id": ""},
+            {"table": "t", "surprise": True},
+        ],
+    )
+    def test_rejects_bad_bodies(self, body):
+        with pytest.raises(ApiError) as exc:
+            parse_submission(body)
+        assert exc.value.status == 400
+
+    def test_inline_accepts_comma_strings(self):
+        kwargs = parse_submission(
+            {"table": {"csv": CSV, "categorical": "married, other"}}
+        )
+        assert kwargs["categorical"] == ["married", "other"]
+
+    def test_passthrough_fields(self):
+        kwargs = parse_submission(
+            {
+                "table": "people",
+                "config": CONFIG,
+                "timeout": 5,
+                "job_id": "mine-1",
+            }
+        )
+        assert kwargs == {
+            "table_name": "people",
+            "config": CONFIG,
+            "timeout": 5.0,
+            "job_id": "mine-1",
+        }
+
+
+# ----------------------------------------------------------------------
+# Kill-and-restart (real process, real SIGKILL)
+# ----------------------------------------------------------------------
+def start_serve(store_dir, *extra):
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0", "--jobs", "1",
+            "--store-dir", str(store_dir), *extra,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    line = proc.stdout.readline()
+    assert line.startswith("serving on "), line
+    return proc, line.split("serving on ", 1)[1].strip()
+
+
+def http_json(method, url, body=None):
+    req = urllib.request.Request(url, data=body, method=method)
+    with urllib.request.urlopen(req, timeout=10) as resp:
+        return json.load(resp)
+
+
+def test_kill_and_recover_round_trip(tmp_path):
+    store_dir = tmp_path / "store"
+    proc, base = start_serve(store_dir)
+    try:
+        http_json(
+            "PUT",
+            f"{base}/v1/tables/people?categorical=married",
+            CSV.encode(),
+        )
+        body = json.dumps(
+            {"table": "people", "config": CONFIG}
+        ).encode()
+        job_ids = [
+            http_json("POST", f"{base}/v1/jobs", body)["job_id"]
+            for _ in range(3)
+        ]
+    finally:
+        proc.kill()  # SIGKILL: no drain, no journal finalization
+        proc.wait(timeout=10)
+
+    # The dead server's journal must hold unfinished work (submits
+    # raced a 1-wide runner; the kill landed within milliseconds).
+    from repro.serve import DiskJobStore
+
+    journaled = DiskJobStore(store_dir)
+    statuses = {r.job_id: r.status for r in journaled.list_records()}
+    journaled.close()
+    assert set(job_ids) == set(statuses)
+    unfinished = [
+        j for j, s in statuses.items() if s != "completed"
+    ]
+    assert unfinished, f"kill landed too late: {statuses}"
+
+    proc, base = start_serve(store_dir, "--recover")
+    try:
+        deadline = time.monotonic() + 60
+        done = {}
+        while time.monotonic() < deadline and len(done) < len(job_ids):
+            for job_id in job_ids:
+                payload = http_json("GET", f"{base}/v1/jobs/{job_id}")
+                if payload["status"] not in ("queued", "running"):
+                    done[job_id] = payload
+            time.sleep(0.05)
+        assert len(done) == len(job_ids), done
+        assert all(
+            p["status"] == "completed" for p in done.values()
+        ), done
+        assert any(p["recovered"] >= 1 for p in done.values())
+
+        # Recovered rules are bit-identical to a direct library run.
+        documents = [
+            http_json("GET", f"{base}/v1/jobs/{job_id}/rules")
+            for job_id in job_ids
+        ]
+    finally:
+        proc.terminate()
+        proc.wait(timeout=30)
+
+    from repro.serve import TableRegistry
+
+    table = TableRegistry(store_dir / "tables").get("people")
+    expected = result_to_document(
+        mine_quantitative_rules(table, MinerConfig.from_dict(CONFIG))
+    )
+    for document in documents:
+        assert document["rules"] == expected["rules"]
+
+
+def test_sigterm_drains_gracefully(tmp_path):
+    store_dir = tmp_path / "store"
+    proc, base = start_serve(store_dir, "--drain-seconds", "30")
+    http_json(
+        "PUT",
+        f"{base}/v1/tables/people?categorical=married",
+        CSV.encode(),
+    )
+    body = json.dumps({"table": "people", "config": CONFIG}).encode()
+    job_id = http_json("POST", f"{base}/v1/jobs", body)["job_id"]
+    proc.send_signal(signal.SIGTERM)
+    assert proc.wait(timeout=60) == 0
+
+    from repro.serve import DiskJobStore
+
+    store = DiskJobStore(store_dir)
+    record = store.get(job_id)
+    assert record.status == "completed"
+    assert store.load_result(job_id) is not None
+    store.close()

@@ -1,0 +1,241 @@
+"""Unit tests for repro.serve.store and repro.serve.tables.
+
+The durability contract under test: every transition journaled before
+the caller proceeds, replay reconstructs exactly the acknowledged
+state (tolerating a torn final line from a killed process), and result
+documents land atomically.
+"""
+
+import json
+
+import pytest
+
+from repro.serve import (
+    DiskJobStore,
+    JobRecord,
+    MemoryJobStore,
+    TableRegistry,
+    UnknownTableError,
+    inline_table_name,
+    mark_interrupted,
+    validate_table_name,
+)
+
+CSV = "age,income,married\n23,1200,no\n34,2000,yes\n45,1500,yes\n"
+
+
+def make_record(job_id="j1", **overrides):
+    fields = dict(
+        job_id=job_id,
+        table_ref="people",
+        config={"min_support": 0.2},
+        submitted_at=123.0,
+    )
+    fields.update(overrides)
+    return JobRecord(**fields)
+
+
+class TestJobRecord:
+    def test_round_trip(self):
+        record = make_record(
+            status="completed",
+            started_at=124.0,
+            finished_at=130.0,
+            timeout=60.0,
+            stats={"num_rules": 5},
+            recovered=2,
+        )
+        assert JobRecord.from_dict(record.to_dict()) == record
+
+    def test_unknown_keys_tolerated(self):
+        data = make_record().to_dict()
+        data["from_the_future"] = True
+        assert JobRecord.from_dict(data).job_id == "j1"
+
+    def test_bad_status_rejected(self):
+        with pytest.raises(ValueError, match="unknown job status"):
+            make_record(status="exploded")
+
+    def test_done_only_in_terminal_states(self):
+        assert not make_record(status="queued").done
+        assert not make_record(status="interrupted").done
+        assert make_record(status="completed").done
+        assert make_record(status="timed_out").done
+
+
+@pytest.fixture(params=["memory", "disk"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return MemoryJobStore()
+    return DiskJobStore(tmp_path / "store")
+
+
+class TestJobStoreContract:
+    def test_create_get_list(self, store):
+        store.create(make_record("a"))
+        store.create(make_record("b"))
+        assert store.get("a").job_id == "a"
+        assert [r.job_id for r in store.list_records()] == ["a", "b"]
+        assert store.get("missing") is None
+
+    def test_duplicate_id_rejected(self, store):
+        store.create(make_record("a"))
+        with pytest.raises(ValueError, match="duplicate"):
+            store.create(make_record("a"))
+
+    def test_update_transitions(self, store):
+        store.create(make_record("a"))
+        store.update("a", status="running", started_at=124.0)
+        record = store.get("a")
+        assert record.status == "running"
+        assert record.started_at == 124.0
+
+    def test_update_rejects_bad_status(self, store):
+        store.create(make_record("a"))
+        with pytest.raises(ValueError, match="unknown job status"):
+            store.update("a", status="nope")
+
+    def test_recoverable_filters_terminal(self, store):
+        store.create(make_record("q"))
+        store.create(make_record("r", status="running"))
+        store.create(make_record("i", status="interrupted"))
+        store.create(make_record("c", status="completed"))
+        store.create(make_record("f", status="failed"))
+        assert [r.job_id for r in store.recoverable()] == ["q", "r", "i"]
+
+    def test_results_round_trip(self, store):
+        store.create(make_record("a"))
+        assert store.load_result("a") is None
+        store.save_result("a", {"rules": [1, 2, 3]})
+        assert store.load_result("a") == {"rules": [1, 2, 3]}
+
+    def test_mark_interrupted(self, store):
+        store.create(make_record("q"))
+        store.create(make_record("r", status="running"))
+        store.create(make_record("c", status="completed"))
+        stamped = mark_interrupted(store, "server died")
+        assert sorted(r.job_id for r in stamped) == ["q", "r"]
+        assert store.get("q").status == "interrupted"
+        assert store.get("q").cancel_reason == "server died"
+        assert store.get("c").status == "completed"
+
+
+class TestDiskJournal:
+    def test_replay_reconstructs_state(self, tmp_path):
+        path = tmp_path / "store"
+        store = DiskJobStore(path)
+        store.create(make_record("a"))
+        store.update("a", status="running", started_at=5.0)
+        store.create(make_record("b", timeout=9.0))
+        store.save_result("a", {"rules": []})
+        store.update("a", status="completed", finished_at=6.0)
+        store.close()
+
+        reopened = DiskJobStore(path)
+        a, b = reopened.get("a"), reopened.get("b")
+        assert a.status == "completed"
+        assert a.started_at == 5.0 and a.finished_at == 6.0
+        assert b.status == "queued" and b.timeout == 9.0
+        assert reopened.load_result("a") == {"rules": []}
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "store"
+        store = DiskJobStore(path)
+        store.create(make_record("a"))
+        store.update("a", status="running")
+        store.close()
+        journal = path / "jobs.jsonl"
+        # Simulate a process killed mid-append: a partial JSON line.
+        with journal.open("a") as f:
+            f.write('{"op": "update", "job_id": "a", "fie')
+        reopened = DiskJobStore(path)
+        assert reopened.get("a").status == "running"
+
+    def test_updates_for_unknown_jobs_skipped(self, tmp_path):
+        path = tmp_path / "store"
+        path.mkdir()
+        (path / "jobs.jsonl").write_text(
+            json.dumps(
+                {"op": "update", "job_id": "ghost", "fields": {}}
+            )
+            + "\n"
+        )
+        assert DiskJobStore(path).list_records() == []
+
+    def test_result_written_atomically(self, tmp_path):
+        store = DiskJobStore(tmp_path / "store")
+        store.create(make_record("a"))
+        store.save_result("a", {"x": 1})
+        results = list((tmp_path / "store" / "results").iterdir())
+        assert [p.name for p in results] == ["a.json"]
+
+
+class TestTableNames:
+    def test_valid_names(self):
+        assert validate_table_name("people") == "people"
+        assert validate_table_name("a.b-c_d9") == "a.b-c_d9"
+
+    @pytest.mark.parametrize(
+        "bad", ["", ".hidden", "-dash", "has space", "a/b", "x" * 101]
+    )
+    def test_invalid_names(self, bad):
+        with pytest.raises(ValueError):
+            validate_table_name(bad)
+
+    def test_inline_name_is_content_addressed(self):
+        a = inline_table_name(CSV, ["age"], [])
+        assert a == inline_table_name(CSV, ["age"], [])
+        assert a != inline_table_name(CSV, [], ["age"])
+        assert a != inline_table_name(CSV + "x", ["age"], [])
+        assert a.startswith("inline-")
+
+
+class TestTableRegistry:
+    def test_put_and_get(self):
+        registry = TableRegistry()
+        registry.put_csv("people", CSV, categorical=["married"])
+        table = registry.get("people")
+        assert table.num_records == 3
+        assert registry.get("people") is table  # cached instance
+        assert "people" in registry
+        assert registry.names() == ["people"]
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(UnknownTableError):
+            TableRegistry().get("ghost")
+
+    def test_describe(self):
+        registry = TableRegistry()
+        registry.put_csv("people", CSV, categorical=["married"])
+        description = registry.describe("people")
+        assert description["num_records"] == 3
+        kinds = {
+            a["name"]: a["kind"] for a in description["attributes"]
+        }
+        assert kinds["married"] == "categorical"
+        assert kinds["age"] == "quantitative"
+
+    def test_malformed_csv_fails_eagerly(self):
+        registry = TableRegistry()
+        with pytest.raises(Exception):
+            registry.put_csv("bad", "")
+        assert "bad" not in registry
+
+    def test_disk_persistence_survives_reopen(self, tmp_path):
+        first = TableRegistry(tmp_path / "tables")
+        first.put_csv("people", CSV, categorical=["married"])
+        reopened = TableRegistry(tmp_path / "tables")
+        assert reopened.names() == ["people"]
+        table = reopened.get("people")
+        assert table.num_records == 3
+        # The forced-kind sidecar must survive too.
+        kinds = {
+            a["name"]: a["kind"]
+            for a in reopened.describe("people")["attributes"]
+        }
+        assert kinds["married"] == "categorical"
+
+    def test_register_inline_round_trips(self):
+        registry = TableRegistry()
+        name = registry.register_inline(CSV, [], ["married"])
+        assert registry.get(name).num_records == 3

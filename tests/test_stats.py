@@ -40,3 +40,79 @@ class TestMiningStats:
         stats = self.make()
         stats.realized_completeness = 2.345
         assert "realized K:          2.345" in stats.summary()
+
+
+class TestStatsDictContracts:
+    """to_dict()/from_dict() must survive a JSON round trip exactly."""
+
+    def make_mining_stats(self):
+        from repro.core.stats import ExecutionStats
+
+        stats = MiningStats(num_records=100, num_attributes=3)
+        stats.passes = [
+            PassStats(size=1, num_candidates=10, num_frequent=8),
+            PassStats(size=2, num_candidates=20, num_frequent=5),
+        ]
+        stats.num_rules = 40
+        stats.num_interesting_rules = 10
+        stats.realized_completeness = 2.5
+        stats.execution = ExecutionStats(
+            executor="parallel", num_workers=4, cache_hits=3
+        )
+        return stats
+
+    def json_round_trip(self, payload):
+        import json
+
+        return json.loads(json.dumps(payload))
+
+    def test_pass_stats_round_trip(self):
+        original = PassStats(size=2, num_candidates=7, num_frequent=3)
+        data = self.json_round_trip(original.to_dict())
+        assert PassStats.from_dict(data) == original
+
+    def test_mining_stats_round_trip(self):
+        original = self.make_mining_stats()
+        data = self.json_round_trip(original.to_dict())
+        rebuilt = MiningStats.from_dict(data)
+        assert rebuilt == original
+        assert rebuilt.execution == original.execution
+        assert rebuilt.passes == original.passes
+
+    def test_mining_stats_without_execution(self):
+        original = MiningStats(num_records=5)
+        data = self.json_round_trip(original.to_dict())
+        assert data["execution"] is None
+        assert MiningStats.from_dict(data) == original
+
+    def test_job_stats_round_trip(self):
+        from repro.core.stats import JobStats
+
+        original = JobStats(
+            job_id="j1",
+            status="timed_out",
+            seconds=1.25,
+            num_rules=7,
+            timeout=30.0,
+            cancel_reason="exceeded 30s wall-clock budget",
+        )
+        data = self.json_round_trip(original.to_dict())
+        assert JobStats.from_dict(data) == original
+
+    def test_runner_stats_round_trip(self):
+        from repro.core.stats import JobStats, RunnerStats
+
+        original = RunnerStats(submitted=3, completed=2, failed=1)
+        original.record(JobStats(job_id="a", status="completed"))
+        original.record(JobStats(job_id="b", status="failed"))
+        data = self.json_round_trip(original.to_dict())
+        rebuilt = RunnerStats.from_dict(data)
+        assert rebuilt == original
+        assert [j.job_id for j in rebuilt.jobs] == ["a", "b"]
+
+    def test_unknown_keys_tolerated_for_forward_compat(self):
+        data = self.json_round_trip(self.make_mining_stats().to_dict())
+        data["added_in_a_future_version"] = 1
+        data["passes"][0]["also_new"] = 2
+        rebuilt = MiningStats.from_dict(data)
+        assert rebuilt.num_rules == 40

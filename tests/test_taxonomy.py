@@ -218,3 +218,22 @@ class TestEndToEndTaxonomyMining:
         )
         assert node_key in kept
         assert jacket_key not in kept
+
+
+class TestTaxonomyEquality:
+    """Value semantics added for the config dict contract."""
+
+    def test_equal_by_edges(self):
+        edges = {"shirt": "clothes", "jacket": "outerwear"}
+        assert Taxonomy(dict(edges)) == Taxonomy(dict(edges))
+        assert hash(Taxonomy(dict(edges))) == hash(Taxonomy(dict(edges)))
+
+    def test_unequal_edges_differ(self):
+        assert Taxonomy({"a": "b"}) != Taxonomy({"a": "c"})
+        assert Taxonomy({"a": "b"}) != {"a": "b"}
+
+    def test_edges_round_trip(self):
+        edges = {"shirt": "clothes", "outerwear": "clothes"}
+        taxonomy = Taxonomy(edges)
+        assert taxonomy.edges == edges
+        assert Taxonomy(taxonomy.edges) == taxonomy

@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""CI smoke test for the HTTP mining service.
+
+Boots a real ``quantrules serve`` subprocess on an OS-assigned port,
+then drives the full client loop against it:
+
+1. upload a synthetic credit CSV via ``PUT /v1/tables/{name}``;
+2. submit a mining job via ``POST /v1/jobs``;
+3. consume the NDJSON event stream to completion;
+4. fetch ``GET /v1/jobs/{id}/rules`` and assert the document is
+   bit-identical to ``mine_quantitative_rules(...)`` run directly in
+   this process on the same CSV and config;
+5. check ``/healthz`` and validate the ``/metrics`` snapshot with the
+   library's own validator;
+6. SIGTERM the server and require a clean (drained) exit.
+
+Exit status 0 on success, 1 with a diagnostic otherwise — the format
+CI relies on.  Run from the repository root::
+
+    python tools/smoke_serve.py
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import urllib.request
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+CONFIG = {
+    "min_support": 0.3,
+    "min_confidence": 0.5,
+    "max_support": 0.5,
+    "partial_completeness": 5.0,
+    "max_itemset_size": 2,
+}
+NUM_RECORDS = 500
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821
+    print(f"smoke_serve: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def http_json(method: str, url: str, body=None):
+    request = urllib.request.Request(url, data=body, method=method)
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.load(response)
+
+
+def start_server(store_dir: Path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0", "--jobs", "2",
+            "--store-dir", str(store_dir),
+            "--drain-seconds", "60",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    line = process.stdout.readline()
+    if not line.startswith("serving on "):
+        process.kill()
+        fail(f"unexpected server banner: {line!r}")
+    return process, line.split("serving on ", 1)[1].strip()
+
+
+def main() -> int:
+    from repro.core import MinerConfig, mine_quantitative_rules
+    from repro.core.export import result_to_document
+    from repro.data import generate_credit_table
+    from repro.obs import validate_metrics_snapshot
+    from repro.table import load_csv, save_csv
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        csv_path = tmp / "credit.csv"
+        save_csv(generate_credit_table(NUM_RECORDS, seed=3), csv_path)
+        csv_text = csv_path.read_text()
+
+        process, base = start_server(tmp / "store")
+        try:
+            description = http_json(
+                "PUT", f"{base}/v1/tables/credit", csv_text.encode()
+            )
+            if description["num_records"] != NUM_RECORDS:
+                fail(f"table upload mangled: {description}")
+            print(f"smoke_serve: uploaded {NUM_RECORDS}-record table")
+
+            job = http_json(
+                "POST",
+                f"{base}/v1/jobs",
+                json.dumps(
+                    {"table": "credit", "config": CONFIG}
+                ).encode(),
+            )
+            job_id = job["job_id"]
+            print(f"smoke_serve: submitted {job_id}")
+
+            events = []
+            url = f"{base}/v1/jobs/{job_id}/events?format=ndjson"
+            with urllib.request.urlopen(url, timeout=120) as stream:
+                for line in stream:
+                    events.append(json.loads(line))
+            kinds = [e["event"] for e in events]
+            if kinds[-1] != "completed":
+                fail(f"stream ended {kinds[-1]!r}: {events[-1]}")
+            if "stage" not in kinds:
+                fail(f"no stage events in stream: {kinds}")
+            print(
+                f"smoke_serve: streamed {len(events)} events "
+                f"({kinds.count('stage')} stages)"
+            )
+
+            document = http_json("GET", f"{base}/v1/jobs/{job_id}/rules")
+            expected = result_to_document(
+                mine_quantitative_rules(
+                    load_csv(csv_path), MinerConfig.from_dict(CONFIG)
+                )
+            )
+            if document["rules"] != expected["rules"]:
+                fail("server rules differ from direct mining run")
+            if document["rules"] != events[-1]["result"]["rules"]:
+                fail("streamed result differs from /rules document")
+            print(
+                f"smoke_serve: {len(document['rules'])} rules "
+                "bit-identical to direct run"
+            )
+
+            health = http_json("GET", f"{base}/healthz")
+            if health.get("status") != "ok":
+                fail(f"unhealthy: {health}")
+            if health["jobs"]["completed"] < 1:
+                fail(f"healthz counters wrong: {health}")
+
+            snapshot = http_json("GET", f"{base}/metrics")
+            problems = validate_metrics_snapshot(snapshot)
+            if problems:
+                fail(f"metrics snapshot invalid: {problems}")
+            if snapshot["counters"].get("jobs.completed", 0) < 1:
+                fail(f"metrics missed the job: {snapshot['counters']}")
+            print("smoke_serve: healthz + metrics validated")
+        finally:
+            process.send_signal(signal.SIGTERM)
+            code = process.wait(timeout=120)
+        if code != 0:
+            fail(f"server exited {code} on SIGTERM")
+        print("smoke_serve: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
