@@ -211,6 +211,15 @@ class MiningJobRunner:
         reconstructs as one span forest (one ``job`` root per job, the
         runs and stages nested beneath).  ``None`` leaves jobs on
         whatever their own configs say.
+    max_retained_jobs:
+        How many *finished* jobs stay referenced from :attr:`jobs` and
+        the per-job list in :attr:`stats`.  ``None`` (the default, the
+        sweep-shaped library case) keeps everything; a long-running
+        server passes a cap so handles — each holding a full
+        :class:`~repro.core.miner.MiningResult` — do not accumulate
+        forever.  The aggregate outcome counters are never pruned;
+        ``stats.cache_hits``/``cache_misses`` sum over the retained
+        window only.
 
     Use as an async context manager to guarantee the pool is released::
 
@@ -227,6 +236,7 @@ class MiningJobRunner:
         cache=None,
         offload=None,
         observability=None,
+        max_retained_jobs: int | None = None,
     ) -> None:
         from .config import AsyncConfig, CacheConfig
 
@@ -238,6 +248,7 @@ class MiningJobRunner:
         self.job_timeout = limits.job_timeout
         self.cache = cache if cache is not None else CacheConfig().build()
         self.observability = observability
+        self.max_retained_jobs = max_retained_jobs
         self.stats = RunnerStats()
         self.jobs: list = []
         self._offload = offload
@@ -321,6 +332,31 @@ class MiningJobRunner:
             job._set_status(JOB_CANCELLED)
             self.stats.cancelled += 1
             self.stats.record(job.job_stats())
+            self._prune_retained()
+
+    def _prune_retained(self) -> None:
+        """Drop the oldest *finished* jobs beyond the retention cap.
+
+        Runs after every job settles (on the event loop, like every
+        other mutation of :attr:`jobs`).  Live jobs are never dropped,
+        so :meth:`join` still covers everything in flight; with the
+        default ``max_retained_jobs=None`` this is a no-op.
+        """
+        cap = self.max_retained_jobs
+        if cap is None:
+            return
+        excess = len(self.jobs) - cap
+        if excess > 0:
+            kept = []
+            for job in self.jobs:
+                if excess > 0 and job.done:
+                    excess -= 1
+                else:
+                    kept.append(job)
+            self.jobs[:] = kept
+        stats_excess = len(self.stats.jobs) - cap
+        if stats_excess > 0:
+            del self.stats.jobs[:stats_excess]
 
     async def _run_job(self, job, table, timeout, progress) -> None:
         """Drive one job through the semaphore, recording its outcome."""
@@ -341,8 +377,12 @@ class MiningJobRunner:
             job.error = exc
             job.seconds = time.perf_counter() - job._submitted
             if job.cancel_reason is None:
+                # A TimeoutError can also escape the mining work itself
+                # on a budget-less job; never format None.
                 job.cancel_reason = (
                     f"exceeded {timeout:g}s wall-clock budget"
+                    if timeout is not None
+                    else "timed out"
                 )
             job._set_status(JOB_TIMED_OUT)
             self.stats.timed_out += 1
@@ -362,6 +402,7 @@ class MiningJobRunner:
         finally:
             job.seconds = time.perf_counter() - job._submitted
             self.stats.record(job.job_stats())
+            self._prune_retained()
             if self.observability is not None:
                 metrics = self.observability.metrics
                 metrics.counter(f"jobs.{job.status}").increment()

@@ -38,6 +38,7 @@ from .store import (
     JobStore,
     MemoryJobStore,
     mark_interrupted,
+    validate_job_id,
 )
 from .tables import (
     TableRegistry,
@@ -71,5 +72,6 @@ __all__ = [
     "mark_interrupted",
     "parse_submission",
     "run_server",
+    "validate_job_id",
     "validate_table_name",
 ]

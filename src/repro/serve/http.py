@@ -339,7 +339,16 @@ class _Handler(BaseHTTPRequestHandler):
         length = self.headers.get("Content-Length")
         if length is None:
             raise ApiError(411, "Content-Length required")
-        length = int(length)
+        try:
+            length = int(length)
+        except ValueError as exc:
+            raise ApiError(
+                400, f"invalid Content-Length: {length!r}"
+            ) from exc
+        if length < 0:
+            raise ApiError(
+                400, f"invalid Content-Length: {length!r}"
+            )
         if length > self.server.max_body:
             # Drain in bounded chunks (never buffering the oversized
             # body) so the client reliably reads the 413 instead of a

@@ -19,6 +19,7 @@ from __future__ import annotations
 import json
 
 from ..core.config import MinerConfig
+from .store import validate_job_id
 
 
 class ApiError(Exception):
@@ -93,9 +94,12 @@ def parse_submission(payload) -> dict:
         out["timeout"] = float(timeout)
     job_id = payload.get("job_id")
     if job_id is not None:
-        if not isinstance(job_id, str) or not job_id:
-            raise ApiError(400, "'job_id' must be a non-empty string")
-        out["job_id"] = job_id
+        # Store-safe charset: the disk backend derives a filesystem
+        # path from the id, so this must reject traversal attempts.
+        try:
+            out["job_id"] = validate_job_id(job_id)
+        except ValueError as exc:
+            raise ApiError(400, str(exc)) from exc
     unknown = set(payload) - {"table", "config", "timeout", "job_id"}
     if unknown:
         raise ApiError(

@@ -34,6 +34,7 @@ from __future__ import annotations
 import asyncio
 import threading
 import uuid
+from collections import deque
 
 from ..core.async_miner import (
     JOB_RUNNING,
@@ -46,6 +47,7 @@ from .store import (
     MemoryJobStore,
     mark_interrupted,
     utcnow,
+    validate_job_id,
 )
 from .tables import TableRegistry, UnknownTableError
 
@@ -146,6 +148,14 @@ class MiningService:
         A shared :class:`~repro.obs.Observability` bundle; when given,
         every job records into it (one ``job`` span root per job) and
         the HTTP layer snapshots its registry for ``/metrics``.
+    retain_finished:
+        How many finished jobs keep their in-memory event stream for
+        exact replay (stage events included).  A long-running server
+        would otherwise grow without bound with job count; beyond the
+        cap the oldest finished streams are dropped and late
+        subscribers get a replay synthesized from the durable store
+        (terminal event and result document intact, per-stage progress
+        elided).
     """
 
     def __init__(
@@ -156,17 +166,20 @@ class MiningService:
         max_concurrent_jobs=None,
         default_job_timeout=None,
         observability=None,
+        retain_finished: int = 128,
     ) -> None:
         self.store = store if store is not None else MemoryJobStore()
         self.tables = tables if tables is not None else TableRegistry()
         self.observability = observability
         self.default_job_timeout = default_job_timeout
+        self.retain_finished = retain_finished
         self._max_concurrent_jobs = max_concurrent_jobs
         self._runner: MiningJobRunner | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._jobs: dict = {}
         self._streams: dict = {}
+        self._retained: deque = deque()
         self._finalizers: set = set()
         self._lock = threading.Lock()
         self._closed = False
@@ -182,6 +195,7 @@ class MiningService:
             max_concurrent_jobs=self._max_concurrent_jobs,
             job_timeout=self.default_job_timeout,
             observability=self.observability,
+            max_retained_jobs=self.retain_finished,
         )
         self._loop = asyncio.new_event_loop()
         started = threading.Event()
@@ -240,6 +254,12 @@ class MiningService:
                     finished_at=utcnow(),
                 )
                 continue
+            # Live stream first (as in submit_job): once the record
+            # reads 'queued' there must be a stream to follow.
+            with self._lock:
+                stream = self._streams.setdefault(
+                    record.job_id, JobEventStream()
+                )
             self.store.update(
                 record.job_id,
                 status="queued",
@@ -247,10 +267,6 @@ class MiningService:
                 cancel_reason=None,
                 error=None,
             )
-            with self._lock:
-                stream = self._streams.setdefault(
-                    record.job_id, JobEventStream()
-                )
             stream.append(
                 self._event(
                     record.job_id, "status", status="queued",
@@ -350,6 +366,10 @@ class MiningService:
                 if self._closed
                 else "service not started"
             )
+        if job_id is not None:
+            # Caller-chosen ids reach the disk store's result path;
+            # reject separators and traversal before anything persists.
+            validate_job_id(job_id)
         miner_config = MinerConfig.from_dict(config or {})
         if csv is not None:
             table_name = self.tables.register_inline(
@@ -368,9 +388,17 @@ class MiningService:
             submitted_at=utcnow(),
             timeout=timeout,
         )
-        self.store.create(record)
+        # The live stream exists before the record is visible in the
+        # store, so a subscriber can never race a just-created record
+        # into a synthesized (already-closed) replay.
         with self._lock:
             self._streams[record.job_id] = JobEventStream()
+        try:
+            self.store.create(record)
+        except BaseException:
+            with self._lock:
+                self._streams.pop(record.job_id, None)
+            raise
         self._emit(record.job_id, "status", status="queued")
         self._schedule(record, table, miner_config, timeout)
         return record
@@ -504,6 +532,25 @@ class MiningService:
             stream = self._streams.get(job_id)
         if stream is not None:
             stream.close()
+        self._evict(job_id)
+
+    def _evict(self, job_id: str) -> None:
+        """Release a finished job's in-process state (bounded retention).
+
+        The outcome is already durable (journal + result document), so
+        the :class:`~repro.core.async_miner.MiningJob` handle — which
+        holds the full :class:`~repro.core.miner.MiningResult` — is
+        dropped immediately; the closed event stream is kept for exact
+        replay until ``retain_finished`` newer jobs have finished, then
+        dropped too (late subscribers fall back to the store-synthesized
+        replay in :meth:`event_stream`).  Without this, a long-running
+        server's memory grows without bound with job count.
+        """
+        with self._lock:
+            self._jobs.pop(job_id, None)
+            self._retained.append(job_id)
+            while len(self._retained) > self.retain_finished:
+                self._streams.pop(self._retained.popleft(), None)
 
     # ------------------------------------------------------------------
     # Queries and control (any thread)
@@ -544,10 +591,16 @@ class MiningService:
     def event_stream(self, job_id: str) -> JobEventStream:
         """The job's event stream, synthesizing one for cold records.
 
-        A record from a previous process has no live stream; this
-        builds a closed replay (status + terminal event, with the
-        result document when one exists) so ``/events`` behaves the
-        same whether the job ran in this process or a dead one.
+        A record with no live stream — journaled by a previous process,
+        or finished long enough ago that retention dropped it — gets a
+        replay built from the store (status + terminal event, with the
+        result document when one exists), so ``/events`` behaves the
+        same whether the job ran in this process or a dead one.  The
+        synthesized stream is always closed: no live job backs it, so
+        no further events can ever arrive and a subscriber must drain
+        and return rather than block forever (e.g. on a job another
+        server left ``interrupted``).  It is also not cached — each
+        caller gets a fresh, cheap replay.
         """
         with self._lock:
             stream = self._streams.get(job_id)
@@ -574,6 +627,5 @@ class MiningService:
                 if document is not None:
                     terminal["result"] = document
             stream.append(terminal)
-            stream.close()
-        with self._lock:
-            return self._streams.setdefault(job_id, stream)
+        stream.close()
+        return stream

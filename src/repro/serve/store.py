@@ -29,12 +29,33 @@ so a ``completed`` record always has a readable result.
 from __future__ import annotations
 
 import json
+import re
 import threading
 import time
 from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 
 from ..core.export import write_json_atomic
+
+#: Job ids: filesystem- and URL-safe (the disk store derives a result
+#: path from the id, so separators and leading dots must never appear).
+_SAFE_ID = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,99}$")
+
+
+def validate_job_id(job_id) -> str:
+    """Return ``job_id`` if it is store-safe, else raise ValueError.
+
+    The same charset as registry table names: callers may choose their
+    own job ids, and the disk backend turns an id into
+    ``results/<job_id>.json`` — an unvalidated id like ``../../x``
+    would escape the store directory.
+    """
+    if not isinstance(job_id, str) or not _SAFE_ID.match(job_id):
+        raise ValueError(
+            "job id must be 1-100 chars of [A-Za-z0-9_.-] starting "
+            f"alphanumeric, got {job_id!r}"
+        )
+    return job_id
 
 #: Job lifecycle states as the store journals them.  ``interrupted``
 #: marks a job a dying server abandoned mid-run (stamped either by a
@@ -293,13 +314,17 @@ class DiskJobStore(JobStore):
         with self._lock:
             return list(self._records.values())
 
+    def _result_path(self, job_id: str) -> Path:
+        """The result file for ``job_id``; rejects path-unsafe ids."""
+        return self._results_dir / f"{validate_job_id(job_id)}.json"
+
     def save_result(self, job_id: str, document: dict) -> None:
         """Write the result document atomically (temp file + rename)."""
-        write_json_atomic(document, self._results_dir / f"{job_id}.json")
+        write_json_atomic(document, self._result_path(job_id))
 
     def load_result(self, job_id: str) -> dict | None:
         """The job's result document, or ``None`` if absent."""
-        path = self._results_dir / f"{job_id}.json"
+        path = self._result_path(job_id)
         if not path.exists():
             return None
         return json.loads(path.read_text())

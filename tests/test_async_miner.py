@@ -335,6 +335,45 @@ class TestJobRunner:
         assert job.status == JOB_TIMED_OUT
         assert ok.status == JOB_COMPLETED
 
+    def test_mining_timeout_without_budget_records_reason(self):
+        # A TimeoutError escaping the mining work itself on a
+        # budget-less job must not blow up the except handler trying to
+        # format a None timeout; the job lands in timed_out cleanly.
+        async def run():
+            async with MiningJobRunner(max_concurrent_jobs=1) as runner:
+                async def explode(job, table, progress):
+                    raise TimeoutError("inner work timed out")
+
+                runner._mine = explode
+                job = runner.submit(small_table(), self.config())
+                with pytest.raises(MiningJobTimeout):
+                    await job.wait()
+                return runner.stats, job
+
+        stats, job = asyncio.run(run())
+        assert job.status == JOB_TIMED_OUT
+        assert job.cancel_reason == "timed out"
+        assert stats.timed_out == 1
+
+    def test_retention_cap_prunes_finished_jobs(self):
+        table = small_table()
+
+        async def run():
+            async with MiningJobRunner(
+                max_concurrent_jobs=2, max_retained_jobs=2
+            ) as runner:
+                for _ in range(5):
+                    runner.submit(table, self.config())
+                await runner.join()
+                return runner
+
+        runner = asyncio.run(run())
+        assert len(runner.jobs) <= 2
+        assert len(runner.stats.jobs) <= 2
+        # Aggregate counters survive pruning.
+        assert runner.stats.submitted == 5
+        assert runner.stats.completed == 5
+
     def test_failed_job_raises_original_error(self):
         async def run():
             async with MiningJobRunner(max_concurrent_jobs=1) as runner:

@@ -141,6 +141,32 @@ class TestTables:
         assert conn.getresponse().status == 411
         conn.close()
 
+    @pytest.mark.parametrize("length", ["banana", "-5"])
+    def test_malformed_length_400(self, server, length):
+        # A garbage Content-Length is the client's fault: 400, not 500.
+        import http.client
+
+        host, port = server.server_address[:2]
+        conn = http.client.HTTPConnection(host, port)
+        conn.putrequest("PUT", "/v1/tables/people")
+        conn.putheader("Content-Length", length)
+        conn.endheaders()
+        assert conn.getresponse().status == 400
+        conn.close()
+
+    def test_traversal_job_id_rejected(self, server):
+        upload_people(server)
+        status, payload = submit(
+            server,
+            {
+                "table": "people",
+                "config": CONFIG,
+                "job_id": "../../../../tmp/evil",
+            },
+        )
+        assert status == 400
+        assert "job id" in payload["error"]["message"]
+
 
 class TestJobLifecycle:
     def test_submit_poll_rules(self, server):
@@ -339,6 +365,10 @@ class TestParseSubmission:
             {"table": "t", "config": {"not_a_knob": 1}},
             {"table": "t", "timeout": -1},
             {"table": "t", "job_id": ""},
+            {"table": "t", "job_id": 7},
+            {"table": "t", "job_id": "../../../../tmp/evil"},
+            {"table": "t", "job_id": "a/b"},
+            {"table": "t", "job_id": ".hidden"},
             {"table": "t", "surprise": True},
         ],
     )

@@ -102,6 +102,17 @@ class TestSubmitAndComplete:
             service.submit_job(table_name="ghost", config=CONFIG)
         assert service.list_records() == []
 
+    def test_traversal_job_id_rejected_before_journaling(self, service):
+        # Defense in depth below the HTTP layer: library callers get
+        # the same charset check parse_submission applies.
+        with pytest.raises(ValueError, match="job id"):
+            service.submit_job(
+                table_name="people",
+                config=CONFIG,
+                job_id="../../../../tmp/evil",
+            )
+        assert service.list_records() == []
+
     def test_bad_config_rejected_before_journaling(self, service):
         with pytest.raises(ValueError):
             service.submit_job(
@@ -301,6 +312,71 @@ class TestRecovery:
             }
             with pytest.raises(KeyError):
                 svc.event_stream("ghost")
+        finally:
+            svc.shutdown(drain_seconds=0)
+
+
+class TestRetention:
+    def test_finished_job_handles_released(self, service):
+        record = service.submit_job(table_name="people", config=CONFIG)
+        wait_done(service, record.job_id)
+        # The MiningJob handle (holding the full MiningResult) must not
+        # outlive finalization; the outcome lives in the store.
+        deadline = time.monotonic() + 10
+        while record.job_id in service._jobs:
+            assert time.monotonic() < deadline, "job handle never evicted"
+            time.sleep(0.02)
+        assert service.result_document(record.job_id) is not None
+
+    def test_stream_retention_capped_with_store_fallback(self):
+        svc = MiningService(retain_finished=1).start()
+        try:
+            svc.tables.put_csv("people", CSV, categorical=["married"])
+            first = svc.submit_job(table_name="people", config=CONFIG)
+            wait_done(svc, first.job_id)
+            second = svc.submit_job(table_name="people", config=CONFIG)
+            wait_done(svc, second.job_id)
+            deadline = time.monotonic() + 10
+            while first.job_id in svc._streams:
+                assert time.monotonic() < deadline, "stream never evicted"
+                time.sleep(0.02)
+            # Late subscribers of the evicted job still end up holding
+            # the rules, via the store-synthesized replay.
+            events = list(svc.event_stream(first.job_id).subscribe())
+            assert events[-1]["event"] == "completed"
+            assert events[-1]["result"]["format"] == "repro.mining_result"
+            runner = svc._runner
+            assert len(runner.jobs) <= 1
+            assert len(runner.stats.jobs) <= 1
+            assert runner.stats.completed == 2
+        finally:
+            svc.shutdown(drain_seconds=0)
+
+    def test_cold_unfinished_record_stream_closes(self, tmp_path):
+        # A job journaled 'interrupted' by a dead server, viewed by a
+        # new server started WITHOUT --recover: nothing in this process
+        # will ever append to its stream, so a subscriber must drain
+        # the synthesized replay and return instead of blocking the
+        # handler thread forever.
+        store = DiskJobStore(tmp_path / "store")
+        store.create(
+            JobRecord(
+                job_id="stranded",
+                table_ref="people",
+                config=CONFIG,
+                status="interrupted",
+                submitted_at=time.time(),
+                cancel_reason="server shutdown",
+            )
+        )
+        store.close()
+        svc = MiningService(store=DiskJobStore(tmp_path / "store")).start()
+        try:
+            stream = svc.event_stream("stranded")
+            assert stream.closed
+            events = list(stream.subscribe())
+            assert [e["event"] for e in events] == ["status"]
+            assert events[0]["status"] == "interrupted"
         finally:
             svc.shutdown(drain_seconds=0)
 

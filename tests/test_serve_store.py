@@ -18,6 +18,7 @@ from repro.serve import (
     UnknownTableError,
     inline_table_name,
     mark_interrupted,
+    validate_job_id,
     validate_table_name,
 )
 
@@ -168,6 +169,34 @@ class TestDiskJournal:
         store.save_result("a", {"x": 1})
         results = list((tmp_path / "store" / "results").iterdir())
         assert [p.name for p in results] == ["a.json"]
+
+    @pytest.mark.parametrize(
+        "evil",
+        ["../../../../tmp/evil", "..", "a/b", "/abs/path", "..\\win"],
+    )
+    def test_result_paths_reject_traversal_ids(self, tmp_path, evil):
+        # A job id becomes results/<id>.json; separators must never
+        # reach the filesystem layer.
+        store = DiskJobStore(tmp_path / "store")
+        with pytest.raises(ValueError, match="job id"):
+            store.save_result(evil, {"x": 1})
+        with pytest.raises(ValueError, match="job id"):
+            store.load_result(evil)
+        assert list((tmp_path / "store" / "results").iterdir()) == []
+
+
+class TestJobIds:
+    def test_valid_ids(self):
+        assert validate_job_id("job-abc123") == "job-abc123"
+        assert validate_job_id("a.b-c_d9") == "a.b-c_d9"
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", ".hidden", "-dash", "a/b", "../up", "x" * 101, None, 7],
+    )
+    def test_invalid_ids(self, bad):
+        with pytest.raises(ValueError):
+            validate_job_id(bad)
 
 
 class TestTableNames:
