@@ -49,6 +49,13 @@ def test_fig9_scaleup(benchmark, credit_table_cache, reporter, min_support):
             f"{p.relative / linear:.2f}",
             p.num_itemsets,
         )
+        reporter.record(
+            min_support=min_support,
+            num_records=p.num_records,
+            seconds=p.seconds,
+            relative=p.relative,
+            itemsets=p.num_itemsets,
+        )
 
     # Shape: time grows with records ...
     assert relatives[-1] > 2.0, f"no growth: {relatives}"

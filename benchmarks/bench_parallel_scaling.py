@@ -49,6 +49,7 @@ def test_parallel_scaling(credit_table_cache, reporter):
         speedup=1.0,
         host_cores=cores,
         num_records=NUM_RECORDS,
+        handoff=serial.stats.execution.shard_handoff,
     )
     reporter.line(
         f"\nParallel scaling: {NUM_RECORDS} records, "
@@ -94,4 +95,5 @@ def test_parallel_scaling(credit_table_cache, reporter):
             speedup=serial_seconds / seconds,
             host_cores=cores,
             num_records=NUM_RECORDS,
+            handoff=result.stats.execution.shard_handoff,
         )

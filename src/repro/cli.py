@@ -99,9 +99,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mine.add_argument(
         "--counting",
-        choices=("array", "rtree", "direct", "auto"),
+        choices=("array", "rtree", "direct", "bitmap", "auto"),
         default="array",
-        help="support-counting backend (Section 5.2)",
+        help="support-counting backend (Section 5.2; bitmap = packed "
+        "per-interval bitsets)",
     )
     mine.add_argument(
         "--partition-method",

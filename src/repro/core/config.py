@@ -20,7 +20,7 @@ SUPPORT_AND_CONFIDENCE = "support_and_confidence"
 #: Counting backends (Section 5.2).  ``auto`` applies the paper's memory
 #: heuristic per super-candidate, choosing between the multi-dimensional
 #: array and the R*-tree.
-COUNTING_BACKENDS = ("array", "rtree", "direct", "auto")
+COUNTING_BACKENDS = ("array", "rtree", "direct", "bitmap", "auto")
 
 #: Executor names understood by the execution engine.
 EXECUTORS = ("serial", "parallel")
@@ -365,10 +365,14 @@ class MinerConfig:
     counting:
         Support-counting backend: ``"array"`` (multi-dimensional array with
         prefix sums), ``"rtree"`` (R*-tree point queries), ``"direct"``
-        (per-candidate scans; reference), or ``"auto"`` (paper's heuristic).
+        (per-candidate scans; reference), ``"bitmap"`` (packed per-interval
+        bitsets: ranges become two word-level operations plus a popcount),
+        or ``"auto"`` (paper's heuristic).
     memory_budget_bytes:
         The ``auto`` backend refuses the array when its cells would exceed
-        this budget, falling back to the R*-tree (Section 5.2 trade-off).
+        this budget, falling back to the R*-tree (Section 5.2 trade-off);
+        ``bitmap`` likewise charges its prefix-bitset tables against the
+        same budget and over-budget groups fall back to the R*-tree.
     max_itemset_size:
         Optional cap on the number of items per itemset (``None`` = run
         until no candidates remain, as in the paper).

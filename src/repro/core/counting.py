@@ -32,6 +32,15 @@ rectangle":
 ``direct``
     Reference backend: one vectorized column scan per candidate.  Used for
     cross-validation; asymptotically the worst of the three.
+``bitmap``
+    Packed-bitset backend: per attribute, a prefix-aggregated family of
+    per-interval bitmaps (``np.uint64`` words via little-endian
+    ``np.packbits``) makes any ``<attr, lo, hi>`` range two word-level
+    operations (``prefix[hi + 1] & ~prefix[lo]``), so a super-candidate
+    is answered by ANDing a few bitmap rows and popcounting — no
+    per-group record scan once the index is built.  Estimated index
+    memory is charged against the budget; a group whose index would not
+    fit falls back to the R*-tree.
 ``auto``
     The paper's heuristic: per super-candidate, use the array when its
     estimated memory stays within budget and is not vastly larger than the
@@ -190,6 +199,145 @@ class PrefixSumCounter:
         return counts
 
 
+if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+
+    def _popcount_rows(words: np.ndarray) -> np.ndarray:
+        """Population count along the last axis of packed uint64 words."""
+        return np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
+
+else:  # pragma: no cover - numpy < 2 fallback
+    _POPCOUNT_LUT = np.array(
+        [bin(value).count("1") for value in range(256)], dtype=np.int64
+    )
+
+    def _popcount_rows(words: np.ndarray) -> np.ndarray:
+        """Population count along the last axis of packed uint64 words."""
+        as_bytes = np.ascontiguousarray(words).view(np.uint8)
+        return _POPCOUNT_LUT[as_bytes].sum(axis=-1, dtype=np.int64)
+
+
+class BitmapIndex:
+    """Prefix-aggregated per-interval bitsets over a view's coded columns.
+
+    For attribute ``a`` with cardinality ``c``, ``prefix(a)`` is a
+    ``(c + 1, num_words)`` uint64 matrix whose row ``v`` is the packed
+    bitmap of records with ``column(a) < v`` — so the bitmap of any
+    value range ``[lo, hi]`` is ``prefix[hi + 1] & ~prefix[lo]``, two
+    word-level operations regardless of the range width.  All rows carry
+    zero padding bits past ``num_records``, which keeps the complement's
+    set padding bits from ever surviving an AND with a real row.
+
+    Attribute tables build lazily on first use and the whole index is
+    cached on the view object (``view._bitmap_index``) when the view
+    accepts attributes, so a mapper reused across passes — or a shard
+    view reused across groups — pays each attribute's build cost once.
+    """
+
+    def __init__(self, view) -> None:
+        self._view = view
+        self._num_records = view.num_records
+        self._num_words = (self._num_records + 63) // 64
+        self._prefix: dict = {}
+
+    @classmethod
+    def for_view(cls, view) -> "BitmapIndex":
+        """The view's cached index, building (and caching) it if absent."""
+        index = getattr(view, "_bitmap_index", None)
+        if index is None:
+            index = cls(view)
+            try:
+                view._bitmap_index = index
+            except AttributeError:  # slots-only view: per-call index
+                pass
+        return index
+
+    @property
+    def num_records(self) -> int:
+        return self._num_records
+
+    def nbytes(self) -> int:
+        """Bytes held by the attribute tables built so far."""
+        return sum(table.nbytes for table in self._prefix.values())
+
+    def prefix(self, attribute: int) -> np.ndarray:
+        """The prefix-bitmap table for one attribute (built lazily)."""
+        table = self._prefix.get(attribute)
+        if table is None:
+            table = self._build_prefix(attribute)
+            self._prefix[attribute] = table
+        return table
+
+    def _build_prefix(self, attribute: int) -> np.ndarray:
+        column = self._view.column(attribute)
+        cardinality = self._view.cardinality(attribute)
+        # One-hot rows -> little-endian packed bytes -> OR-accumulate
+        # down the value axis; a zero row on top gives prefix[0] = {}.
+        onehot = column == np.arange(cardinality, dtype=np.int64)[:, None]
+        packed = np.packbits(onehot, axis=1, bitorder="little")
+        rows = np.zeros(
+            (cardinality + 1, self._num_words * 8), dtype=np.uint8
+        )
+        if packed.size:
+            np.bitwise_or.accumulate(
+                packed, axis=0, out=rows[1:, : packed.shape[1]]
+            )
+        return rows.view(np.uint64)
+
+    def range_words(self, attribute: int, lo: int, hi: int) -> np.ndarray:
+        """Packed bitmap of records with ``lo <= column(attribute) <= hi``."""
+        table = self.prefix(attribute)
+        return table[hi + 1] & ~table[lo]
+
+    def conjunction_words(self, items) -> np.ndarray | None:
+        """AND of the items' bitmaps; ``None`` for an empty conjunction."""
+        words = None
+        for item in items:
+            row = self.range_words(item.attribute, item.lo, item.hi)
+            words = row if words is None else words & row
+        return words
+
+
+def _bitmap_memory_estimate(group, mapper) -> int:
+    """Estimated bytes of the bitmap index the group would touch.
+
+    Counts the persistent prefix tables of every attribute the group
+    reads — quantitative dimensions and categorical conjuncts alike:
+    ``(cardinality + 1)`` rows of ``ceil(records / 64)`` uint64 words.
+    """
+    num_words = (mapper.num_records + 63) // 64
+    attributes = set(group.quant_attrs)
+    attributes.update(item.attribute for item in group.categorical_items)
+    return sum(
+        (mapper.cardinality(a) + 1) * num_words * 8 for a in attributes
+    )
+
+
+def _count_group_bitmap(group, index: BitmapIndex) -> list:
+    """Counts for one group via the bitmap index: AND rows, popcount.
+
+    Gathers each dimension's ``(m, num_words)`` range bitmaps with one
+    fancy index per quantitative attribute, ANDs them together with the
+    categorical conjunction's bitmap, and popcounts each candidate's
+    row — a handful of vectorized word-level passes however many
+    candidates the group holds.
+    """
+    base = index.conjunction_words(group.categorical_items)
+    lo, hi = group.rectangles()
+    acc = None
+    for dim, attribute in enumerate(group.quant_attrs):
+        table = index.prefix(attribute)
+        rows = table[hi[:, dim] + 1] & ~table[lo[:, dim]]
+        if acc is None:
+            acc = rows if base is None else rows & base
+        else:
+            acc &= rows
+    if acc is None:  # pure-categorical group (normally mask-counted)
+        if base is None:
+            return [index.num_records] * len(group.candidates)
+        return [int(_popcount_rows(base))] * len(group.candidates)
+    return _popcount_rows(acc).tolist()
+
+
 # ----------------------------------------------------------------------
 # Per-group backends
 # ----------------------------------------------------------------------
@@ -251,8 +399,16 @@ def choose_backend(
 
     ``auto`` applies the paper's heuristic: the array wins on CPU, so use
     it unless its cell memory blows past the budget or dwarfs the
-    R*-tree's estimated footprint.
+    R*-tree's estimated footprint.  A requested ``bitmap`` is likewise
+    charged for its index memory — a group whose prefix tables would
+    blow the budget (e.g. an unpartitioned attribute whose cardinality
+    approaches the record count) falls back to the R*-tree, which is
+    bounded by the candidate count instead.
     """
+    if requested == "bitmap":
+        if _bitmap_memory_estimate(group, mapper) > memory_budget_bytes:
+            return "rtree"
+        return "bitmap"
     if requested != "auto":
         return requested
     if group.ndim == 0:
@@ -302,10 +458,20 @@ def count_groups(groups, backends, view) -> list:
 
     ``view`` is the full table or one shard; the result is a list (per
     group) of lists (per candidate) of integer counts, merge-ready by
-    elementwise addition.
+    elementwise addition.  ``bitmap`` groups share one
+    :class:`BitmapIndex` per call (cached on the view when possible) and
+    express their categorical conjunction as bitmap ANDs, so they skip
+    the per-group boolean mask entirely.
     """
     out = []
+    bitmap_index = None
     for group, resolved in zip(groups, backends):
+        if resolved == "bitmap":
+            if bitmap_index is None:
+                bitmap_index = BitmapIndex.for_view(view)
+            counts = _count_group_bitmap(group, bitmap_index)
+            out.append([int(c) for c in counts])
+            continue
         mask = categorical_mask(view, group.categorical_items)
         if resolved == MASK_BACKEND:
             population = (
@@ -337,7 +503,14 @@ def _merge_group_counts(per_shard: list) -> list:
 
 @dataclass
 class CountingStats:
-    """Backend usage tally across super-candidate groups."""
+    """Backend usage tally across super-candidate groups.
+
+    Keys are resolved backend names — ``"array"``, ``"rtree"``,
+    ``"direct"``, ``"bitmap"`` or the pure-categorical ``"mask"``
+    pseudo-backend — so an explicit request that partially fell back
+    (e.g. ``bitmap`` groups over budget landing on ``rtree``) is visible
+    in the tally.
+    """
 
     groups_by_backend: dict = field(default_factory=dict)
 
@@ -497,7 +670,7 @@ class _CatQuantPlan:
 
 @dataclass
 class _ExplicitPlan:
-    """rtree/direct path: the pair's candidates counted per group."""
+    """rtree/direct/bitmap path: the pair's candidates counted per group."""
 
     groups: list
     backends: list
@@ -531,7 +704,7 @@ def build_pair_plans(
         for b in attrs[i + 1:]:
             items_a, items_b = item_buckets[a], item_buckets[b]
             num_candidates += len(items_a) * len(items_b)
-            if backend in ("rtree", "direct"):
+            if backend in ("rtree", "direct", "bitmap"):
                 explicit = [(ia, ib) for ia in items_a for ib in items_b]
                 groups = group_candidates(explicit, quantitative)
                 plans.append(
@@ -598,9 +771,9 @@ def count_frequent_pairs(
     every attribute pair, which can be orders of magnitude larger than the
     surviving L_2.  The ``array`` path answers whole cross products with
     outer-indexed inclusion–exclusion and materializes only the frequent
-    pairs; ``rtree``/``direct`` materialize each group's candidates (their
-    per-candidate cost dominates anyway and they remain available for
-    validation and the counting ablation).
+    pairs; ``rtree``/``direct``/``bitmap`` materialize each group's
+    candidates (they remain available for validation and the counting
+    ablation, and the bitmap index amortizes the materialized groups).
 
     With an ``executor``/``shards`` pair, each shard computes raw counts
     for every plan, the per-shard counts are summed, and the minimum-count

@@ -48,8 +48,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..engine.sharded import partitioned_map, plan_blocks
-from ..engine.shards import TableShard, shard_view
+from ..engine.sharded import executor_table_view, partitioned_map, plan_blocks
 from ..engine.stage import PipelineStage
 from .config import (
     INTEREST_CONFIG_KEYS,
@@ -464,12 +463,12 @@ class InterestEvaluator:
 
         interesting: list = []
         if fan_out:
-            # A full-table shard view is mapper-compatible and picklable,
-            # which is all the worker-side evaluator needs for on-demand
-            # (difference itemset) support counting.
-            view = shard_view(
-                self._mapper, TableShard(0, self._mapper.num_records)
-            )
+            # A full-table view is mapper-compatible and picklable, which
+            # is all the worker-side evaluator needs for on-demand
+            # (difference itemset) support counting; under a parallel
+            # executor it is a zero-copy shared-memory descriptor rather
+            # than a per-payload copy of every column.
+            view = executor_table_view(executor, self._mapper)
             blocks = plan_blocks(
                 group_list, getattr(executor, "num_workers", 1), block_size
             )

@@ -272,6 +272,26 @@ class TableMapper:
         """records x attributes integer matrix (copies the columns)."""
         return np.column_stack(self._columns)
 
+    def column_matrix(self) -> np.ndarray:
+        """attributes x records C-contiguous int64 matrix, memoized.
+
+        The publication layout of the engine's shared column store: row
+        ``a`` equals ``column(a)``, so a worker attaching the published
+        segment reads any shard's slice of any column zero-copy.  The
+        matrix is built once and cached on the mapper (same lifetime as
+        the columns it copies).
+        """
+        cached = getattr(self, "_column_matrix", None)
+        if cached is None:
+            if self._columns:
+                cached = np.ascontiguousarray(
+                    np.vstack(self._columns), dtype=np.int64
+                )
+            else:
+                cached = np.empty((0, 0), dtype=np.int64)
+            self._column_matrix = cached
+        return cached
+
     # ------------------------------------------------------------------
     # Decoding
     # ------------------------------------------------------------------

@@ -59,6 +59,11 @@ class ExecutionStats:
     treated it this run: ``"hit"`` (outputs restored, stage skipped),
     ``"miss"`` (ran, outputs stored) or ``"skipped"`` (not consulted —
     the stage is uncacheable or caching is off).
+
+    ``stage_handoff`` records, per fanned-out stage, how shard views
+    reached the workers: ``"zero-copy"`` (shared-memory descriptors
+    over the executor's column store) or ``"copied"`` (pickled column
+    slices — the serial and fallback path).
     """
 
     executor: str = "serial"
@@ -71,10 +76,22 @@ class ExecutionStats:
     cache_hits: int = 0
     cache_misses: int = 0
     stage_cache_events: dict = field(default_factory=dict)
+    stage_handoff: dict = field(default_factory=dict)
 
     def record_shards(self, stage: str, seconds) -> None:
         """Append one sharded dispatch's per-shard worker timings."""
         self.stage_shard_seconds.setdefault(stage, []).extend(seconds)
+
+    def record_handoff(self, stage: str, mode: str) -> None:
+        """Record a dispatch's shard-handoff mode (copied / zero-copy)."""
+        self.stage_handoff[stage] = mode
+
+    @property
+    def shard_handoff(self) -> str:
+        """The run's overall handoff mode: zero-copy once any stage is."""
+        if "zero-copy" in self.stage_handoff.values():
+            return "zero-copy"
+        return "copied"
 
     def record_cache(self, stage: str, event: str) -> None:
         """Record how the artifact cache treated one stage execution."""
@@ -306,6 +323,14 @@ class MiningStats:
                 f"(gen {p.generation_seconds:.2f}s, "
                 f"count {p.counting_seconds:.2f}s)"
             )
+        if self.counting_groups_by_backend:
+            tally = ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(
+                    self.counting_groups_by_backend.items()
+                )
+            )
+            lines.append(f"counting backends:   {tally}")
         lines.append(f"frequent itemsets:   {self.num_frequent_itemsets}")
         lines.append(f"rules:               {self.num_rules}")
         lines.append(f"interesting rules:   {self.num_interesting_rules}")
@@ -313,12 +338,14 @@ class MiningStats:
             e = self.execution
             lines.append(
                 f"executor:            {e.executor} "
-                f"({e.num_workers} worker(s), {e.num_shards} shard(s))"
+                f"({e.num_workers} worker(s), {e.num_shards} shard(s), "
+                f"{e.shard_handoff} handoff)"
             )
             for stage, seconds in sorted(e.stage_shard_seconds.items()):
+                handoff = e.stage_handoff.get(stage, "copied")
                 lines.append(
                     f"  {stage}: {len(seconds)} shard task(s), "
-                    f"{sum(seconds):.2f}s worker time"
+                    f"{sum(seconds):.2f}s worker time, {handoff}"
                 )
             if e.stage_cache_events:
                 lines.append(

@@ -19,6 +19,11 @@ pluggable:
   function over every table shard (:func:`sharded_map`) or over an
   arbitrary work partition (:func:`partitioned_map`) under whichever
   executor is configured.
+- :mod:`~repro.engine.shm` — zero-copy shard handoff: a
+  :class:`SharedColumnStore` publishes the coded column matrix once per
+  table fingerprint into POSIX shared memory and workers attach
+  :class:`SharedShardView` descriptors instead of unpickling column
+  slices (with a copying fallback where shared memory is unusable).
 - :mod:`~repro.engine.fingerprint` — content fingerprints: stable
   hashes of the values a stage's output depends on.
 - :mod:`~repro.engine.cache` — pluggable :class:`ArtifactCache`
@@ -53,7 +58,19 @@ from .executor import (
 )
 from .fingerprint import Unfingerprintable, fingerprint
 from .shards import ShardView, TableShard, plan_shards, shard_view
-from .sharded import partitioned_map, plan_blocks, sharded_map
+from .sharded import (
+    executor_table_view,
+    partitioned_map,
+    plan_blocks,
+    plan_task_views,
+    sharded_map,
+)
+from .shm import (
+    ColumnBlockHandle,
+    SharedColumnStore,
+    SharedShardView,
+    shared_memory_available,
+)
 from .stage import (
     ExecutionEngine,
     PipelineStage,
@@ -68,6 +85,7 @@ __all__ = [
     "MISSING",
     "ArtifactCache",
     "AsyncExecutionEngine",
+    "ColumnBlockHandle",
     "DiskCache",
     "ExecutionEngine",
     "Executor",
@@ -76,17 +94,22 @@ __all__ = [
     "ParallelExecutor",
     "PipelineStage",
     "SerialExecutor",
+    "SharedColumnStore",
+    "SharedShardView",
     "ShardView",
     "StageContext",
     "StageError",
     "StageEvent",
     "TableShard",
     "Unfingerprintable",
+    "executor_table_view",
     "fingerprint",
     "partitioned_map",
     "plan_blocks",
     "plan_shards",
+    "plan_task_views",
     "resolve_executor",
     "shard_view",
+    "shared_memory_available",
     "sharded_map",
 ]

@@ -9,12 +9,22 @@ counting layer needs.  :class:`SerialExecutor` runs in-process;
 Task functions handed to :meth:`Executor.map` must be module-level
 callables and their tasks/results picklable, so the same call site works
 under either implementation.
+
+Executors also answer :meth:`Executor.column_store`: the parallel
+executor owns a lazily created
+:class:`~repro.engine.shm.SharedColumnStore` so the sharding layer can
+hand workers zero-copy :class:`~repro.engine.shm.SharedShardView`
+descriptors instead of pickled column slices; the serial executor
+returns ``None`` (nothing crosses a process boundary, so there is
+nothing to share).
 """
 
 from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
+
+from .shm import SharedColumnStore, shared_memory_available
 
 #: User-facing executor names (the ``execution.executor`` config values).
 EXECUTOR_NAMES = ("serial", "parallel")
@@ -31,6 +41,15 @@ class Executor(ABC):
     @abstractmethod
     def map(self, fn, tasks) -> list:
         """Apply ``fn`` to every task, preserving task order."""
+
+    def column_store(self):
+        """Shared column store for zero-copy shard handoff, or ``None``.
+
+        ``None`` — the default — tells the sharding layer to fall back
+        to copying shard slices into each task, which is always correct
+        and is all an in-process executor needs.
+        """
+        return None
 
     def close(self) -> None:
         """Release worker resources; the executor is unusable afterwards."""
@@ -59,15 +78,41 @@ class ParallelExecutor(Executor):
     The pool is created on first use so constructing a config-resolved
     executor stays free, and single-task maps short-circuit in-process
     (spawning workers for one task only adds overhead).
+
+    When the platform supports it (see
+    :func:`~repro.engine.shm.shared_memory_available`), the executor
+    also owns a :class:`~repro.engine.shm.SharedColumnStore` so shard
+    fan-outs ship zero-copy descriptors instead of column data; pass
+    ``use_shared_memory=False`` to force the copying path.
     """
 
     name = "parallel"
 
-    def __init__(self, num_workers: int | None = None) -> None:
+    def __init__(
+        self,
+        num_workers: int | None = None,
+        use_shared_memory: bool | None = None,
+    ) -> None:
         if num_workers is not None and num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         self.num_workers = num_workers or os.cpu_count() or 1
+        if use_shared_memory is None:
+            use_shared_memory = shared_memory_available()
+        self._use_shared_memory = bool(use_shared_memory)
         self._pool = None
+        self._store = None
+
+    def column_store(self):
+        """This executor's lazily created shared column store.
+
+        ``None`` when shared memory is disabled or a single worker makes
+        the in-process short-circuit certain (nothing would be pickled).
+        """
+        if not self._use_shared_memory or self.num_workers <= 1:
+            return None
+        if self._store is None:
+            self._store = SharedColumnStore()
+        return self._store
 
     def map(self, fn, tasks) -> list:
         """Apply ``fn`` to every task over the process pool, in task order."""
@@ -81,10 +126,18 @@ class ParallelExecutor(Executor):
         return list(self._pool.map(fn, tasks))
 
     def close(self) -> None:
-        """Shut the pool down (waiting for workers); safe to call twice."""
+        """Shut the pool down and unlink published segments; idempotent.
+
+        The pool drains first so no worker is mid-task when the store
+        unlinks its segments (POSIX would keep mapped segments alive
+        anyway, but ordering keeps the lifecycle easy to reason about).
+        """
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._store is not None:
+            self._store.close()
+            self._store = None
 
 
 def resolve_executor(

@@ -18,6 +18,16 @@ picklable so the same call works under
 is measured inside the worker and reported to an optional stats sink
 via ``stats.record_shards(stage, seconds)`` — the engine stays
 duck-typed here so it never imports ``repro.core``.
+
+Shard handoff has two modes, chosen per dispatch by
+:func:`plan_task_views`: ``"zero-copy"`` publishes the table once
+through the executor's :class:`~repro.engine.shm.SharedColumnStore` and
+ships tiny :class:`~repro.engine.shm.SharedShardView` descriptors, while
+``"copied"`` falls back to pickling
+:class:`~repro.engine.shards.ShardView` column slices.  Both produce
+bit-identical results; the mode is reported via
+``stats.record_handoff(stage, mode)`` and a ``shard_handoff.<mode>``
+metric counter so runs stay diagnosable.
 """
 
 from __future__ import annotations
@@ -26,7 +36,8 @@ import math
 import time
 
 from ..obs import NULL_METRICS, NULL_TRACER
-from .shards import shard_view
+from .shards import TableShard, shard_view
+from .shm import SharedShardView
 
 
 def _record_task_spans(
@@ -84,6 +95,61 @@ def plan_blocks(items, num_workers: int = 1, block_size: int | None = None):
     ]
 
 
+def plan_task_views(executor, view, shards, metrics=None):
+    """One mapper-compatible view per shard, plus the handoff mode.
+
+    Returns ``(views, mode)`` with ``mode`` one of ``"zero-copy"``
+    (descriptor views over the executor's shared column store) or
+    ``"copied"`` (today's sliced :class:`ShardView` path).  Zero-copy
+    requires a genuine fan-out — at least two shards *and* two workers —
+    plus an executor exposing a column store and a view the store can
+    publish (i.e. one with a table fingerprint); anything else takes the
+    copying path, and a single shard covering the whole table passes the
+    view through untouched (the in-process short-circuit never pickles
+    it, and reusing the caller's object lets per-view caches such as the
+    bitmap counting index survive across passes).
+    """
+    shards = tuple(shards)
+    store = executor.column_store() if executor is not None else None
+    if (
+        store is not None
+        and len(shards) > 1
+        and getattr(executor, "num_workers", 1) > 1
+    ):
+        handle = store.publish(view, metrics=metrics)
+        if handle is not None:
+            views = [
+                SharedShardView(handle, shard.start, shard.stop)
+                for shard in shards
+            ]
+            return views, "zero-copy"
+    if (
+        len(shards) == 1
+        and shards[0].start == 0
+        and shards[0].stop == view.num_records
+    ):
+        return [view], "copied"
+    return [shard_view(view, shard) for shard in shards], "copied"
+
+
+def executor_table_view(executor, view, metrics=None):
+    """A cheaply picklable full-table view for executor payloads.
+
+    For stages that ship the *whole* table inside each task payload
+    (e.g. the interest filter's on-demand support counting), returns a
+    :class:`~repro.engine.shm.SharedShardView` descriptor over the
+    executor's column store when available, else a full-range copying
+    :class:`ShardView`.  Either way the result is mapper-compatible and
+    picklable.
+    """
+    store = executor.column_store() if executor is not None else None
+    if store is not None and getattr(executor, "num_workers", 1) > 1:
+        handle = store.publish(view, metrics=metrics)
+        if handle is not None:
+            return SharedShardView(handle, 0, view.num_records)
+    return shard_view(view, TableShard(0, view.num_records))
+
+
 def _run_shard(task):
     """Worker trampoline: unpack one shard task and time it."""
     fn, view, payload = task
@@ -109,23 +175,35 @@ def sharded_map(
 
     ``executor=None`` runs in-process (identical to a
     :class:`~repro.engine.executor.SerialExecutor`).  When ``stats`` is
-    given, per-shard worker seconds are recorded under ``stage``.  A
-    ``tracer`` additionally gets one ``shard_task`` span per shard
-    (child of ``parent``, worker-measured duration) and a ``metrics``
-    registry a ``shard_seconds.<stage>`` histogram sample per shard.
+    given, per-shard worker seconds are recorded under ``stage``, plus —
+    when the sink exposes ``record_handoff`` — how the shard views
+    reached the workers (``"copied"`` vs ``"zero-copy"``, see
+    :func:`plan_task_views`).  A ``tracer`` additionally gets one
+    ``shard_task`` span per shard (child of ``parent``, worker-measured
+    duration) and a ``metrics`` registry a ``shard_seconds.<stage>``
+    histogram sample per shard and one ``shard_handoff.<mode>`` count
+    per dispatch.
     """
     shards = tuple(shards)
-    tasks = [(fn, shard_view(view, shard), payload) for shard in shards]
+    registry = metrics if metrics is not None else NULL_METRICS
+    views, handoff = plan_task_views(
+        executor, view, shards, metrics=registry
+    )
+    tasks = [(fn, task_view, payload) for task_view in views]
     dispatched = time.perf_counter()
     if executor is None:
         results = [_run_shard(task) for task in tasks]
     else:
         results = executor.map(_run_shard, tasks)
+    registry.counter(f"shard_handoff.{handoff}").increment()
     if stats is not None and stage is not None:
         stats.record_shards(stage, [seconds for _, seconds in results])
+        record_handoff = getattr(stats, "record_handoff", None)
+        if record_handoff is not None:
+            record_handoff(stage, handoff)
     _record_task_spans(
         tracer if tracer is not None else NULL_TRACER,
-        metrics if metrics is not None else NULL_METRICS,
+        registry,
         stage,
         parent,
         results,

@@ -11,6 +11,14 @@ small "encoded view" surface the counting layer reads from a
 ``TableMapper`` (``num_records`` / ``num_attributes`` / ``column`` /
 ``cardinality``), so counting code is oblivious to whether it sees the
 whole table or one shard.
+
+Pickling a :class:`ShardView` copies the shard's records, which is the
+right trade only when no shared memory is available; its zero-copy
+sibling :class:`~repro.engine.shm.SharedShardView` presents the same
+surface from a descriptor over a published
+:class:`~repro.engine.shm.SharedColumnStore` segment.  The sharding
+layer picks between them per dispatch in
+:func:`~repro.engine.sharded.plan_task_views`.
 """
 
 from __future__ import annotations

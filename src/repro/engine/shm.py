@@ -1,0 +1,351 @@
+"""Zero-copy shard handoff through POSIX shared memory.
+
+:class:`~repro.engine.executor.ParallelExecutor` used to pickle each
+shard's column slices into every task — for a table of ``n`` records the
+pool received ``O(n)`` bytes per dispatch, dwarfing the few integers a
+shard actually needs.  This module removes that tax:
+
+- :class:`SharedColumnStore` publishes a view's coded column matrix
+  *once* per table fingerprint into a ``multiprocessing.shared_memory``
+  segment and hands back a tiny :class:`ColumnBlockHandle`.
+- :class:`SharedShardView` is a picklable *descriptor* — segment name,
+  dtype, shape, record range — that presents the mapper-compatible
+  counting surface (``num_records`` / ``num_attributes`` / ``column`` /
+  ``cardinality``) by attaching to the segment zero-copy inside the
+  worker process.
+
+Workers attach lazily and cache one attachment per segment per process;
+attachments deliberately *unregister* from the ``resource_tracker`` so
+an attaching process exiting cannot unlink a segment it does not own
+(bpo-39959).  The publishing side owns the lifecycle: segments are
+closed *and unlinked* by :meth:`SharedColumnStore.close` (called from
+``ParallelExecutor.close``), and a store dropped with live segments
+emits a :class:`ResourceWarning` plus a ``shm.segments_leaked`` metric
+so leaks are observable, not silent.
+
+On platforms without usable POSIX shared memory (Windows semantics
+differ around unlink-while-mapped) the sharding layer falls back to the
+copying :class:`~repro.engine.shards.ShardView` path — always correct,
+just slower.
+"""
+
+from __future__ import annotations
+
+import atexit
+import secrets
+import sys
+import warnings
+
+import numpy as np
+
+from ..obs import NULL_METRICS
+
+#: Prefix of every segment this module creates; the leak-check tooling
+#: greps ``/dev/shm`` for it after a run.
+SEGMENT_PREFIX = "repro_shm_"
+
+#: Attempts at drawing an unused segment name before giving up.
+_NAME_ATTEMPTS = 8
+
+
+def shared_memory_available() -> bool:
+    """Whether zero-copy shard handoff can work on this platform.
+
+    Windows is excluded: its named-shared-memory segments vanish with
+    their last handle instead of honoring an explicit unlink, which
+    breaks the publish-once / attach-many lifecycle this module relies
+    on.  Everything else only needs ``multiprocessing.shared_memory``
+    to import.
+    """
+    if sys.platform == "win32":
+        return False
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - stdlib module missing
+        return False
+    return True
+
+
+class ColumnBlockHandle:
+    """Picklable descriptor of one published column matrix.
+
+    A few dozen bytes that stand in for the whole coded table: workers
+    use the ``segment`` name to attach and the ``dtype``/``shape`` pair
+    to view the raw buffer as the ``(num_attributes, num_records)``
+    matrix the store wrote.  ``cardinalities`` carries the full-table
+    per-attribute cardinalities so descriptor views answer
+    ``cardinality()`` without touching the segment.
+    """
+
+    __slots__ = ("segment", "dtype", "shape", "cardinalities")
+
+    def __init__(self, segment, dtype, shape, cardinalities) -> None:
+        self.segment = segment
+        self.dtype = dtype
+        self.shape = tuple(shape)
+        self.cardinalities = tuple(cardinalities)
+
+    def __getstate__(self):
+        """Pickle as a plain tuple (slots classes need explicit state)."""
+        return (self.segment, self.dtype, self.shape, self.cardinalities)
+
+    def __setstate__(self, state) -> None:
+        """Restore from :meth:`__getstate__`'s tuple."""
+        self.segment, self.dtype, self.shape, self.cardinalities = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ColumnBlockHandle(segment={self.segment!r}, "
+            f"shape={self.shape})"
+        )
+
+
+# One cached attachment per segment per process: (SharedMemory, matrix).
+_ATTACHMENTS: dict = {}
+
+
+def _attach_untracked(name: str):
+    """Attach to an existing segment without resource-tracker ownership.
+
+    ``SharedMemory(name=...)`` registers the segment with the process's
+    resource tracker even when merely attaching, so a worker exiting
+    would unlink a segment the parent still serves (bpo-39959).  Python
+    3.13 grew ``track=False`` for exactly this; on older versions the
+    tracker registration is suppressed for the duration of the open.
+    (Register-then-unregister would race: the tracker keeps one shared
+    name *set* per resource type, so two workers attaching concurrently
+    could unregister the same entry twice.)
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no ``track`` parameter
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def _skip_shared_memory(resource_name, rtype):
+            if rtype != "shared_memory":  # pragma: no cover - other types
+                original(resource_name, rtype)
+
+        resource_tracker.register = _skip_shared_memory
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def attached_matrix(handle: ColumnBlockHandle) -> np.ndarray:
+    """The full column matrix behind ``handle``, attached zero-copy.
+
+    Attachments are cached per process and per segment, so every
+    :class:`SharedShardView` task landing on the same worker shares one
+    mapping.  The returned array is read-only backing for counting —
+    callers must not write through it.
+    """
+    entry = _ATTACHMENTS.get(handle.segment)
+    if entry is None:
+        segment = _attach_untracked(handle.segment)
+        matrix = np.ndarray(
+            handle.shape, dtype=np.dtype(handle.dtype), buffer=segment.buf
+        )
+        entry = (segment, matrix)
+        _ATTACHMENTS[handle.segment] = entry
+    return entry[1]
+
+
+@atexit.register
+def _close_attachments() -> None:
+    """Close this process's cached attachments (never unlinks)."""
+    while _ATTACHMENTS:
+        _, (segment, _) = _ATTACHMENTS.popitem()
+        try:
+            segment.close()
+        except BufferError:  # a numpy view still holds the buffer
+            pass
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
+
+
+class SharedShardView:
+    """Mapper-compatible view of one record range of a published table.
+
+    Pickles to its descriptor (handle + two integers) — never the column
+    data — and attaches to the shared segment on first column access in
+    whichever process it lands.  Presents the same counting surface as
+    :class:`~repro.engine.shards.ShardView`, so counting code cannot
+    tell the two apart.
+    """
+
+    def __init__(self, handle: ColumnBlockHandle, start: int, stop: int):
+        self._handle = handle
+        self._start = start
+        self._stop = stop
+
+    def __getstate__(self):
+        """Pickle the descriptor only — attachments never travel."""
+        return (self._handle, self._start, self._stop)
+
+    def __setstate__(self, state) -> None:
+        """Restore from :meth:`__getstate__`'s descriptor tuple."""
+        self._handle, self._start, self._stop = state
+
+    @property
+    def num_records(self) -> int:
+        """Number of records in this view's record range."""
+        return self._stop - self._start
+
+    @property
+    def num_attributes(self) -> int:
+        """Number of attributes (same as the full table's)."""
+        return self._handle.shape[0]
+
+    def column(self, index: int) -> np.ndarray:
+        """This range's slice of attribute ``index``'s coded column."""
+        matrix = attached_matrix(self._handle)
+        return matrix[index, self._start:self._stop]
+
+    def cardinality(self, index: int) -> int:
+        """Attribute ``index``'s *full-table* cardinality."""
+        return self._handle.cardinalities[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SharedShardView({self._handle.segment!r}, "
+            f"[{self._start}, {self._stop}))"
+        )
+
+
+class SharedColumnStore:
+    """Publish-once registry of coded column matrices in shared memory.
+
+    Keyed by table fingerprint: the first :meth:`publish` of a view
+    copies its columns into a fresh segment, later calls return the
+    cached :class:`ColumnBlockHandle` for free.  The store owns every
+    segment it creates — :meth:`close` closes and unlinks them all, and
+    dropping a store with live segments emits a :class:`ResourceWarning`
+    (plus ``shm.segments_leaked`` on the metrics registry) before
+    cleaning up as a last resort.
+    """
+
+    def __init__(self, metrics=None) -> None:
+        self._segments: dict = {}
+        self._metrics = metrics if metrics is not None else NULL_METRICS
+
+    def __len__(self) -> int:
+        """Number of live published segments."""
+        return len(self._segments)
+
+    def segment_names(self) -> tuple:
+        """Names of the live segments (for leak assertions in tests)."""
+        return tuple(
+            handle.segment for _, handle in self._segments.values()
+        )
+
+    def publish(self, view, metrics=None) -> ColumnBlockHandle | None:
+        """Publish ``view``'s columns; returns a handle or ``None``.
+
+        ``None`` — "use the copying path" — comes back when the view has
+        no table fingerprint to key on, when shared memory is not
+        available, or when segment creation fails; publishing never
+        raises for operational reasons.  ``metrics`` (a duck-typed
+        registry) updates the sink used for publish/close/leak counters.
+        """
+        if metrics is not None:
+            self._metrics = metrics
+        fingerprint = getattr(view, "fingerprint", None)
+        if fingerprint is None or not shared_memory_available():
+            return None
+        key = fingerprint()
+        cached = self._segments.get(key)
+        if cached is not None:
+            return cached[1]
+        num_attributes = view.num_attributes
+        num_records = view.num_records
+        shape = (num_attributes, num_records)
+        nbytes = max(1, num_attributes * num_records * 8)
+        segment = self._create_segment(nbytes)
+        if segment is None:
+            return None
+        target = np.ndarray(shape, dtype=np.int64, buffer=segment.buf)
+        matrix = getattr(view, "column_matrix", None)
+        if matrix is not None:
+            target[:] = matrix()
+        else:
+            for index in range(num_attributes):
+                target[index, :] = view.column(index)
+        del target
+        handle = ColumnBlockHandle(
+            segment.name,
+            "int64",
+            shape,
+            (view.cardinality(a) for a in range(num_attributes)),
+        )
+        self._segments[key] = (segment, handle)
+        self._metrics.counter("shm.segments_published").increment()
+        self._metrics.counter("shm.bytes_published").increment(nbytes)
+        return handle
+
+    @staticmethod
+    def _create_segment(nbytes: int):
+        """Create a fresh uniquely named segment, or ``None`` on failure."""
+        from multiprocessing import shared_memory
+
+        for _ in range(_NAME_ATTEMPTS):
+            name = SEGMENT_PREFIX + secrets.token_hex(8)
+            try:
+                return shared_memory.SharedMemory(
+                    create=True, size=nbytes, name=name
+                )
+            except FileExistsError:  # pragma: no cover - token collision
+                continue
+            except OSError:  # no /dev/shm, size limit, permissions, ...
+                return None
+        return None  # pragma: no cover - eight collisions in a row
+
+    def close(self) -> int:
+        """Close and unlink every published segment; returns the count.
+
+        Idempotent — a second call finds nothing to release.  Worker
+        attachments elsewhere stay valid until those processes close
+        them (POSIX keeps unlinked segments alive while mapped).
+        """
+        released = 0
+        while self._segments:
+            _, (segment, handle) = self._segments.popitem()
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - view still exported
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            released += 1
+        if released:
+            self._metrics.counter("shm.segments_released").increment(
+                released
+            )
+        return released
+
+    def __del__(self) -> None:
+        """Leak backstop: warn, count, and release anything still live."""
+        if not self._segments:
+            return
+        try:
+            self._metrics.counter("shm.segments_leaked").increment(
+                len(self._segments)
+            )
+            warnings.warn(
+                f"SharedColumnStore dropped with {len(self._segments)} "
+                "shared-memory segment(s) still published; call close()",
+                ResourceWarning,
+                stacklevel=2,
+            )
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass

@@ -5,6 +5,8 @@ import pytest
 
 from repro.core import Item, MinerConfig, TableMapper, make_itemset
 from repro.core.counting import (
+    BitmapIndex,
+    _popcount_rows,
     CountingStats,
     PrefixSumCounter,
     categorical_mask,
@@ -117,8 +119,52 @@ class TestPrefixSumCounter:
                 assert cross[i, j] == expected
 
 
+class TestBitmapIndex:
+    def test_range_words_match_brute_force(self, mapper):
+        index = BitmapIndex.for_view(mapper)
+        for attr, lo, hi in [(0, 0, 7), (0, 2, 5), (1, 3, 3), (2, 1, 1)]:
+            words = index.range_words(attr, lo, hi)
+            count = int(_popcount_rows(words))
+            expected = brute_support(mapper, (Item(attr, lo, hi),))
+            assert count == expected
+            # Padding bits past num_records must stay zero, or
+            # complements would leak phantom records into counts.
+            tail = mapper.num_records % 64
+            if tail:
+                assert int(words[-1]) >> tail == 0
+
+    def test_index_cached_on_view(self, mapper):
+        assert BitmapIndex.for_view(mapper) is BitmapIndex.for_view(mapper)
+
+    def test_empty_view(self):
+        from repro.engine.shards import ShardView
+
+        empty = ShardView([np.empty(0, np.int64)] * 2, [8, 8], 0)
+        index = BitmapIndex.for_view(empty)
+        assert index.range_words(0, 0, 7).size == 0
+
+    def test_word_boundary_record_counts(self):
+        # 64 and 65 records exercise the exact-word and spill-over cases.
+        for n in (63, 64, 65, 128):
+            values = np.arange(n, dtype=float) % 4
+            schema = TableSchema([quantitative("v")])
+            table = RelationalTable.from_columns(schema, [values])
+            view = TableMapper(
+                table,
+                MinerConfig(min_support=0.1, num_partitions={"v": 4}),
+            )
+            index = BitmapIndex.for_view(view)
+            for lo, hi in [(0, 3), (1, 2), (3, 3)]:
+                count = int(
+                    _popcount_rows(index.range_words(0, lo, hi))
+                )
+                assert count == brute_support(view, (Item(0, lo, hi),))
+
+
 class TestCountItemsets:
-    @pytest.mark.parametrize("backend", ["array", "rtree", "direct"])
+    @pytest.mark.parametrize(
+        "backend", ["array", "rtree", "direct", "bitmap"]
+    )
     def test_backends_match_brute_force(self, mapper, backend):
         candidates = sample_candidates(mapper)
         counts = count_itemsets(candidates, mapper, {0, 1}, backend)
@@ -130,9 +176,10 @@ class TestCountItemsets:
         candidates = sample_candidates(mapper)
         results = [
             count_itemsets(candidates, mapper, {0, 1}, b)
-            for b in ("array", "rtree", "direct", "auto")
+            for b in ("array", "rtree", "direct", "bitmap", "auto")
         ]
-        assert results[0] == results[1] == results[2] == results[3]
+        for other in results[1:]:
+            assert other == results[0]
 
     def test_stats_record_backends(self, mapper):
         stats = CountingStats()
@@ -162,6 +209,38 @@ class TestChooseBackend:
             [make_itemset([Item(0, 0, 1), Item(1, 0, 1)])], {0, 1}
         )
         assert choose_backend(groups[0], mapper, "auto", 16) == "rtree"
+
+    def test_bitmap_respected_within_budget(self, mapper):
+        groups = group_candidates(
+            [make_itemset([Item(0, 0, 1), Item(1, 0, 1)])], {0, 1}
+        )
+        assert (
+            choose_backend(groups[0], mapper, "bitmap", 1 << 30) == "bitmap"
+        )
+
+    def test_bitmap_falls_back_when_over_budget(self, mapper):
+        # Prefix tables for two 8-value attributes over 600 records need
+        # a few KiB; a 16-byte budget must reject them.
+        groups = group_candidates(
+            [make_itemset([Item(0, 0, 1), Item(1, 0, 1)])], {0, 1}
+        )
+        assert choose_backend(groups[0], mapper, "bitmap", 16) == "rtree"
+
+    def test_bitmap_fallback_stays_exact(self, mapper):
+        candidates = sample_candidates(mapper)
+        tight = count_itemsets(
+            candidates, mapper, {0, 1}, "bitmap", memory_budget_bytes=16
+        )
+        roomy = count_itemsets(candidates, mapper, {0, 1}, "bitmap")
+        assert tight == roomy
+
+    def test_bitmap_recorded_in_stats(self, mapper):
+        stats = CountingStats()
+        count_itemsets(
+            sample_candidates(mapper), mapper, {0, 1}, "bitmap", stats=stats
+        )
+        assert stats.groups_by_backend.get("bitmap", 0) > 0
+        assert stats.groups_by_backend.get("mask", 0) == 1
 
 
 class TestCountFrequentPairs:
@@ -195,7 +274,8 @@ class TestCountFrequentPairs:
         assert num_candidates == expected_candidates
         assert fast == slow
 
-    def test_rtree_backend_agrees(self, mapper):
+    @pytest.mark.parametrize("backend", ["rtree", "bitmap"])
+    def test_explicit_backends_agree(self, mapper, backend):
         from repro.core.candidates import pairs_by_attribute
 
         freq = self._frequent_items(mapper)
@@ -203,7 +283,7 @@ class TestCountFrequentPairs:
         min_count = 0.1 * mapper.num_records
         fast, __ = count_frequent_pairs(buckets, mapper, {0, 1}, min_count)
         slow, __ = count_frequent_pairs(
-            buckets, mapper, {0, 1}, min_count, backend="rtree"
+            buckets, mapper, {0, 1}, min_count, backend=backend
         )
         assert fast == slow
 

@@ -10,14 +10,25 @@ bit-identical to the serial single-shard reference: same
 same ``interesting_rules``.
 
 One randomized property drives serial vs. fine-grained shards vs. a
-two-worker process pool across all three counting backends.
+two-worker process pool across all four counting backends — under a
+parallel executor the shard views additionally travel as zero-copy
+shared-memory descriptors — and across the artifact-cache backends
+(each run gets a private cache, so a hit can only come from the run's
+own stages).
 """
+
+import tempfile
 
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import ExecutionConfig, MinerConfig, QuantitativeMiner
+from repro.core import (
+    CacheConfig,
+    ExecutionConfig,
+    MinerConfig,
+    QuantitativeMiner,
+)
 from repro.table import RelationalTable, TableSchema, categorical, quantitative
 
 
@@ -42,17 +53,27 @@ def build_table(x_values, y_values, c_values):
 draws = st.lists(st.integers(0, 9), min_size=30, max_size=80)
 
 
-def mine_with(table, backend, minsup, execution):
-    config = MinerConfig(
-        min_support=minsup,
-        min_confidence=0.3,
-        max_support=0.6,
-        partial_completeness=3.0,
-        counting=backend,
-        interest_level=1.1,
-        execution=execution,
-    )
-    return QuantitativeMiner(table, config).mine()
+def mine_with(table, backend, minsup, execution, cache_backend="none"):
+    def build_config(cache):
+        return MinerConfig(
+            min_support=minsup,
+            min_confidence=0.3,
+            max_support=0.6,
+            partial_completeness=3.0,
+            counting=backend,
+            interest_level=1.1,
+            execution=execution,
+            cache=cache,
+        )
+
+    if cache_backend == "disk":
+        # A private directory per run: a hit can only restore artifacts
+        # this very run stored, so caching cannot mask a divergence.
+        with tempfile.TemporaryDirectory() as tmp:
+            cache = CacheConfig(backend="disk", directory=tmp)
+            return QuantitativeMiner(table, build_config(cache)).mine()
+    cache = CacheConfig(backend=cache_backend)
+    return QuantitativeMiner(table, build_config(cache)).mine()
 
 
 class TestExecutionEquivalence:
@@ -61,12 +82,13 @@ class TestExecutionEquivalence:
         draws,
         draws,
         st.floats(0.15, 0.4),
-        st.sampled_from(["array", "rtree", "direct"]),
+        st.sampled_from(["array", "rtree", "direct", "bitmap"]),
         st.integers(1, 25),
+        st.sampled_from(["none", "memory", "disk"]),
     )
     @settings(max_examples=8, deadline=None)
     def test_execution_strategy_is_invisible(
-        self, xs, ys, cs, minsup, backend, shard_size
+        self, xs, ys, cs, minsup, backend, shard_size, cache_backend
     ):
         n = min(len(xs), len(ys), len(cs))
         table = build_table(xs[:n], ys[:n], cs[:n])
@@ -84,7 +106,9 @@ class TestExecutionEquivalence:
             ),
         }
         for label, execution in variants.items():
-            result = mine_with(table, backend, minsup, execution)
+            result = mine_with(
+                table, backend, minsup, execution, cache_backend
+            )
             assert result.support_counts == reference.support_counts, label
             assert list(result.support_counts) == list(
                 reference.support_counts
