@@ -20,9 +20,11 @@ Public API highlights
 """
 
 from .core import (
+    AppendReport,
     AsyncConfig,
     CacheConfig,
     ExecutionConfig,
+    IncrementalConfig,
     InterestEvaluator,
     Item,
     MinerConfig,
@@ -50,11 +52,13 @@ from .table import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AppendReport",
     "AsyncConfig",
     "Attribute",
     "AttributeKind",
     "CacheConfig",
     "ExecutionConfig",
+    "IncrementalConfig",
     "InterestEvaluator",
     "Item",
     "MinerConfig",

@@ -38,6 +38,7 @@ import sys
 from .core import (
     CacheConfig,
     ExecutionConfig,
+    IncrementalConfig,
     MinerConfig,
     ObsConfig,
     QuantitativeMiner,
@@ -129,6 +130,24 @@ def build_parser() -> argparse.ArgumentParser:
             "records per table shard for support counting "
             "(default: derived from the worker count; results are "
             "identical for any value)"
+        ),
+    )
+    mine.add_argument(
+        "--append", action="append", default=[], metavar="EXTRA.csv",
+        help=(
+            "after mining, append EXTRA.csv's rows (same columns, any "
+            "order) to the table and re-mine incrementally, reusing "
+            "per-shard count artifacts for untouched rows (repeatable; "
+            "enables the incremental engine)"
+        ),
+    )
+    mine.add_argument(
+        "--incremental-shard-size", type=int, default=None,
+        metavar="ROWS",
+        help=(
+            "records per shard in incremental mode (fixed boundaries "
+            "keep prefix shards byte-stable across appends; "
+            "default: 8192)"
         ),
     )
     mine.add_argument(
@@ -346,6 +365,16 @@ def _run_mine(args) -> int:
         metrics_path=args.metrics_out,
         log_level=args.log_level,
     )
+    incremental = None
+    if args.append or args.incremental_shard_size is not None:
+        incremental = IncrementalConfig(
+            enabled=True,
+            shard_size=(
+                args.incremental_shard_size
+                if args.incremental_shard_size is not None
+                else IncrementalConfig().shard_size
+            ),
+        )
     config = MinerConfig(
         min_support=args.min_support,
         min_confidence=args.min_confidence,
@@ -364,6 +393,7 @@ def _run_mine(args) -> int:
         execution=execution,
         cache=cache,
         observability=observability,
+        incremental=incremental,
     )
     categorical = set(_split_names(args.categorical)) | set(taxonomies)
     table = load_csv(
@@ -372,8 +402,13 @@ def _run_mine(args) -> int:
         categorical=sorted(categorical),
     )
     if args.async_jobs is not None:
+        if args.append:
+            raise SystemExit("--append is not supported with --async-jobs")
         return _run_mine_batch(args, table, config)
-    result = QuantitativeMiner(table, config).mine()
+    miner = QuantitativeMiner(table, config)
+    result = miner.mine()
+    if args.append:
+        result = _apply_appends(args, miner, table)
     rules = result.rules if args.all_rules else result.interesting_rules
     print(result.describe_rules(rules, limit=args.limit))
     if args.save_json:
@@ -391,6 +426,47 @@ def _run_mine(args) -> int:
         print(result.stats.summary(), file=sys.stderr)
     _report_observability(args, result.observability)
     return 0
+
+
+def _apply_appends(args, miner, table):
+    """Apply each --append CSV and re-mine; returns the final result.
+
+    Fragments are parsed with the base table's resolved attribute
+    kinds forced, so a numeric-looking fragment can never flip a
+    categorical column, and their rows are reordered to the base
+    schema before appending.  Each round reports whether the append
+    kept the existing partitions (per-shard count artifacts for
+    untouched rows are reused) or had to re-partition.
+    """
+    names = [attr.name for attr in table.schema]
+    quantitative = [a.name for a in table.schema if a.is_quantitative]
+    categorical = [
+        a.name for a in table.schema if not a.is_quantitative
+    ]
+    result = None
+    for path in args.append:
+        fragment = load_csv(
+            path, quantitative=quantitative, categorical=categorical
+        )
+        fragment_names = [attr.name for attr in fragment.schema]
+        if sorted(fragment_names) != sorted(names):
+            raise SystemExit(
+                f"{path}: columns {sorted(fragment_names)} do not "
+                f"match {args.csv}'s columns {sorted(names)}"
+            )
+        report = miner.append(fragment.iter_records(names))
+        mode = (
+            f"re-partitioned: {report.reason}"
+            if report.repartitioned
+            else "kept partitions"
+        )
+        print(
+            f"appended {report.records_appended} records from {path} "
+            f"-> {report.num_records} total ({mode})",
+            file=sys.stderr,
+        )
+        result = miner.mine()
+    return result
 
 
 def _report_observability(args, obs) -> None:

@@ -24,6 +24,7 @@ from ..engine import (
     plan_shards,
     resolve_executor,
 )
+from ..engine.shard_cache import ShardCountCache
 from ..obs import timeit
 from .candidates import generate_candidates, pairs_by_attribute
 from .config import COUNTING_CONFIG_KEYS, MinerConfig
@@ -67,6 +68,7 @@ class PairPassStage(PipelineStage):
                 tracer=context.tracer,
                 span_parent=context.current_span,
                 metrics=context.metrics,
+                shard_cache=context.shard_cache,
             )
         a["support_counts"].update(current)
         context.annotate(candidates=num_candidates, frequent=len(current))
@@ -129,6 +131,7 @@ class JoinPassStage(PipelineStage):
                 tracer=context.tracer,
                 span_parent=context.current_span,
                 metrics=context.metrics,
+                shard_cache=context.shard_cache,
             )
         min_count = a["min_count"]
         current = {
@@ -254,19 +257,31 @@ def build_engine_context(
     ``None`` leaves the context on the no-op instruments.
     """
     execution = config.execution
+    incremental = config.incremental
     executor = resolve_executor(execution.executor, execution.num_workers)
+    shard_size = execution.shard_size
+    if incremental.enabled and shard_size is None:
+        # Incremental mode needs shard boundaries that survive appends:
+        # a worker-derived layout shifts every boundary when the record
+        # count grows, dirtying every shard artifact.  A fixed shard
+        # size keeps prefix shards byte-stable so only the tail recounts.
+        shard_size = incremental.shard_size
     shards = plan_shards(
-        mapper.num_records, execution.shard_size, executor.num_workers
+        mapper.num_records, shard_size, executor.num_workers
     )
     execution_stats = ExecutionStats(
         executor=executor.name,
         num_workers=executor.num_workers,
         num_shards=len(shards),
-        shard_size=execution.shard_size,
+        shard_size=shard_size,
     )
     if stats is not None:
         stats.execution = execution_stats
     engine = ExecutionEngine(executor, shards, cache=cache)
+    metrics = observability.metrics if observability is not None else None
+    shard_cache = None
+    if incremental.enabled and cache is not None:
+        shard_cache = ShardCountCache(cache, metrics=metrics)
     context = StageContext(
         artifacts={"mapper": mapper, "config": config},
         executor=executor,
@@ -275,7 +290,8 @@ def build_engine_context(
         execution_stats=execution_stats,
         engine=engine,
         tracer=observability.tracer if observability is not None else None,
-        metrics=observability.metrics if observability is not None else None,
+        metrics=metrics,
+        shard_cache=shard_cache,
     )
     return engine, context
 

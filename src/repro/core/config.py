@@ -195,10 +195,20 @@ class CacheConfig:
         processes), or ``"none"`` (explicitly cache-free).
     max_entries:
         LRU bound for the memory backend; ignored by the others.
+        ``None`` (the default) resolves to 64 entries — or 4096 when
+        the owning :class:`MinerConfig` has incremental mining enabled,
+        since shard-granular count artifacts need one entry per shard
+        per counting stage and a 64-entry bound would evict them
+        between runs.
     directory:
         Location for the disk backend; ``None`` uses
         ``~/.cache/repro``.  Setting a directory while leaving
         ``backend`` at its default selects the disk backend.
+    max_bytes:
+        Size budget for the disk backend's directory; least-recently-
+        used entries are evicted past it.  ``None`` (the default) leaves
+        the directory unbounded.  Shard-granular artifacts multiply the
+        entry count, so append-heavy deployments should set this.
 
     Caching is purely an optimization: cache keys are content
     fingerprints of the table plus every configuration field a stage
@@ -208,8 +218,9 @@ class CacheConfig:
 
     enabled: bool = True
     backend: str = "memory"
-    max_entries: int = 64
+    max_entries: int | None = None
     directory: str | None = None
+    max_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in CACHE_BACKENDS:
@@ -217,9 +228,13 @@ class CacheConfig:
                 f"backend must be one of {CACHE_BACKENDS}, "
                 f"got {self.backend!r}"
             )
-        if self.max_entries < 1:
+        if self.max_entries is not None and self.max_entries < 1:
             raise ValueError(
                 f"max_entries must be >= 1, got {self.max_entries}"
+            )
+        if self.max_bytes is not None and self.max_bytes < 1:
+            raise ValueError(
+                f"max_bytes must be >= 1, got {self.max_bytes}"
             )
         if self.directory is not None and self.backend == "memory":
             self.backend = "disk"
@@ -236,8 +251,59 @@ class CacheConfig:
         from ..engine.cache import DiskCache, MemoryCache
 
         if self.backend == "disk":
-            return DiskCache(self.directory)
-        return MemoryCache(max_entries=self.max_entries)
+            return DiskCache(self.directory, max_bytes=self.max_bytes)
+        return MemoryCache(
+            max_entries=64 if self.max_entries is None else self.max_entries
+        )
+
+
+@dataclass
+class IncrementalConfig:
+    """How the miner handles appended records (shard-granular dataflow).
+
+    Parameters
+    ----------
+    enabled:
+        Master switch.  When on (and an artifact cache is active), the
+        record-linear counting stages consult per-shard count artifacts
+        before fanning out, so a re-mine after
+        :meth:`~repro.core.miner.QuantitativeMiner.append` recounts
+        only new or dirty shards.  Off (the default) preserves the
+        stage-granular behavior exactly.
+    shard_size:
+        Records per shard when ``execution.shard_size`` is unset.
+        Incremental mode needs boundaries that do not move when the
+        record count grows (a worker-derived layout would dirty every
+        shard on every append), so it pins a fixed size.  An explicit
+        ``execution.shard_size`` takes precedence.
+    k_drift_budget:
+        Allowed relative drift of the realized partial-completeness
+        level K before an append forces a re-partition.  After every
+        append the miner recomputes K from the live boundaries (Eq. 1
+        machinery); while it stays within ``baseline * (1 + budget)``
+        the partitioning — and with it every cached shard artifact —
+        is kept.  ``0`` re-partitions on any measurable drift.
+
+    Like the other engine blocks this is purely operational: within the
+    K budget the kept partitioning makes incremental output *identical*
+    to a cold mine under the same partitioning, and past the budget the
+    rebuild path is literally the cold path.  It participates in no
+    cache fingerprint.
+    """
+
+    enabled: bool = False
+    shard_size: int = 8192
+    k_drift_budget: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.shard_size < 1:
+            raise ValueError(
+                f"shard_size must be >= 1, got {self.shard_size}"
+            )
+        if self.k_drift_budget < 0:
+            raise ValueError(
+                f"k_drift_budget must be >= 0, got {self.k_drift_budget}"
+            )
 
 
 @dataclass
@@ -416,6 +482,11 @@ class MinerConfig:
         of its fields, or ``None`` for "off".  Purely operational like
         the other engine blocks: observing a run never changes its
         output or its cache keys.
+    incremental:
+        How appended records are handled (see
+        :class:`IncrementalConfig`).  An :class:`IncrementalConfig`, a
+        plain dict of its fields, or ``None`` for "off".  Purely
+        operational like the other engine blocks.
     """
 
     min_support: float = 0.1
@@ -437,6 +508,7 @@ class MinerConfig:
     cache: CacheConfig | None = field(default=None)
     async_mining: AsyncConfig | None = field(default=None)
     observability: ObsConfig | None = field(default=None)
+    incremental: IncrementalConfig | None = field(default=None)
 
     def __post_init__(self) -> None:
         if self.execution is None:
@@ -475,6 +547,25 @@ class MinerConfig:
                 "observability must be an ObsConfig, a dict of its "
                 f"fields, or None; got {type(self.observability).__name__}"
             )
+        if self.incremental is None:
+            self.incremental = IncrementalConfig()
+        elif isinstance(self.incremental, dict):
+            self.incremental = IncrementalConfig(**self.incremental)
+        elif not isinstance(self.incremental, IncrementalConfig):
+            raise TypeError(
+                "incremental must be an IncrementalConfig, a dict of its "
+                f"fields, or None; got {type(self.incremental).__name__}"
+            )
+        if (
+            self.incremental.enabled
+            and self.cache.backend == "memory"
+            and self.cache.max_entries is None
+        ):
+            # Shard-granular count artifacts need one entry per shard
+            # per counting stage; the plain 64-entry default would evict
+            # them between an append and the re-mine that should reuse
+            # them.  An explicit max_entries always wins.
+            self.cache.max_entries = 4096
         if not 0.0 < self.min_support <= 1.0:
             raise ValueError(
                 f"min_support must be in (0, 1], got {self.min_support}"
@@ -535,7 +626,7 @@ class MinerConfig:
         for f in dataclasses.fields(self):
             value = getattr(self, f.name)
             if f.name in ("execution", "cache", "async_mining",
-                          "observability"):
+                          "observability", "incremental"):
                 value = dataclasses.asdict(value)
             elif f.name == "taxonomies":
                 value = (

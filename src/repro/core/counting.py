@@ -54,7 +54,7 @@ from itertools import product
 
 import numpy as np
 
-from ..engine.sharded import sharded_map
+from ..engine.shard_cache import sharded_map_cached
 from ..engine.shards import plan_shards
 from ..rtree import Rect, bulk_load
 from .mapper import TableMapper
@@ -534,6 +534,7 @@ def count_itemsets(
     tracer=None,
     span_parent=None,
     metrics=None,
+    shard_cache=None,
 ) -> dict:
     """Support counts for explicit candidate itemsets.
 
@@ -557,7 +558,8 @@ def count_itemsets(
     else:
         if shards is None:
             shards = plan_shards(mapper.num_records)
-        per_shard = sharded_map(
+        per_shard = sharded_map_cached(
+            shard_cache,
             executor,
             mapper,
             shards,
@@ -764,6 +766,7 @@ def count_frequent_pairs(
     tracer=None,
     span_parent=None,
     metrics=None,
+    shard_cache=None,
 ):
     """Pass 2, specialized: return frequent 2-itemsets and the candidate tally.
 
@@ -792,7 +795,8 @@ def count_frequent_pairs(
     else:
         if shards is None:
             shards = plan_shards(mapper.num_records)
-        per_shard = sharded_map(
+        per_shard = sharded_map_cached(
+            shard_cache,
             executor,
             mapper,
             shards,

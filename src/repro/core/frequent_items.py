@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..engine.sharded import sharded_map
+from ..engine.shard_cache import sharded_map_cached
 from ..engine.stage import PipelineStage
 from ..obs import timeit
 from .config import FREQUENT_ITEMS_CONFIG_KEYS, SUPPORT_AND_CONFIDENCE
@@ -104,6 +104,7 @@ def attribute_histograms(
     tracer=None,
     span_parent=None,
     metrics=None,
+    shard_cache=None,
 ) -> list:
     """Per-attribute value counts, optionally sharded over records.
 
@@ -117,7 +118,8 @@ def attribute_histograms(
             ).astype(np.int64)
             for a in range(mapper.num_attributes)
         ]
-    per_shard = sharded_map(
+    per_shard = sharded_map_cached(
+        shard_cache,
         executor,
         mapper,
         shards,
@@ -148,6 +150,7 @@ def find_frequent_items(
     tracer=None,
     span_parent=None,
     metrics=None,
+    shard_cache=None,
 ) -> FrequentItems:
     """Generate all frequent items of the mapped table.
 
@@ -178,6 +181,7 @@ def find_frequent_items(
         tracer=tracer,
         span_parent=span_parent,
         metrics=metrics,
+        shard_cache=shard_cache,
     )
     supports: dict = {}
     attribute_counts: list = []
@@ -270,6 +274,7 @@ class FrequentItemsStage(PipelineStage):
                 tracer=context.tracer,
                 span_parent=context.current_span,
                 metrics=context.metrics,
+                shard_cache=context.shard_cache,
             )
         support_counts = {
             (item,): count for item, count in freq_items.supports.items()

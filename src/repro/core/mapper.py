@@ -106,7 +106,13 @@ class TableMapper:
     unless overridden), partition, and produce the integer-coded columns.
     """
 
-    def __init__(self, table: RelationalTable, config: MinerConfig) -> None:
+    def __init__(
+        self,
+        table: RelationalTable,
+        config: MinerConfig,
+        *,
+        reuse: "TableMapper | None" = None,
+    ) -> None:
         self._table = table
         self._config = config
         schema = table.schema
@@ -172,13 +178,48 @@ class TableMapper:
                     f"taxonomy declared for quantitative attribute "
                     f"{attr.name!r}; taxonomies apply to categorical ones"
                 )
-            requested = self._requested_intervals(attr.name, default_intervals)
-            if isinstance(requested, Partitioning):
-                partitioning = requested
-            else:
-                partitioning = partition_column(
-                    column, requested, config.partition_method
+            if reuse is not None:
+                # Online partition maintenance: keep the live boundaries
+                # (or value map) so shard artifacts keyed on them stay
+                # valid across an append.  ``assign`` below raises
+                # ValueError when an unpartitioned value map meets an
+                # unseen value — the caller treats that as a forced
+                # re-partition.
+                partitioning = reuse.mapping(attr.name).partitioning
+                prior = reuse._columns[idx]
+                if reuse._table is table and 0 < len(prior) <= len(column):
+                    # The table grows in place and preserves existing
+                    # rows, so the coded prefix is still valid — only
+                    # the appended tail needs encoding (and only the
+                    # tail can hold an unseen value).
+                    tail = column[len(prior):]
+                    codes = (
+                        np.concatenate([prior, partitioning.assign(tail)])
+                        if len(tail)
+                        else prior
+                    )
+                else:
+                    codes = partitioning.assign(column)
+                mappings.append(
+                    AttributeMapping(
+                        name=attr.name,
+                        kind=attr.kind,
+                        cardinality=partitioning.num_intervals,
+                        partitioning=partitioning,
+                    )
                 )
+                columns.append(codes)
+                continue
+            else:
+                requested = self._requested_intervals(
+                    attr.name, default_intervals
+                )
+                if isinstance(requested, Partitioning):
+                    partitioning = requested
+                else:
+                    partitioning = partition_column(
+                        column, requested, config.partition_method
+                    )
             mappings.append(
                 AttributeMapping(
                     name=attr.name,
@@ -246,6 +287,67 @@ class TableMapper:
         if fp is None:
             fp = self._table.fingerprint()
             self._fingerprint = fp
+        return fp
+
+    @property
+    def table(self) -> RelationalTable:
+        return self._table
+
+    def shard_fingerprints(self, shards) -> list:
+        """Content fingerprints of the raw table per shard (memoized)."""
+        return self._table.shard_fingerprints(shards)
+
+    def shm_lineage(self):
+        """``(parent fingerprint, parent records)`` for shm tail-fills.
+
+        Set by the miner's append path when the encoding survived an
+        append unchanged — the contract the shared column store relies
+        on is that this mapper's first ``parent records`` coded records
+        are byte-identical to the parent mapper's.  ``None`` (the
+        default) means "publish from scratch".
+        """
+        return getattr(self, "_shm_parent", None)
+
+    @property
+    def shm_headroom_records(self) -> int:
+        """Spare record capacity to publish shm segments with.
+
+        Non-zero only in incremental mode: the shared column store then
+        sizes segments past the current table so appended tails can be
+        written in place instead of forcing a full republish.
+        """
+        if not self._config.incremental.enabled:
+            return 0
+        return max(1024, self._table.num_records // 4)
+
+    def encoding_fingerprint(self) -> str:
+        """Fingerprint of how raw bytes become mapped codes, memoized.
+
+        Everything a per-shard partial count depends on *besides* the
+        shard's raw bytes and the candidate set: per-attribute labels
+        (taxonomy recodes included — labels follow DFS leaf order) and
+        quantitative partitionings.  Two mappers agreeing on this value
+        code identical raw slices to identical integer matrices, so
+        their shard count artifacts are interchangeable.
+        """
+        fp = getattr(self, "_encoding_fp", None)
+        if fp is None:
+            from ..engine.fingerprint import fingerprint
+
+            fp = fingerprint(
+                "MapperEncoding",
+                [
+                    (
+                        m.name,
+                        m.kind.value,
+                        m.cardinality,
+                        tuple(m.labels),
+                        m.partitioning,
+                    )
+                    for m in self._mappings
+                ],
+            )
+            self._encoding_fp = fp
         return fp
 
     @property

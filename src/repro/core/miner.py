@@ -20,7 +20,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from ..engine import AsyncExecutionEngine
+from ..engine import AsyncExecutionEngine, gc_orphaned_shard_artifacts
 from ..obs import NULL_TRACER
 from ..table import RelationalTable
 from .apriori_quant import FrequentItemsetSearch, build_engine_context
@@ -28,6 +28,7 @@ from .config import (
     AsyncConfig,
     CacheConfig,
     ExecutionConfig,
+    IncrementalConfig,
     MinerConfig,
     ObsConfig,
 )
@@ -164,6 +165,46 @@ class MiningResult:
         save_rules_csv(rules, path, mapper=self.mapper)
 
 
+@dataclass
+class AppendReport:
+    """What one :meth:`QuantitativeMiner.append` call did.
+
+    Attributes
+    ----------
+    records_appended:
+        How many records the call added.
+    num_records:
+        Table size after the append.
+    repartitioned:
+        Whether the live partitioning was rebuilt.  ``False`` means the
+        mapper's boundaries (and with them every cached shard artifact)
+        were kept; the next :meth:`~QuantitativeMiner.mine` recounts
+        only new/dirty shards.
+    reason:
+        Why a re-partition happened (``None`` when it did not): the
+        realized partial-completeness level drifted past its budget, or
+        the existing encoding could not absorb the new records (an
+        unpartitioned value map met an unseen value).
+    realized_completeness:
+        The partial-completeness level K measured from the live
+        boundaries *after* the append (Equation 1 machinery).
+    completeness_budget:
+        The K threshold that would have forced (or did force) a
+        re-partition.
+    artifacts_gc:
+        Shard artifacts garbage-collected from the cache because a
+        re-partition orphaned their encoding.
+    """
+
+    records_appended: int
+    num_records: int
+    repartitioned: bool
+    reason: str | None
+    realized_completeness: float
+    completeness_budget: float
+    artifacts_gc: int = 0
+
+
 class QuantitativeMiner:
     """Mines quantitative association rules from a relational table.
 
@@ -211,6 +252,11 @@ class QuantitativeMiner:
         #: its job span so runs nest under their jobs).
         self._span_parent = span_parent
         self._cumulative_stage_seconds: dict = {}
+        #: K measured at construction time — the anchor the append
+        #: path's drift budget is relative to.
+        self._baseline_completeness = self.realized_completeness(
+            config.min_support
+        )
 
     @property
     def mapper(self) -> TableMapper:
@@ -469,6 +515,101 @@ class QuantitativeMiner:
             s, min_support, len(quantitative)
         )
 
+    def _completeness_budget(self) -> float:
+        """The K level past which an append forces a re-partition.
+
+        Anchored at the larger of the construction-time realized K and
+        the configured target (a partitioning that starts *better* than
+        requested is allowed to drift up to the request), scaled by the
+        configured relative drift budget.
+        """
+        anchor = max(
+            self._baseline_completeness, self._config.partial_completeness
+        )
+        return anchor * (1.0 + self._config.incremental.k_drift_budget)
+
+    def append(self, records) -> AppendReport:
+        """Append ``records`` to the table and maintain the encoding.
+
+        The online half of the incremental dataflow.  The table absorbs
+        the records in place (existing categorical codes and shard
+        bytes are preserved; only the fingerprint tail dirties), then
+        the mapper is rebuilt *reusing the live partitionings* so shard
+        count artifacts keyed on them stay valid.  The realized
+        partial-completeness level K is re-measured on the grown data:
+        while it stays within :meth:`_completeness_budget` the kept
+        boundaries stand, and the next :meth:`mine` recounts only
+        new/dirty shards.  Past the budget — or when the encoding
+        cannot absorb the records at all — the partitioning is rebuilt
+        from the full data (exactly the cold path) and the orphaned
+        shard artifacts are garbage-collected from the cache.
+        """
+        config = self._config
+        shm_parent = None
+        if config.incremental.enabled:
+            # Captured before the table mutates: the pre-append
+            # fingerprint names any still-published shm segment whose
+            # prefix the grown table can extend in place.
+            shm_parent = (
+                self._mapper.fingerprint(),
+                self._table.num_records,
+            )
+        appended = self._table.append(records)
+        reason = None
+        try:
+            self._mapper = TableMapper(
+                self._table, config, reuse=self._mapper
+            )
+        except ValueError as exc:
+            reason = f"encoding could not absorb the appended records: {exc}"
+        realized = None
+        if reason is None:
+            realized = self.realized_completeness(config.min_support)
+            budget = self._completeness_budget()
+            if realized > budget:
+                reason = (
+                    f"realized completeness {realized:.4g} drifted past "
+                    f"the budget {budget:.4g}"
+                )
+        repartitioned = reason is not None
+        removed = 0
+        if not repartitioned and shm_parent is not None:
+            # Coded prefix preserved: advertise the lineage so a shared
+            # column store can tail-fill the parent's segment.
+            self._mapper._shm_parent = shm_parent
+        if repartitioned:
+            self._mapper = TableMapper(self._table, config)
+            self._baseline_completeness = self.realized_completeness(
+                config.min_support
+            )
+            realized = self._baseline_completeness
+            if config.incremental.enabled and self._cache is not None:
+                removed = gc_orphaned_shard_artifacts(
+                    self._cache, self._mapper.encoding_fingerprint()
+                )
+        budget = self._completeness_budget()
+        if self._observability is not None:
+            metrics = self._observability.metrics
+            metrics.counter("incremental.appends").increment()
+            metrics.counter("incremental.records_appended").increment(
+                appended
+            )
+            if repartitioned:
+                metrics.counter("incremental.repartitions").increment()
+            if removed:
+                metrics.counter("incremental.artifacts_gc").increment(
+                    removed
+                )
+        return AppendReport(
+            records_appended=appended,
+            num_records=self._table.num_records,
+            repartitioned=repartitioned,
+            reason=reason,
+            realized_completeness=float(realized),
+            completeness_budget=float(budget),
+            artifacts_gc=removed,
+        )
+
 
 def _fold_block_overrides(
     overrides: dict, block: str, block_type, flat_fields
@@ -525,6 +666,17 @@ def _resolve_config(
             "cache_backend": "backend",
             "cache_max_entries": "max_entries",
             "cache_dir": "directory",
+            "cache_max_bytes": "max_bytes",
+        },
+    )
+    _fold_block_overrides(
+        overrides,
+        "incremental",
+        IncrementalConfig,
+        {
+            "incremental_enabled": "enabled",
+            "incremental_shard_size": "shard_size",
+            "k_drift_budget": "k_drift_budget",
         },
     )
     _fold_block_overrides(

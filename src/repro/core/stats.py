@@ -64,6 +64,13 @@ class ExecutionStats:
     reached the workers: ``"zero-copy"`` (shared-memory descriptors
     over the executor's column store) or ``"copied"`` (pickled column
     slices — the serial and fallback path).
+
+    ``shard_cache_hits`` / ``shard_cache_misses`` count *shard-granular*
+    artifact events (incremental mode): a hit is one shard whose partial
+    counts were restored without dispatch, a miss one shard that
+    actually recounted.  ``stage_shard_cache`` maps each counting stage
+    to its ``[hits, misses]`` pair.  Distinct from the stage-level
+    ``cache_hits``/``cache_misses`` above.
     """
 
     executor: str = "serial"
@@ -77,6 +84,9 @@ class ExecutionStats:
     cache_misses: int = 0
     stage_cache_events: dict = field(default_factory=dict)
     stage_handoff: dict = field(default_factory=dict)
+    shard_cache_hits: int = 0
+    shard_cache_misses: int = 0
+    stage_shard_cache: dict = field(default_factory=dict)
 
     def record_shards(self, stage: str, seconds) -> None:
         """Append one sharded dispatch's per-shard worker timings."""
@@ -100,6 +110,14 @@ class ExecutionStats:
             self.cache_hits += 1
         elif event == "miss":
             self.cache_misses += 1
+
+    def record_shard_cache(self, stage: str, hits: int, misses: int) -> None:
+        """Record one counting dispatch's shard-artifact consultation."""
+        tally = self.stage_shard_cache.setdefault(stage, [0, 0])
+        tally[0] += hits
+        tally[1] += misses
+        self.shard_cache_hits += hits
+        self.shard_cache_misses += misses
 
     @property
     def num_shard_tasks(self) -> int:
@@ -354,5 +372,16 @@ class MiningStats:
                 )
                 for stage, event in e.stage_cache_events.items():
                     lines.append(f"  {stage}: {event}")
+            if e.shard_cache_hits or e.shard_cache_misses:
+                lines.append(
+                    f"shard artifacts:     {e.shard_cache_hits} hit(s), "
+                    f"{e.shard_cache_misses} recounted"
+                )
+                for stage, (hits, misses) in sorted(
+                    e.stage_shard_cache.items()
+                ):
+                    lines.append(
+                        f"  {stage}: {hits} cached, {misses} recounted"
+                    )
         lines.append(f"total time:          {self.total_seconds:.2f}s")
         return "\n".join(lines)

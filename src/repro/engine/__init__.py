@@ -57,6 +57,11 @@ from .executor import (
     resolve_executor,
 )
 from .fingerprint import Unfingerprintable, fingerprint
+from .shard_cache import (
+    ShardCountCache,
+    gc_orphaned_shard_artifacts,
+    sharded_map_cached,
+)
 from .shards import ShardView, TableShard, plan_shards, shard_view
 from .sharded import (
     executor_table_view,
@@ -94,6 +99,7 @@ __all__ = [
     "ParallelExecutor",
     "PipelineStage",
     "SerialExecutor",
+    "ShardCountCache",
     "SharedColumnStore",
     "SharedShardView",
     "ShardView",
@@ -104,6 +110,7 @@ __all__ = [
     "Unfingerprintable",
     "executor_table_view",
     "fingerprint",
+    "gc_orphaned_shard_artifacts",
     "partitioned_map",
     "plan_blocks",
     "plan_shards",
@@ -112,4 +119,5 @@ __all__ = [
     "shard_view",
     "shared_memory_available",
     "sharded_map",
+    "sharded_map_cached",
 ]

@@ -63,6 +63,7 @@ class ArtifactCache(ABC):
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        self.evictions = 0
         self._lock = threading.Lock()
 
     @abstractmethod
@@ -72,6 +73,14 @@ class ArtifactCache(ABC):
     @abstractmethod
     def put(self, key: str, value) -> None:
         """Store ``value`` under ``key`` (overwrites silently)."""
+
+    def delete(self, key: str) -> bool:
+        """Drop ``key`` if present; True when an entry was removed.
+
+        Deliberate removal (e.g. garbage-collecting shard artifacts
+        orphaned by a re-partition) — not counted as an eviction.
+        """
+        return False
 
 
 class NullCache(ArtifactCache):
@@ -123,6 +132,12 @@ class MemoryCache(ArtifactCache):
             self.puts += 1
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def delete(self, key: str) -> bool:
+        """Drop ``key`` if present; True when an entry was removed."""
+        with self._lock:
+            return self._entries.pop(key, None) is not None
 
 
 class DiskCache(ArtifactCache):
@@ -132,12 +147,27 @@ class DiskCache(ArtifactCache):
     ``os.replace``, so concurrent processes sharing the directory never
     observe a torn entry.  Unreadable/corrupt entries count as misses
     and are removed.
+
+    With ``max_bytes`` set, the directory is bounded: after every write
+    the least-recently-used entries (by file access order — reads touch
+    their entry's mtime) are removed until the total size fits the
+    budget.  Shard-granular artifacts multiply entry counts, so an
+    unbounded directory would otherwise grow with every append.
     """
 
-    def __init__(self, directory: str | None = None) -> None:
+    def __init__(
+        self,
+        directory: str | None = None,
+        *,
+        max_bytes: int | None = None,
+    ) -> None:
         super().__init__()
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         self.directory = os.path.expanduser(directory or DEFAULT_CACHE_DIR)
+        self.max_bytes = max_bytes
         os.makedirs(self.directory, exist_ok=True)
+        self._total_bytes: int | None = None  # lazily scanned
 
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.pkl")
@@ -164,6 +194,11 @@ class DiskCache(ArtifactCache):
             with self._lock:
                 self.misses += 1
             return MISSING
+        if self.max_bytes is not None:
+            try:  # refresh recency so LRU eviction spares hot entries
+                os.utime(path)
+            except OSError:
+                pass
         with self._lock:
             self.hits += 1
         return value
@@ -174,7 +209,17 @@ class DiskCache(ArtifactCache):
         try:
             with os.fdopen(fd, "wb") as f:
                 pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, self._path(key))
+            written = os.path.getsize(tmp)
+            path = self._path(key)
+            with self._lock:
+                replaced = 0
+                try:
+                    replaced = os.path.getsize(path)
+                except OSError:
+                    pass
+                os.replace(tmp, path)
+                if self._total_bytes is not None:
+                    self._total_bytes += written - replaced
         except BaseException:
             try:
                 os.remove(tmp)
@@ -183,3 +228,66 @@ class DiskCache(ArtifactCache):
             raise
         with self._lock:
             self.puts += 1
+        self._enforce_budget(protect=key)
+
+    def delete(self, key: str) -> bool:
+        """Drop ``key``'s file if present; True when one was removed."""
+        path = self._path(key)
+        try:
+            size = os.path.getsize(path)
+            os.remove(path)
+        except OSError:
+            return False
+        with self._lock:
+            if self._total_bytes is not None:
+                self._total_bytes -= size
+        return True
+
+    def total_bytes(self) -> int:
+        """Current size of every entry in the directory, in bytes."""
+        with self._lock:
+            if self._total_bytes is None:
+                self._total_bytes = sum(
+                    size for _, _, size in self._scan()
+                )
+            return max(0, self._total_bytes)
+
+    def _scan(self) -> list:
+        """Every entry as ``(path, mtime, size)`` (unordered)."""
+        out = []
+        try:
+            with os.scandir(self.directory) as it:
+                for entry in it:
+                    if not entry.name.endswith(".pkl"):
+                        continue
+                    try:
+                        stat = entry.stat()
+                    except OSError:
+                        continue
+                    out.append((entry.path, stat.st_mtime, stat.st_size))
+        except OSError:
+            pass
+        return out
+
+    def _enforce_budget(self, protect: str | None = None) -> None:
+        """Evict LRU entries until the directory fits ``max_bytes``."""
+        if self.max_bytes is None or self.total_bytes() <= self.max_bytes:
+            return
+        keep = None if protect is None else self._path(protect)
+        entries = sorted(self._scan(), key=lambda e: e[1])
+        total = sum(size for _, _, size in entries)
+        with self._lock:
+            self._total_bytes = total
+        for path, _, size in entries:
+            if total <= self.max_bytes:
+                break
+            if path == keep:
+                continue  # never evict the entry just written
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            total -= size
+            with self._lock:
+                self.evictions += 1
+                self._total_bytes = total

@@ -1,0 +1,260 @@
+"""Per-shard count artifacts: the shard-granular layer of the cache.
+
+The stage-granular :class:`~repro.engine.cache.ArtifactCache` treats a
+counting stage's whole output as one artifact keyed on the full table
+fingerprint — a single appended record invalidates everything.  But the
+record-linear counting surfaces (:func:`~repro.core.counting
+.count_itemsets`, :func:`~repro.core.counting.count_frequent_pairs`,
+the pass-1 histograms) already decompose into per-shard partial counts
+that merge by exact integer addition, so the *shard* is the natural
+artifact grain: a per-shard count vector keyed on
+
+``(shard content fingerprint, encoding fingerprint, candidate-set
+fingerprint, stage)``
+
+stays valid for every shard an append did not touch.  The
+:class:`ShardCountCache` wraps a ``sharded_map`` dispatch with exactly
+that consultation: look each shard's key up *before* fan-out, dispatch
+only the missing (new or dirty) shards, store their fresh partials and
+return the full per-shard result list in shard order — the caller's
+merge is unchanged and bit-identical to a cold full count, because
+integer addition neither knows nor cares which summands came from the
+cache.
+
+Shard fingerprints are content-only (column bytes + attribute
+names/kinds, no position, no categorical domains), so artifacts survive
+appends that extend a categorical domain (existing codes never change)
+and are shared between any two tables holding an identical slice.  The
+encoding fingerprint covers everything that gives those bytes meaning —
+per-attribute cardinalities, partition edges or value maps, labels and
+taxonomy order — and the candidate-set fingerprint covers the payload
+(plans or grouped candidates) shipped to the workers; any change to
+either misses cleanly instead of serving counts for the wrong question.
+
+Every key written is also registered in a per-cache index grouped by
+encoding fingerprint, so a re-partition (which orphans every artifact
+of the old encoding) can garbage-collect them deterministically via
+:func:`gc_orphaned_shard_artifacts`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .cache import MISSING, ArtifactCache
+from .fingerprint import Unfingerprintable, fingerprint
+from .sharded import sharded_map
+
+#: Attribute under which a cache instance carries its shard-key index
+#: (``{encoding fingerprint: set of keys}``).  The index lives on the
+#: cache object itself because that is the object shared across runs,
+#: jobs and miners — exactly the scope across which orphans accumulate.
+_INDEX_ATTR = "_shard_artifact_index"
+
+
+def _shard_index(cache: ArtifactCache) -> dict:
+    """The cache's shard-key index, created on first use."""
+    index = getattr(cache, _INDEX_ATTR, None)
+    if index is None:
+        with cache._lock:
+            index = getattr(cache, _INDEX_ATTR, None)
+            if index is None:
+                index = {}
+                setattr(cache, _INDEX_ATTR, index)
+    return index
+
+
+def gc_orphaned_shard_artifacts(
+    cache: ArtifactCache | None, keep_encoding: str | None = None
+) -> int:
+    """Delete every indexed shard artifact of a stale encoding.
+
+    ``keep_encoding`` is the encoding fingerprint still in use (``None``
+    sweeps everything).  Returns how many entries were actually removed
+    from the backing store.  Called after a re-partition: the old
+    encoding's per-shard counts can never hit again (their keys embed
+    the old partition boundaries), so leaving them would only bloat the
+    store until LRU pressure evicts them.
+    """
+    if cache is None:
+        return 0
+    index = _shard_index(cache)
+    removed = 0
+    with cache._lock:
+        stale = [enc for enc in index if enc != keep_encoding]
+        stale_keys = [(enc, index.pop(enc)) for enc in stale]
+    for _, keys in stale_keys:
+        for key in keys:
+            if cache.delete(key):
+                removed += 1
+    return removed
+
+
+class ShardCountCache:
+    """Consults per-shard count artifacts before a counting fan-out.
+
+    One instance is built per run (it snapshots nothing — fingerprints
+    come from the view at dispatch time) and threaded through the
+    :class:`~repro.engine.stage.StageContext` to every record-sharded
+    counting call.  The wrapped dispatch is transparent: callers pass
+    the same arguments they would give :func:`sharded_map` and receive
+    the same per-shard result list, in shard order.
+    """
+
+    def __init__(self, cache: ArtifactCache, *, metrics=None) -> None:
+        self._cache = cache
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        #: Per-stage ``[hits, misses]`` tallies for this run.
+        self.stage_events: dict = {}
+
+    @property
+    def hits(self) -> int:
+        return sum(h for h, _ in self.stage_events.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(m for _, m in self.stage_events.values())
+
+    def _keys(self, stage: str, view, shards, payload):
+        """One cache key per shard, or ``None`` for "do not consult".
+
+        Requires the view to expose content shard fingerprints (the raw
+        table's bytes per slice) and an encoding fingerprint (how those
+        bytes were coded); a payload with no stable encoding — or a
+        view without those hooks — disables consultation for this
+        dispatch rather than risking a wrong address.
+        """
+        shard_fps = getattr(view, "shard_fingerprints", None)
+        encoding_fp = getattr(view, "encoding_fingerprint", None)
+        if shard_fps is None or encoding_fp is None:
+            return None
+        try:
+            encoding = encoding_fp()
+            payload_fp = fingerprint(payload)
+            return encoding, [
+                fingerprint(
+                    "shard-counts", stage, shard_fp, encoding, payload_fp
+                )
+                for shard_fp in shard_fps(shards)
+            ]
+        except Unfingerprintable:
+            return None
+
+    def _record(self, stage, stats, hits: int, misses: int) -> None:
+        with self._lock:
+            tally = self.stage_events.setdefault(stage, [0, 0])
+            tally[0] += hits
+            tally[1] += misses
+        record = getattr(stats, "record_shard_cache", None)
+        if record is not None:
+            record(stage, hits, misses)
+        if self._metrics is not None:
+            if hits:
+                self._metrics.counter(
+                    "incremental.shard_hits"
+                ).increment(hits)
+            if misses:
+                self._metrics.counter(
+                    "incremental.shard_misses"
+                ).increment(misses)
+
+    def map(
+        self,
+        executor,
+        view,
+        shards,
+        fn,
+        payload,
+        *,
+        stats=None,
+        stage=None,
+        tracer=None,
+        parent=None,
+        metrics=None,
+    ) -> list:
+        """``sharded_map`` with pre-fan-out shard-artifact consultation.
+
+        Missing/dirty shards are dispatched together through one
+        ``sharded_map`` call (keeping the zero-copy handoff and span
+        accounting of the plain path); their fresh partial counts are
+        stored before returning.  The result list is indexable by shard
+        exactly like ``sharded_map``'s.
+        """
+        shards = tuple(shards)
+        keyed = (
+            self._keys(stage, view, shards, payload)
+            if stage is not None
+            else None
+        )
+        if keyed is None:
+            return sharded_map(
+                executor, view, shards, fn, payload,
+                stats=stats, stage=stage, tracer=tracer, parent=parent,
+                metrics=metrics,
+            )
+        encoding, keys = keyed
+        results = [MISSING] * len(shards)
+        missing = []
+        for i, key in enumerate(keys):
+            value = self._cache.get(key)
+            if value is MISSING:
+                missing.append(i)
+            else:
+                results[i] = value
+        if missing:
+            fresh = sharded_map(
+                executor,
+                view,
+                [shards[i] for i in missing],
+                fn,
+                payload,
+                stats=stats,
+                stage=stage,
+                tracer=tracer,
+                parent=parent,
+                metrics=metrics,
+            )
+            index = _shard_index(self._cache)
+            for i, value in zip(missing, fresh):
+                results[i] = value
+                self._cache.put(keys[i], value)
+                with self._cache._lock:
+                    index.setdefault(encoding, set()).add(keys[i])
+        self._record(
+            stage, stats, len(shards) - len(missing), len(missing)
+        )
+        return results
+
+
+def sharded_map_cached(
+    shard_cache,
+    executor,
+    view,
+    shards,
+    fn,
+    payload,
+    *,
+    stats=None,
+    stage=None,
+    tracer=None,
+    parent=None,
+    metrics=None,
+) -> list:
+    """Dispatch through ``shard_cache`` when given, else plain sharded_map.
+
+    The unconditional call-site shim: counting code passes whatever the
+    context carries (``None`` outside incremental mode) and never
+    branches itself.
+    """
+    if shard_cache is None:
+        return sharded_map(
+            executor, view, shards, fn, payload,
+            stats=stats, stage=stage, tracer=tracer, parent=parent,
+            metrics=metrics,
+        )
+    return shard_cache.map(
+        executor, view, shards, fn, payload,
+        stats=stats, stage=stage, tracer=tracer, parent=parent,
+        metrics=metrics,
+    )

@@ -251,6 +251,16 @@ class SharedColumnStore:
         available, or when segment creation fails; publishing never
         raises for operational reasons.  ``metrics`` (a duck-typed
         registry) updates the sink used for publish/close/leak counters.
+
+        Views may advertise *append lineage* (``shm_lineage()`` →
+        ``(parent fingerprint, parent record count)``): the contract is
+        that the view's first ``parent record count`` coded records are
+        byte-identical to the parent view's.  When the parent's segment
+        is still published with spare capacity (see
+        ``shm_headroom_records``), only the appended tail is written
+        into it in place and the entry is re-keyed — untouched shards
+        keep their bytes, and the publish costs ``O(appended)`` instead
+        of ``O(table)``.
         """
         if metrics is not None:
             self._metrics = metrics
@@ -261,20 +271,25 @@ class SharedColumnStore:
         cached = self._segments.get(key)
         if cached is not None:
             return cached[1]
+        extended = self._extend_from_parent(view, key)
+        if extended is not None:
+            return extended
         num_attributes = view.num_attributes
         num_records = view.num_records
-        shape = (num_attributes, num_records)
-        nbytes = max(1, num_attributes * num_records * 8)
+        headroom = int(getattr(view, "shm_headroom_records", 0) or 0)
+        capacity = num_records + max(0, headroom)
+        shape = (num_attributes, capacity)
+        nbytes = max(1, num_attributes * capacity * 8)
         segment = self._create_segment(nbytes)
         if segment is None:
             return None
         target = np.ndarray(shape, dtype=np.int64, buffer=segment.buf)
         matrix = getattr(view, "column_matrix", None)
         if matrix is not None:
-            target[:] = matrix()
+            target[:, :num_records] = matrix()
         else:
             for index in range(num_attributes):
-                target[index, :] = view.column(index)
+                target[index, :num_records] = view.column(index)
         del target
         handle = ColumnBlockHandle(
             segment.name,
@@ -285,6 +300,57 @@ class SharedColumnStore:
         self._segments[key] = (segment, handle)
         self._metrics.counter("shm.segments_published").increment()
         self._metrics.counter("shm.bytes_published").increment(nbytes)
+        return handle
+
+    def _extend_from_parent(self, view, key: str):
+        """Absorb an append by writing only the tail into the parent segment.
+
+        Returns the re-keyed handle, or ``None`` when the view has no
+        lineage, the parent is not published here, or the parent's
+        capacity/shape cannot take the grown table (callers then fall
+        through to a full publish).  The prefix bytes are *not*
+        rewritten — the lineage contract guarantees they already match —
+        so descriptors handed out for the parent keep reading correct
+        data for their (old-range) shards.
+        """
+        lineage = getattr(view, "shm_lineage", None)
+        if lineage is None:
+            return None
+        parent = lineage()
+        if not parent:
+            return None
+        parent_key, parent_records = parent
+        cached = self._segments.get(parent_key)
+        if cached is None:
+            return None
+        segment, parent_handle = cached
+        num_attributes = view.num_attributes
+        num_records = view.num_records
+        shape = parent_handle.shape
+        if (
+            shape[0] != num_attributes
+            or shape[1] < num_records
+            or not 0 <= parent_records <= num_records
+        ):
+            return None
+        target = np.ndarray(shape, dtype=np.int64, buffer=segment.buf)
+        for index in range(num_attributes):
+            target[index, parent_records:num_records] = view.column(index)[
+                parent_records:
+            ]
+        del target
+        handle = ColumnBlockHandle(
+            segment.name,
+            "int64",
+            shape,
+            (view.cardinality(a) for a in range(num_attributes)),
+        )
+        del self._segments[parent_key]
+        self._segments[key] = (segment, handle)
+        self._metrics.counter("shm.segments_extended").increment()
+        self._metrics.counter("shm.bytes_published").increment(
+            max(0, num_records - parent_records) * num_attributes * 8
+        )
         return handle
 
     @staticmethod

@@ -83,6 +83,11 @@ class StageContext:
     tracer: object = None
     #: Metric sink (:class:`~repro.obs.metrics.MetricsRegistry` or ``None``).
     metrics: object = None
+    #: Per-shard count artifact cache
+    #: (:class:`~repro.engine.shard_cache.ShardCountCache` or ``None`` =
+    #: stage-granular caching only).  Sharded counting stages pass it to
+    #: their dispatch so untouched shards short-circuit pre-fan-out.
+    shard_cache: object = None
     #: Open-span stack maintained by the engine; the top is the parent
     #: for anything a running stage records (stages within one run are
     #: sequential, so a plain stack is race-free even under the async

@@ -20,6 +20,7 @@ from .protocol import (
     format_ndjson,
     format_sse,
     job_status_payload,
+    parse_append,
     parse_submission,
 )
 from .service import (
@@ -70,6 +71,7 @@ __all__ = [
     "inline_table_name",
     "job_status_payload",
     "mark_interrupted",
+    "parse_append",
     "parse_submission",
     "run_server",
     "validate_job_id",

@@ -14,6 +14,10 @@ Route                             Meaning
                                   ``?quantitative=``/``?categorical=``
                                   force attribute kinds).
 ``GET  /v1/tables/{name}``        One table's description.
+``POST /v1/tables/{name}/append`` Append CSV rows to a table and (by
+                                  default) submit an incremental
+                                  re-mine of the grown table (see
+                                  :func:`~repro.serve.protocol.parse_append`).
 ``POST /v1/jobs``                 Submit a mining job (JSON body, see
                                   :func:`~repro.serve.protocol.parse_submission`).
 ``GET  /v1/jobs``                 Every job's status document.
@@ -46,6 +50,7 @@ from .protocol import (
     format_ndjson,
     format_sse,
     job_status_payload,
+    parse_append,
     parse_submission,
 )
 from .tables import UnknownTableError
@@ -167,6 +172,13 @@ class _Handler(BaseHTTPRequestHandler):
                     return self._put_table(rest[1])
                 if method == "GET":
                     return self._get_table(rest[1])
+            if (
+                len(rest) == 3
+                and rest[0] == "tables"
+                and rest[2] == "append"
+                and method == "POST"
+            ):
+                return self._post_append(rest[1])
             if rest == ["jobs"]:
                 if method == "POST":
                     return self._post_job()
@@ -236,6 +248,20 @@ class _Handler(BaseHTTPRequestHandler):
         return self._send_json(
             200, self.server.service.tables.describe(name)
         )
+
+    def _post_append(self, name: str) -> int:
+        """Append rows to a table; by default re-mine it incrementally."""
+        payload = self._read_json()
+        kwargs = parse_append(payload)
+        from .service import ServiceClosed
+
+        try:
+            response = self.server.service.append_table(name, **kwargs)
+        except ServiceClosed as exc:
+            raise ApiError(503, str(exc)) from exc
+        except ValueError as exc:
+            raise ApiError(400, str(exc)) from exc
+        return self._send_json(200, response)
 
     def _post_job(self) -> int:
         """Submit one mining job."""

@@ -5,6 +5,8 @@ socket handling, so the service and its tests speak the same dicts:
 
 - :func:`parse_submission` — the ``POST /v1/jobs`` body (registered or
   inline table, config dict, timeout, optional job id).
+- :func:`parse_append` — the ``POST /v1/tables/{name}/append`` body
+  (CSV rows to add, plus the optional re-mine submission).
 - :func:`job_status_payload` — the status document of one
   :class:`~repro.serve.store.JobRecord` (as returned by
   ``GET /v1/jobs/{id}`` and embedded in job listings).
@@ -104,6 +106,57 @@ def parse_submission(payload) -> dict:
     if unknown:
         raise ApiError(
             400, f"unknown submission field(s): {sorted(unknown)}"
+        )
+    return out
+
+
+def parse_append(payload) -> dict:
+    """Validate a ``POST /v1/tables/{name}/append`` body.
+
+    The body carries the rows to add as ``"csv"`` text (header row
+    included, same columns as the table in any order) and, by default,
+    asks for a re-mine of the grown table: ``"mine"`` (default
+    ``true``) submits a follow-up job whose ``"config"`` gets
+    ``incremental`` mining enabled unless the caller pinned it
+    explicitly, with the usual optional ``"timeout"`` and ``"job_id"``.
+    Returns keyword arguments for
+    :meth:`~repro.serve.service.MiningService.append_table`.
+    """
+    if not isinstance(payload, dict):
+        raise ApiError(400, "request body must be a JSON object")
+    csv_text = payload.get("csv")
+    if not isinstance(csv_text, str) or not csv_text.strip():
+        raise ApiError(
+            400, "append needs non-empty 'csv' text of rows to add"
+        )
+    out: dict = {"csv": csv_text}
+    mine = payload.get("mine", True)
+    if not isinstance(mine, bool):
+        raise ApiError(400, "'mine' must be a boolean")
+    out["mine"] = mine
+    config = payload.get("config") or {}
+    if not isinstance(config, dict):
+        raise ApiError(400, "'config' must be an object")
+    try:
+        MinerConfig.from_dict(config)  # fail the append, not the job
+    except (ValueError, TypeError) as exc:
+        raise ApiError(400, f"invalid config: {exc}") from exc
+    out["config"] = config
+    timeout = payload.get("timeout")
+    if timeout is not None:
+        if not isinstance(timeout, (int, float)) or timeout <= 0:
+            raise ApiError(400, "'timeout' must be a positive number")
+        out["timeout"] = float(timeout)
+    job_id = payload.get("job_id")
+    if job_id is not None:
+        try:
+            out["job_id"] = validate_job_id(job_id)
+        except ValueError as exc:
+            raise ApiError(400, str(exc)) from exc
+    unknown = set(payload) - {"csv", "mine", "config", "timeout", "job_id"}
+    if unknown:
+        raise ApiError(
+            400, f"unknown append field(s): {sorted(unknown)}"
         )
     return out
 

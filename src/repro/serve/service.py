@@ -403,6 +403,54 @@ class MiningService:
         self._schedule(record, table, miner_config, timeout)
         return record
 
+    def append_table(
+        self,
+        name: str,
+        csv: str,
+        *,
+        mine: bool = True,
+        config: dict | None = None,
+        timeout=_DEFAULT,
+        job_id: str | None = None,
+    ) -> dict:
+        """Append CSV rows to a registered table, re-mining by default.
+
+        The rows land on the registry's shared in-memory table (see
+        :meth:`~repro.serve.tables.TableRegistry.append_csv`), so the
+        untouched prefix keeps its memoized shard fingerprints.  With
+        ``mine`` true (the default) a follow-up job is submitted
+        against the grown table with incremental mining enabled —
+        unless the caller's ``config`` pins ``incremental`` itself —
+        so its per-shard count lookups hit the runner's shared
+        artifact cache for every shard an earlier job of the same
+        shape already counted, and its event stream ends with the
+        freshened rules.  Returns a JSON-ready document: the grown
+        table's description, ``records_appended``, and the submitted
+        job's status payload under ``"job"`` when mining.
+        """
+        description = self.tables.append_csv(name, csv)
+        appended = description["records_appended"]
+        if self.observability is not None:
+            metrics = self.observability.metrics
+            metrics.counter("incremental.appends").increment()
+            metrics.counter("incremental.records_appended").increment(
+                appended
+            )
+        response = {"table": description, "records_appended": appended}
+        if mine:
+            job_config = dict(config or {})
+            job_config.setdefault("incremental", {"enabled": True})
+            record = self.submit_job(
+                table_name=name,
+                config=job_config,
+                timeout=timeout,
+                job_id=job_id,
+            )
+            from .protocol import job_status_payload
+
+            response["job"] = job_status_payload(record)
+        return response
+
     def _schedule(self, record, table, config, timeout) -> None:
         """Launch the record on the runner; blocks until registered."""
         self._run_on_loop(

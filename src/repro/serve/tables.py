@@ -126,6 +126,64 @@ class TableRegistry:
         self.put_csv(name, csv_text, quantitative, categorical)
         return name
 
+    def append_csv(self, name: str, csv_text: str) -> dict:
+        """Append CSV rows (header included) to a registered table.
+
+        The fragment must carry the same columns as the table (any
+        order); its kinds are forced from the table's resolved schema,
+        so a numeric-looking fragment can never flip a categorical
+        column.  The rows are appended to the *shared* in-memory
+        :class:`~repro.table.RelationalTable` via
+        :meth:`~repro.table.RelationalTable.append` — every component
+        holding the instance sees the growth, and the table's untouched
+        prefix keeps its memoized block and shard fingerprints, which
+        is what lets an incremental re-mine reuse per-shard count
+        artifacts.  The durable CSV and in-memory entry are extended in
+        step (rows re-serialized in the table's column order), so a
+        restarted registry reparses to the same grown table.
+
+        Returns :meth:`describe` for the grown table plus a
+        ``records_appended`` count.  Raises
+        :class:`UnknownTableError` for unregistered names and
+        ``ValueError`` for malformed or mismatched fragments.
+        """
+        table = self.get(name)
+        base_names = [attr.name for attr in table.schema]
+        fragment = _load_csv_text(
+            csv_text,
+            quantitative=[
+                a.name for a in table.schema if a.is_quantitative
+            ],
+            categorical=[
+                a.name for a in table.schema if not a.is_quantitative
+            ],
+        )
+        fragment_names = [attr.name for attr in fragment.schema]
+        if sorted(fragment_names) != sorted(base_names):
+            raise ValueError(
+                f"appended columns {sorted(fragment_names)} do not "
+                f"match table {name!r} columns {sorted(base_names)}"
+            )
+        rows = list(fragment.iter_records(base_names))
+        with self._lock:
+            entry = self._load_entry(name)
+            if entry is None:
+                raise UnknownTableError(name)
+            live = self._tables.get(name)
+            if live is None:
+                live = self._parse(entry)
+                self._tables[name] = live
+            appended = live.append(rows)
+            entry["csv"] = _extend_csv_text(entry["csv"], rows)
+            if self._dir is not None:
+                csv_path = self._dir / f"{name}.csv"
+                tmp = csv_path.with_name(csv_path.name + ".tmp")
+                tmp.write_text(entry["csv"])
+                tmp.replace(csv_path)
+        description = self.describe(name)
+        description["records_appended"] = appended
+        return description
+
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
@@ -219,6 +277,27 @@ class TableRegistry:
             "quantitative": entry["quantitative"],
             "categorical": entry["categorical"],
         }
+
+
+def _extend_csv_text(base: str, rows) -> str:
+    """Serialize appended rows onto stored CSV text, header untouched.
+
+    Rows arrive already ordered to the stored header (see
+    :meth:`TableRegistry.append_csv`); floats serialize via ``str``,
+    which round-trips ``float64`` exactly, so reparsing the extended
+    text rebuilds the grown table bit-identically.
+    """
+    if not rows:
+        return base
+    import csv
+    import io
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerows(rows)
+    if base and not base.endswith("\n"):
+        base += "\n"
+    return base + buffer.getvalue()
 
 
 def _load_csv_text(csv_text: str, quantitative, categorical):

@@ -14,13 +14,25 @@ import numpy as np
 
 from .schema import Attribute, AttributeKind, TableSchema
 
+#: Row-block granularity of the chained table fingerprint.  Each block's
+#: digest is memoized independently, so appending records re-hashes only
+#: the tail block(s) rather than the whole table.
+FINGERPRINT_BLOCK_ROWS = 65536
+
 
 class RelationalTable:
-    """An immutable, column-oriented relational table.
+    """A column-oriented relational table with append-only growth.
 
     Quantitative columns are stored as ``float64`` arrays.  Categorical
     columns are stored as ``int64`` code arrays; the code for a value is its
     index within the attribute's declared (or inferred) domain.
+
+    The table is immutable except for :meth:`append`, which adds records
+    at the end without ever changing existing rows, codes or column
+    prefixes (categorical domains are only ever *extended*).  Consumers
+    holding references to the pre-append column arrays keep a consistent
+    snapshot: append replaces the column list with freshly concatenated
+    arrays instead of resizing in place.
 
     Use :meth:`from_records` or :meth:`from_columns` to build one.
     """
@@ -38,6 +50,9 @@ class RelationalTable:
         self._schema = schema
         self._num_records = lengths.pop() if lengths else 0
         self._fingerprint: str | None = None
+        self._block_fingerprints: list = []
+        self._shard_fingerprints: dict = {}
+        self._version = 0
         self._columns = []
         for attr, col in zip(schema, columns):
             if attr.is_quantitative:
@@ -134,30 +149,176 @@ class RelationalTable:
             raise TypeError(f"attribute {attr.name!r} is not categorical")
         return attr.values[code]
 
+    def iter_records(self, names=None):
+        """Yield decoded value tuples, one per record.
+
+        Values come back in schema order, or in ``names`` order when an
+        explicit attribute-name sequence is given — the same shape
+        :meth:`from_records` and :meth:`append` accept, so records can
+        be moved between tables whose schemas agree but whose column
+        orders differ.  Quantitative values are floats; categorical
+        values are the raw domain values, not codes.
+        """
+        if names is None:
+            attrs = list(self._schema)
+        else:
+            attrs = [self._schema.attribute(name) for name in names]
+        decoded = []
+        for attr in attrs:
+            col = self.column(attr.name)
+            if attr.is_quantitative:
+                decoded.append([float(v) for v in col])
+            else:
+                decoded.append([attr.values[int(c)] for c in col])
+        yield from zip(*decoded)
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; bumped by every :meth:`append`.
+
+        Lets long-lived consumers (mappers, registries) detect that the
+        table grew since they snapshotted it, without comparing content.
+        """
+        return self._version
+
+    def _schema_key(self) -> tuple:
+        """The schema as a fingerprintable tuple (names, kinds, domains)."""
+        return tuple(
+            (attr.name, attr.kind.value, tuple(attr.values))
+            for attr in self._schema
+        )
+
+    def _block_fingerprint(self, index: int) -> str:
+        from ..engine.fingerprint import fingerprint
+
+        start = index * FINGERPRINT_BLOCK_ROWS
+        stop = min(start + FINGERPRINT_BLOCK_ROWS, self._num_records)
+        return fingerprint(
+            "TableBlock", tuple(c[start:stop] for c in self._columns)
+        )
+
     def fingerprint(self) -> str:
         """Stable content fingerprint of this table, memoized.
 
         Hashes the shape, the schema (attribute names, kinds and
         domains) and every column's bytes, so two tables fingerprint
         equally exactly when they hold the same data under the same
-        schema — regardless of how either was constructed.  Computed
-        once per table (the table is immutable) and used by the
-        execution engine's artifact cache to content-address stage
-        outputs.
+        schema — regardless of how either was constructed.  The column
+        bytes are folded in as a chain of fixed-size row-block digests
+        (:data:`FINGERPRINT_BLOCK_ROWS`), each memoized independently:
+        :meth:`append` invalidates only the tail block, so re-deriving
+        the fingerprint after a small append re-hashes the appended
+        rows rather than the whole table.  The memo itself is dropped
+        by every mutation (see :meth:`append`), so a stale digest can
+        never be served.
         """
         if self._fingerprint is None:
             from ..engine.fingerprint import fingerprint
 
+            num_blocks = -(-self._num_records // FINGERPRINT_BLOCK_ROWS)
+            while len(self._block_fingerprints) < num_blocks:
+                self._block_fingerprints.append(
+                    self._block_fingerprint(len(self._block_fingerprints))
+                )
             self._fingerprint = fingerprint(
                 "RelationalTable",
                 self._num_records,
-                tuple(
-                    (attr.name, attr.kind.value, tuple(attr.values))
-                    for attr in self._schema
-                ),
-                tuple(self._columns),
+                self._schema_key(),
+                tuple(self._block_fingerprints),
             )
         return self._fingerprint
+
+    def shard_fingerprints(self, shards) -> list:
+        """Content fingerprint of each shard's row slice, memoized.
+
+        Each fingerprint covers only the shard's own column bytes and
+        the attribute names/kinds — not the shard's position and not the
+        categorical domains — so a shard whose rows are untouched by an
+        append keeps its fingerprint even when a later append extends a
+        categorical domain (existing codes never change).  These are the
+        content-address keys of per-shard count artifacts: equal slices
+        share cached partial counts regardless of which table (or table
+        generation) they came from.
+        """
+        from ..engine.fingerprint import fingerprint
+
+        structure = tuple(
+            (attr.name, attr.kind.value) for attr in self._schema
+        )
+        out = []
+        for shard in shards:
+            key = (shard.start, shard.stop)
+            memo = self._shard_fingerprints.get(key)
+            if memo is None:
+                memo = fingerprint(
+                    "TableShard",
+                    structure,
+                    tuple(c[shard.start:shard.stop] for c in self._columns),
+                )
+                self._shard_fingerprints[key] = memo
+            out.append(memo)
+        return out
+
+    def append(self, records) -> int:
+        """Append decoded records in place; returns how many were added.
+
+        Categorical values unseen so far are admitted by *extending* the
+        attribute's domain at the end, so every pre-existing code keeps
+        its meaning — a table built cold from the concatenated records
+        is bit-identical (same codes, same domains, same fingerprint).
+        Existing column arrays are never resized: new concatenated
+        arrays replace them, so consumers that captured the old arrays
+        keep a consistent pre-append snapshot.
+
+        All content memos are invalidated for the mutated tail only:
+        the table fingerprint memo is dropped (and its block chain
+        truncated at the first block the append touched), and per-shard
+        fingerprints are kept exactly for shards that end at or before
+        the old row count.
+        """
+        rows = [tuple(r) for r in records]
+        if not rows:
+            return 0
+        for row in rows:
+            if len(row) != len(self._schema):
+                raise ValueError(
+                    f"record {row!r} has {len(row)} fields, "
+                    f"schema expects {len(self._schema)}"
+                )
+        old_n = self._num_records
+        new_attrs = []
+        new_columns = []
+        for j, attr in enumerate(self._schema):
+            raw = [row[j] for row in rows]
+            if attr.is_quantitative:
+                new_attrs.append(attr)
+                tail = np.array(raw, dtype=np.float64)
+            else:
+                domain = list(attr.values)
+                code = {v: i for i, v in enumerate(domain)}
+                for v in raw:
+                    if v not in code:
+                        code[v] = len(domain)
+                        domain.append(v)
+                tail = np.array([code[v] for v in raw], dtype=np.int64)
+                new_attrs.append(
+                    Attribute(
+                        attr.name, AttributeKind.CATEGORICAL, tuple(domain)
+                    )
+                )
+            new_columns.append(np.concatenate([self._columns[j], tail]))
+        self._schema = TableSchema(new_attrs)
+        self._columns = new_columns
+        self._num_records = old_n + len(rows)
+        self._version += 1
+        self._fingerprint = None
+        del self._block_fingerprints[old_n // FINGERPRINT_BLOCK_ROWS:]
+        self._shard_fingerprints = {
+            key: fp
+            for key, fp in self._shard_fingerprints.items()
+            if key[1] <= old_n
+        }
+        return len(rows)
 
     def record(self, i: int) -> tuple:
         """Return record ``i`` with categorical codes decoded to raw values."""

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""CI smoke test: the incremental shard dataflow must stay shard-exact.
+
+Runs the append-and-re-mine loop that the incremental cache exists for
+and asserts the two properties the design hangs on:
+
+1. after an in-budget append, every record-sharded counting stage
+   recounts *only* the shards the appended tail dirtied — the clean
+   prefix is served from per-shard count artifacts — and the re-mine
+   is bit-identical to a cold mine of the grown table;
+2. an append the encoding cannot absorb (an unseen value under a value
+   map) forces a re-partition, and the orphaned shard artifacts keyed
+   on the abandoned encoding are garbage-collected from the cache.
+
+Exit status 0 on success, 1 with a diagnostic otherwise.  Run from the
+repository root::
+
+    python tools/check_shard_artifacts.py
+"""
+
+import random
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+NUM_RECORDS = 4_000
+NUM_ATTRIBUTES = 4
+NUM_VALUES = 6  # <= num_partitions, so every attribute value-maps
+SHARD_SIZE = 512
+APPENDED = 400
+
+
+def rows(num, seed):
+    rng = random.Random(seed)
+    return [
+        tuple(float(rng.randrange(NUM_VALUES)) for _ in range(NUM_ATTRIBUTES))
+        for _ in range(num)
+    ]
+
+
+def main():
+    from repro.core import IncrementalConfig, MinerConfig, QuantitativeMiner
+    from repro.engine import plan_shards
+    from repro.table import RelationalTable, TableSchema, quantitative
+
+    schema = TableSchema(
+        [quantitative(f"q{i}") for i in range(NUM_ATTRIBUTES)]
+    )
+
+    def config():
+        return MinerConfig(
+            min_support=0.05,
+            min_confidence=0.3,
+            max_support=0.2,
+            partial_completeness=3.0,
+            num_partitions=NUM_VALUES,
+            max_itemset_size=3,
+            incremental=IncrementalConfig(
+                enabled=True, shard_size=SHARD_SIZE
+            ),
+        )
+
+    base = rows(NUM_RECORDS, seed=3)
+    extra = rows(APPENDED, seed=4)
+
+    table = RelationalTable.from_records(schema, list(base))
+    miner = QuantitativeMiner(table, config())
+    miner.mine()
+
+    report = miner.append(extra)
+    if report.repartitioned:
+        print(f"shard-artifact check: unexpected re-partition "
+              f"({report.reason})")
+        return 1
+    result = miner.mine()
+
+    shards = plan_shards(NUM_RECORDS + APPENDED, SHARD_SIZE)
+    dirty = sum(1 for s in shards if s.stop > NUM_RECORDS)
+    clean = len(shards) - dirty
+    stage_stats = result.stats.execution.stage_shard_cache
+    if not stage_stats:
+        print("shard-artifact check: no sharded stage consulted the cache")
+        return 1
+    for stage, (hits, misses) in sorted(stage_stats.items()):
+        if (hits, misses) != (clean, dirty):
+            print(f"shard-artifact check: {stage} recounted {misses} "
+                  f"shard(s) (hit {hits}); expected exactly the {dirty} "
+                  f"dirty shard(s) of {len(shards)} to recount")
+            return 1
+
+    cold = QuantitativeMiner(
+        RelationalTable.from_records(schema, base + extra), config()
+    ).mine()
+    if result.support_counts != cold.support_counts:
+        print("shard-artifact check: incremental support counts diverge "
+              "from the cold mine")
+        return 1
+    if result.rules != cold.rules:
+        print("shard-artifact check: incremental rules diverge from the "
+              "cold mine")
+        return 1
+    print(f"shard-artifact check: append of {APPENDED} records recounted "
+          f"{dirty}/{len(shards)} shards across "
+          f"{len(stage_stats)} stage(s); output bit-identical to cold mine")
+
+    # An unseen value cannot be absorbed by the value maps: the miner
+    # must re-partition and drop the now-orphaned shard artifacts.
+    novel = [(float(NUM_VALUES + 5),) * NUM_ATTRIBUTES]
+    report = miner.append(novel)
+    if not report.repartitioned:
+        print("shard-artifact check: unseen value did not force a "
+              "re-partition")
+        return 1
+    if report.artifacts_gc <= 0:
+        print("shard-artifact check: re-partition garbage-collected no "
+              "orphaned shard artifacts")
+        return 1
+    miner.mine()
+    print(f"shard-artifact check: re-partition ({report.reason}) "
+          f"garbage-collected {report.artifacts_gc} orphaned artifact(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
