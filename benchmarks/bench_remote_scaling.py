@@ -1,0 +1,136 @@
+"""Distributed counting fleet — serial vs. remote worker scaling.
+
+Times the frequent-itemset search on the synthetic credit table under
+the serial executor and under the remote executor against 1- and
+2-worker fleets of real ``quantrules serve --worker`` subprocesses on
+localhost.  As with the parallel benchmark, correctness rides along:
+every fleet size must reproduce the serial run's support counts
+exactly, because per-shard integer counts merge by addition no matter
+which worker counted which shard.
+
+Localhost numbers measure protocol overhead, not speedup: every
+"remote" worker competes with the coordinator for the same cores, and
+each shard task pays JSON + pickle + TCP round-trip costs that a real
+fleet would amortize over genuinely parallel hardware.  The recorded
+rows therefore carry task and cache-hit counts alongside the timings,
+and the second sweep per fleet shows the warm-cache path (workers keep
+their shard count artifacts between runs).
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+NUM_RECORDS = 20_000
+MIN_SUPPORT = 0.3
+SHARD_SIZE = 2048
+
+
+def _start_worker():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0", "--worker",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    line = process.stdout.readline()
+    assert line.startswith("serving on "), f"worker banner: {line!r}"
+    url = line.split("serving on ", 1)[1].strip()
+    return process, url.split("//", 1)[1]
+
+
+def _mine(table, execution=None, remote=None):
+    from repro.core import MinerConfig, QuantitativeMiner
+
+    config = MinerConfig(
+        min_support=MIN_SUPPORT,
+        min_confidence=0.5,
+        partial_completeness=2.0,
+        max_itemset_size=2,
+        execution=execution or {},
+        remote=remote,
+    )
+    started = time.perf_counter()
+    result = QuantitativeMiner(table, config).mine()
+    return result, time.perf_counter() - started
+
+
+def test_remote_scaling(credit_table_cache, reporter):
+    table = credit_table_cache(NUM_RECORDS)
+
+    serial, serial_seconds = _mine(table)
+    reporter.line(
+        f"\nRemote scaling: {NUM_RECORDS} records, "
+        f"minsup={MIN_SUPPORT:.0%}, shard_size={SHARD_SIZE} "
+        "(localhost fleet: expect overhead, not speedup)"
+    )
+    reporter.row(
+        "executor", "workers", "sweep", "seconds", "tasks", "cache_hits"
+    )
+    reporter.row("serial", 0, 1, f"{serial_seconds:.3f}", "-", "-")
+    reporter.record(
+        executor="serial",
+        workers=0,
+        sweep=1,
+        seconds=serial_seconds,
+        tasks=None,
+        cache_hits=None,
+        num_records=NUM_RECORDS,
+    )
+
+    fleet = [_start_worker(), _start_worker()]
+    try:
+        addresses = [address for _, address in fleet]
+        for num_workers in (1, 2):
+            for sweep in (1, 2):
+                result, seconds = _mine(
+                    table,
+                    execution={
+                        "executor": "remote",
+                        "shard_size": SHARD_SIZE,
+                    },
+                    remote={"workers": addresses[:num_workers]},
+                )
+                assert (
+                    result.support_counts == serial.support_counts
+                ), f"remote({num_workers}) diverged from serial"
+                execution = result.stats.execution
+                assert execution.remote_worker_deaths == 0
+                reporter.row(
+                    "remote",
+                    num_workers,
+                    sweep,
+                    f"{seconds:.3f}",
+                    execution.remote_tasks,
+                    execution.remote_cache_hits,
+                )
+                reporter.record(
+                    executor="remote",
+                    workers=num_workers,
+                    sweep=sweep,
+                    seconds=seconds,
+                    tasks=execution.remote_tasks,
+                    cache_hits=execution.remote_cache_hits,
+                    num_records=NUM_RECORDS,
+                )
+    finally:
+        for process, _ in fleet:
+            if process.poll() is None:
+                process.send_signal(signal.SIGTERM)
+        for process, _ in fleet:
+            try:
+                process.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                process.kill()

@@ -42,6 +42,7 @@ from .core import (
     MinerConfig,
     ObsConfig,
     QuantitativeMiner,
+    RemoteConfig,
     Taxonomy,
 )
 from .data import generate_credit_table
@@ -113,15 +114,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mine.add_argument(
         "--executor",
-        choices=("serial", "parallel"),
+        choices=("serial", "parallel", "remote"),
         default="serial",
-        help="execution engine: in-process (default) or a process pool",
+        help=(
+            "execution engine: in-process (default), a process pool, "
+            "or a worker fleet named by --workers"
+        ),
     )
     mine.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help=(
             "worker processes for the parallel executor "
             "(default: all cores); N > 1 implies --executor parallel"
+        ),
+    )
+    mine.add_argument(
+        "--workers", metavar="HOST:PORT,...", default=None,
+        help=(
+            "comma-separated addresses of 'quantrules serve --worker' "
+            "servers to count shards on; implies --executor remote"
         ),
     )
     mine.add_argument(
@@ -317,6 +328,14 @@ def build_parser() -> argparse.ArgumentParser:
             "interrupted (default: wait for them)"
         ),
     )
+    serve.add_argument(
+        "--worker", action="store_true",
+        help=(
+            "also serve the /v1/shards/* counting routes so 'quantrules "
+            "mine --workers' coordinators can count shards here (with "
+            "--store-dir, shard counts persist under DIR/shard-cache)"
+        ),
+    )
     return parser
 
 
@@ -344,6 +363,12 @@ def _run_mine(args) -> int:
     executor = args.executor
     if args.jobs is not None and args.jobs > 1 and executor == "serial":
         executor = "parallel"
+    remote = None
+    if args.workers is not None:
+        remote = RemoteConfig(workers=args.workers)
+        executor = "remote"
+    elif executor == "remote":
+        raise SystemExit("--executor remote needs --workers HOST:PORT,...")
     execution = ExecutionConfig(
         executor=executor,
         num_workers=args.jobs,
@@ -394,6 +419,7 @@ def _run_mine(args) -> int:
         cache=cache,
         observability=observability,
         incremental=incremental,
+        remote=remote,
     )
     categorical = set(_split_names(args.categorical)) | set(taxonomies)
     table = load_csv(
@@ -609,12 +635,25 @@ def _run_serve(args) -> int:
     if args.store_dir is not None:
         store = DiskJobStore(args.store_dir)
         tables = TableRegistry(Path(args.store_dir) / "tables")
+    observability = Observability()
+    shard_worker = None
+    if args.worker:
+        from .engine.cache import DiskCache
+        from .serve import ShardWorker
+
+        shard_cache = None
+        if args.store_dir is not None:
+            shard_cache = DiskCache(Path(args.store_dir) / "shard-cache")
+        shard_worker = ShardWorker(
+            shard_cache, metrics=observability.metrics
+        )
     service = MiningService(
         store=store,
         tables=tables,
         max_concurrent_jobs=args.jobs,
         default_job_timeout=args.job_timeout,
-        observability=Observability(),
+        observability=observability,
+        shard_worker=shard_worker,
     ).start()
     if args.recover:
         requeued = service.recover()

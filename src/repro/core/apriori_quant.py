@@ -258,7 +258,9 @@ def build_engine_context(
     """
     execution = config.execution
     incremental = config.incremental
-    executor = resolve_executor(execution.executor, execution.num_workers)
+    executor = resolve_executor(
+        execution.executor, execution.num_workers, remote=config.remote
+    )
     shard_size = execution.shard_size
     if incremental.enabled and shard_size is None:
         # Incremental mode needs shard boundaries that survive appends:

@@ -23,7 +23,7 @@ SUPPORT_AND_CONFIDENCE = "support_and_confidence"
 COUNTING_BACKENDS = ("array", "rtree", "direct", "bitmap", "auto")
 
 #: Executor names understood by the execution engine.
-EXECUTORS = ("serial", "parallel")
+EXECUTORS = ("serial", "parallel", "remote")
 
 #: Artifact-cache backends understood by :class:`CacheConfig`.
 CACHE_BACKENDS = ("memory", "disk", "none")
@@ -134,6 +134,68 @@ class ExecutionConfig:
         if self.executor == "serial":
             return 1
         return self.num_workers or os.cpu_count() or 1
+
+
+@dataclass
+class RemoteConfig:
+    """How the ``"remote"`` executor reaches its worker fleet.
+
+    Parameters
+    ----------
+    workers:
+        ``host:port`` addresses of counting workers (servers started
+        with ``quantrules serve --worker``), as a list/tuple or one
+        comma-separated string.  Required when
+        ``execution.executor`` is ``"remote"``.
+    task_timeout:
+        Per shard-count request wall-clock budget in seconds; a worker
+        exceeding it is marked dead and the task retried elsewhere.
+    max_retries:
+        Retries per shard task after its first failure, spread over
+        the surviving workers.
+    backoff_seconds:
+        Base of the exponential backoff slept between retries.
+    fallback_local:
+        Whether the coordinator counts remaining shards in-process
+        once every worker is dead (``True``, the default — the run
+        completes with bit-identical output) or fails fast with a
+        :class:`~repro.engine.remote.RemoteDispatchError` (``False``).
+
+    Like the other engine blocks this is purely operational: per-shard
+    partial counts merge by exact integer addition, so any worker
+    assignment, retry history or fallback produces the same output as
+    a serial run.  It participates in no cache fingerprint.
+    """
+
+    workers: tuple = ()
+    task_timeout: float = 30.0
+    max_retries: int = 3
+    backoff_seconds: float = 0.1
+    fallback_local: bool = True
+
+    def __post_init__(self) -> None:
+        if isinstance(self.workers, str):
+            self.workers = tuple(
+                w.strip() for w in self.workers.split(",") if w.strip()
+            )
+        else:
+            self.workers = tuple(str(w) for w in self.workers)
+        from ..engine.remote import parse_worker_address
+
+        for address in self.workers:
+            parse_worker_address(address)  # raises ValueError if bad
+        if self.task_timeout <= 0:
+            raise ValueError(
+                f"task_timeout must be > 0, got {self.task_timeout}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_seconds < 0:
+            raise ValueError(
+                f"backoff_seconds must be >= 0, got {self.backoff_seconds}"
+            )
 
 
 @dataclass
@@ -487,6 +549,13 @@ class MinerConfig:
         :class:`IncrementalConfig`).  An :class:`IncrementalConfig`, a
         plain dict of its fields, or ``None`` for "off".  Purely
         operational like the other engine blocks.
+    remote:
+        How the ``"remote"`` executor reaches its counting workers
+        (see :class:`RemoteConfig`).  A :class:`RemoteConfig`, a plain
+        dict of its fields, or ``None`` for the defaults; required to
+        carry worker addresses when ``execution.executor`` is
+        ``"remote"``.  Purely operational like the other engine
+        blocks.
     """
 
     min_support: float = 0.1
@@ -509,6 +578,7 @@ class MinerConfig:
     async_mining: AsyncConfig | None = field(default=None)
     observability: ObsConfig | None = field(default=None)
     incremental: IncrementalConfig | None = field(default=None)
+    remote: RemoteConfig | None = field(default=None)
 
     def __post_init__(self) -> None:
         if self.execution is None:
@@ -555,6 +625,21 @@ class MinerConfig:
             raise TypeError(
                 "incremental must be an IncrementalConfig, a dict of its "
                 f"fields, or None; got {type(self.incremental).__name__}"
+            )
+        if self.remote is None:
+            self.remote = RemoteConfig()
+        elif isinstance(self.remote, dict):
+            self.remote = RemoteConfig(**self.remote)
+        elif not isinstance(self.remote, RemoteConfig):
+            raise TypeError(
+                "remote must be a RemoteConfig, a dict of its fields, "
+                f"or None; got {type(self.remote).__name__}"
+            )
+        if self.execution.executor == "remote" and not self.remote.workers:
+            raise ValueError(
+                "the remote executor needs remote.workers "
+                "(host:port addresses of 'quantrules serve --worker' "
+                "servers)"
             )
         if (
             self.incremental.enabled
@@ -626,7 +711,7 @@ class MinerConfig:
         for f in dataclasses.fields(self):
             value = getattr(self, f.name)
             if f.name in ("execution", "cache", "async_mining",
-                          "observability", "incremental"):
+                          "observability", "incremental", "remote"):
                 value = dataclasses.asdict(value)
             elif f.name == "taxonomies":
                 value = (

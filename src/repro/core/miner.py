@@ -31,6 +31,7 @@ from .config import (
     IncrementalConfig,
     MinerConfig,
     ObsConfig,
+    RemoteConfig,
 )
 from .frequent_items import FrequentItems
 from .interest import InterestEvaluator, InterestFilterStage
@@ -646,6 +647,15 @@ def _resolve_config(
                 "pass either a MinerConfig or keyword overrides, not both"
             )
         return config
+    if (
+        "workers" in overrides
+        and "executor" not in overrides
+        and "execution" not in overrides
+    ):
+        # Naming a worker fleet is an unambiguous ask for the remote
+        # executor; requiring both flags would just invite the
+        # silent-no-op of a serial run with an unused fleet.
+        overrides["executor"] = "remote"
     _fold_block_overrides(
         overrides,
         "execution",
@@ -667,6 +677,18 @@ def _resolve_config(
             "cache_max_entries": "max_entries",
             "cache_dir": "directory",
             "cache_max_bytes": "max_bytes",
+        },
+    )
+    _fold_block_overrides(
+        overrides,
+        "remote",
+        RemoteConfig,
+        {
+            "workers": "workers",
+            "remote_task_timeout": "task_timeout",
+            "remote_max_retries": "max_retries",
+            "remote_backoff_seconds": "backoff_seconds",
+            "remote_fallback_local": "fallback_local",
         },
     )
     _fold_block_overrides(
@@ -714,11 +736,15 @@ def mine_quantitative_rules(
     ``mine_quantitative_rules(table, executor="parallel", num_workers=4)``
     — and folded into the config's ``execution`` block; likewise the
     cache knobs (``cache_enabled``, ``cache_backend``, ``cache_dir``,
-    ``cache_max_entries``) fold into its ``cache`` block, the async
-    knobs (``max_concurrent_jobs``, ``job_timeout``) into its
-    ``async_mining`` block, and the observability knobs
-    (``obs_enabled``, ``trace_path``, ``chrome_trace_path``,
-    ``metrics_path``, ``log_level``) into its ``observability`` block.
+    ``cache_max_entries``) fold into its ``cache`` block, the remote
+    knobs (``workers`` — which alone implies ``executor="remote"`` —
+    ``remote_task_timeout``, ``remote_max_retries``,
+    ``remote_backoff_seconds``, ``remote_fallback_local``) into its
+    ``remote`` block, the async knobs (``max_concurrent_jobs``,
+    ``job_timeout``) into its ``async_mining`` block, and the
+    observability knobs (``obs_enabled``, ``trace_path``,
+    ``chrome_trace_path``, ``metrics_path``, ``log_level``) into its
+    ``observability`` block.
     """
     config = _resolve_config(config, overrides)
     return QuantitativeMiner(table, config).mine()

@@ -71,6 +71,13 @@ class ExecutionStats:
     actually recounted.  ``stage_shard_cache`` maps each counting stage
     to its ``[hits, misses]`` pair.  Distinct from the stage-level
     ``cache_hits``/``cache_misses`` above.
+
+    The ``remote_*`` fields account for the distributed executor:
+    shard tasks shipped to workers, retries after worker failures,
+    workers marked dead, tasks that fell back to in-process counting
+    when no worker survived, partial counts answered by a *worker's*
+    artifact cache, and — in ``remote_worker_tasks`` — how many tasks
+    each ``host:port`` lane served.  All zero outside remote runs.
     """
 
     executor: str = "serial"
@@ -87,6 +94,12 @@ class ExecutionStats:
     shard_cache_hits: int = 0
     shard_cache_misses: int = 0
     stage_shard_cache: dict = field(default_factory=dict)
+    remote_tasks: int = 0
+    remote_retries: int = 0
+    remote_worker_deaths: int = 0
+    remote_local_fallbacks: int = 0
+    remote_cache_hits: int = 0
+    remote_worker_tasks: dict = field(default_factory=dict)
 
     def record_shards(self, stage: str, seconds) -> None:
         """Append one sharded dispatch's per-shard worker timings."""
@@ -98,7 +111,14 @@ class ExecutionStats:
 
     @property
     def shard_handoff(self) -> str:
-        """The run's overall handoff mode: zero-copy once any stage is."""
+        """The run's overall handoff mode.
+
+        ``remote`` once any stage dispatched to a worker fleet, else
+        ``zero-copy`` once any stage used the shared-memory path, else
+        ``copied``.
+        """
+        if "remote" in self.stage_handoff.values():
+            return "remote"
         if "zero-copy" in self.stage_handoff.values():
             return "zero-copy"
         return "copied"
@@ -110,6 +130,25 @@ class ExecutionStats:
             self.cache_hits += 1
         elif event == "miss":
             self.cache_misses += 1
+
+    def record_remote(self, stage: str, info: dict) -> None:
+        """Fold one remote dispatch's tallies into the remote counters.
+
+        ``info`` is the dispatch-info dict
+        :meth:`~repro.engine.remote.RemoteExecutor.map_shards` returns
+        (tasks, retries, worker deaths, local fallbacks, worker cache
+        hits, per-worker task counts); ``stage`` is accepted for
+        symmetry with the other sinks but the tallies are run-global.
+        """
+        self.remote_tasks += info.get("tasks", 0)
+        self.remote_retries += info.get("retries", 0)
+        self.remote_worker_deaths += info.get("worker_deaths", 0)
+        self.remote_local_fallbacks += info.get("local_fallbacks", 0)
+        self.remote_cache_hits += info.get("cache_hits", 0)
+        for worker, count in info.get("worker_tasks", {}).items():
+            self.remote_worker_tasks[worker] = (
+                self.remote_worker_tasks.get(worker, 0) + count
+            )
 
     def record_shard_cache(self, stage: str, hits: int, misses: int) -> None:
         """Record one counting dispatch's shard-artifact consultation."""
@@ -383,5 +422,17 @@ class MiningStats:
                     lines.append(
                         f"  {stage}: {hits} cached, {misses} recounted"
                     )
+            if e.remote_tasks:
+                lines.append(
+                    f"remote counting:     {e.remote_tasks} task(s), "
+                    f"{e.remote_retries} retried, "
+                    f"{e.remote_worker_deaths} worker death(s), "
+                    f"{e.remote_local_fallbacks} local fallback(s), "
+                    f"{e.remote_cache_hits} worker cache hit(s)"
+                )
+                for worker, count in sorted(
+                    e.remote_worker_tasks.items()
+                ):
+                    lines.append(f"  {worker}: {count} task(s)")
         lines.append(f"total time:          {self.total_seconds:.2f}s")
         return "\n".join(lines)

@@ -24,6 +24,11 @@ pluggable:
   table fingerprint into POSIX shared memory and workers attach
   :class:`SharedShardView` descriptors instead of unpickling column
   slices (with a copying fallback where shared memory is unusable).
+- :mod:`~repro.engine.remote` — distributed shard counting: a
+  :class:`RemoteExecutor` ships each shard's count to worker servers
+  over the ``repro.serve`` HTTP layer and merges the returned partials
+  bit-identically to a serial run (retry/backoff across surviving
+  workers, local fallback when the fleet is gone).
 - :mod:`~repro.engine.fingerprint` — content fingerprints: stable
   hashes of the values a stage's output depends on.
 - :mod:`~repro.engine.cache` — pluggable :class:`ArtifactCache`
@@ -57,6 +62,14 @@ from .executor import (
     resolve_executor,
 )
 from .fingerprint import Unfingerprintable, fingerprint
+from .remote import (
+    RemoteDispatchError,
+    RemoteExecutor,
+    parse_worker_address,
+    restricted_loads,
+    shard_artifact_key,
+    worker_fn_token,
+)
 from .shard_cache import (
     ShardCountCache,
     gc_orphaned_shard_artifacts,
@@ -98,6 +111,8 @@ __all__ = [
     "NullCache",
     "ParallelExecutor",
     "PipelineStage",
+    "RemoteDispatchError",
+    "RemoteExecutor",
     "SerialExecutor",
     "ShardCountCache",
     "SharedColumnStore",
@@ -111,13 +126,17 @@ __all__ = [
     "executor_table_view",
     "fingerprint",
     "gc_orphaned_shard_artifacts",
+    "parse_worker_address",
     "partitioned_map",
     "plan_blocks",
     "plan_shards",
     "plan_task_views",
     "resolve_executor",
+    "restricted_loads",
+    "shard_artifact_key",
     "shard_view",
     "shared_memory_available",
     "sharded_map",
     "sharded_map_cached",
+    "worker_fn_token",
 ]

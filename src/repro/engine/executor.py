@@ -4,7 +4,10 @@ An :class:`Executor` exposes one operation — :meth:`~Executor.map` a
 picklable function over a list of tasks — which is all the sharded
 counting layer needs.  :class:`SerialExecutor` runs in-process;
 :class:`ParallelExecutor` fans tasks out over a lazily created
-``concurrent.futures.ProcessPoolExecutor``.
+``concurrent.futures.ProcessPoolExecutor``; the distributed
+:class:`~repro.engine.remote.RemoteExecutor` (resolved here for the
+``"remote"`` config value) additionally exposes the record-sharded
+``map_shards`` surface that ships shard counting to worker servers.
 
 Task functions handed to :meth:`Executor.map` must be module-level
 callables and their tasks/results picklable, so the same call site works
@@ -27,7 +30,7 @@ from abc import ABC, abstractmethod
 from .shm import SharedColumnStore, shared_memory_available
 
 #: User-facing executor names (the ``execution.executor`` config values).
-EXECUTOR_NAMES = ("serial", "parallel")
+EXECUTOR_NAMES = ("serial", "parallel", "remote")
 
 
 class Executor(ABC):
@@ -140,14 +143,60 @@ class ParallelExecutor(Executor):
             self._store = None
 
 
+def _remote_option(remote, key: str, default):
+    """Read one remote option off a config block, dict or ``None``."""
+    if remote is None:
+        return default
+    if isinstance(remote, dict):
+        value = remote.get(key, default)
+    else:
+        value = getattr(remote, key, default)
+    return default if value is None else value
+
+
 def resolve_executor(
-    name: str = "serial", num_workers: int | None = None
+    name: str = "serial",
+    num_workers: int | None = None,
+    remote=None,
 ) -> Executor:
-    """Build the executor a configuration names."""
+    """Build the executor a configuration names.
+
+    ``remote`` carries the distributed options (a
+    :class:`~repro.core.config.RemoteConfig`, a plain dict of its
+    fields, or ``None``) and is only consulted when ``name`` is
+    ``"remote"`` — its ``workers`` list is then required.
+    """
     if name == "serial":
         return SerialExecutor()
     if name == "parallel":
         return ParallelExecutor(num_workers)
+    if name == "remote":
+        from .remote import (
+            DEFAULT_BACKOFF_SECONDS,
+            DEFAULT_MAX_RETRIES,
+            DEFAULT_TASK_TIMEOUT,
+            RemoteExecutor,
+        )
+
+        workers = tuple(_remote_option(remote, "workers", ()) or ())
+        if not workers:
+            raise ValueError(
+                "the remote executor needs worker addresses "
+                "(remote.workers / --workers host:port,...)"
+            )
+        return RemoteExecutor(
+            workers,
+            task_timeout=_remote_option(
+                remote, "task_timeout", DEFAULT_TASK_TIMEOUT
+            ),
+            max_retries=_remote_option(
+                remote, "max_retries", DEFAULT_MAX_RETRIES
+            ),
+            backoff_seconds=_remote_option(
+                remote, "backoff_seconds", DEFAULT_BACKOFF_SECONDS
+            ),
+            fallback_local=_remote_option(remote, "fallback_local", True),
+        )
     raise ValueError(
         f"executor must be one of {EXECUTOR_NAMES}, got {name!r}"
     )

@@ -19,12 +19,15 @@ is measured inside the worker and reported to an optional stats sink
 via ``stats.record_shards(stage, seconds)`` — the engine stays
 duck-typed here so it never imports ``repro.core``.
 
-Shard handoff has two modes, chosen per dispatch by
+Shard handoff has two local modes, chosen per dispatch by
 :func:`plan_task_views`: ``"zero-copy"`` publishes the table once
 through the executor's :class:`~repro.engine.shm.SharedColumnStore` and
 ships tiny :class:`~repro.engine.shm.SharedShardView` descriptors, while
 ``"copied"`` falls back to pickling
-:class:`~repro.engine.shards.ShardView` column slices.  Both produce
+:class:`~repro.engine.shards.ShardView` column slices.  An executor
+exposing ``map_shards`` (the distributed
+:class:`~repro.engine.remote.RemoteExecutor`) takes over the handoff
+entirely and reports the third mode, ``"remote"``.  All modes produce
 bit-identical results; the mode is reported via
 ``stats.record_handoff(stage, mode)`` and a ``shard_handoff.<mode>``
 metric counter so runs stay diagnosable.
@@ -41,15 +44,19 @@ from .shm import SharedShardView
 
 
 def _record_task_spans(
-    tracer, metrics, stage, parent, results, dispatched, *, records=None
+    tracer, metrics, stage, parent, results, dispatched, *,
+    records=None, lanes=None,
 ) -> None:
     """Record one ``shard_task`` span + histogram sample per task.
 
     Workers measure their own wall-clock (they may live in another
-    process, out of the tracer's reach); the dispatching side records
-    the measurements post-hoc, on synthetic per-task lanes so exporters
-    draw the fan-out as parallel bars.  ``records`` optionally gives
-    the per-task record counts (table shards know theirs).
+    process or on another host, out of the tracer's reach); the
+    dispatching side records the measurements post-hoc, on synthetic
+    per-task lanes so exporters draw the fan-out as parallel bars.
+    ``records`` optionally gives the per-task record counts (table
+    shards know theirs); ``lanes`` optionally names each task's lane —
+    the remote executor passes ``remote/<host:port>`` per task so an
+    exported trace shows which worker served which shard.
     """
     if stage is None:
         return
@@ -58,13 +65,18 @@ def _record_task_spans(
             attributes = {"stage": stage, "task": i}
             if records is not None:
                 attributes["records"] = records[i]
+            if lanes is not None:
+                lane = lanes[i]
+                attributes["worker"] = lane
+            else:
+                lane = f"{stage}/task-{i}"
             tracer.record(
                 f"{stage}[{i}]",
                 "shard_task",
                 parent,
                 start=dispatched,
                 duration=seconds,
-                thread=f"{stage}/task-{i}",
+                thread=lane,
                 **attributes,
             )
     metrics.histogram(f"shard_seconds.{stage}").observe_many(
@@ -186,21 +198,35 @@ def sharded_map(
     """
     shards = tuple(shards)
     registry = metrics if metrics is not None else NULL_METRICS
-    views, handoff = plan_task_views(
-        executor, view, shards, metrics=registry
-    )
-    tasks = [(fn, task_view, payload) for task_view in views]
+    lanes = remote_info = None
+    map_shards = getattr(executor, "map_shards", None)
     dispatched = time.perf_counter()
-    if executor is None:
-        results = [_run_shard(task) for task in tasks]
+    if map_shards is not None:
+        # A distributed executor owns the whole shard handoff: it
+        # publishes the view to its workers itself, so the local
+        # zero-copy/copied planning never runs.
+        results, handoff, lanes, remote_info = map_shards(
+            view, shards, fn, payload, stage=stage, metrics=registry
+        )
     else:
-        results = executor.map(_run_shard, tasks)
+        views, handoff = plan_task_views(
+            executor, view, shards, metrics=registry
+        )
+        tasks = [(fn, task_view, payload) for task_view in views]
+        dispatched = time.perf_counter()
+        if executor is None:
+            results = [_run_shard(task) for task in tasks]
+        else:
+            results = executor.map(_run_shard, tasks)
     registry.counter(f"shard_handoff.{handoff}").increment()
     if stats is not None and stage is not None:
         stats.record_shards(stage, [seconds for _, seconds in results])
         record_handoff = getattr(stats, "record_handoff", None)
         if record_handoff is not None:
             record_handoff(stage, handoff)
+        record_remote = getattr(stats, "record_remote", None)
+        if record_remote is not None and remote_info is not None:
+            record_remote(stage, remote_info)
     _record_task_spans(
         tracer if tracer is not None else NULL_TRACER,
         registry,
@@ -209,6 +235,7 @@ def sharded_map(
         results,
         dispatched,
         records=[shard.num_records for shard in shards],
+        lanes=lanes,
     )
     return [result for result, _ in results]
 

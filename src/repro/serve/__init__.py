@@ -11,7 +11,9 @@ server-mined rules are bit-identical to
 
 Layering: ``store``/``tables`` know nothing of asyncio; ``service``
 bridges threads onto one event loop; ``protocol`` defines the wire
-payloads; ``http`` is the only module that touches sockets.
+payloads; ``http`` is the only module that touches sockets; ``worker``
+serves the distributed executor's shard-counting routes when the
+server runs in ``--worker`` mode.
 """
 
 from .http import DEFAULT_MAX_BODY, MiningHTTPServer, run_server
@@ -21,6 +23,7 @@ from .protocol import (
     format_sse,
     job_status_payload,
     parse_append,
+    parse_shard_count,
     parse_submission,
 )
 from .service import (
@@ -30,6 +33,7 @@ from .service import (
     MiningService,
     ServiceClosed,
 )
+from .worker import DEFAULT_MAX_VIEWS, ShardWorker
 from .store import (
     JOB_STATES,
     RECOVERABLE_STATES,
@@ -50,6 +54,7 @@ from .tables import (
 
 __all__ = [
     "DEFAULT_MAX_BODY",
+    "DEFAULT_MAX_VIEWS",
     "JOB_STATES",
     "RECOVERABLE_STATES",
     "RESTART_REASON",
@@ -64,6 +69,7 @@ __all__ = [
     "MiningHTTPServer",
     "MiningService",
     "ServiceClosed",
+    "ShardWorker",
     "TableRegistry",
     "UnknownTableError",
     "format_ndjson",
@@ -72,6 +78,7 @@ __all__ = [
     "job_status_payload",
     "mark_interrupted",
     "parse_append",
+    "parse_shard_count",
     "parse_submission",
     "run_server",
     "validate_job_id",

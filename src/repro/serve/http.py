@@ -29,7 +29,18 @@ Route                             Meaning
                                   ``?format=ndjson``; replays from the
                                   first event and ends with the
                                   terminal one (rules included).
+``GET  /v1/shards/tables``        Worker mode: view fingerprints held.
+``PUT  /v1/shards/tables/{fp}``   Worker mode: publish one coded view
+                                  (binary body, see
+                                  :mod:`repro.serve.worker`).
+``POST /v1/shards/count``         Worker mode: count one shard for a
+                                  remote coordinator (see
+                                  :func:`~repro.serve.protocol.parse_shard_count`).
 ================================  =====================================
+
+The ``/v1/shards/*`` routes answer 403 unless the service was built
+with a :class:`~repro.serve.worker.ShardWorker` (``quantrules serve
+--worker``) — a plain mining server never deserializes shard payloads.
 
 Every request runs under a ``request`` span in the service's shared
 tracer (parented under the job's root span when the route names a live
@@ -51,6 +62,7 @@ from .protocol import (
     format_sse,
     job_status_payload,
     parse_append,
+    parse_shard_count,
     parse_submission,
 )
 from .tables import UnknownTableError
@@ -194,6 +206,17 @@ class _Handler(BaseHTTPRequestHandler):
                     return self._get_rules(job_id)
                 if rest[2:] == ["events"] and method == "GET":
                     return self._get_events(job_id)
+            if rest[:1] == ["shards"]:
+                if rest == ["shards", "tables"] and method == "GET":
+                    return self._list_shard_views()
+                if (
+                    len(rest) == 3
+                    and rest[1] == "tables"
+                    and method == "PUT"
+                ):
+                    return self._put_shard_view(rest[2])
+                if rest == ["shards", "count"] and method == "POST":
+                    return self._post_shard_count()
         raise ApiError(404, f"no route for {method} {self.path}")
 
     # ------------------------------------------------------------------
@@ -347,6 +370,40 @@ class _Handler(BaseHTTPRequestHandler):
             self.wfile.flush()
         self.close_connection = True
         return 200
+
+    # ------------------------------------------------------------------
+    # Worker (shard-counting) routes
+    # ------------------------------------------------------------------
+    def _shard_worker(self):
+        """The service's shard worker, or 403 when not in worker mode."""
+        worker = self.server.service.shard_worker
+        if worker is None:
+            raise ApiError(
+                403,
+                "shard routes are disabled; start the server with "
+                "--worker to serve remote counting",
+            )
+        return worker
+
+    def _list_shard_views(self) -> int:
+        """The view fingerprints this worker currently holds."""
+        worker = self._shard_worker()
+        return self._send_json(
+            200, {"views": worker.view_fingerprints()}
+        )
+
+    def _put_shard_view(self, view_fp: str) -> int:
+        """Store one published view blob under its fingerprint."""
+        worker = self._shard_worker()
+        return self._send_json(
+            201, worker.publish(view_fp, self._read_body())
+        )
+
+    def _post_shard_count(self) -> int:
+        """Count one shard of a published view for a coordinator."""
+        worker = self._shard_worker()
+        request = parse_shard_count(self._read_json())
+        return self._send_json(200, worker.count(request))
 
     # ------------------------------------------------------------------
     # Request/response plumbing

@@ -7,6 +7,9 @@ socket handling, so the service and its tests speak the same dicts:
   inline table, config dict, timeout, optional job id).
 - :func:`parse_append` — the ``POST /v1/tables/{name}/append`` body
   (CSV rows to add, plus the optional re-mine submission).
+- :func:`parse_shard_count` — the ``POST /v1/shards/count`` body a
+  :class:`~repro.serve.worker.ShardWorker` serves (shard range,
+  worker-function token, pickled candidate payload).
 - :func:`job_status_payload` — the status document of one
   :class:`~repro.serve.store.JobRecord` (as returned by
   ``GET /v1/jobs/{id}`` and embedded in job listings).
@@ -157,6 +160,81 @@ def parse_append(payload) -> dict:
     if unknown:
         raise ApiError(
             400, f"unknown append field(s): {sorted(unknown)}"
+        )
+    return out
+
+
+#: Fields a shard-count request may carry (anything else is a 400).
+_SHARD_COUNT_FIELDS = {
+    "view", "start", "stop", "fn", "payload", "stage", "artifact_key",
+}
+
+
+def parse_shard_count(payload) -> dict:
+    """Validate a ``POST /v1/shards/count`` body into a worker request.
+
+    The body names a published view by fingerprint, a half-open record
+    range ``[start, stop)``, the worker function as a
+    ``repro.<module>:<name>`` token and the base64-pickled candidate
+    payload, plus an optional ``stage`` label and an optional
+    ``artifact_key`` the worker's cache is consulted with.  Every
+    malformed field is a 400 — a worker must never 500 on client
+    input.  Returns the normalized request dict
+    :meth:`~repro.serve.worker.ShardWorker.count` consumes.
+    """
+    if not isinstance(payload, dict):
+        raise ApiError(400, "request body must be a JSON object")
+    view = payload.get("view")
+    if not isinstance(view, str) or not view:
+        raise ApiError(400, "'view' must be a view fingerprint string")
+    start, stop = payload.get("start"), payload.get("stop")
+    if (
+        not isinstance(start, int)
+        or not isinstance(stop, int)
+        or isinstance(start, bool)
+        or isinstance(stop, bool)
+        or start < 0
+        or stop < start
+    ):
+        raise ApiError(
+            400, "'start'/'stop' must be ints with 0 <= start <= stop"
+        )
+    token = payload.get("fn")
+    if (
+        not isinstance(token, str)
+        or token.count(":") != 1
+        or not token.startswith("repro.")
+        or not all(part.strip() for part in token.split(":"))
+    ):
+        raise ApiError(
+            400, "'fn' must be a 'repro.<module>:<function>' token"
+        )
+    encoded = payload.get("payload")
+    if not isinstance(encoded, str):
+        raise ApiError(400, "'payload' must be a base64 string")
+    out = {
+        "view": view,
+        "start": start,
+        "stop": stop,
+        "fn": token,
+        "payload": encoded,
+    }
+    stage = payload.get("stage")
+    if stage is not None:
+        if not isinstance(stage, str):
+            raise ApiError(400, "'stage' must be a string")
+        out["stage"] = stage
+    key = payload.get("artifact_key")
+    if key is not None:
+        if not isinstance(key, str) or not key:
+            raise ApiError(
+                400, "'artifact_key' must be a non-empty string"
+            )
+        out["artifact_key"] = key
+    unknown = set(payload) - _SHARD_COUNT_FIELDS
+    if unknown:
+        raise ApiError(
+            400, f"unknown shard-count field(s): {sorted(unknown)}"
         )
     return out
 

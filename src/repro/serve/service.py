@@ -156,6 +156,13 @@ class MiningService:
         subscribers get a replay synthesized from the durable store
         (terminal event and result document intact, per-stage progress
         elided).
+    shard_worker:
+        A :class:`~repro.serve.worker.ShardWorker` to serve the
+        ``/v1/shards/*`` routes with, making this server a counting
+        worker for a remote coordinator (``quantrules serve
+        --worker``).  ``None`` — the default — answers those routes
+        with 403: a plain mining server never deserializes shard
+        payloads.
     """
 
     def __init__(
@@ -167,10 +174,12 @@ class MiningService:
         default_job_timeout=None,
         observability=None,
         retain_finished: int = 128,
+        shard_worker=None,
     ) -> None:
         self.store = store if store is not None else MemoryJobStore()
         self.tables = tables if tables is not None else TableRegistry()
         self.observability = observability
+        self.shard_worker = shard_worker
         self.default_job_timeout = default_job_timeout
         self.retain_finished = retain_finished
         self._max_concurrent_jobs = max_concurrent_jobs

@@ -1,0 +1,272 @@
+"""Worker-side shard counting for the distributed executor.
+
+:class:`ShardWorker` is the service object behind the
+``/v1/shards/*`` routes a server started with ``quantrules serve
+--worker`` exposes.  It is the remote half of
+:class:`~repro.engine.remote.RemoteExecutor`: the coordinator publishes
+a table's coded column matrix once per view fingerprint, then sends one
+``count`` request per :class:`~repro.engine.shards.TableShard`; the
+worker slices a :class:`~repro.engine.shards.ShardView` out of the
+stored matrix, runs the named counting function on it and returns the
+pickled partial counts.  Because per-shard counts merge by exact
+integer addition, the coordinator's merged result is bit-identical to
+a serial run no matter which workers served which shards.
+
+Artifact reuse: every count request may carry the coordinator-computed
+shard-artifact key (the same
+``(stage, shard fp, encoding fp, payload fp)`` formula as
+:class:`~repro.engine.shard_cache.ShardCountCache`).  The worker
+consults its own :class:`~repro.engine.cache.ArtifactCache` under that
+key before counting and stores fresh partials after, so repeated
+sweeps — from the same coordinator or a restarted one — skip recounts
+for every shard whose bytes, encoding and candidates recur.  Give the
+worker a :class:`~repro.engine.cache.DiskCache` (the CLI does when
+``--store-dir`` is set) and the reuse also survives worker restarts.
+
+Input hardening: function tokens resolve only module-level callables
+in ``repro.*`` modules, payloads and published views deserialize
+through :func:`~repro.engine.remote.restricted_loads`, and every
+malformed input raises a 400 :class:`~repro.serve.protocol.ApiError`
+rather than a 500.  This bounds accidents, not adversaries — worker
+routes accept pickled data and belong on a private network only (see
+``docs/distributed_guide.md``).
+"""
+
+from __future__ import annotations
+
+import base64
+import importlib
+import pickle
+import threading
+import time
+from collections import OrderedDict
+
+import numpy as np
+
+from ..engine.cache import MISSING, MemoryCache
+from ..engine.remote import restricted_loads
+from ..engine.shards import ShardView
+from .protocol import ApiError
+
+#: Published views kept per worker (LRU); one view is one table+encoding.
+DEFAULT_MAX_VIEWS = 4
+
+#: Default bound of the worker's own artifact cache (one entry is one
+#: shard's partial counts for one stage/candidate set).
+DEFAULT_CACHE_ENTRIES = 4096
+
+
+class _StoredView:
+    """One published view: the coded matrix and its cardinalities."""
+
+    def __init__(self, matrix, cardinalities, num_records: int) -> None:
+        self.matrix = matrix
+        self.cardinalities = list(cardinalities)
+        self.num_records = int(num_records)
+
+
+class ShardWorker:
+    """Count table shards on behalf of a remote coordinator.
+
+    Parameters
+    ----------
+    cache:
+        The worker's own :class:`~repro.engine.cache.ArtifactCache`
+        for per-shard count artifacts; ``None`` builds a bounded
+        in-process :class:`~repro.engine.cache.MemoryCache`.  Pass a
+        :class:`~repro.engine.cache.DiskCache` to keep artifacts
+        across worker restarts.
+    max_views:
+        Published views retained (least recently used beyond that are
+        dropped; the coordinator republishes on the resulting 404).
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`; the worker then
+        counts ``worker.publishes`` / ``worker.counts`` /
+        ``worker.cache_hits`` and samples ``worker.count_seconds``.
+    fail_after_counts:
+        Fault-injection knob for tests and chaos drills: after serving
+        this many count requests the worker raises on every further
+        one, which the coordinator sees as a mid-pass worker death.
+        ``None`` (the default) never fails.
+    """
+
+    def __init__(
+        self,
+        cache=None,
+        *,
+        max_views: int = DEFAULT_MAX_VIEWS,
+        metrics=None,
+        fail_after_counts: int | None = None,
+    ) -> None:
+        if max_views < 1:
+            raise ValueError(f"max_views must be >= 1, got {max_views}")
+        self.cache = (
+            cache
+            if cache is not None
+            else MemoryCache(max_entries=DEFAULT_CACHE_ENTRIES)
+        )
+        self.max_views = max_views
+        self.fail_after_counts = fail_after_counts
+        self._metrics = metrics
+        self._views: OrderedDict = OrderedDict()
+        self._counts_served = 0
+        self._lock = threading.Lock()
+
+    def _count_metric(self, name: str, amount: int = 1) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name).increment(amount)
+
+    # ------------------------------------------------------------------
+    # View store
+    # ------------------------------------------------------------------
+    def publish(self, view_fp: str, blob: bytes) -> dict:
+        """Store one published view blob under its fingerprint.
+
+        The blob is the coordinator's pickled ``{"matrix",
+        "cardinalities", "num_records"}`` document; anything that does
+        not deserialize to that shape is a 400.  Returns the
+        description echoed as the route's 201 body.
+        """
+        try:
+            document = restricted_loads(blob)
+        except Exception as exc:
+            raise ApiError(
+                400, f"view blob does not unpickle: {exc}"
+            ) from exc
+        if not isinstance(document, dict):
+            raise ApiError(400, "view blob must unpickle to a dict")
+        matrix = document.get("matrix")
+        cardinalities = document.get("cardinalities")
+        num_records = document.get("num_records")
+        if (
+            not isinstance(matrix, np.ndarray)
+            or matrix.ndim != 2
+            or not isinstance(cardinalities, (list, tuple))
+            or len(cardinalities) != matrix.shape[0]
+            or not isinstance(num_records, int)
+            or num_records != matrix.shape[1]
+        ):
+            raise ApiError(
+                400,
+                "view blob must carry an attributes x records matrix "
+                "with matching cardinalities and num_records",
+            )
+        stored = _StoredView(matrix, cardinalities, num_records)
+        with self._lock:
+            self._views[view_fp] = stored
+            self._views.move_to_end(view_fp)
+            while len(self._views) > self.max_views:
+                self._views.popitem(last=False)
+        self._count_metric("worker.publishes")
+        return {
+            "view": view_fp,
+            "records": stored.num_records,
+            "attributes": len(stored.cardinalities),
+        }
+
+    def view_fingerprints(self) -> list:
+        """The fingerprints of every view currently held."""
+        with self._lock:
+            return list(self._views)
+
+    # ------------------------------------------------------------------
+    # Counting
+    # ------------------------------------------------------------------
+    def count(self, request: dict) -> dict:
+        """Serve one validated shard-count request.
+
+        ``request`` is the normalized output of
+        :func:`~repro.serve.protocol.parse_shard_count`.  Returns the
+        route's 200 body: the base64-pickled partial result, the
+        worker-measured seconds and whether the worker's artifact
+        cache answered (``"hit"``) or the shard was counted
+        (``"miss"``, or ``"uncached"`` when no key was sent).
+        """
+        with self._lock:
+            self._counts_served += 1
+            if (
+                self.fail_after_counts is not None
+                and self._counts_served > self.fail_after_counts
+            ):
+                raise RuntimeError(
+                    "injected worker failure (fail_after_counts="
+                    f"{self.fail_after_counts})"
+                )
+            stored = self._views.get(request["view"])
+            if stored is not None:
+                self._views.move_to_end(request["view"])
+        if stored is None:
+            raise ApiError(
+                404, f"unknown shard view {request['view']!r}"
+            )
+        start, stop = request["start"], request["stop"]
+        if stop > stored.num_records:
+            raise ApiError(
+                400,
+                f"shard [{start}, {stop}) exceeds the view's "
+                f"{stored.num_records} records",
+            )
+        fn = self._resolve_fn(request["fn"])
+        payload = self._decode_payload(request["payload"])
+        key = request.get("artifact_key")
+        cache_state = "uncached"
+        started = time.perf_counter()
+        result = MISSING
+        if key is not None:
+            result = self.cache.get(key)
+            cache_state = "miss" if result is MISSING else "hit"
+        if result is MISSING:
+            view = ShardView(
+                columns=[row[start:stop] for row in stored.matrix],
+                cardinalities=stored.cardinalities,
+                num_records=stop - start,
+            )
+            result = fn(view, payload)
+            if key is not None:
+                self.cache.put(key, result)
+        seconds = time.perf_counter() - started
+        self._count_metric("worker.counts")
+        if cache_state == "hit":
+            self._count_metric("worker.cache_hits")
+        if self._metrics is not None:
+            self._metrics.histogram("worker.count_seconds").observe(
+                seconds
+            )
+        return {
+            "result": base64.b64encode(
+                pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+            ).decode("ascii"),
+            "seconds": seconds,
+            "cache": cache_state,
+        }
+
+    def _resolve_fn(self, token: str):
+        """Import the worker function a wire token names, or 400.
+
+        Tokens are ``"module:name"`` with the module under ``repro.``
+        and the name a module-level callable — the exact set
+        :func:`~repro.engine.remote.worker_fn_token` emits.
+        """
+        module_name, _, fn_name = token.partition(":")
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError as exc:
+            raise ApiError(
+                400, f"unknown worker function module {module_name!r}"
+            ) from exc
+        fn = getattr(module, fn_name, None)
+        if not callable(fn):
+            raise ApiError(
+                400, f"unknown worker function {token!r}"
+            )
+        return fn
+
+    def _decode_payload(self, payload_b64: str):
+        """Decode the request's base64-pickled candidate payload, or 400."""
+        try:
+            raw = base64.b64decode(payload_b64, validate=True)
+            return restricted_loads(raw)
+        except Exception as exc:
+            raise ApiError(
+                400, f"payload does not decode: {exc}"
+            ) from exc

@@ -58,3 +58,41 @@ class TestCheckerCatchesBreakage:
         (tmp_path / "other.md").write_text("x\n")
         doc.write_text("see [other](other.md) and `README.md`\n")
         assert list(checker._check_file(doc)) == []
+
+
+class TestIndexReachability:
+    def _checker_at(self, tmp_path):
+        checker = load_checker()
+        checker.ROOT = tmp_path
+        (tmp_path / "docs").mkdir()
+        return checker
+
+    def test_orphan_guide_detected(self, tmp_path):
+        checker = self._checker_at(tmp_path)
+        (tmp_path / "docs" / "index.md").write_text(
+            "see [linked](linked.md)\n"
+        )
+        (tmp_path / "docs" / "linked.md").write_text("x\n")
+        (tmp_path / "docs" / "orphan.md").write_text("x\n")
+        orphans = checker._unreachable_from_index()
+        assert [p.name for p in orphans] == ["orphan.md"]
+
+    def test_transitive_references_count(self, tmp_path):
+        checker = self._checker_at(tmp_path)
+        (tmp_path / "docs" / "index.md").write_text(
+            "see [a](a.md)\n"
+        )
+        (tmp_path / "docs" / "a.md").write_text(
+            "see `docs/b.md` too\n"
+        )
+        (tmp_path / "docs" / "b.md").write_text("x\n")
+        assert checker._unreachable_from_index() == []
+
+    def test_no_index_no_contract(self, tmp_path):
+        checker = self._checker_at(tmp_path)
+        (tmp_path / "docs" / "floating.md").write_text("x\n")
+        assert checker._unreachable_from_index() == []
+
+    def test_repository_index_reaches_every_guide(self):
+        checker = load_checker()
+        assert checker._unreachable_from_index() == []

@@ -12,9 +12,16 @@ Two kinds of reference are verified in README.md and ``docs/``:
   example file names like `` `rules.json` `` never false-positive.
 
 External targets (``http(s)://``, ``mailto:``) and in-page anchors are
-skipped.  Exit status is 0 when every reference resolves, 1 otherwise,
-with one ``file:line`` diagnostic per broken reference — the format CI
-and ``tests/test_doc_links.py`` rely on.
+skipped.
+
+``docs/index.md`` is additionally treated as the documentation's
+landing page: every other markdown file under ``docs/`` must be
+reachable from it by following references (of either kind)
+transitively, so no guide can silently fall off the map.
+
+Exit status is 0 when every reference resolves and every guide is
+reachable, 1 otherwise, with one ``file:line`` diagnostic per broken
+reference — the format CI and ``tests/test_doc_links.py`` rely on.
 """
 
 import re
@@ -67,18 +74,61 @@ def _check_file(doc: Path):
                 yield number, target
 
 
+def _doc_references(doc: Path):
+    """Yield every markdown file under ``docs/`` that ``doc`` links to."""
+    for line in doc.read_text().splitlines():
+        targets = [m.group(1) for m in _LINK.finditer(line)]
+        targets += [m.group(1) for m in _CODE_PATH.finditer(line)]
+        for target in targets:
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target.endswith(".md"):
+                continue
+            for base in (doc.parent, ROOT):
+                resolved = (base / target).resolve()
+                if resolved.is_file() and resolved.parent == ROOT / "docs":
+                    yield resolved
+                    break
+
+
+def _unreachable_from_index():
+    """Markdown files under ``docs/`` with no reference path from index.md.
+
+    Returns the empty list when there is no ``docs/index.md`` (the
+    reachability contract only exists once a landing page does).
+    """
+    index = ROOT / "docs" / "index.md"
+    if not index.is_file():
+        return []
+    seen = {index}
+    queue = [index]
+    while queue:
+        for referenced in _doc_references(queue.pop()):
+            if referenced not in seen:
+                seen.add(referenced)
+                queue.append(referenced)
+    return sorted(
+        path for path in (ROOT / "docs").glob("*.md") if path not in seen
+    )
+
+
 def main() -> int:
     broken = []
     for doc in _doc_files():
         for number, target in _check_file(doc):
             broken.append(f"{doc.relative_to(ROOT)}:{number}: "
                           f"broken reference {target!r}")
+    for orphan in _unreachable_from_index():
+        broken.append(f"{orphan.relative_to(ROOT)}: "
+                      "not reachable from docs/index.md")
     for problem in broken:
         print(problem)
     if broken:
         print(f"{len(broken)} broken documentation reference(s)")
         return 1
-    print("all documentation references resolve")
+    print("all documentation references resolve "
+          "(and every guide is reachable from docs/index.md)")
     return 0
 
 

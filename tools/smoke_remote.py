@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""CI smoke test for the distributed counting fleet.
+
+Boots two real ``quantrules serve --worker`` subprocesses on
+OS-assigned ports, then exercises the coordinator path end to end:
+
+1. mine a synthetic credit table serially in this process (the
+   reference answer);
+2. mine the same table with ``--executor remote`` against the
+   two-worker fleet and require bit-identical support counts and
+   rules, with tasks actually dispatched to both workers;
+3. SIGKILL one worker and mine again: the coordinator must mark the
+   dead worker, shift its shard tasks to the survivor, and still
+   reproduce the serial answer exactly;
+4. require the second run to have hit the surviving worker's shard
+   count cache (the cross-sweep reuse path).
+
+Exit status 0 on success, 1 with a diagnostic otherwise — the format
+CI relies on.  Run from the repository root::
+
+    python tools/smoke_remote.py
+"""
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+NUM_RECORDS = 500
+BASE = {
+    "min_support": 0.3,
+    "min_confidence": 0.5,
+    "max_support": 0.5,
+    "partial_completeness": 5.0,
+    "max_itemset_size": 2,
+}
+SHARD_SIZE = 64
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821
+    print(f"smoke_remote: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def start_worker():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0", "--worker",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    line = process.stdout.readline()
+    if not line.startswith("serving on "):
+        process.kill()
+        fail(f"unexpected worker banner: {line!r}")
+    url = line.split("serving on ", 1)[1].strip()
+    return process, url.split("//", 1)[1]
+
+
+def mine_remote(table, addresses):
+    from repro.core import MinerConfig, QuantitativeMiner
+
+    config = MinerConfig(
+        **BASE,
+        execution={"executor": "remote", "shard_size": SHARD_SIZE},
+        remote={
+            "workers": addresses,
+            "task_timeout": 15.0,
+            "backoff_seconds": 0.05,
+        },
+    )
+    return QuantitativeMiner(table, config).mine()
+
+
+def main() -> int:
+    from repro.core import MinerConfig, QuantitativeMiner
+    from repro.data import generate_credit_table
+
+    table = generate_credit_table(NUM_RECORDS, seed=3)
+    serial = QuantitativeMiner(table, MinerConfig(**BASE)).mine()
+    print(
+        f"smoke_remote: serial reference has "
+        f"{len(serial.support_counts)} frequent itemsets, "
+        f"{len(serial.rules)} rules"
+    )
+
+    workers = [start_worker(), start_worker()]
+    addresses = [address for _, address in workers]
+    print(f"smoke_remote: fleet up at {', '.join(addresses)}")
+    try:
+        remote = mine_remote(table, addresses)
+        if remote.support_counts != serial.support_counts:
+            fail("remote count vectors differ from serial")
+        if [str(r) for r in remote.rules] != [
+            str(r) for r in serial.rules
+        ]:
+            fail("remote rules differ from serial")
+        execution = remote.stats.execution
+        busy = {
+            address: count
+            for address, count in execution.remote_worker_tasks.items()
+            if count
+        }
+        if set(busy) != set(addresses):
+            fail(f"expected both workers to count shards, got {busy}")
+        if execution.remote_worker_deaths:
+            fail(f"unexpected worker deaths: {execution}")
+        print(
+            f"smoke_remote: 2-worker run bit-identical "
+            f"({execution.remote_tasks} shard tasks, split {busy})"
+        )
+
+        victim_process, victim = workers[0]
+        victim_process.send_signal(signal.SIGKILL)
+        victim_process.wait(timeout=30)
+        print(f"smoke_remote: killed worker {victim}")
+
+        survivor = mine_remote(table, addresses)
+        if survivor.support_counts != serial.support_counts:
+            fail("post-kill count vectors differ from serial")
+        execution = survivor.stats.execution
+        if execution.remote_worker_deaths != 1:
+            fail(
+                "expected exactly one recorded worker death, got "
+                f"{execution.remote_worker_deaths}"
+            )
+        if execution.remote_worker_tasks.get(addresses[1], 0) == 0:
+            fail("survivor served no shard tasks after the kill")
+        if execution.remote_cache_hits == 0:
+            fail(
+                "survivor re-counted everything: expected shard cache "
+                "hits on the second run"
+            )
+        print(
+            f"smoke_remote: survivor run bit-identical "
+            f"({execution.remote_cache_hits} worker cache hits, "
+            f"{execution.remote_worker_deaths} death recorded)"
+        )
+    finally:
+        for process, _ in workers:
+            if process.poll() is None:
+                process.send_signal(signal.SIGTERM)
+        for process, _ in workers:
+            try:
+                process.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                process.kill()
+    print("smoke_remote: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
