@@ -23,7 +23,7 @@ human report.
 import time
 
 from repro.core import MinerConfig, ObsConfig, QuantitativeMiner
-from repro.obs import NULL_METRICS, NULL_TRACER
+from repro.obs import DEFAULT_LATENCY_BUCKETS, NULL_METRICS, NULL_TRACER
 
 NUM_RECORDS = 50_000
 MIN_SUPPORT = 0.2
@@ -58,14 +58,20 @@ def _null_call_seconds(calls: int) -> float:
 
     One "call" here is the work the disabled path does per span the
     enabled path would have recorded: open a span handle, set an
-    attribute, finish it, bump a counter and observe a histogram value.
+    attribute, finish it, bump a labeled counter and observe a
+    bucketed, labeled histogram value — the label/bucket kwargs ride
+    along because the fleet-telemetry call sites (per-worker counters,
+    per-route latency histograms) pass them unconditionally.
     """
+    labels = {"worker": "127.0.0.1:8765"}
     started = time.perf_counter()
     for _ in range(calls):
         with NULL_TRACER.span("bench", kind="stage") as span:
             span.set(outcome="miss")
-        NULL_METRICS.counter("bench").increment()
-        NULL_METRICS.histogram("bench").observe(0.0)
+        NULL_METRICS.counter("bench", labels=labels).increment()
+        NULL_METRICS.histogram(
+            "bench", labels=labels, buckets=DEFAULT_LATENCY_BUCKETS
+        ).observe(0.0)
     return (time.perf_counter() - started) / calls
 
 

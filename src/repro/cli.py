@@ -249,6 +249,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable pipeline logging at LEVEL (DEBUG, INFO, ...)",
     )
     mine.add_argument(
+        "--otlp-endpoint", metavar="URL", default=None,
+        help=(
+            "push spans and metrics as OTLP/JSON to this collector "
+            "base URL (http://host:port) during the run, draining "
+            "before exit"
+        ),
+    )
+    mine.add_argument(
         "--explain-timing",
         action="store_true",
         help="print the span-tree timing report after mining",
@@ -336,6 +344,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--store-dir, shard counts persist under DIR/shard-cache)"
         ),
     )
+    serve.add_argument(
+        "--otlp-endpoint", metavar="URL", default=None,
+        help=(
+            "push this server's spans and metrics as OTLP/JSON to the "
+            "collector at URL (http://host:port), draining on shutdown"
+        ),
+    )
     return parser
 
 
@@ -383,12 +398,18 @@ def _run_mine(args) -> int:
     observability = ObsConfig(
         enabled=(
             True
-            if (args.trace_out or args.metrics_out or args.explain_timing)
+            if (
+                args.trace_out
+                or args.metrics_out
+                or args.explain_timing
+                or args.otlp_endpoint
+            )
             else None
         ),
         trace_path=args.trace_out,
         metrics_path=args.metrics_out,
         log_level=args.log_level,
+        otlp_endpoint=args.otlp_endpoint,
     )
     incremental = None
     if args.append or args.incremental_shard_size is not None:
@@ -504,6 +525,7 @@ def _report_observability(args, obs) -> None:
         print(obs.timing_report(), file=sys.stderr)
     for path in obs.export():
         print(f"wrote {path}", file=sys.stderr)
+    obs.close()
 
 
 def _sweep_configs(args, config) -> list:
@@ -635,7 +657,7 @@ def _run_serve(args) -> int:
     if args.store_dir is not None:
         store = DiskJobStore(args.store_dir)
         tables = TableRegistry(Path(args.store_dir) / "tables")
-    observability = Observability()
+    observability = Observability(otlp_endpoint=args.otlp_endpoint)
     shard_worker = None
     if args.worker:
         from .engine.cache import DiskCache
@@ -673,6 +695,7 @@ def _run_serve(args) -> int:
         drain_seconds=args.drain_seconds,
         announce=lambda line: print(line, flush=True),
     )
+    observability.close()
     return 0
 
 

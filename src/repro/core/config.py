@@ -393,6 +393,12 @@ class ObsConfig:
     log_level:
         When set, :func:`repro.obs.configure_logging` is applied at
         build time with this level name (``"DEBUG"``, ``"info"``, ...).
+    otlp_endpoint:
+        When set, the built bundle streams spans and metric snapshots
+        as OTLP/JSON to this collector base URL
+        (``http://host:port``) via a background
+        :class:`~repro.obs.TelemetryPusher`; setting it alone enables
+        observability, like the export paths.
 
     Like the execution, cache and async blocks, this block is purely
     operational — it observes a run without changing what it computes —
@@ -405,6 +411,7 @@ class ObsConfig:
     chrome_trace_path: str | None = None
     metrics_path: str | None = None
     log_level: str | None = None
+    otlp_endpoint: str | None = None
 
     def __post_init__(self) -> None:
         if self.log_level is not None:
@@ -428,6 +435,7 @@ class ObsConfig:
                     self.trace_path,
                     self.chrome_trace_path,
                     self.metrics_path,
+                    self.otlp_endpoint,
                 )
             )
 
@@ -449,6 +457,7 @@ class ObsConfig:
             trace_path=self.trace_path,
             chrome_trace_path=self.chrome_trace_path,
             metrics_path=self.metrics_path,
+            otlp_endpoint=self.otlp_endpoint,
         )
 
 

@@ -720,6 +720,7 @@ def _resolve_config(
             "chrome_trace_path": "chrome_trace_path",
             "metrics_path": "metrics_path",
             "log_level": "log_level",
+            "otlp_endpoint": "otlp_endpoint",
         },
     )
     return MinerConfig(**overrides)
@@ -743,8 +744,8 @@ def mine_quantitative_rules(
     ``remote`` block, the async knobs (``max_concurrent_jobs``,
     ``job_timeout``) into its ``async_mining`` block, and the
     observability knobs (``obs_enabled``, ``trace_path``,
-    ``chrome_trace_path``, ``metrics_path``, ``log_level``) into its
-    ``observability`` block.
+    ``chrome_trace_path``, ``metrics_path``, ``log_level``,
+    ``otlp_endpoint``) into its ``observability`` block.
     """
     config = _resolve_config(config, overrides)
     return QuantitativeMiner(table, config).mine()

@@ -56,7 +56,13 @@ import pickle
 import threading
 import time
 
-from ..obs import NULL_METRICS
+from ..obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_METRICS,
+    NULL_TRACER,
+    Span,
+    format_traceparent,
+)
 from .executor import Executor
 from .fingerprint import Unfingerprintable, fingerprint
 from .shards import shard_view
@@ -166,17 +172,23 @@ class _WorkerClient:
         self.listed = False
         self.lock = threading.Lock()
 
-    def request(self, method: str, path: str, body, content_type: str):
+    def request(
+        self, method: str, path: str, body, content_type: str,
+        headers=None,
+    ):
         """One HTTP round-trip; returns ``(status, parsed-JSON body)``."""
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
+        request_headers = {"Content-Type": content_type}
+        if headers:
+            request_headers.update(headers)
         try:
             connection.request(
                 method,
                 path,
                 body=body,
-                headers={"Content-Type": content_type},
+                headers=request_headers,
             )
             response = connection.getresponse()
             raw = response.read()
@@ -286,7 +298,8 @@ class RemoteExecutor(Executor):
     # Remote shard dispatch (discovered by sharded_map)
     # ------------------------------------------------------------------
     def map_shards(
-        self, view, shards, fn, payload, *, stage=None, metrics=None
+        self, view, shards, fn, payload, *, stage=None, metrics=None,
+        tracer=None, parent=None,
     ):
         """Count every shard on the worker fleet; shard order kept.
 
@@ -297,9 +310,17 @@ class RemoteExecutor(Executor):
         run locally), ``lanes`` one per-task span lane naming the
         worker that produced each result, and ``info`` the dispatch's
         ``remote.*`` tallies for the stats layer.
+
+        With an enabled ``tracer``, every task runs under a
+        ``remote_dispatch`` span (child of ``parent``, normally the
+        stage span) whose trace context travels to the worker as a
+        W3C ``traceparent`` header; the worker's own ``shard_count``
+        span comes back in the count response and is adopted into
+        this tracer, so the exported trace is one fleet-wide tree.
         """
         shards = tuple(shards)
         registry = metrics if metrics is not None else NULL_METRICS
+        tracer = tracer if tracer is not None else NULL_TRACER
         plan = self._plan_dispatch(view, shards, fn, payload, stage)
         if plan is None:
             # No publishable view or no wire-safe fn token: run the
@@ -323,7 +344,7 @@ class RemoteExecutor(Executor):
         }
         outcomes = self._dispatch_all(
             view, shards, fn, payload, view_fp, token, payload_b64,
-            keys, stage, info, registry,
+            keys, stage, info, registry, tracer, parent,
         )
         results = [(result, seconds) for result, seconds, _ in outcomes]
         lanes = [lane for _, _, lane in outcomes]
@@ -377,7 +398,7 @@ class RemoteExecutor(Executor):
 
     def _dispatch_all(
         self, view, shards, fn, payload, view_fp, token, payload_b64,
-        keys, stage, info, registry,
+        keys, stage, info, registry, tracer, parent,
     ) -> list:
         """Run every shard task over the dispatch pool, in task order."""
         if self._pool is None:
@@ -393,23 +414,24 @@ class RemoteExecutor(Executor):
             return self._dispatch_task(
                 view, shard, fn, payload, view_fp, token, payload_b64,
                 None if keys is None else keys[index], stage, index,
-                info, registry,
+                info, registry, tracer, parent,
             )
 
         return list(self._pool.map(one, enumerate(shards)))
 
     def _dispatch_task(
         self, view, shard, fn, payload, view_fp, token, payload_b64,
-        key, stage, index, stage_info, registry,
+        key, stage, index, stage_info, registry, tracer, parent,
     ):
         """Count one shard, retrying across surviving workers.
 
         Returns ``(result, seconds, lane)``.  Worker choice starts
         round-robin on the task index and walks the live set; every
-        failure marks the worker dead, bumps the retry counters and
-        backs off exponentially until ``max_retries`` is spent, after
-        which the local fallback (or :class:`RemoteDispatchError`)
-        decides the task.
+        failure marks the worker dead, bumps the retry counters,
+        records a ``remote_retry`` event on the task's dispatch span
+        and backs off exponentially until ``max_retries`` is spent,
+        after which the local fallback (or
+        :class:`RemoteDispatchError`) decides the task.
         """
         request = {
             "view": view_fp,
@@ -423,48 +445,143 @@ class RemoteExecutor(Executor):
         if key is not None:
             request["artifact_key"] = key
         body = json.dumps(request).encode("utf-8")
-        failures = 0
-        while failures <= self.max_retries:
-            worker = self._pick_worker(index + failures)
-            if worker is None:
-                break
-            try:
-                self._ensure_published(worker, view_fp, registry)
-                outcome = self._count_on(worker, view_fp, body, registry)
-            except (OSError, RemoteDispatchError):
-                outcome = None
-            if outcome is not None:
-                result, seconds, cached = outcome
-                with self._lock:
-                    tally = stage_info["worker_tasks"]
-                    tally[worker.address] = (
-                        tally.get(worker.address, 0) + 1
+        with tracer.start_span(
+            f"{stage or 'count'}[shard {index}]",
+            kind="remote_dispatch",
+            parent=parent,
+            shard_start=shard.start,
+            shard_stop=shard.stop,
+        ) as span:
+            headers = None
+            if tracer.enabled:
+                headers = {
+                    "traceparent": format_traceparent(
+                        tracer.trace_id, span.span_id
                     )
+                }
+            failures = 0
+            while failures <= self.max_retries:
+                worker = self._pick_worker(index + failures)
+                if worker is None:
+                    break
+                try:
+                    self._ensure_published(worker, view_fp, registry)
+                    outcome = self._count_on(
+                        worker, view_fp, body, registry, headers
+                    )
+                except (OSError, RemoteDispatchError):
+                    outcome = None
+                if outcome is not None:
+                    result, seconds, cached, response = outcome
+                    with self._lock:
+                        tally = stage_info["worker_tasks"]
+                        tally[worker.address] = (
+                            tally.get(worker.address, 0) + 1
+                        )
+                        if cached:
+                            stage_info["cache_hits"] += 1
                     if cached:
-                        stage_info["cache_hits"] += 1
-                if cached:
-                    registry.counter("remote.cache_hits").increment()
-                return result, seconds, f"remote/{worker.address}"
-            self._mark_dead(worker, stage_info, registry)
-            failures += 1
-            if failures <= self.max_retries:
-                with self._lock:
-                    stage_info["retries"] += 1
-                registry.counter("remote.retries").increment()
-                if self.backoff_seconds:
-                    time.sleep(
-                        self.backoff_seconds * (2 ** (failures - 1))
+                        registry.counter("remote.cache_hits").increment()
+                    registry.histogram(
+                        "remote.count_seconds",
+                        labels={"worker": worker.address},
+                        buckets=DEFAULT_LATENCY_BUCKETS,
+                    ).observe(seconds)
+                    self._ingest_worker_telemetry(
+                        tracer, registry, worker.address, span, response
                     )
-        if not self.fallback_local:
-            raise RemoteDispatchError(
-                f"shard [{shard.start}, {shard.stop}) failed on every "
-                f"worker ({', '.join(w.address for w in self._workers)})"
-            )
-        with self._lock:
-            stage_info["local_fallbacks"] += 1
-        registry.counter("remote.local_fallbacks").increment()
-        result, seconds = self._run_local(view, shard, fn, payload)
-        return result, seconds, "remote/local"
+                    span.set(
+                        worker=worker.address,
+                        cache="hit" if cached else "miss",
+                    )
+                    return result, seconds, f"remote/{worker.address}"
+                self._mark_dead(worker, stage_info, registry)
+                failures += 1
+                if failures <= self.max_retries:
+                    with self._lock:
+                        stage_info["retries"] += 1
+                    registry.counter("remote.retries").increment()
+                    registry.counter(
+                        "remote.retries", labels={"worker": worker.address}
+                    ).increment()
+                    tracer.record(
+                        "remote_retry",
+                        kind="event",
+                        parent=span,
+                        worker=worker.address,
+                        attempt=failures,
+                    )
+                    if self.backoff_seconds:
+                        time.sleep(
+                            self.backoff_seconds * (2 ** (failures - 1))
+                        )
+            if not self.fallback_local:
+                raise RemoteDispatchError(
+                    f"shard [{shard.start}, {shard.stop}) failed on every "
+                    f"worker ({', '.join(w.address for w in self._workers)})"
+                )
+            with self._lock:
+                stage_info["local_fallbacks"] += 1
+            registry.counter("remote.local_fallbacks").increment()
+            result, seconds = self._run_local(view, shard, fn, payload)
+            span.set(worker="local")
+            return result, seconds, "remote/local"
+
+    def _ingest_worker_telemetry(
+        self, tracer, registry, address, dispatch_span, response
+    ) -> None:
+        """Adopt worker-returned span records and metric deltas.
+
+        Worker spans arrive with the propagated trace id, their own
+        random span ids and a wall-clock ``start_unix``; the start is
+        rebased onto this tracer's epoch so exporters place coordinator
+        and worker spans on one timeline.  Counter deltas are folded
+        into this registry labeled by worker address.
+        """
+        if tracer.enabled:
+            for record in response.get("spans") or ():
+                try:
+                    span = Span(
+                        name=str(record["name"]),
+                        kind=str(record.get("kind", "worker_shard")),
+                        span_id=int(record["span_id"]),
+                        parent_id=(
+                            None if record.get("parent_id") is None
+                            else int(record["parent_id"])
+                        ),
+                        start=(
+                            float(record["start_unix"])
+                            - tracer.epoch_wall
+                        ),
+                        duration=float(record["duration"]),
+                        attributes=dict(record.get("attributes") or {}),
+                        thread=(
+                            str(record.get("thread", ""))
+                            or f"worker/{address}"
+                        ),
+                        pid=int(record.get("pid", 0)),
+                        trace_id=str(record.get("trace_id", "")),
+                    )
+                except (KeyError, TypeError, ValueError):
+                    continue
+                if span.parent_id is None:
+                    span.parent_id = dispatch_span.span_id
+                span.attributes.setdefault("worker", address)
+                tracer.adopt(span)
+        if registry.enabled:
+            deltas = response.get("metrics")
+            if not isinstance(deltas, dict):
+                return
+            for name, delta in deltas.items():
+                if (
+                    isinstance(name, str)
+                    and isinstance(delta, int)
+                    and not isinstance(delta, bool)
+                    and delta >= 0
+                ):
+                    registry.counter(
+                        name, labels={"worker": address}
+                    ).increment(delta)
 
     def _run_local(self, view, shard, fn, payload):
         """Count one shard in-process (the fallback lane)."""
@@ -488,6 +605,9 @@ class RemoteExecutor(Executor):
             worker.alive = False
             stage_info["worker_deaths"] += 1
         registry.counter("remote.worker_deaths").increment()
+        registry.counter(
+            "remote.dead_workers", labels={"worker": worker.address}
+        ).increment()
 
     def _ensure_published(self, worker, view_fp: str, registry) -> None:
         """Make sure ``worker`` holds the view, publishing if needed.
@@ -523,7 +643,9 @@ class RemoteExecutor(Executor):
             registry.counter("remote.publishes").increment()
             registry.counter("remote.publish_bytes").increment(len(blob))
 
-    def _count_on(self, worker, view_fp: str, body: bytes, registry):
+    def _count_on(
+        self, worker, view_fp: str, body: bytes, registry, headers=None
+    ):
         """One count request; ``None`` asks the caller to retry.
 
         A 404 means the worker restarted since the view was published
@@ -532,7 +654,8 @@ class RemoteExecutor(Executor):
         """
         for attempt in range(2):
             status, payload = worker.request(
-                "POST", "/v1/shards/count", body, "application/json"
+                "POST", "/v1/shards/count", body, "application/json",
+                headers,
             )
             if status == 200:
                 try:
@@ -542,7 +665,10 @@ class RemoteExecutor(Executor):
                     seconds = float(payload.get("seconds", 0.0))
                 except (KeyError, ValueError, pickle.UnpicklingError):
                     return None
-                return result, seconds, payload.get("cache") == "hit"
+                return (
+                    result, seconds, payload.get("cache") == "hit",
+                    payload,
+                )
             if status == 404 and attempt == 0:
                 with worker.lock:
                     worker.published.discard(view_fp)

@@ -206,7 +206,8 @@ def sharded_map(
         # publishes the view to its workers itself, so the local
         # zero-copy/copied planning never runs.
         results, handoff, lanes, remote_info = map_shards(
-            view, shards, fn, payload, stage=stage, metrics=registry
+            view, shards, fn, payload, stage=stage, metrics=registry,
+            tracer=tracer, parent=parent,
         )
     else:
         views, handoff = plan_task_views(

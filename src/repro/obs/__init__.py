@@ -40,20 +40,35 @@ from .export import (
 )
 from .log import configure_logging, get_logger
 from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
     NULL_METRICS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     NullMetrics,
+    render_prometheus,
+)
+from .otlp import (
+    TelemetryPusher,
+    metrics_to_resource_metrics,
+    spans_to_resource_spans,
+    validate_otlp_metrics,
+    validate_otlp_traces,
 )
 from .session import Observability
 from .tracer import (
+    NULL_TRACE_ID,
     NULL_TRACER,
     NullTracer,
     Span,
     SpanHandle,
     Tracer,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    span_id_hex,
     timeit,
 )
 from .views import (
@@ -68,8 +83,10 @@ from .views import (
 )
 
 __all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
     "NULL_METRICS",
     "NULL_TRACER",
+    "NULL_TRACE_ID",
     "Counter",
     "Gauge",
     "Histogram",
@@ -79,25 +96,36 @@ __all__ = [
     "Observability",
     "Span",
     "SpanHandle",
+    "TelemetryPusher",
     "Tracer",
     "cache_events",
     "cache_hit_ratio",
     "children_of",
     "chrome_trace_document",
     "configure_logging",
+    "format_traceparent",
     "get_logger",
+    "metrics_to_resource_metrics",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
     "read_spans_jsonl",
+    "render_prometheus",
     "render_timing_report",
     "shard_seconds",
     "shard_skew",
     "span_from_record",
+    "span_id_hex",
     "span_to_record",
     "span_tree",
     "spans_by_kind",
+    "spans_to_resource_spans",
     "stage_seconds",
     "timeit",
     "validate_chrome_trace",
     "validate_metrics_snapshot",
+    "validate_otlp_metrics",
+    "validate_otlp_traces",
     "validate_span_record",
     "validate_spans_jsonl",
     "write_chrome_trace",

@@ -29,6 +29,7 @@ from .views import shard_seconds, shard_skew, span_tree
 SPAN_RECORD_FIELDS = {
     "span_id": int,
     "parent_id": (int, type(None)),
+    "trace_id": str,
     "name": str,
     "kind": str,
     "start": (int, float),
@@ -38,12 +39,15 @@ SPAN_RECORD_FIELDS = {
     "attributes": dict,
 }
 
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
 
 def span_to_record(span: Span) -> dict:
     """One span as the plain JSON-serializable record the log stores."""
     return {
         "span_id": span.span_id,
         "parent_id": span.parent_id,
+        "trace_id": span.trace_id,
         "name": span.name,
         "kind": span.kind,
         "start": span.start,
@@ -66,6 +70,7 @@ def span_from_record(record: dict) -> Span:
         attributes=record.get("attributes", {}),
         thread=record.get("thread", ""),
         pid=record.get("pid", 0),
+        trace_id=record.get("trace_id", ""),
     )
 
 
@@ -110,6 +115,15 @@ def validate_span_record(record, line: int | None = None) -> list:
             errors.append(f"{where}: unknown field {name!r}")
     if not errors and record["duration"] < 0:
         errors.append(f"{where}: negative duration")
+    if not errors:
+        trace_id = record["trace_id"]
+        if trace_id and (
+            len(trace_id) != 32 or not _HEX_DIGITS.issuperset(trace_id)
+        ):
+            errors.append(
+                f"{where}: trace_id must be empty or 32 lowercase hex "
+                f"digits, got {trace_id!r}"
+            )
     return errors
 
 
@@ -309,7 +323,13 @@ def render_timing_report(spans, metrics_snapshot: dict | None = None) -> str:
                 f"{_format_seconds(sum(seconds))} worker time{skew_note}"
             )
         for child in tree.get(span.span_id, ()):
-            if child.kind not in ("shard_task", "cache_lookup"):
+            # Per-shard remote dispatch/worker spans and point events
+            # are folded into the shard summary lines above, like the
+            # local shard_task spans they mirror.
+            if child.kind not in (
+                "shard_task", "cache_lookup",
+                "remote_dispatch", "worker_shard", "event",
+            ):
                 walk(child, depth + 1)
 
     for root in tree[None]:

@@ -14,12 +14,24 @@ Three instrument kinds, mirroring the usual metrics vocabulary:
   hit ratio at the end of a run).
 - :class:`Histogram` — streaming summaries (count/sum/min/max) of a
   value distribution (per-shard worker seconds, candidates per pass)
-  without retaining the observations.
+  without retaining the observations, optionally with fixed-boundary
+  buckets for percentile-shaped questions.
+
+Every accessor takes an optional **label set** (``labels={"worker":
+"host:port"}``): each distinct ``(name, labels)`` pair is its own
+instrument, a name must keep one kind across all of its label sets,
+and the unlabeled fast path (``labels=None``) is exactly as cheap as
+it was before labels existed.  Two snapshot shapes come out:
+
+- :meth:`MetricsRegistry.snapshot` — the flat back-compatible document
+  (labeled instruments render as ``name{k="v",...}`` keys);
+- :meth:`MetricsRegistry.labeled_snapshot` — the structured form that
+  :func:`render_prometheus` and :mod:`repro.obs.otlp` consume.
 
 All instruments share the registry's lock, so concurrent async jobs
 may write through one registry.  Snapshots are deterministic in
-structure — instruments sorted by name, fixed field order — so a fixed
-run produces a fixed snapshot modulo measured durations.
+structure — instruments sorted by name then labels, fixed field order
+— so a fixed run produces a fixed snapshot modulo measured durations.
 
 :data:`NULL_METRICS` is the no-op twin, letting instrumented call sites
 stay unconditional at zero cost when observability is off.
@@ -28,15 +40,39 @@ stay unconditional at zero cost when observability is off.
 from __future__ import annotations
 
 import threading
+from bisect import bisect_left
+
+#: Default boundaries (seconds) for latency histograms — Prometheus'
+#: conventional sub-millisecond-to-10s spread.
+DEFAULT_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _label_items(labels) -> tuple:
+    """Normalize a label mapping to a sorted, hashable key tuple."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def render_metric_key(name: str, label_items: tuple) -> str:
+    """The flat-snapshot key of one instrument: ``name{k="v",...}``."""
+    if not label_items:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in label_items)
+    return f"{name}{{{inner}}}"
 
 
 class Counter:
     """A monotonically increasing total."""
 
-    __slots__ = ("name", "value", "_lock")
+    __slots__ = ("name", "labels", "value", "_lock")
 
-    def __init__(self, name: str, lock) -> None:
+    def __init__(self, name: str, lock, labels: tuple = ()) -> None:
         self.name = name
+        self.labels = labels
         self.value = 0
         self._lock = lock
 
@@ -51,10 +87,11 @@ class Counter:
 class Gauge:
     """A last-written value."""
 
-    __slots__ = ("name", "value", "_lock")
+    __slots__ = ("name", "labels", "value", "_lock")
 
-    def __init__(self, name: str, lock) -> None:
+    def __init__(self, name: str, lock, labels: tuple = ()) -> None:
         self.name = name
+        self.labels = labels
         self.value = 0.0
         self._lock = lock
 
@@ -65,16 +102,42 @@ class Gauge:
 
 
 class Histogram:
-    """A streaming summary (count/sum/min/max) of observed values."""
+    """A streaming summary (count/sum/min/max) of observed values.
 
-    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+    With ``buckets`` (a sorted tuple of upper boundaries) the histogram
+    additionally counts observations per bucket — ``bucket_counts[i]``
+    holds observations ``<= buckets[i]`` (non-cumulative), with one
+    extra overflow slot at the end — which is what the Prometheus and
+    OTLP exporters render.
+    """
 
-    def __init__(self, name: str, lock) -> None:
+    __slots__ = (
+        "name", "labels", "count", "total", "min", "max",
+        "buckets", "bucket_counts", "_lock",
+    )
+
+    def __init__(
+        self, name: str, lock, labels: tuple = (), buckets=None
+    ) -> None:
         self.name = name
+        self.labels = labels
         self.count = 0
         self.total = 0.0
         self.min = None
         self.max = None
+        if buckets is not None:
+            boundaries = tuple(float(b) for b in buckets)
+            if not boundaries:
+                raise ValueError("buckets must not be empty")
+            if list(boundaries) != sorted(set(boundaries)):
+                raise ValueError(
+                    f"buckets must be strictly increasing, got {buckets}"
+                )
+            self.buckets = boundaries
+            self.bucket_counts = [0] * (len(boundaries) + 1)
+        else:
+            self.buckets = None
+            self.bucket_counts = None
         self._lock = lock
 
     def observe(self, value) -> None:
@@ -84,6 +147,8 @@ class Histogram:
             self.total += value
             self.min = value if self.min is None else min(self.min, value)
             self.max = value if self.max is None else max(self.max, value)
+            if self.buckets is not None:
+                self.bucket_counts[bisect_left(self.buckets, value)] += 1
 
     def observe_many(self, values) -> None:
         """Fold a batch of observations into the summary."""
@@ -102,6 +167,8 @@ class MetricsRegistry:
     ``counter(name)`` / ``gauge(name)`` / ``histogram(name)`` return
     the instrument registered under ``name``, creating it on first
     access; asking for an existing name with a different kind raises.
+    An optional ``labels`` mapping addresses a distinct instrument per
+    label set under the same name (one kind per name across all sets).
     One lock serializes creation and every write, which keeps
     cross-thread totals exact (instrument writes are tiny compared to
     the work they measure).
@@ -113,30 +180,82 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._instruments: dict = {}
+        self._kinds: dict = {}
 
-    def _instrument(self, name: str, kind):
+    def _instrument(self, name: str, kind, labels=None, buckets=None):
+        key = (name, _label_items(labels))
         with self._lock:
-            existing = self._instruments.get(name)
+            existing = self._instruments.get(key)
             if existing is None:
-                existing = self._instruments[name] = kind(name, self._lock)
+                registered = self._kinds.get(name)
+                if registered is not None and registered is not kind:
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{registered.__name__}, not {kind.__name__}"
+                    )
+                if kind is Histogram:
+                    existing = Histogram(
+                        name, self._lock, labels=key[1], buckets=buckets
+                    )
+                else:
+                    existing = kind(name, self._lock, labels=key[1])
+                self._instruments[key] = existing
+                self._kinds[name] = kind
             elif type(existing) is not kind:
                 raise TypeError(
                     f"metric {name!r} already registered as "
                     f"{type(existing).__name__}, not {kind.__name__}"
                 )
+            elif (
+                kind is Histogram
+                and buckets is not None
+                and tuple(float(b) for b in buckets)
+                != (existing.buckets or ())
+            ):
+                raise ValueError(
+                    f"histogram {name!r}{dict(key[1])} already has "
+                    f"buckets {existing.buckets}, not {tuple(buckets)}"
+                )
         return existing
 
-    def counter(self, name: str) -> Counter:
-        """The counter registered under ``name`` (created on first use)."""
-        return self._instrument(name, Counter)
+    def counter(self, name: str, labels=None) -> Counter:
+        """The counter under ``name`` + ``labels`` (created on first use)."""
+        return self._instrument(name, Counter, labels)
 
-    def gauge(self, name: str) -> Gauge:
-        """The gauge registered under ``name`` (created on first use)."""
-        return self._instrument(name, Gauge)
+    def gauge(self, name: str, labels=None) -> Gauge:
+        """The gauge under ``name`` + ``labels`` (created on first use)."""
+        return self._instrument(name, Gauge, labels)
 
-    def histogram(self, name: str) -> Histogram:
-        """The histogram registered under ``name`` (created on first use)."""
-        return self._instrument(name, Histogram)
+    def histogram(self, name: str, labels=None, buckets=None) -> Histogram:
+        """The histogram under ``name`` + ``labels`` (created on first use).
+
+        ``buckets`` (a strictly increasing boundary sequence, e.g.
+        :data:`DEFAULT_LATENCY_BUCKETS`) takes effect on first creation;
+        asking for the same instrument again with different boundaries
+        raises.
+        """
+        return self._instrument(name, Histogram, labels, buckets)
+
+    def _sorted_instruments(self) -> list:
+        with self._lock:
+            instruments = dict(self._instruments)
+        return [instruments[key] for key in sorted(instruments)]
+
+    @staticmethod
+    def _histogram_summary(instrument) -> dict:
+        summary = {
+            "count": instrument.count,
+            "sum": instrument.total,
+            "min": instrument.min,
+            "max": instrument.max,
+            "mean": instrument.mean,
+        }
+        if instrument.buckets is not None:
+            summary["buckets"] = {
+                "bounds": list(instrument.buckets),
+                "counts": list(instrument.bucket_counts),
+            }
+        return summary
 
     def snapshot(self) -> dict:
         """Deterministically ordered dump of every instrument.
@@ -145,27 +264,52 @@ class MetricsRegistry:
         "histograms": {...}}`` with instrument names sorted and
         histogram summaries as ``{count, sum, min, max, mean}`` — the
         document ``--metrics-out`` writes and
-        ``tools/check_trace_schema.py`` validates.
+        ``tools/check_trace_schema.py`` validates.  Labeled instruments
+        render under ``name{k="v",...}`` keys; bucketed histograms gain
+        a ``buckets`` field with their boundaries and per-bucket counts.
         """
-        with self._lock:
-            instruments = dict(self._instruments)
         counters = {}
         gauges = {}
         histograms = {}
-        for name in sorted(instruments):
-            instrument = instruments[name]
+        for instrument in self._sorted_instruments():
+            key = render_metric_key(instrument.name, instrument.labels)
             if isinstance(instrument, Counter):
-                counters[name] = instrument.value
+                counters[key] = instrument.value
             elif isinstance(instrument, Gauge):
-                gauges[name] = instrument.value
+                gauges[key] = instrument.value
             else:
-                histograms[name] = {
-                    "count": instrument.count,
-                    "sum": instrument.total,
-                    "min": instrument.min,
-                    "max": instrument.max,
-                    "mean": instrument.mean,
-                }
+                histograms[key] = self._histogram_summary(instrument)
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def labeled_snapshot(self) -> dict:
+        """The structured dump exporters consume (labels kept apart).
+
+        Returns ``{"counters": [...], "gauges": [...], "histograms":
+        [...]}`` where every entry is ``{"name", "labels", ...values}``
+        sorted by name then label set — the input shape of
+        :func:`render_prometheus` and
+        :func:`repro.obs.otlp.metrics_to_resource_metrics`.
+        """
+        counters = []
+        gauges = []
+        histograms = []
+        for instrument in self._sorted_instruments():
+            entry = {
+                "name": instrument.name,
+                "labels": dict(instrument.labels),
+            }
+            if isinstance(instrument, Counter):
+                counters.append({**entry, "value": instrument.value})
+            elif isinstance(instrument, Gauge):
+                gauges.append({**entry, "value": instrument.value})
+            else:
+                histograms.append(
+                    {**entry, **self._histogram_summary(instrument)}
+                )
         return {
             "counters": counters,
             "gauges": gauges,
@@ -173,17 +317,111 @@ class MetricsRegistry:
         }
 
 
+def _prometheus_name(name: str) -> str:
+    """Sanitize a metric name into the Prometheus charset."""
+    safe = "".join(
+        c if c.isascii() and (c.isalnum() or c in "_:") else "_"
+        for c in name
+    )
+    if not safe or safe[0].isdigit():
+        safe = "_" + safe
+    return safe
+
+
+def _prometheus_labels(labels: dict, extra: tuple = ()) -> str:
+    """Render one label set (plus ``extra`` pairs) for exposition."""
+    pairs = [*sorted(labels.items()), *extra]
+    if not pairs:
+        return ""
+    rendered = ",".join(
+        "{}=\"{}\"".format(
+            _prometheus_name(k),
+            str(v).replace("\\", r"\\").replace('"', r"\"")
+            .replace("\n", r"\n"),
+        )
+        for k, v in pairs
+    )
+    return "{" + rendered + "}"
+
+
+def _prometheus_value(value) -> str:
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def render_prometheus(labeled_snapshot: dict) -> str:
+    """A labeled snapshot as Prometheus text exposition (version 0.0.4).
+
+    Metric names are sanitized (dots become underscores), every name
+    gets one ``# TYPE`` line, counters and gauges one sample per label
+    set, and histograms the conventional ``_bucket``/``_sum``/``_count``
+    triplet — with cumulative ``le`` buckets ending at ``+Inf`` when
+    the histogram was registered with boundaries.  The output is what
+    ``GET /metrics`` serves when the client asks for ``text/plain``.
+    """
+    lines = []
+    sections = (
+        ("counters", "counter"),
+        ("gauges", "gauge"),
+        ("histograms", "histogram"),
+    )
+    for section, prom_type in sections:
+        typed = set()
+        for entry in labeled_snapshot.get(section, ()):
+            name = _prometheus_name(entry["name"])
+            if name not in typed:
+                typed.add(name)
+                lines.append(f"# TYPE {name} {prom_type}")
+            labels = entry.get("labels", {})
+            if prom_type != "histogram":
+                lines.append(
+                    f"{name}{_prometheus_labels(labels)} "
+                    f"{_prometheus_value(entry['value'])}"
+                )
+                continue
+            buckets = entry.get("buckets")
+            if buckets is not None:
+                cumulative = 0
+                for bound, bucket_count in zip(
+                    buckets["bounds"], buckets["counts"]
+                ):
+                    cumulative += bucket_count
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_prometheus_labels(labels, (('le', repr(float(bound))),))}"
+                        f" {cumulative}"
+                    )
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_prometheus_labels(labels, (('le', '+Inf'),))}"
+                    f" {entry['count']}"
+                )
+            lines.append(
+                f"{name}_sum{_prometheus_labels(labels)} "
+                f"{_prometheus_value(float(entry['sum']))}"
+            )
+            lines.append(
+                f"{name}_count{_prometheus_labels(labels)} "
+                f"{entry['count']}"
+            )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
 class _NullInstrument:
     """Shared do-nothing counter/gauge/histogram."""
 
     __slots__ = ()
     name = ""
+    labels = ()
     value = 0
     count = 0
     total = 0.0
     min = None
     max = None
     mean = None
+    buckets = None
+    bucket_counts = None
 
     def increment(self, amount=1) -> None:
         """Do nothing."""
@@ -204,21 +442,27 @@ class NullMetrics:
     enabled = False
     _instrument = _NullInstrument()
 
-    def counter(self, name: str) -> _NullInstrument:
+    def counter(self, name: str, labels=None) -> _NullInstrument:
         """Return the shared no-op instrument."""
         return self._instrument
 
-    def gauge(self, name: str) -> _NullInstrument:
+    def gauge(self, name: str, labels=None) -> _NullInstrument:
         """Return the shared no-op instrument."""
         return self._instrument
 
-    def histogram(self, name: str) -> _NullInstrument:
+    def histogram(
+        self, name: str, labels=None, buckets=None
+    ) -> _NullInstrument:
         """Return the shared no-op instrument."""
         return self._instrument
 
     def snapshot(self) -> dict:
         """Empty snapshot, matching the real schema."""
         return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def labeled_snapshot(self) -> dict:
+        """Empty structured snapshot, matching the real schema."""
+        return {"counters": [], "gauges": [], "histograms": []}
 
 
 #: Shared no-op registry instance (stateless, safe to share everywhere).

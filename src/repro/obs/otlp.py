@@ -1,0 +1,607 @@
+"""OTLP-shaped telemetry push: span/metric documents + a background exporter.
+
+The file exporters in :mod:`repro.obs.export` answer "what did this
+run do" after the fact; operating a *fleet* needs the same telemetry
+streamed to a collector while runs are in flight.  This module maps
+the existing instruments onto the OpenTelemetry protocol's JSON
+encoding — spans into ``resourceSpans`` documents (`POST /v1/traces`)
+and labeled registry snapshots into ``resourceMetrics`` documents
+(`POST /v1/metrics`) — and ships them with :class:`TelemetryPusher`, a
+stdlib-only background exporter with a bounded queue, batched POSTs,
+retry with exponential backoff, drop accounting and a graceful drain
+on shutdown.
+
+The mapping is "OTLP-shaped" deliberately: documents validate against
+the OTLP/JSON field layout (ids as hex strings, times as unix-nano
+strings, one scope per document) and are accepted by standard
+collectors' HTTP receivers, but only the subset the repro instruments
+produce is emitted.  :func:`validate_otlp_traces` /
+:func:`validate_otlp_metrics` define that subset operationally —
+``tools/check_otlp_export.py`` and the test suite call them, so
+"valid" means exactly "these functions return no errors".
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from collections import deque
+from urllib.parse import urlsplit
+
+from .tracer import NULL_TRACE_ID, span_id_hex
+
+#: Collector route for trace documents (OTLP/HTTP convention).
+OTLP_TRACES_PATH = "/v1/traces"
+
+#: Collector route for metric documents (OTLP/HTTP convention).
+OTLP_METRICS_PATH = "/v1/metrics"
+
+#: OTLP enum: cumulative aggregation temporality.
+_CUMULATIVE = 2
+
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+
+# ----------------------------------------------------------------------
+# Attribute encoding
+# ----------------------------------------------------------------------
+def _any_value(value) -> dict:
+    """One Python value as an OTLP ``AnyValue`` object."""
+    if isinstance(value, bool):
+        return {"boolValue": value}
+    if isinstance(value, int):
+        return {"intValue": str(value)}
+    if isinstance(value, float):
+        return {"doubleValue": value}
+    if isinstance(value, str):
+        return {"stringValue": value}
+    return {"stringValue": repr(value)}
+
+
+def _key_values(mapping) -> list:
+    """A mapping as the OTLP ``KeyValue`` list, insertion-ordered."""
+    return [
+        {"key": str(key), "value": _any_value(value)}
+        for key, value in mapping.items()
+    ]
+
+
+def _resource(resource_attributes) -> dict:
+    return {"attributes": _key_values(resource_attributes or {})}
+
+
+# ----------------------------------------------------------------------
+# Span mapping
+# ----------------------------------------------------------------------
+def spans_to_resource_spans(
+    spans,
+    *,
+    epoch_wall: float = 0.0,
+    resource_attributes=None,
+    scope_name: str = "repro.obs",
+) -> dict:
+    """A span list as one OTLP/JSON ``resourceSpans`` document.
+
+    ``epoch_wall`` places the spans' monotonic ``start`` offsets on
+    the wall clock (pass the owning tracer's ``epoch_wall``); span and
+    parent ids render as 16-hex strings and the trace id passes
+    through (spans recorded before a trace id existed fall back to the
+    all-zero id so the document stays schema-valid).
+    """
+    otlp_spans = []
+    for span in spans:
+        start_nano = int((epoch_wall + span.start) * 1e9)
+        end_nano = int((epoch_wall + span.start + span.duration) * 1e9)
+        attributes = {
+            "repro.kind": span.kind,
+            "repro.thread": span.thread,
+            "repro.pid": span.pid,
+        }
+        attributes.update(span.attributes)
+        otlp_spans.append(
+            {
+                "traceId": span.trace_id or NULL_TRACE_ID,
+                "spanId": span_id_hex(span.span_id),
+                "parentSpanId": (
+                    "" if span.parent_id is None
+                    else span_id_hex(span.parent_id)
+                ),
+                "name": span.name,
+                "kind": 1,  # SPAN_KIND_INTERNAL
+                "startTimeUnixNano": str(start_nano),
+                "endTimeUnixNano": str(end_nano),
+                "attributes": _key_values(attributes),
+            }
+        )
+    return {
+        "resourceSpans": [
+            {
+                "resource": _resource(resource_attributes),
+                "scopeSpans": [
+                    {"scope": {"name": scope_name}, "spans": otlp_spans}
+                ],
+            }
+        ]
+    }
+
+
+# ----------------------------------------------------------------------
+# Metric mapping
+# ----------------------------------------------------------------------
+def _data_point(entry, time_unix_nano: int) -> dict:
+    return {
+        "attributes": _key_values(entry.get("labels", {})),
+        "timeUnixNano": str(time_unix_nano),
+    }
+
+
+def metrics_to_resource_metrics(
+    labeled_snapshot: dict,
+    *,
+    time_unix_nano: int | None = None,
+    resource_attributes=None,
+    scope_name: str = "repro.obs",
+) -> dict:
+    """A labeled snapshot as one OTLP/JSON ``resourceMetrics`` document.
+
+    Consumes :meth:`~repro.obs.metrics.MetricsRegistry.labeled_snapshot`:
+    counters become monotonic cumulative sums, gauges become gauges,
+    and histograms become cumulative histogram data points (with
+    ``explicitBounds``/``bucketCounts`` when the instrument was
+    registered with boundaries).  Entries sharing a name fold into one
+    metric with one data point per label set.
+    """
+    if time_unix_nano is None:
+        time_unix_nano = int(time.time() * 1e9)
+    metrics = []
+    by_name: dict = {}
+
+    def metric_for(name: str, body_key: str, body: dict) -> dict:
+        metric = by_name.get(name)
+        if metric is None:
+            metric = by_name[name] = {"name": name, body_key: body}
+            metrics.append(metric)
+        return metric
+
+    for entry in labeled_snapshot.get("counters", ()):
+        point = _data_point(entry, time_unix_nano)
+        point["asInt"] = str(entry["value"])
+        metric_for(
+            entry["name"],
+            "sum",
+            {
+                "dataPoints": [],
+                "aggregationTemporality": _CUMULATIVE,
+                "isMonotonic": True,
+            },
+        )["sum"]["dataPoints"].append(point)
+    for entry in labeled_snapshot.get("gauges", ()):
+        point = _data_point(entry, time_unix_nano)
+        value = entry["value"]
+        if isinstance(value, int) and not isinstance(value, bool):
+            point["asInt"] = str(value)
+        else:
+            point["asDouble"] = float(value)
+        metric_for(entry["name"], "gauge", {"dataPoints": []})[
+            "gauge"
+        ]["dataPoints"].append(point)
+    for entry in labeled_snapshot.get("histograms", ()):
+        point = _data_point(entry, time_unix_nano)
+        point["count"] = str(entry["count"])
+        point["sum"] = float(entry["sum"])
+        if entry.get("min") is not None:
+            point["min"] = float(entry["min"])
+        if entry.get("max") is not None:
+            point["max"] = float(entry["max"])
+        buckets = entry.get("buckets")
+        if buckets is not None:
+            point["explicitBounds"] = [
+                float(b) for b in buckets["bounds"]
+            ]
+            point["bucketCounts"] = [
+                str(c) for c in buckets["counts"]
+            ]
+        metric_for(
+            entry["name"],
+            "histogram",
+            {"dataPoints": [], "aggregationTemporality": _CUMULATIVE},
+        )["histogram"]["dataPoints"].append(point)
+    return {
+        "resourceMetrics": [
+            {
+                "resource": _resource(resource_attributes),
+                "scopeMetrics": [
+                    {"scope": {"name": scope_name}, "metrics": metrics}
+                ],
+            }
+        ]
+    }
+
+
+# ----------------------------------------------------------------------
+# Validators (the operational schema)
+# ----------------------------------------------------------------------
+def _check_hex_id(value, width: int, what: str, errors: list) -> None:
+    if (
+        not isinstance(value, str)
+        or len(value) != width
+        or not _HEX_DIGITS.issuperset(value)
+    ):
+        errors.append(f"{what}: expected {width}-hex string, got {value!r}")
+
+
+def _check_nano(value, what: str, errors: list) -> None:
+    if not isinstance(value, str) or not value.isdigit():
+        errors.append(
+            f"{what}: expected a unix-nano decimal string, got {value!r}"
+        )
+
+
+def _scope_blocks(document, outer_key: str, inner_key: str, errors: list):
+    """Walk ``resourceSpans``/``resourceMetrics`` down to scope lists."""
+    if not isinstance(document, dict):
+        errors.append("expected a JSON object")
+        return
+    blocks = document.get(outer_key)
+    if not isinstance(blocks, list) or not blocks:
+        errors.append(f"{outer_key} must be a non-empty array")
+        return
+    for i, block in enumerate(blocks):
+        if not isinstance(block, dict):
+            errors.append(f"{outer_key}[{i}]: not an object")
+            continue
+        if not isinstance(
+            block.get("resource", {}).get("attributes"), list
+        ):
+            errors.append(
+                f"{outer_key}[{i}]: resource.attributes must be a list"
+            )
+        scopes = block.get(inner_key)
+        if not isinstance(scopes, list) or not scopes:
+            errors.append(
+                f"{outer_key}[{i}].{inner_key} must be a non-empty array"
+            )
+            continue
+        for j, scope in enumerate(scopes):
+            if not isinstance(scope, dict):
+                errors.append(f"{outer_key}[{i}].{inner_key}[{j}]: "
+                              "not an object")
+                continue
+            yield f"{outer_key}[{i}].{inner_key}[{j}]", scope
+
+
+def validate_otlp_traces(document) -> list:
+    """Schema-check one ``resourceSpans`` document; returns errors."""
+    errors: list = []
+    for where, scope in _scope_blocks(
+        document, "resourceSpans", "scopeSpans", errors
+    ):
+        spans = scope.get("spans")
+        if not isinstance(spans, list):
+            errors.append(f"{where}.spans must be an array")
+            continue
+        for k, span in enumerate(spans):
+            at = f"{where}.spans[{k}]"
+            if not isinstance(span, dict):
+                errors.append(f"{at}: not an object")
+                continue
+            if not isinstance(span.get("name"), str) or not span["name"]:
+                errors.append(f"{at}: missing or empty name")
+            _check_hex_id(span.get("traceId"), 32, f"{at}.traceId", errors)
+            _check_hex_id(span.get("spanId"), 16, f"{at}.spanId", errors)
+            parent = span.get("parentSpanId", "")
+            if parent != "":
+                _check_hex_id(parent, 16, f"{at}.parentSpanId", errors)
+            _check_nano(
+                span.get("startTimeUnixNano"),
+                f"{at}.startTimeUnixNano", errors,
+            )
+            _check_nano(
+                span.get("endTimeUnixNano"),
+                f"{at}.endTimeUnixNano", errors,
+            )
+            if not errors and int(span["endTimeUnixNano"]) < int(
+                span["startTimeUnixNano"]
+            ):
+                errors.append(f"{at}: ends before it starts")
+            if not isinstance(span.get("attributes", []), list):
+                errors.append(f"{at}.attributes must be a list")
+    return errors
+
+
+def _validate_points(metric, at: str, errors: list) -> None:
+    bodies = [
+        key for key in ("sum", "gauge", "histogram") if key in metric
+    ]
+    if len(bodies) != 1:
+        errors.append(f"{at}: expected exactly one data body, got {bodies}")
+        return
+    body = metric[bodies[0]]
+    points = body.get("dataPoints") if isinstance(body, dict) else None
+    if not isinstance(points, list) or not points:
+        errors.append(f"{at}.{bodies[0]}.dataPoints must be non-empty")
+        return
+    for p, point in enumerate(points):
+        where = f"{at}.{bodies[0]}.dataPoints[{p}]"
+        if not isinstance(point, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        _check_nano(point.get("timeUnixNano"), f"{where}.timeUnixNano",
+                    errors)
+        if bodies[0] == "histogram":
+            if not isinstance(point.get("count"), str):
+                errors.append(f"{where}: count must be a decimal string")
+            bounds = point.get("explicitBounds")
+            counts = point.get("bucketCounts")
+            if (bounds is None) != (counts is None):
+                errors.append(
+                    f"{where}: explicitBounds and bucketCounts must "
+                    "appear together"
+                )
+            elif bounds is not None and len(counts) != len(bounds) + 1:
+                errors.append(
+                    f"{where}: bucketCounts must have "
+                    f"len(explicitBounds)+1 entries"
+                )
+            elif bounds is not None and list(bounds) != sorted(bounds):
+                errors.append(f"{where}: explicitBounds must be sorted")
+        elif "asInt" not in point and "asDouble" not in point:
+            errors.append(f"{where}: needs asInt or asDouble")
+
+
+def validate_otlp_metrics(document) -> list:
+    """Schema-check one ``resourceMetrics`` document; returns errors."""
+    errors: list = []
+    for where, scope in _scope_blocks(
+        document, "resourceMetrics", "scopeMetrics", errors
+    ):
+        metrics = scope.get("metrics")
+        if not isinstance(metrics, list):
+            errors.append(f"{where}.metrics must be an array")
+            continue
+        for k, metric in enumerate(metrics):
+            at = f"{where}.metrics[{k}]"
+            if not isinstance(metric, dict):
+                errors.append(f"{at}: not an object")
+                continue
+            if not isinstance(metric.get("name"), str) or not metric["name"]:
+                errors.append(f"{at}: missing or empty name")
+                continue
+            _validate_points(metric, at, errors)
+    return errors
+
+
+# ----------------------------------------------------------------------
+# The pusher
+# ----------------------------------------------------------------------
+class TelemetryPusher:
+    """Background OTLP/HTTP exporter over one tracer + registry pair.
+
+    Every ``interval`` seconds (and once more on drain) the pusher
+    collects the spans recorded since its last look and the current
+    labeled metrics snapshot, maps them to OTLP/JSON and enqueues one
+    batch per signal.  A sender loop POSTs batches to
+    ``<endpoint>/v1/traces`` / ``<endpoint>/v1/metrics``, retrying
+    retryable failures (connection errors, 429, 5xx) with exponential
+    backoff up to ``max_retries`` times before dropping the batch; the
+    queue is bounded at ``max_queue`` batches, dropping the oldest
+    when a dead collector backs it up, so a mining run never blocks or
+    grows without bound because telemetry cannot leave the building.
+
+    Outcomes are accounted in :attr:`stats` (and mirrored as
+    ``otlp.*`` counters in the attached registry so they ride the
+    normal snapshot): batches/spans pushed, retries, send failures and
+    dropped batches.
+
+    Parameters
+    ----------
+    endpoint:
+        Collector base URL (``http://host:port`` or plain
+        ``host:port``; an ``https`` scheme uses ``http.client``'s
+        default TLS context).
+    tracer, metrics:
+        The instruments to export; either may be ``None`` to push only
+        the other signal.
+    interval:
+        Seconds between collection passes of the background thread.
+    max_queue:
+        Batches held while the collector is unreachable.
+    max_retries:
+        Send attempts after the first failure before a batch drops.
+    backoff_seconds:
+        Base of the exponential backoff between attempts.
+    timeout:
+        Per-request socket timeout, seconds.
+    resource_attributes:
+        Extra OTLP resource attributes stamped on every document
+        (``service.name`` defaults to ``"repro"``).
+    """
+
+    def __init__(
+        self,
+        endpoint: str,
+        *,
+        tracer=None,
+        metrics=None,
+        interval: float = 2.0,
+        max_queue: int = 64,
+        max_retries: int = 3,
+        backoff_seconds: float = 0.1,
+        timeout: float = 5.0,
+        resource_attributes=None,
+    ) -> None:
+        if tracer is None and metrics is None:
+            raise ValueError("TelemetryPusher needs a tracer or a registry")
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        target = endpoint if "://" in endpoint else f"http://{endpoint}"
+        split = urlsplit(target)
+        if split.scheme not in ("http", "https") or not split.hostname:
+            raise ValueError(f"unusable OTLP endpoint {endpoint!r}")
+        self.endpoint = endpoint
+        self._secure = split.scheme == "https"
+        self._host = split.hostname
+        self._port = split.port or (443 if self._secure else 80)
+        self._base_path = split.path.rstrip("/")
+        self._tracer = tracer
+        self._metrics = metrics
+        self.interval = interval
+        self.max_queue = max_queue
+        self.max_retries = max_retries
+        self.backoff_seconds = backoff_seconds
+        self.timeout = timeout
+        self._resource = {"service.name": "repro"}
+        self._resource.update(resource_attributes or {})
+        self._span_index = 0
+        self._queue: deque = deque()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.stats = {
+            "pushed_batches": 0,
+            "pushed_spans": 0,
+            "pushed_metrics": 0,
+            "retries": 0,
+            "send_failures": 0,
+            "dropped_batches": 0,
+        }
+
+    def _account(self, key: str, amount: int = 1) -> None:
+        with self._lock:
+            self.stats[key] += amount
+        if self._metrics is not None:
+            self._metrics.counter(
+                f"otlp.{key}", labels={"endpoint": self.endpoint}
+            ).increment(amount)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "TelemetryPusher":
+        """Start the background export thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-otlp-push", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the exporter; with ``drain`` flush everything first.
+
+        Idempotent.  Draining collects one final time and sends every
+        queued batch synchronously (still honoring the retry/drop
+        policy), so a CLI run's telemetry leaves before the process
+        exits.
+        """
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=self.timeout + 1.0)
+        if drain:
+            self.flush()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._collect()
+            self._send_queued()
+
+    # ------------------------------------------------------------------
+    # Collection and sending
+    # ------------------------------------------------------------------
+    def _collect(self) -> None:
+        """Map new spans + the current snapshot into queued batches."""
+        if self._tracer is not None and self._tracer.enabled:
+            spans = self._tracer.spans()
+            fresh = spans[self._span_index:]
+            self._span_index = len(spans)
+            if fresh:
+                document = spans_to_resource_spans(
+                    fresh,
+                    epoch_wall=self._tracer.epoch_wall,
+                    resource_attributes=self._resource,
+                )
+                self._enqueue(OTLP_TRACES_PATH, document, len(fresh))
+        if self._metrics is not None and self._metrics.enabled:
+            snapshot = self._metrics.labeled_snapshot()
+            if any(snapshot.values()):
+                document = metrics_to_resource_metrics(
+                    snapshot, resource_attributes=self._resource
+                )
+                self._enqueue(OTLP_METRICS_PATH, document, 1)
+
+    def _enqueue(self, path: str, document: dict, units: int) -> None:
+        with self._lock:
+            self._queue.append((path, document, units))
+            while len(self._queue) > self.max_queue:
+                self._queue.popleft()
+                self.stats["dropped_batches"] += 1
+
+    def _send_queued(self) -> None:
+        while True:
+            with self._lock:
+                if not self._queue:
+                    return
+                path, document, units = self._queue.popleft()
+            if self._send(path, document):
+                self._account("pushed_batches")
+                self._account(
+                    "pushed_spans" if path == OTLP_TRACES_PATH
+                    else "pushed_metrics",
+                    units,
+                )
+            else:
+                self._account("dropped_batches")
+
+    def _send(self, path: str, document: dict) -> bool:
+        """POST one batch, retrying retryable failures; True on 2xx."""
+        body = json.dumps(document).encode("utf-8")
+        attempts = self.max_retries + 1
+        for attempt in range(attempts):
+            status = self._post(self._base_path + path, body)
+            if status is not None and 200 <= status < 300:
+                return True
+            retryable = status is None or status == 429 or status >= 500
+            if not retryable:
+                self._account("send_failures")
+                return False
+            self._account("send_failures")
+            if attempt + 1 < attempts:
+                self._account("retries")
+                if self.backoff_seconds:
+                    time.sleep(self.backoff_seconds * (2 ** attempt))
+        return False
+
+    def _post(self, path: str, body: bytes) -> int | None:
+        connection_type = (
+            http.client.HTTPSConnection if self._secure
+            else http.client.HTTPConnection
+        )
+        connection = connection_type(
+            self._host, self._port, timeout=self.timeout
+        )
+        try:
+            connection.request(
+                "POST",
+                path or "/",
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            response.read()
+            return response.status
+        except OSError:
+            return None
+        finally:
+            connection.close()
+
+    def flush(self) -> None:
+        """Collect and synchronously send everything outstanding."""
+        self._collect()
+        self._send_queued()

@@ -34,6 +34,11 @@ class Observability:
         Target for the Chrome trace-event file, or ``None``.
     metrics_path:
         Target for the metrics snapshot JSON, or ``None``.
+    otlp_endpoint:
+        Base URL of an OTLP/HTTP collector; when set, a started
+        :class:`~repro.obs.otlp.TelemetryPusher` streams spans and
+        metric snapshots there in the background until :meth:`close`
+        drains it.
     """
 
     def __init__(
@@ -44,12 +49,21 @@ class Observability:
         trace_path=None,
         chrome_trace_path=None,
         metrics_path=None,
+        otlp_endpoint: str | None = None,
     ) -> None:
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.trace_path = trace_path
         self.chrome_trace_path = chrome_trace_path
         self.metrics_path = metrics_path
+        self.otlp_endpoint = otlp_endpoint
+        self.pusher = None
+        if otlp_endpoint:
+            from .otlp import TelemetryPusher
+
+            self.pusher = TelemetryPusher(
+                otlp_endpoint, tracer=self.tracer, metrics=self.metrics
+            ).start()
 
     def export(self) -> list:
         """Write every configured target; returns the paths written.
@@ -80,3 +94,8 @@ class Observability:
         return render_timing_report(
             self.tracer.spans(), self.metrics.snapshot()
         )
+
+    def close(self) -> None:
+        """Drain and stop the OTLP pusher, if one is running; idempotent."""
+        if self.pusher is not None:
+            self.pusher.close(drain=True)

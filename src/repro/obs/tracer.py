@@ -33,13 +33,72 @@ exporters can place spans on a real timeline.
 from __future__ import annotations
 
 import os
+import secrets
 import threading
 import time
 from dataclasses import dataclass, field
 from itertools import count
 
 #: Span kinds the pipeline emits (free-form; these are the conventions).
-SPAN_KINDS = ("run", "job", "stage", "shard_task", "cache_lookup", "span")
+SPAN_KINDS = (
+    "run", "job", "stage", "shard_task", "cache_lookup",
+    "remote_dispatch", "worker_shard", "event", "span",
+)
+
+#: The 32-hex all-zero trace id W3C reserves as "invalid / no trace".
+NULL_TRACE_ID = "0" * 32
+
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+
+def new_trace_id() -> str:
+    """A fresh random 128-bit trace id as 32 lowercase hex digits."""
+    while True:
+        trace_id = secrets.token_hex(16)
+        if trace_id != NULL_TRACE_ID:
+            return trace_id
+
+
+def new_span_id() -> int:
+    """A fresh random nonzero 63-bit span id (JSON-safe integer)."""
+    return secrets.randbits(63) or 1
+
+
+def span_id_hex(span_id: int) -> str:
+    """A span id as the 16-hex form ``traceparent`` and OTLP carry."""
+    return f"{span_id & 0xFFFFFFFFFFFFFFFF:016x}"
+
+
+def format_traceparent(trace_id: str, span_id: int) -> str:
+    """A W3C ``traceparent`` header value for one trace/span pair."""
+    return f"00-{trace_id}-{span_id_hex(span_id)}-01"
+
+
+def parse_traceparent(header) -> tuple | None:
+    """Parse a ``traceparent`` header into ``(trace_id, span_id)``.
+
+    Returns ``None`` for anything malformed — an absent, truncated or
+    all-zero context simply means "no propagation", never an error, so
+    a worker can serve coordinators of any vintage.
+    """
+    if not isinstance(header, str):
+        return None
+    parts = header.strip().split("-")
+    if len(parts) < 4:
+        return None
+    version, trace_id, span_hex = parts[0], parts[1], parts[2]
+    if len(version) != 2 or version == "ff":
+        return None
+    if len(trace_id) != 32 or not _HEX_DIGITS.issuperset(trace_id):
+        return None
+    if len(span_hex) != 16 or not _HEX_DIGITS.issuperset(span_hex):
+        return None
+    if trace_id == NULL_TRACE_ID:
+        return None
+    span_id = int(span_hex, 16)
+    if span_id == 0:
+        return None
+    return trace_id, span_id
 
 
 @dataclass
@@ -67,6 +126,11 @@ class Span:
         Label of the thread (or synthetic lane) the work ran on.
     pid:
         Process id of the recording process.
+    trace_id:
+        32-hex id of the distributed trace the span belongs to; filled
+        from the owning tracer on append when left empty, so spans
+        recorded on any one tracer — or propagated to it from a worker
+        process — correlate across machines.
     """
 
     name: str
@@ -78,6 +142,7 @@ class Span:
     attributes: dict = field(default_factory=dict)
     thread: str = ""
     pid: int = 0
+    trace_id: str = ""
 
 
 def _parent_id(parent) -> int | None:
@@ -195,18 +260,29 @@ class Tracer:
     epoch_wall:
         ``time.time()`` at construction, letting exporters place the
         monotonic offsets on the wall clock.
+    trace_id:
+        The 32-hex distributed-trace id stamped on every span this
+        tracer appends (fresh per tracer unless adopted via the
+        constructor, e.g. from a propagated ``traceparent``).
+
+    Span ids combine a random per-tracer base with a counter, so they
+    stay strictly increasing within one tracer while remaining unique
+    across processes — a worker's spans merge into the coordinator's
+    trace without id collisions.
     """
 
     #: Discriminates real tracers from :class:`NullTracer` without
     #: isinstance checks at call sites.
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, trace_id: str | None = None) -> None:
         self.epoch = time.perf_counter()
         self.epoch_wall = time.time()
+        self.trace_id = trace_id or new_trace_id()
         self._spans: list = []
         self._lock = threading.Lock()
-        self._ids = count(1)
+        # Random bits 32..62 + a 32-bit counter: < 2**63, JSON-safe.
+        self._ids = count((secrets.randbits(31) or 1) << 32)
 
     def span(self, name, kind: str = "span", parent=None, **attributes):
         """Open a span as a context manager.
@@ -266,7 +342,22 @@ class Tracer:
         self._append(span)
         return span
 
+    def adopt(self, span: Span) -> Span:
+        """Append an externally measured span, keeping its identifiers.
+
+        The ingestion half of trace propagation: a remote worker built
+        the span in its own process (own random ``span_id``, the
+        propagated ``trace_id``, a ``parent_id`` naming the dispatch
+        span) and the coordinator adopts it into the merged trace
+        verbatim.  The caller is responsible for having rebased
+        ``span.start`` onto this tracer's epoch.
+        """
+        self._append(span)
+        return span
+
     def _append(self, span: Span) -> None:
+        if not span.trace_id:
+            span.trace_id = self.trace_id
         with self._lock:
             self._spans.append(span)
 
@@ -292,6 +383,7 @@ class NullTracer:
     enabled = False
     epoch = 0.0
     epoch_wall = 0.0
+    trace_id = NULL_TRACE_ID
     _handle = _NullSpanHandle()
 
     def span(self, name, kind: str = "span", parent=None, **attributes):
@@ -305,6 +397,10 @@ class NullTracer:
     def record(self, name, kind: str = "span", parent=None, **kwargs):
         """Discard the measurement."""
         return None
+
+    def adopt(self, span):
+        """Discard nothing, record nothing: hand the span back."""
+        return span
 
     def spans(self) -> list:
         """No spans, ever."""

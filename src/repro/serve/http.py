@@ -53,9 +53,11 @@ from __future__ import annotations
 import json
 import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
+from ..obs import DEFAULT_LATENCY_BUCKETS, render_prometheus
 from .protocol import (
     ApiError,
     format_ndjson,
@@ -142,6 +144,7 @@ class _Handler(BaseHTTPRequestHandler):
         parts = [p for p in split.path.split("/") if p]
         self._query = parse_qs(split.query)
         span = self._start_span(method, split.path, parts)
+        started = time.perf_counter()
         status = 500
         try:
             status = self._route(method, parts)
@@ -167,7 +170,10 @@ class _Handler(BaseHTTPRequestHandler):
             except Exception:
                 pass
         finally:
-            self._finish_span(span, method, status)
+            self._finish_span(
+                span, method, status, _route_template(parts),
+                time.perf_counter() - started,
+            )
 
     def _route(self, method: str, parts: list) -> int:
         """Handle one parsed route; returns the HTTP status sent."""
@@ -237,8 +243,27 @@ class _Handler(BaseHTTPRequestHandler):
         return self._send_json(200, payload)
 
     def _get_metrics(self) -> int:
-        """The shared metrics registry snapshot (empty without obs)."""
+        """The shared metrics registry snapshot (empty without obs).
+
+        Content-negotiated: the default is the JSON snapshot document;
+        ``?format=prometheus`` or an ``Accept`` header asking for
+        ``text/plain`` (a Prometheus scrape) gets text exposition.
+        """
         obs = self.server.service.observability
+        wanted = self._query.get("format", [""])[0]
+        accept = self.headers.get("Accept", "")
+        prometheus = wanted == "prometheus" or (
+            not wanted
+            and ("text/plain" in accept or "openmetrics" in accept)
+        )
+        if prometheus:
+            text = (
+                "" if obs is None
+                else render_prometheus(obs.metrics.labeled_snapshot())
+            )
+            return self._send_text(
+                200, text, "text/plain; version=0.0.4; charset=utf-8"
+            )
         snapshot = {} if obs is None else obs.metrics.snapshot()
         return self._send_json(200, snapshot)
 
@@ -403,7 +428,12 @@ class _Handler(BaseHTTPRequestHandler):
         """Count one shard of a published view for a coordinator."""
         worker = self._shard_worker()
         request = parse_shard_count(self._read_json())
-        return self._send_json(200, worker.count(request))
+        return self._send_json(
+            200,
+            worker.count(
+                request, traceparent=self.headers.get("traceparent")
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Request/response plumbing
@@ -467,6 +497,16 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
         return status
 
+    def _send_text(self, status: int, text: str, content_type: str) -> int:
+        """Send one plain-text response; returns ``status`` for the span."""
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        return status
+
     # ------------------------------------------------------------------
     # Tracing
     # ------------------------------------------------------------------
@@ -482,16 +522,53 @@ class _Handler(BaseHTTPRequestHandler):
             f"{method} {path}", kind="request", parent=parent
         )
 
-    def _finish_span(self, span, method: str, status: int) -> None:
-        """Close the request span and bump the request counters."""
+    def _finish_span(
+        self, span, method: str, status: int, route: str,
+        seconds: float,
+    ) -> None:
+        """Close the request span; bump request counters and latency."""
         obs = self.server.service.observability
         if obs is not None:
             obs.metrics.counter(
                 f"http.requests.{method.lower()}"
             ).increment()
             obs.metrics.counter(f"http.status.{status}").increment()
+            obs.metrics.histogram(
+                "http.request_seconds",
+                labels={"method": method, "route": route},
+                buckets=DEFAULT_LATENCY_BUCKETS,
+            ).observe(seconds)
         if span is not None:
-            span.finish(status=status)
+            span.finish(status=status, route=route)
+
+
+#: Route shapes for the ``http.request_seconds`` label — templates, not
+#: raw paths, so per-job/per-table ids never explode label cardinality.
+_ROUTE_TEMPLATES = {
+    ("healthz",): "/healthz",
+    ("metrics",): "/metrics",
+    ("v1", "tables"): "/v1/tables",
+    ("v1", "tables", None): "/v1/tables/{name}",
+    ("v1", "tables", None, "append"): "/v1/tables/{name}/append",
+    ("v1", "jobs"): "/v1/jobs",
+    ("v1", "jobs", None): "/v1/jobs/{id}",
+    ("v1", "jobs", None, "rules"): "/v1/jobs/{id}/rules",
+    ("v1", "jobs", None, "events"): "/v1/jobs/{id}/events",
+    ("v1", "shards", "tables"): "/v1/shards/tables",
+    ("v1", "shards", "tables", None): "/v1/shards/tables/{fp}",
+    ("v1", "shards", "count"): "/v1/shards/count",
+}
+
+
+def _route_template(parts: list) -> str:
+    """Normalize one request path to its route template label."""
+    for shape, template in _ROUTE_TEMPLATES.items():
+        if len(parts) == len(shape) and all(
+            expected is None or expected == part
+            for expected, part in zip(shape, parts)
+        ):
+            return template
+    return "unmatched"
 
 
 def run_server(

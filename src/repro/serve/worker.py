@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import base64
 import importlib
+import os
 import pickle
 import threading
 import time
@@ -46,6 +47,7 @@ import numpy as np
 from ..engine.cache import MISSING, MemoryCache
 from ..engine.remote import restricted_loads
 from ..engine.shards import ShardView
+from ..obs import new_span_id, parse_traceparent
 from .protocol import ApiError
 
 #: Published views kept per worker (LRU); one view is one table+encoding.
@@ -172,7 +174,7 @@ class ShardWorker:
     # ------------------------------------------------------------------
     # Counting
     # ------------------------------------------------------------------
-    def count(self, request: dict) -> dict:
+    def count(self, request: dict, *, traceparent=None) -> dict:
         """Serve one validated shard-count request.
 
         ``request`` is the normalized output of
@@ -181,6 +183,15 @@ class ShardWorker:
         worker-measured seconds and whether the worker's artifact
         cache answered (``"hit"``) or the shard was counted
         (``"miss"``, or ``"uncached"`` when no key was sent).
+
+        A valid W3C ``traceparent`` (the coordinator's trace id and
+        ``remote_dispatch`` span id) additionally puts a ``spans``
+        list in the response — this count as a ``shard_count`` span of
+        kind ``worker_shard``, parented under the propagated span,
+        with a wall-clock ``start_unix`` the coordinator rebases — plus
+        a ``metrics`` dict of per-request ``worker.*`` counter deltas,
+        so the coordinator stitches one fleet-wide trace and accounts
+        worker activity per address.
         """
         with self._lock:
             self._counts_served += 1
@@ -210,6 +221,7 @@ class ShardWorker:
         payload = self._decode_payload(request["payload"])
         key = request.get("artifact_key")
         cache_state = "uncached"
+        started_wall = time.time()
         started = time.perf_counter()
         result = MISSING
         if key is not None:
@@ -232,13 +244,40 @@ class ShardWorker:
             self._metrics.histogram("worker.count_seconds").observe(
                 seconds
             )
-        return {
+        response = {
             "result": base64.b64encode(
                 pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
             ).decode("ascii"),
             "seconds": seconds,
             "cache": cache_state,
+            "metrics": {
+                "worker.counts": 1,
+                "worker.cache_hits": 1 if cache_state == "hit" else 0,
+            },
         }
+        context = parse_traceparent(traceparent)
+        if context is not None:
+            trace_id, parent_span_id = context
+            response["spans"] = [
+                {
+                    "name": "shard_count",
+                    "kind": "worker_shard",
+                    "span_id": new_span_id(),
+                    "parent_id": parent_span_id,
+                    "trace_id": trace_id,
+                    "start_unix": started_wall,
+                    "duration": seconds,
+                    "thread": threading.current_thread().name,
+                    "pid": os.getpid(),
+                    "attributes": {
+                        "shard_start": start,
+                        "shard_stop": stop,
+                        "records": stop - start,
+                        "cache": cache_state,
+                    },
+                }
+            ]
+        return response
 
     def _resolve_fn(self, token: str):
         """Import the worker function a wire token names, or 400.

@@ -4,7 +4,12 @@ import threading
 
 import pytest
 
-from repro.obs import NULL_METRICS, MetricsRegistry
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_METRICS,
+    MetricsRegistry,
+    render_prometheus,
+)
 
 
 class TestInstruments:
@@ -50,6 +55,154 @@ class TestInstruments:
             registry.gauge("n")
         with pytest.raises(TypeError):
             registry.histogram("n")
+
+
+class TestLabels:
+    def test_label_sets_are_distinct_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("remote.retries", labels={"worker": "a:1"})
+        registry.counter(
+            "remote.retries", labels={"worker": "b:2"}
+        ).increment(3)
+        assert (
+            registry.counter(
+                "remote.retries", labels={"worker": "a:1"}
+            ).value
+            == 0
+        )
+        assert (
+            registry.counter(
+                "remote.retries", labels={"worker": "b:2"}
+            ).value
+            == 3
+        )
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c", labels={"x": "1", "y": "2"})
+        b = registry.counter("c", labels={"y": "2", "x": "1"})
+        assert a is b
+
+    def test_unlabeled_and_labeled_coexist(self):
+        registry = MetricsRegistry()
+        registry.counter("remote.retries").increment()
+        registry.counter(
+            "remote.retries", labels={"worker": "a:1"}
+        ).increment(2)
+        counters = registry.snapshot()["counters"]
+        assert counters["remote.retries"] == 1
+        assert counters['remote.retries{worker="a:1"}'] == 2
+
+    def test_kind_mismatch_across_label_sets_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("n", labels={"worker": "a:1"})
+        with pytest.raises(TypeError):
+            registry.histogram("n", labels={"worker": "b:2"})
+
+    def test_labeled_snapshot_structure(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labels={"worker": "a:1"}).increment(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram(
+            "h", labels={"route": "/metrics"}, buckets=(0.1, 1.0)
+        ).observe(0.5)
+        labeled = registry.labeled_snapshot()
+        assert labeled["counters"] == [
+            {"name": "c", "labels": {"worker": "a:1"}, "value": 2}
+        ]
+        assert labeled["gauges"] == [
+            {"name": "g", "labels": {}, "value": 1.5}
+        ]
+        (hist,) = labeled["histograms"]
+        assert hist["name"] == "h"
+        assert hist["labels"] == {"route": "/metrics"}
+        assert hist["count"] == 1
+        assert hist["buckets"] == {
+            "bounds": [0.1, 1.0], "counts": [0, 1, 0],
+        }
+
+
+class TestBuckets:
+    def test_bucket_counts_use_le_semantics(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.1, 0.5, 1.0, 5.0, 50.0):
+            histogram.observe(value)
+        # One overflow bucket beyond the last boundary; a value equal
+        # to a boundary lands in that boundary's bucket (le).
+        assert histogram.bucket_counts == [2, 2, 1, 1]
+
+    def test_default_latency_buckets_are_sorted(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(
+            DEFAULT_LATENCY_BUCKETS
+        )
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", buckets=(1.0, 0.5))
+
+    def test_conflicting_buckets_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(0.1, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(0.2, 2.0))
+
+    def test_flat_snapshot_carries_buckets(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(0.1,)).observe(0.05)
+        entry = registry.snapshot()["histograms"]["h"]
+        assert entry["buckets"] == {"bounds": [0.1], "counts": [1, 0]}
+
+
+class TestPrometheus:
+    def test_rendering_covers_all_sections(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "http.requests.get", labels={"route": "/metrics"}
+        ).increment(2)
+        registry.gauge("jobs.running").set(1)
+        registry.histogram(
+            "http.request_seconds",
+            labels={"method": "GET", "route": "/metrics"},
+            buckets=(0.1, 1.0),
+        ).observe(0.5)
+        text = render_prometheus(registry.labeled_snapshot())
+        assert "# TYPE http_requests_get counter" in text
+        assert 'http_requests_get{route="/metrics"} 2' in text
+        assert "# TYPE jobs_running gauge" in text
+        assert "# TYPE http_request_seconds histogram" in text
+        assert (
+            'http_request_seconds_bucket'
+            '{method="GET",route="/metrics",le="1.0"} 1' in text
+        )
+        assert (
+            'http_request_seconds_bucket'
+            '{method="GET",route="/metrics",le="+Inf"} 1' in text
+        )
+        assert (
+            'http_request_seconds_count'
+            '{method="GET",route="/metrics"} 1' in text
+        )
+        assert text.endswith("\n")
+
+    def test_buckets_render_cumulatively(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        text = render_prometheus(registry.labeled_snapshot())
+        assert 'h_bucket{le="0.1"} 1' in text
+        assert 'h_bucket{le="1.0"} 2' in text
+        assert 'h_bucket{le="+Inf"} 3' in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labels={"k": 'a"b\\c\nd'}).increment()
+        text = render_prometheus(registry.labeled_snapshot())
+        assert 'c{k="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry().labeled_snapshot()) == ""
 
 
 class TestSnapshot:
@@ -116,6 +269,17 @@ class TestNullMetrics:
         NULL_METRICS.histogram("h").observe_many([1.0, 2.0])
         assert NULL_METRICS.snapshot() == {
             "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_accepts_labels_and_buckets(self):
+        NULL_METRICS.counter("c", labels={"worker": "a:1"}).increment()
+        NULL_METRICS.gauge("g", labels={"x": "y"}).set(1.0)
+        NULL_METRICS.histogram(
+            "h", labels={"route": "/metrics"},
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        ).observe(0.5)
+        assert NULL_METRICS.labeled_snapshot() == {
+            "counters": [], "gauges": [], "histograms": [],
         }
 
     def test_shared_instrument(self):

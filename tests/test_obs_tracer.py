@@ -11,10 +11,16 @@ import threading
 import pytest
 
 from repro.obs import (
+    NULL_TRACE_ID,
     NULL_TRACER,
     NullTracer,
     Span,
     Tracer,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    span_id_hex,
     timeit,
 )
 from repro.obs.tracer import _parent_id
@@ -182,6 +188,73 @@ class TestTimeit:
                 raise RuntimeError("nope")
         (span,) = tracer.spans()
         assert span.attributes["error"] == "RuntimeError"
+
+
+class TestTraceContext:
+    def test_trace_ids_are_32_hex_and_unique(self):
+        ids = {new_trace_id() for _ in range(32)}
+        assert len(ids) == 32
+        for trace_id in ids:
+            assert len(trace_id) == 32
+            int(trace_id, 16)
+        assert NULL_TRACE_ID not in ids
+
+    def test_span_ids_fit_63_bits(self):
+        for _ in range(32):
+            assert 0 < new_span_id() < 2**63
+
+    def test_traceparent_round_trip(self):
+        trace_id = new_trace_id()
+        span_id = new_span_id()
+        header = format_traceparent(trace_id, span_id)
+        assert header == f"00-{trace_id}-{span_id_hex(span_id)}-01"
+        assert parse_traceparent(header) == (trace_id, span_id)
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            "garbage",
+            "00-short-0000000000000001-01",
+            "00-" + "0" * 32 + "-0000000000000001-01",
+            "00-" + "a" * 32 + "-" + "0" * 16 + "-01",
+            "ff-" + "a" * 32 + "-0000000000000001-01",
+            "00-" + "G" * 32 + "-0000000000000001-01",
+        ],
+    )
+    def test_malformed_traceparent_is_none(self, header):
+        assert parse_traceparent(header) is None
+
+    def test_tracer_stamps_its_trace_id(self):
+        tracer = Tracer(trace_id="ab" * 16)
+        with tracer.start_span("root"):
+            pass
+        (span,) = tracer.spans()
+        assert span.trace_id == "ab" * 16
+
+    def test_adopt_keeps_foreign_trace_id(self):
+        tracer = Tracer()
+        foreign = Span(
+            "shard_count", kind="worker_shard",
+            span_id=new_span_id(), trace_id="cd" * 16,
+        )
+        tracer.adopt(foreign)
+        (span,) = tracer.spans()
+        assert span is foreign
+        assert span.trace_id == "cd" * 16
+
+    def test_adopt_fills_empty_trace_id(self):
+        tracer = Tracer()
+        span = Span("orphan", span_id=new_span_id())
+        tracer.adopt(span)
+        assert span.trace_id == tracer.trace_id
+
+    def test_null_tracer_has_null_context(self):
+        assert NULL_TRACER.trace_id == NULL_TRACE_ID
+        span = Span("s")
+        assert NULL_TRACER.adopt(span) is span
+        assert NULL_TRACER.spans() == []
 
 
 def test_span_dataclass_defaults():

@@ -1,0 +1,482 @@
+"""OTLP-shaped telemetry: document mapping, validators and the pusher.
+
+Three tiers: the span/metric -> OTLP/JSON mapping against its own
+validators (including property tests that labels and histogram buckets
+survive export byte-for-byte), the validators against deliberately
+broken documents, and :class:`~repro.obs.TelemetryPusher` against an
+in-process stub collector — batching, retry-on-5xx, drop-after-retries,
+bounded queueing and the drain-on-close guarantee.
+"""
+
+import json
+import threading
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    NULL_TRACE_ID,
+    MetricsRegistry,
+    Span,
+    TelemetryPusher,
+    Tracer,
+    metrics_to_resource_metrics,
+    new_span_id,
+    spans_to_resource_spans,
+    validate_otlp_metrics,
+    validate_otlp_traces,
+)
+
+
+# ----------------------------------------------------------------------
+# Stub collector
+# ----------------------------------------------------------------------
+class _CollectorHandler(BaseHTTPRequestHandler):
+    def do_POST(self):
+        length = int(self.headers.get("Content-Length", 0))
+        document = json.loads(self.rfile.read(length))
+        with self.server.lock:
+            script = self.server.fail_script
+            status = script.popleft() if script else 200
+            self.server.requests.append((self.path, status, document))
+        self.send_response(status)
+        self.send_header("Content-Length", "0")
+        self.end_headers()
+
+    def log_message(self, *args):
+        pass
+
+
+class Collector:
+    """A stub OTLP/HTTP receiver recording every POST it sees.
+
+    ``fail_script`` is a queue of statuses to answer with before
+    settling on 200 — the lever for the retry/drop tests.
+    """
+
+    def __init__(self):
+        self.server = ThreadingHTTPServer(
+            ("127.0.0.1", 0), _CollectorHandler
+        )
+        self.server.lock = threading.Lock()
+        self.server.requests = []
+        self.server.fail_script = deque()
+        self.thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        )
+        self.thread.start()
+
+    @property
+    def endpoint(self):
+        return f"http://127.0.0.1:{self.server.server_address[1]}"
+
+    def fail_next(self, *statuses):
+        with self.server.lock:
+            self.server.fail_script.extend(statuses)
+
+    def requests_to(self, path):
+        with self.server.lock:
+            return [
+                (status, document)
+                for p, status, document in self.server.requests
+                if p == path
+            ]
+
+    def close(self):
+        self.server.shutdown()
+        self.thread.join(timeout=10)
+        self.server.server_close()
+
+
+@pytest.fixture
+def collector():
+    stub = Collector()
+    yield stub
+    stub.close()
+
+
+def traced_run():
+    """A tracer + registry pair with a small, realistic recording."""
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    with tracer.start_span("run") as run:
+        with tracer.start_span("stage", parent=run):
+            registry.counter(
+                "worker.counts", labels={"worker": "a:1"}
+            ).increment(3)
+            registry.gauge("jobs.running").set(1)
+            registry.histogram(
+                "remote.count_seconds",
+                labels={"worker": "a:1"},
+                buckets=(0.1, 1.0),
+            ).observe(0.5)
+    return tracer, registry
+
+
+# ----------------------------------------------------------------------
+# Document mapping
+# ----------------------------------------------------------------------
+class TestTraceDocuments:
+    def test_document_validates_and_keeps_structure(self):
+        tracer, _ = traced_run()
+        document = spans_to_resource_spans(
+            tracer.spans(), epoch_wall=tracer.epoch_wall
+        )
+        assert validate_otlp_traces(document) == []
+        (block,) = document["resourceSpans"]
+        (scope,) = block["scopeSpans"]
+        by_name = {s["name"]: s for s in scope["spans"]}
+        assert set(by_name) == {"run", "stage"}
+        assert by_name["run"]["parentSpanId"] == ""
+        assert (
+            by_name["stage"]["parentSpanId"]
+            == by_name["run"]["spanId"]
+        )
+        assert (
+            by_name["stage"]["traceId"]
+            == by_name["run"]["traceId"]
+            == tracer.trace_id
+        )
+
+    def test_times_are_wall_clock_nanos(self):
+        tracer, _ = traced_run()
+        document = spans_to_resource_spans(
+            tracer.spans(), epoch_wall=tracer.epoch_wall
+        )
+        span = document["resourceSpans"][0]["scopeSpans"][0]["spans"][0]
+        start = int(span["startTimeUnixNano"])
+        # The run happened "now": within a day of the tracer's epoch.
+        assert abs(start / 1e9 - tracer.epoch_wall) < 86400
+        assert int(span["endTimeUnixNano"]) >= start
+
+    def test_missing_trace_id_falls_back_to_zero(self):
+        span = Span("bare", span_id=new_span_id(), duration=0.1)
+        document = spans_to_resource_spans([span])
+        assert validate_otlp_traces(document) == []
+        rendered = document["resourceSpans"][0]["scopeSpans"][0]
+        assert rendered["spans"][0]["traceId"] == NULL_TRACE_ID
+
+    def test_resource_attributes_stamped(self):
+        tracer, _ = traced_run()
+        document = spans_to_resource_spans(
+            tracer.spans(), resource_attributes={"service.name": "x"}
+        )
+        (attr,) = document["resourceSpans"][0]["resource"]["attributes"]
+        assert attr == {
+            "key": "service.name", "value": {"stringValue": "x"},
+        }
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.pop("resourceSpans"),
+            lambda d: d["resourceSpans"][0].pop("scopeSpans"),
+            lambda d: d["resourceSpans"][0]["scopeSpans"][0]["spans"][0]
+            .update(traceId="xyz"),
+            lambda d: d["resourceSpans"][0]["scopeSpans"][0]["spans"][0]
+            .update(spanId="123"),
+            lambda d: d["resourceSpans"][0]["scopeSpans"][0]["spans"][0]
+            .update(startTimeUnixNano=12),
+            lambda d: d["resourceSpans"][0]["scopeSpans"][0]["spans"][0]
+            .update(name=""),
+        ],
+    )
+    def test_validator_rejects_broken_documents(self, mutate):
+        tracer, _ = traced_run()
+        document = spans_to_resource_spans(tracer.spans())
+        mutate(document)
+        assert validate_otlp_traces(document)
+
+
+class TestMetricDocuments:
+    def test_document_validates_and_keeps_kinds(self):
+        _, registry = traced_run()
+        document = metrics_to_resource_metrics(
+            registry.labeled_snapshot(), time_unix_nano=123
+        )
+        assert validate_otlp_metrics(document) == []
+        metrics = document["resourceMetrics"][0]["scopeMetrics"][0][
+            "metrics"
+        ]
+        by_name = {m["name"]: m for m in metrics}
+        assert "sum" in by_name["worker.counts"]
+        assert by_name["worker.counts"]["sum"]["isMonotonic"] is True
+        assert "gauge" in by_name["jobs.running"]
+        assert "histogram" in by_name["remote.count_seconds"]
+
+    def test_histogram_point_carries_buckets(self):
+        _, registry = traced_run()
+        document = metrics_to_resource_metrics(
+            registry.labeled_snapshot(), time_unix_nano=123
+        )
+        metrics = document["resourceMetrics"][0]["scopeMetrics"][0][
+            "metrics"
+        ]
+        (hist,) = [
+            m for m in metrics if m["name"] == "remote.count_seconds"
+        ]
+        (point,) = hist["histogram"]["dataPoints"]
+        assert point["explicitBounds"] == [0.1, 1.0]
+        assert point["bucketCounts"] == ["0", "1", "0"]
+        assert point["count"] == "1"
+        assert point["attributes"] == [
+            {"key": "worker", "value": {"stringValue": "a:1"}}
+        ]
+
+    def test_label_sets_fold_into_one_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labels={"worker": "a:1"}).increment()
+        registry.counter("c", labels={"worker": "b:2"}).increment(2)
+        document = metrics_to_resource_metrics(
+            registry.labeled_snapshot(), time_unix_nano=1
+        )
+        (metric,) = document["resourceMetrics"][0]["scopeMetrics"][0][
+            "metrics"
+        ]
+        assert len(metric["sum"]["dataPoints"]) == 2
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.pop("resourceMetrics"),
+            lambda d: d["resourceMetrics"][0]["scopeMetrics"][0][
+                "metrics"
+            ][0].update(gauge={"dataPoints": []}),
+            lambda d: d["resourceMetrics"][0]["scopeMetrics"][0][
+                "metrics"
+            ][0]["sum"].update(dataPoints=[]),
+        ],
+    )
+    def test_validator_rejects_broken_documents(self, mutate):
+        registry = MetricsRegistry()
+        registry.counter("c").increment()
+        document = metrics_to_resource_metrics(
+            registry.labeled_snapshot(), time_unix_nano=1
+        )
+        mutate(document)
+        assert validate_otlp_metrics(document)
+
+
+# ----------------------------------------------------------------------
+# Property tests: labels and buckets survive export
+# ----------------------------------------------------------------------
+label_names = st.text(
+    st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1, max_size=8,
+)
+label_values = st.text(min_size=0, max_size=16)
+label_sets = st.dictionaries(label_names, label_values, max_size=4)
+
+
+@settings(max_examples=50, deadline=None)
+@given(labels=label_sets, value=st.integers(0, 2**40))
+def test_counter_labels_survive_export(labels, value):
+    registry = MetricsRegistry()
+    registry.counter("c", labels=labels).increment(value)
+    document = metrics_to_resource_metrics(
+        registry.labeled_snapshot(), time_unix_nano=1
+    )
+    assert validate_otlp_metrics(document) == []
+    (metric,) = document["resourceMetrics"][0]["scopeMetrics"][0][
+        "metrics"
+    ]
+    (point,) = metric["sum"]["dataPoints"]
+    assert point["asInt"] == str(value)
+    exported = {
+        kv["key"]: kv["value"]["stringValue"]
+        for kv in point["attributes"]
+    }
+    assert exported == labels
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    bounds=st.lists(
+        st.floats(
+            min_value=1e-6, max_value=1e6,
+            allow_nan=False, allow_infinity=False,
+        ),
+        min_size=1, max_size=8, unique=True,
+    ).map(sorted),
+    observations=st.lists(
+        st.floats(
+            min_value=0.0, max_value=2e6,
+            allow_nan=False, allow_infinity=False,
+        ),
+        min_size=1, max_size=32,
+    ),
+    labels=label_sets,
+)
+def test_histogram_buckets_survive_export(bounds, observations, labels):
+    registry = MetricsRegistry()
+    histogram = registry.histogram(
+        "h", labels=labels, buckets=bounds
+    )
+    histogram.observe_many(observations)
+    document = metrics_to_resource_metrics(
+        registry.labeled_snapshot(), time_unix_nano=1
+    )
+    assert validate_otlp_metrics(document) == []
+    (metric,) = document["resourceMetrics"][0]["scopeMetrics"][0][
+        "metrics"
+    ]
+    (point,) = metric["histogram"]["dataPoints"]
+    assert point["explicitBounds"] == [float(b) for b in bounds]
+    assert len(point["bucketCounts"]) == len(bounds) + 1
+    assert sum(int(c) for c in point["bucketCounts"]) == len(
+        observations
+    )
+    assert point["count"] == str(len(observations))
+    exported = {
+        kv["key"]: kv["value"]["stringValue"]
+        for kv in point["attributes"]
+    }
+    assert exported == labels
+
+
+# ----------------------------------------------------------------------
+# The pusher against a live stub collector
+# ----------------------------------------------------------------------
+class TestPusher:
+    def make(self, collector, tracer=None, metrics=None, **overrides):
+        options = dict(
+            interval=30.0, backoff_seconds=0.001, timeout=5.0
+        )
+        options.update(overrides)
+        return TelemetryPusher(
+            collector.endpoint, tracer=tracer, metrics=metrics,
+            **options,
+        )
+
+    def test_flush_pushes_both_signals(self, collector):
+        tracer, registry = traced_run()
+        pusher = self.make(collector, tracer=tracer, metrics=registry)
+        pusher.flush()
+        ((status, traces),) = collector.requests_to("/v1/traces")
+        assert status == 200
+        assert validate_otlp_traces(traces) == []
+        ((status, metrics),) = collector.requests_to("/v1/metrics")
+        assert status == 200
+        assert validate_otlp_metrics(metrics) == []
+        assert pusher.stats["pushed_batches"] == 2
+        assert pusher.stats["pushed_spans"] == len(tracer.spans())
+
+    def test_spans_push_incrementally(self, collector):
+        tracer, _ = traced_run()
+        pusher = self.make(collector, tracer=tracer)
+        pusher.flush()
+        with tracer.start_span("later"):
+            pass
+        pusher.flush()
+        batches = collector.requests_to("/v1/traces")
+        assert len(batches) == 2
+        second = batches[1][1]["resourceSpans"][0]["scopeSpans"][0]
+        assert [s["name"] for s in second["spans"]] == ["later"]
+
+    def test_retries_on_5xx_then_delivers(self, collector):
+        tracer, _ = traced_run()
+        collector.fail_next(500, 503)
+        pusher = self.make(collector, tracer=tracer, max_retries=3)
+        pusher.flush()
+        statuses = [s for s, _ in collector.requests_to("/v1/traces")]
+        assert statuses == [500, 503, 200]
+        assert pusher.stats["retries"] == 2
+        assert pusher.stats["pushed_batches"] == 1
+        assert pusher.stats["dropped_batches"] == 0
+
+    def test_drops_after_max_retries(self, collector):
+        tracer, _ = traced_run()
+        collector.fail_next(500, 500)
+        pusher = self.make(collector, tracer=tracer, max_retries=1)
+        pusher.flush()
+        assert pusher.stats["pushed_batches"] == 0
+        assert pusher.stats["dropped_batches"] == 1
+        assert pusher.stats["retries"] == 1
+
+    def test_non_retryable_4xx_drops_immediately(self, collector):
+        tracer, _ = traced_run()
+        collector.fail_next(400)
+        pusher = self.make(collector, tracer=tracer, max_retries=3)
+        pusher.flush()
+        assert len(collector.requests_to("/v1/traces")) == 1
+        assert pusher.stats["retries"] == 0
+        assert pusher.stats["dropped_batches"] == 1
+
+    def test_unreachable_collector_never_raises(self):
+        tracer, _ = traced_run()
+        pusher = TelemetryPusher(
+            "http://127.0.0.1:9",  # discard port: nothing listens
+            tracer=tracer,
+            max_retries=0,
+            backoff_seconds=0.0,
+            timeout=0.5,
+        )
+        pusher.flush()
+        assert pusher.stats["dropped_batches"] == 1
+        assert pusher.stats["send_failures"] >= 1
+
+    def test_bounded_queue_drops_oldest(self, collector):
+        tracer, _ = traced_run()
+        pusher = self.make(collector, tracer=tracer, max_queue=1)
+        pusher._collect()
+        with tracer.start_span("later"):
+            pass
+        pusher._collect()
+        assert pusher.stats["dropped_batches"] == 1
+        pusher.flush()
+        ((_, document),) = collector.requests_to("/v1/traces")
+        names = [
+            s["name"]
+            for s in document["resourceSpans"][0]["scopeSpans"][0][
+                "spans"
+            ]
+        ]
+        assert names == ["later"]
+
+    def test_close_drains_outstanding_telemetry(self, collector):
+        tracer, registry = traced_run()
+        pusher = self.make(
+            collector, tracer=tracer, metrics=registry
+        ).start()
+        # The interval is far away; only the drain can deliver these.
+        pusher.close(drain=True)
+        assert collector.requests_to("/v1/traces")
+        assert collector.requests_to("/v1/metrics")
+        pusher.close(drain=True)  # idempotent
+
+    def test_stats_mirror_into_registry(self, collector):
+        tracer, registry = traced_run()
+        pusher = self.make(collector, tracer=tracer, metrics=registry)
+        pusher.flush()
+        labeled = registry.labeled_snapshot()
+        mirrored = {
+            (c["name"], c["labels"].get("endpoint"))
+            for c in labeled["counters"]
+        }
+        assert ("otlp.pushed_batches", collector.endpoint) in mirrored
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"endpoint": "ftp://x:1", "tracer": Tracer()},
+            {"endpoint": "http://x:1"},
+            {"endpoint": "http://x:1", "tracer": Tracer(),
+             "interval": 0.0},
+            {"endpoint": "http://x:1", "tracer": Tracer(),
+             "max_queue": 0},
+            {"endpoint": "http://x:1", "tracer": Tracer(),
+             "max_retries": -1},
+        ],
+    )
+    def test_bad_arguments_rejected(self, kwargs):
+        endpoint = kwargs.pop("endpoint")
+        with pytest.raises(ValueError):
+            TelemetryPusher(endpoint, **kwargs)
+
+    def test_schemeless_endpoint_accepted(self):
+        pusher = TelemetryPusher("localhost:4318", tracer=Tracer())
+        assert pusher._host == "localhost"
+        assert pusher._port == 4318

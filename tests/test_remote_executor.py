@@ -40,6 +40,7 @@ from repro.engine import (
     worker_fn_token,
 )
 from repro.obs import Observability
+from repro.obs.export import span_to_record, validate_span_record
 from repro.serve import (
     MiningHTTPServer,
     MiningService,
@@ -117,11 +118,15 @@ def fleet():
         group.close()
 
 
-def remote_config(base, addresses, **remote_overrides):
+def remote_config(base, addresses, observability=None, **remote_overrides):
+    blocks = {}
+    if observability is not None:
+        blocks["observability"] = observability
     return MinerConfig(
         **base,
         execution={"executor": "remote", "shard_size": 32},
         remote={"workers": addresses, **remote_overrides},
+        **blocks,
     )
 
 
@@ -477,6 +482,7 @@ class TestEquivalence:
         config = remote_config(
             dict(BASE, counting=backend),
             group.addresses,
+            observability={"enabled": True},
             backoff_seconds=0.01,
         )
         remote = QuantitativeMiner(table, config).mine()
@@ -487,6 +493,21 @@ class TestEquivalence:
         # The survivor carried the remainder of the run.
         survivor = group.addresses[1]
         assert execution.remote_worker_tasks[survivor] > 0
+        # The fault shows up in the labeled telemetry too: retries and
+        # the death accounted against the failed worker's address, and
+        # a remote_retry event span under some dispatch span.
+        dead = group.addresses[0]
+        counters = remote.observability.metrics.snapshot()["counters"]
+        assert counters[f'remote.retries{{worker="{dead}"}}'] >= 1
+        assert counters[f'remote.dead_workers{{worker="{dead}"}}'] == 1
+        spans = remote.observability.tracer.spans()
+        retry_events = [
+            s for s in spans
+            if s.kind == "event" and s.name == "remote_retry"
+        ]
+        assert retry_events
+        span_ids = {s.span_id for s in spans}
+        assert all(e.parent_id in span_ids for e in retry_events)
 
     def test_whole_fleet_dead_falls_back_local(
         self, table, serial_results
@@ -539,3 +560,110 @@ class TestEquivalence:
         assert "remote counting:" in summary
         for address in group.addresses:
             assert address in summary
+
+
+class TestFleetTelemetry:
+    """Distributed trace propagation and per-worker labeled metrics."""
+
+    def mine_with_obs(self, fleet, table, **kwargs):
+        group = fleet(num_workers=2)
+        config = remote_config(
+            BASE, group.addresses,
+            observability={"enabled": True}, **kwargs,
+        )
+        return group, QuantitativeMiner(table, config).mine()
+
+    def test_worker_spans_stitch_under_coordinator_trace(
+        self, fleet, table
+    ):
+        group, result = self.mine_with_obs(fleet, table)
+        tracer = result.observability.tracer
+        spans = tracer.spans()
+        dispatches = [s for s in spans if s.kind == "remote_dispatch"]
+        shard_counts = [s for s in spans if s.kind == "worker_shard"]
+        assert dispatches and shard_counts
+        dispatch_ids = {s.span_id for s in dispatches}
+        for span in shard_counts:
+            assert span.name == "shard_count"
+            assert span.trace_id == tracer.trace_id
+            assert span.parent_id in dispatch_ids
+            assert span.attributes["worker"] in group.addresses
+        # The merged log is one self-contained tree: every parent
+        # resolves, and every record round-trips through the exported
+        # schema (trace_id included).
+        span_ids = {s.span_id for s in spans}
+        for span in spans:
+            assert span.parent_id is None or span.parent_id in span_ids
+            assert validate_span_record(span_to_record(span)) == []
+
+    def test_worker_spans_place_on_coordinator_clock(
+        self, fleet, table
+    ):
+        _, result = self.mine_with_obs(fleet, table)
+        tracer = result.observability.tracer
+        by_id = {s.span_id: s for s in tracer.spans()}
+        for span in by_id.values():
+            if span.kind != "worker_shard":
+                continue
+            parent = by_id[span.parent_id]
+            # Rebasing start_unix onto the tracer epoch keeps the
+            # worker's work inside (or within clock skew of) its
+            # dispatch span's window.
+            assert span.start >= parent.start - 1.0
+            assert span.duration <= parent.duration + 1.0
+
+    def test_worker_metrics_labeled_by_address(self, fleet, table):
+        group, result = self.mine_with_obs(fleet, table)
+        labeled = result.observability.metrics.labeled_snapshot()
+        counted = {
+            c["labels"]["worker"]
+            for c in labeled["counters"]
+            if c["name"] == "worker.counts" and c["value"] > 0
+        }
+        assert counted == set(group.addresses)
+        latency_workers = {
+            h["labels"]["worker"]
+            for h in labeled["histograms"]
+            if h["name"] == "remote.count_seconds"
+        }
+        assert latency_workers == set(group.addresses)
+        for hist in labeled["histograms"]:
+            if hist["name"] == "remote.count_seconds":
+                assert hist["buckets"] is not None
+                assert sum(hist["buckets"]["counts"]) == hist["count"]
+
+    def test_dead_worker_leaves_stitchable_truncated_trace(
+        self, fleet, table
+    ):
+        # Worker 0 dies mid-pass: its completed shard_count spans stay
+        # in the trace, its failed request contributes none, and the
+        # log remains a valid tree (no dangling parents).
+        group = fleet(num_workers=2, fail_after_counts=(1, None))
+        config = remote_config(
+            BASE, group.addresses,
+            observability={"enabled": True},
+            backoff_seconds=0.01,
+        )
+        result = QuantitativeMiner(table, config).mine()
+        tracer = result.observability.tracer
+        spans = tracer.spans()
+        span_ids = {s.span_id for s in spans}
+        for span in spans:
+            assert span.parent_id is None or span.parent_id in span_ids
+            assert validate_span_record(span_to_record(span)) == []
+        survivors = {
+            s.attributes["worker"]
+            for s in spans
+            if s.kind == "worker_shard"
+        }
+        assert group.addresses[1] in survivors
+
+    def test_disabled_observability_adds_no_wire_telemetry(
+        self, fleet, table
+    ):
+        # Without obs the coordinator must not send traceparent, so
+        # workers skip span fabrication entirely.
+        group = fleet(num_workers=2)
+        config = remote_config(BASE, group.addresses)
+        result = QuantitativeMiner(table, config).mine()
+        assert result.observability is None

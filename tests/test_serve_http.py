@@ -331,6 +331,67 @@ class TestOpsEndpoints:
         assert counters["http.requests.post"] >= 1
         assert counters["http.status.200"] >= 1
 
+    def test_metrics_prometheus_negotiation(self, server):
+        upload_people(server)
+        # Request metrics are recorded after the response flushes, so
+        # scrape until the preceding PUT has landed in the registry.
+        deadline = time.monotonic() + 5.0
+        while True:
+            req = urllib.request.Request(
+                f"{server.url}/metrics",
+                headers={"Accept": "text/plain"},
+            )
+            with urllib.request.urlopen(req) as resp:
+                assert resp.status == 200
+                content_type = resp.headers["Content-Type"]
+                text = resp.read().decode()
+            if (
+                "http_request_seconds" in text
+                or time.monotonic() > deadline
+            ):
+                break
+            time.sleep(0.02)
+        assert content_type.startswith("text/plain; version=0.0.4")
+        assert "# TYPE http_requests_put counter" in text
+        assert "# TYPE http_request_seconds histogram" in text
+        assert 'le="+Inf"' in text
+        # ?format=prometheus forces exposition regardless of Accept;
+        # the default stays JSON.
+        with urllib.request.urlopen(
+            f"{server.url}/metrics?format=prometheus"
+        ) as resp:
+            assert resp.headers["Content-Type"].startswith("text/plain")
+        status, snapshot = request(server, "GET", "/metrics")
+        assert status == 200
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+
+    def test_request_latency_labeled_by_route_template(self, server):
+        upload_people(server)
+        request(server, "GET", "/v1/tables/people")
+        request(server, "GET", "/nope")
+        deadline = time.monotonic() + 5.0
+        while True:
+            labeled = (
+                server.service.observability.metrics.labeled_snapshot()
+            )
+            seen = {
+                (h["labels"].get("method"), h["labels"].get("route"))
+                for h in labeled["histograms"]
+                if h["name"] == "http.request_seconds"
+            }
+            if len(seen) >= 3 or time.monotonic() > deadline:
+                break
+            time.sleep(0.02)
+        # Path parameters collapse into templates so one label set
+        # covers every table/job id; unrouted paths share one bucket.
+        assert ("PUT", "/v1/tables/{name}") in seen
+        assert ("GET", "/v1/tables/{name}") in seen
+        assert ("GET", "unmatched") in seen
+        assert not any("people" in route for _, route in seen)
+        for hist in labeled["histograms"]:
+            if hist["name"] == "http.request_seconds":
+                assert hist["buckets"] is not None
+
     def test_request_spans_parent_under_job(self, server):
         upload_people(server)
         _, job = submit(server, {"table": "people", "config": CONFIG})

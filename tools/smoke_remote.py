@@ -9,10 +9,15 @@ OS-assigned ports, then exercises the coordinator path end to end:
 2. mine the same table with ``--executor remote`` against the
    two-worker fleet and require bit-identical support counts and
    rules, with tasks actually dispatched to both workers;
-3. SIGKILL one worker and mine again: the coordinator must mark the
+3. mine once more with observability enabled and require one merged
+   fleet trace: every worker ``shard_count`` span carries the
+   coordinator's trace id, parented under a ``remote_dispatch`` span,
+   and the exported span log passes the library validators; also
+   scrape a worker's ``/metrics`` as Prometheus text exposition;
+4. SIGKILL one worker and mine again: the coordinator must mark the
    dead worker, shift its shard tasks to the survivor, and still
    reproduce the serial answer exactly;
-4. require the second run to have hit the surviving worker's shard
+5. require the second run to have hit the surviving worker's shard
    count cache (the cross-sweep reuse path).
 
 Exit status 0 on success, 1 with a diagnostic otherwise — the format
@@ -25,6 +30,8 @@ import os
 import signal
 import subprocess
 import sys
+import tempfile
+import urllib.request
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
@@ -68,9 +75,12 @@ def start_worker():
     return process, url.split("//", 1)[1]
 
 
-def mine_remote(table, addresses):
+def mine_remote(table, addresses, observability=None):
     from repro.core import MinerConfig, QuantitativeMiner
 
+    blocks = {}
+    if observability is not None:
+        blocks["observability"] = observability
     config = MinerConfig(
         **BASE,
         execution={"executor": "remote", "shard_size": SHARD_SIZE},
@@ -79,8 +89,73 @@ def mine_remote(table, addresses):
             "task_timeout": 15.0,
             "backoff_seconds": 0.05,
         },
+        **blocks,
     )
     return QuantitativeMiner(table, config).mine()
+
+
+def check_fleet_telemetry(table, addresses, serial):
+    """One obs-enabled run: merged trace + worker Prometheus scrape."""
+    from repro.obs import validate_metrics_snapshot, validate_spans_jsonl
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "fleet-trace.jsonl"
+        traced = mine_remote(
+            table, addresses,
+            observability={"enabled": True, "trace_path": str(trace_path)},
+        )
+        if traced.support_counts != serial.support_counts:
+            fail("telemetry-enabled run changed the support counts")
+        obs = traced.observability
+        list(obs.export())
+        errors = validate_spans_jsonl(trace_path)
+        if errors:
+            fail(
+                "merged fleet trace does not validate: "
+                + "; ".join(errors[:3])
+            )
+    errors = validate_metrics_snapshot(obs.metrics.snapshot())
+    if errors:
+        fail("metrics snapshot does not validate: " + "; ".join(errors[:3]))
+    spans = obs.tracer.spans()
+    dispatch_ids = {
+        s.span_id for s in spans if s.kind == "remote_dispatch"
+    }
+    shard_counts = [s for s in spans if s.kind == "worker_shard"]
+    if not dispatch_ids or not shard_counts:
+        fail("merged trace is missing dispatch or worker spans")
+    for span in shard_counts:
+        if span.trace_id != obs.tracer.trace_id:
+            fail(
+                f"worker span carries trace id {span.trace_id}, "
+                f"expected the coordinator's {obs.tracer.trace_id}"
+            )
+        if span.parent_id not in dispatch_ids:
+            fail("worker span not parented under a remote_dispatch span")
+    counted = sorted(
+        {s.attributes.get("worker") for s in shard_counts}
+    )
+    print(
+        f"smoke_remote: merged trace stitches {len(shard_counts)} "
+        f"worker spans from {counted} under trace {obs.tracer.trace_id}"
+    )
+
+    scrape = urllib.request.Request(
+        f"http://{addresses[0]}/metrics",
+        headers={"Accept": "text/plain"},
+    )
+    with urllib.request.urlopen(scrape, timeout=10) as response:
+        content_type = response.headers.get("Content-Type", "")
+        text = response.read().decode()
+    if "version=0.0.4" not in content_type:
+        fail(f"worker /metrics content type {content_type!r} is not "
+             "Prometheus text exposition")
+    if "# TYPE worker_counts counter" not in text:
+        fail("worker Prometheus exposition is missing worker_counts")
+    print(
+        f"smoke_remote: worker {addresses[0]} serves Prometheus "
+        f"exposition ({len(text.splitlines())} lines)"
+    )
 
 
 def main() -> int:
@@ -121,14 +196,33 @@ def main() -> int:
             f"({execution.remote_tasks} shard tasks, split {busy})"
         )
 
+        check_fleet_telemetry(table, addresses, serial)
+
         victim_process, victim = workers[0]
         victim_process.send_signal(signal.SIGKILL)
         victim_process.wait(timeout=30)
         print(f"smoke_remote: killed worker {victim}")
 
-        survivor = mine_remote(table, addresses)
+        survivor = mine_remote(
+            table, addresses, observability={"enabled": True}
+        )
         if survivor.support_counts != serial.support_counts:
             fail("post-kill count vectors differ from serial")
+        # Even with a worker dead, the trace must stay one valid tree
+        # (truncated, no dangling parents) and only the survivor may
+        # contribute worker spans.
+        spans = survivor.observability.tracer.spans()
+        span_ids = {s.span_id for s in spans}
+        for span in spans:
+            if span.parent_id is not None and span.parent_id not in span_ids:
+                fail("post-kill trace has a dangling parent reference")
+        killed_spans = [
+            s for s in spans
+            if s.kind == "worker_shard"
+            and s.attributes.get("worker") == victim
+        ]
+        if killed_spans:
+            fail("dead worker contributed spans to the post-kill trace")
         execution = survivor.stats.execution
         if execution.remote_worker_deaths != 1:
             fail(
