@@ -22,6 +22,14 @@ child -> parent edges)::
 
     quantrules mine sales.csv --taxonomy item=clothes_taxonomy.json
 
+Mine goal-directed — only rules concluding on one attribute, counting
+strictly fewer candidates — then answer point queries offline::
+
+    quantrules mine credit.csv --target employee_category \
+        --save-json rules.json
+    quantrules predict rules.json --target employee_category \
+        --record '{"monthly_income": 3000, "credit_limit": 5000}'
+
 Reproduce an evaluation figure on synthetic data::
 
     quantrules figure7 --records 20000
@@ -98,6 +106,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("or", "and"),
         default="or",
         help="deviation test: support OR confidence (default) / AND",
+    )
+    mine.add_argument(
+        "--target", metavar="ATTR", default=None,
+        help=(
+            "goal-directed mining: emit only rules concluding on ATTR, "
+            "pruning candidates that cannot reach it (same rules as a "
+            "full mine filtered to that consequent, counted cheaper)"
+        ),
     )
     mine.add_argument(
         "--counting",
@@ -260,6 +276,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--explain-timing",
         action="store_true",
         help="print the span-tree timing report after mining",
+    )
+
+    predict = sub.add_parser(
+        "predict",
+        help="point queries against an exported rules JSON document",
+    )
+    predict.add_argument(
+        "rules_json",
+        help=(
+            "exported rules document (mine --save-json, or a job's "
+            "result document) — must carry its 'attributes' section"
+        ),
+    )
+    predict.add_argument(
+        "--record", required=True, metavar="JSON",
+        help=(
+            "the record to query, as a JSON object of attribute: raw "
+            "value (attributes may be omitted)"
+        ),
+    )
+    predict.add_argument(
+        "--target", metavar="ATTR", default=None,
+        help=(
+            "predict this attribute: report only rules concluding on "
+            "it plus the top rule's interval; omit to list every "
+            "fired rule"
+        ),
+    )
+    predict.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="report at most N fired rules",
+    )
+    predict.add_argument(
+        "--linear", action="store_true",
+        help=(
+            "answer by linear scan instead of the R*-tree index "
+            "(identical output; the index is only faster)"
+        ),
     )
 
     gen = sub.add_parser(
@@ -433,6 +487,7 @@ def _run_mine(args) -> int:
             else "support_or_confidence"
         ),
         counting=args.counting,
+        target=args.target,
         partition_method=args.partition_method,
         max_itemset_size=args.max_itemset_size,
         taxonomies=taxonomies or None,
@@ -600,6 +655,48 @@ def _run_mine_batch(args, table, config) -> int:
     return 1 if failures else 0
 
 
+def _run_predict(args) -> int:
+    """Answer one match/predict point query from an exported document."""
+    from .rules import RuleIndex
+    from .serve.protocol import prediction_payload, rule_match_payload
+
+    try:
+        with open(args.rules_json) as f:
+            document = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"{args.rules_json}: {exc}")
+    try:
+        record = json.loads(args.record)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"--record is not valid JSON: {exc}")
+    if not isinstance(record, dict):
+        raise SystemExit("--record must be a JSON object")
+    try:
+        index = RuleIndex.from_document(
+            document, use_index=not args.linear
+        )
+        if args.target is not None:
+            prediction = index.predict(
+                record, args.target, top=args.top
+            )
+            payload = prediction_payload(prediction, index)
+        else:
+            matches = index.match(record)
+            payload = {
+                "num_matches": len(matches),
+                "matches": [
+                    rule_match_payload(m, index)
+                    for m in (
+                        matches[: args.top] if args.top else matches
+                    )
+                ],
+            }
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
 def _run_generate(args) -> int:
     table = generate_credit_table(args.records, seed=args.seed)
     save_csv(table, args.csv)
@@ -653,11 +750,20 @@ def _run_serve(args) -> int:
         run_server,
     )
 
-    store = tables = None
+    observability = Observability(otlp_endpoint=args.otlp_endpoint)
+    store = tables = rulesets = None
     if args.store_dir is not None:
+        from .engine.cache import DiskCache
+        from .rules import RulesetRegistry
+
         store = DiskJobStore(args.store_dir)
         tables = TableRegistry(Path(args.store_dir) / "tables")
-    observability = Observability(otlp_endpoint=args.otlp_endpoint)
+        # Uploaded rulesets (and their built indexes) survive restarts.
+        rulesets = RulesetRegistry(
+            Path(args.store_dir) / "rulesets",
+            cache=DiskCache(Path(args.store_dir) / "ruleset-cache"),
+            observability=observability,
+        )
     shard_worker = None
     if args.worker:
         from .engine.cache import DiskCache
@@ -676,6 +782,7 @@ def _run_serve(args) -> int:
         default_job_timeout=args.job_timeout,
         observability=observability,
         shard_worker=shard_worker,
+        rulesets=rulesets,
     ).start()
     if args.recover:
         requeued = service.recover()
@@ -701,6 +808,7 @@ def _run_serve(args) -> int:
 
 _COMMANDS = {
     "mine": _run_mine,
+    "predict": _run_predict,
     "generate": _run_generate,
     "figure7": _run_figure7,
     "figure8": _run_figure8,

@@ -34,8 +34,31 @@ from .mapper import TableMapper
 from .stats import ExecutionStats, MiningStats, PassStats
 
 
+def resolve_target_attribute(mapper: TableMapper, target) -> int | None:
+    """Attribute index for a goal-directed target name.
+
+    ``None`` passes through (full mining); unknown names raise a
+    ``ValueError`` (the serving layer maps those to HTTP 400s, so the
+    schema's ``KeyError`` is converted here).
+    """
+    if target is None:
+        return None
+    try:
+        return mapper.table.schema.index_of(target)
+    except KeyError as exc:
+        raise ValueError(str(exc)) from None
+
+
 class PairPassStage(PipelineStage):
-    """Pass 2: cross-product counting over every attribute pair."""
+    """Pass 2: cross-product counting over every attribute pair.
+
+    With a goal-directed ``target_attribute`` the pass runs in two
+    waves: wave A counts every pair touching the target, and a
+    non-target item survives to wave B only when it is frequent
+    together with *some* target item — by Apriori, no larger itemset
+    containing both it and the target can be frequent otherwise, so
+    dropping it loses no target-bearing itemset (and no rule).
+    """
 
     name = "pass_2"
     inputs = (
@@ -46,30 +69,21 @@ class PairPassStage(PipelineStage):
         "rangeable",
         "min_count",
         "counting_stats",
+        "target_attribute",
     )
     outputs = ("current_level",)
 
     def run(self, context) -> dict:
         a = context.artifacts
-        config = a["config"]
+        target = a["target_attribute"]
         with timeit() as timer:
             buckets = pairs_by_attribute(a["frequent_items"].supports)
-            current, num_candidates = count_frequent_pairs(
-                buckets,
-                a["mapper"],
-                a["rangeable"],
-                a["min_count"],
-                backend=config.counting,
-                memory_budget_bytes=config.memory_budget_bytes,
-                stats=a["counting_stats"],
-                executor=context.executor,
-                shards=context.shards,
-                execution_stats=context.execution_stats,
-                tracer=context.tracer,
-                span_parent=context.current_span,
-                metrics=context.metrics,
-                shard_cache=context.shard_cache,
-            )
+            if target is None:
+                current, num_candidates = self._count_pairs(context, buckets)
+            else:
+                current, num_candidates = self._count_goal_directed(
+                    context, buckets, target
+                )
         a["support_counts"].update(current)
         context.annotate(candidates=num_candidates, frequent=len(current))
         if context.stats is not None:
@@ -83,6 +97,50 @@ class PairPassStage(PipelineStage):
             )
         return {"current_level": current}
 
+    @staticmethod
+    def _count_pairs(context, buckets, pair_filter=None):
+        a = context.artifacts
+        config = a["config"]
+        return count_frequent_pairs(
+            buckets,
+            a["mapper"],
+            a["rangeable"],
+            a["min_count"],
+            backend=config.counting,
+            memory_budget_bytes=config.memory_budget_bytes,
+            stats=a["counting_stats"],
+            executor=context.executor,
+            shards=context.shards,
+            execution_stats=context.execution_stats,
+            tracer=context.tracer,
+            span_parent=context.current_span,
+            metrics=context.metrics,
+            shard_cache=context.shard_cache,
+            pair_filter=pair_filter,
+        )
+
+    def _count_goal_directed(self, context, buckets, target: int):
+        """Two waves around the target attribute (see class docstring)."""
+        target_pairs, n_target = self._count_pairs(
+            context,
+            buckets,
+            pair_filter=lambda x, y: x == target or y == target,
+        )
+        viable = {
+            item
+            for itemset in target_pairs
+            for item in itemset
+            if item.attribute != target
+        }
+        filtered = {
+            attr: [item for item in items if item in viable]
+            for attr, items in buckets.items()
+            if attr != target
+        }
+        filtered = {attr: items for attr, items in filtered.items() if items}
+        other_pairs, n_other = self._count_pairs(context, filtered)
+        return {**target_pairs, **other_pairs}, n_target + n_other
+
 
 class JoinPassStage(PipelineStage):
     """Pass k >= 3: generic join / prune / count.
@@ -90,6 +148,13 @@ class JoinPassStage(PipelineStage):
     Produces an empty ``current_level`` and ``num_candidates == 0`` when
     the join yields nothing (the driver's stop signal); a pass that did
     count candidates records its own :class:`PassStats` entry.
+
+    Goal-directed mode mirrors pass 2's two waves: target-bearing
+    candidates are counted first, and a non-target candidate B is
+    counted only when some single target item t makes every k-subset of
+    ``B ∪ {t}`` containing t a frequent itemset of this pass — the
+    Apriori precondition for B to participate in any frequent
+    target-bearing itemset at a later level.
     """
 
     inputs = (
@@ -100,6 +165,7 @@ class JoinPassStage(PipelineStage):
         "rangeable",
         "min_count",
         "counting_stats",
+        "target_attribute",
     )
     outputs = ("current_level", "num_candidates")
 
@@ -109,7 +175,7 @@ class JoinPassStage(PipelineStage):
 
     def run(self, context) -> dict:
         a = context.artifacts
-        config = a["config"]
+        target = a["target_attribute"]
         with timeit() as generation:
             candidates = generate_candidates(
                 sorted(a["current_level"]), self.k
@@ -118,40 +184,88 @@ class JoinPassStage(PipelineStage):
             context.annotate(candidates=0, frequent=0)
             return {"current_level": {}, "num_candidates": 0}
         with timeit() as counting:
-            counted = count_itemsets(
-                candidates,
-                a["mapper"],
-                a["rangeable"],
-                backend=config.counting,
-                memory_budget_bytes=config.memory_budget_bytes,
-                stats=a["counting_stats"],
-                executor=context.executor,
-                shards=context.shards,
-                execution_stats=context.execution_stats,
-                tracer=context.tracer,
-                span_parent=context.current_span,
-                metrics=context.metrics,
-                shard_cache=context.shard_cache,
-            )
-        min_count = a["min_count"]
-        current = {
-            itemset: count
-            for itemset, count in counted.items()
-            if count >= min_count
-        }
+            if target is None:
+                current = self._count_frequent(context, candidates)
+                num_candidates = len(candidates)
+            else:
+                current, num_candidates = self._count_goal_directed(
+                    context, candidates, target
+                )
         a["support_counts"].update(current)
-        context.annotate(candidates=len(candidates), frequent=len(current))
+        context.annotate(candidates=num_candidates, frequent=len(current))
         if context.stats is not None:
             context.stats.passes.append(
                 PassStats(
                     size=self.k,
-                    num_candidates=len(candidates),
+                    num_candidates=num_candidates,
                     num_frequent=len(current),
                     generation_seconds=generation.seconds,
                     counting_seconds=counting.seconds,
                 )
             )
-        return {"current_level": current, "num_candidates": len(candidates)}
+        return {"current_level": current, "num_candidates": num_candidates}
+
+    @staticmethod
+    def _count_frequent(context, candidates) -> dict:
+        a = context.artifacts
+        config = a["config"]
+        counted = count_itemsets(
+            candidates,
+            a["mapper"],
+            a["rangeable"],
+            backend=config.counting,
+            memory_budget_bytes=config.memory_budget_bytes,
+            stats=a["counting_stats"],
+            executor=context.executor,
+            shards=context.shards,
+            execution_stats=context.execution_stats,
+            tracer=context.tracer,
+            span_parent=context.current_span,
+            metrics=context.metrics,
+            shard_cache=context.shard_cache,
+        )
+        min_count = a["min_count"]
+        return {
+            itemset: count
+            for itemset, count in counted.items()
+            if count >= min_count
+        }
+
+    def _count_goal_directed(self, context, candidates, target: int):
+        """Two waves (see class docstring); returns ``(frequent, counted)``."""
+        with_target = []
+        without = []
+        for itemset in candidates:
+            bucket = (
+                with_target
+                if any(it.attribute == target for it in itemset)
+                else without
+            )
+            bucket.append(itemset)
+        freq_target = (
+            self._count_frequent(context, with_target) if with_target else {}
+        )
+        # index[B'] = target items t with B' ∪ {t} frequent this pass.
+        index: dict = {}
+        for itemset in freq_target:
+            rest = tuple(it for it in itemset if it.attribute != target)
+            t_item = next(it for it in itemset if it.attribute == target)
+            index.setdefault(rest, set()).add(t_item)
+        kept = []
+        for itemset in without:
+            viable = None
+            for i in range(len(itemset)):
+                sub = index.get(itemset[:i] + itemset[i + 1:])
+                if not sub:
+                    viable = set()
+                    break
+                viable = sub if viable is None else viable & sub
+                if not viable:
+                    break
+            if viable:
+                kept.append(itemset)
+        freq_other = self._count_frequent(context, kept) if kept else {}
+        return {**freq_target, **freq_other}, len(with_target) + len(kept)
 
 
 class FrequentItemsetSearch(PipelineStage):
@@ -195,6 +309,10 @@ class FrequentItemsetSearch(PipelineStage):
         )
         a.setdefault("min_count", config.min_support * mapper.num_records)
         a.setdefault("counting_stats", CountingStats())
+        a.setdefault(
+            "target_attribute",
+            resolve_target_attribute(mapper, config.target),
+        )
 
         engine.run_stage(FrequentItemsStage(), context)
         support_counts = a["support_counts"]

@@ -63,6 +63,7 @@ COUNTING_CONFIG_KEYS = FREQUENT_ITEMS_CONFIG_KEYS + (
     "max_itemset_size",
     "counting",
     "memory_budget_bytes",
+    "target",
 )
 
 #: Step 4 (rule generation) adds the effective confidence threshold.
@@ -531,6 +532,15 @@ class MinerConfig:
         partial-completeness level, so ``min_confidence`` keeps its
         raw-granularity meaning at the cost of extra (lower-confidence)
         rules in the output.
+    target:
+        Optional attribute name enabling *goal-directed* mining
+        (Apriori_Goal-style): the level-wise search prunes itemsets
+        that cannot extend to a frequent itemset over the target
+        attribute, and rule generation emits only rules whose
+        consequent is a single item on the target.  The output is
+        bit-identical to a full mine post-filtered to that consequent
+        shape, while counting strictly fewer candidates.  ``None``
+        (the default) mines the whole table as usual.
     execution:
         How the staged engine runs the job (executor, worker count,
         shard size).  An :class:`ExecutionConfig`, a plain dict of its
@@ -582,6 +592,7 @@ class MinerConfig:
     apply_specialization_check: bool = True
     taxonomies: dict | None = None
     lemma1_confidence_adjustment: bool = False
+    target: str | None = None
     execution: ExecutionConfig | None = field(default=None)
     cache: CacheConfig | None = field(default=None)
     async_mining: AsyncConfig | None = field(default=None)
@@ -702,6 +713,13 @@ class MinerConfig:
             and self.max_quantitative_in_rule < 1
         ):
             raise ValueError("max_quantitative_in_rule must be >= 1")
+        if self.target is not None and (
+            not isinstance(self.target, str) or not self.target
+        ):
+            raise ValueError(
+                "target must be a non-empty attribute name or None, "
+                f"got {self.target!r}"
+            )
 
     def to_dict(self) -> dict:
         """This configuration as a JSON-ready dictionary.

@@ -697,13 +697,22 @@ def build_pair_plans(
     quantitative: set,
     backend: str = "array",
     memory_budget_bytes: int = 256 * 1024 * 1024,
+    pair_filter=None,
 ):
-    """One plan per attribute pair, plus the pass-2 candidate tally."""
+    """One plan per attribute pair, plus the pass-2 candidate tally.
+
+    ``pair_filter``, when given, is a predicate over an attribute pair
+    ``(a, b)`` with ``a < b``; pairs it rejects contribute no plan and no
+    candidates (goal-directed mining uses this to count only the waves
+    it needs).
+    """
     plans: list = []
     num_candidates = 0
     attrs = sorted(item_buckets)
     for i, a in enumerate(attrs):
         for b in attrs[i + 1:]:
+            if pair_filter is not None and not pair_filter(a, b):
+                continue
             items_a, items_b = item_buckets[a], item_buckets[b]
             num_candidates += len(items_a) * len(items_b)
             if backend in ("rtree", "direct", "bitmap"):
@@ -767,6 +776,7 @@ def count_frequent_pairs(
     span_parent=None,
     metrics=None,
     shard_cache=None,
+    pair_filter=None,
 ):
     """Pass 2, specialized: return frequent 2-itemsets and the candidate tally.
 
@@ -785,7 +795,12 @@ def count_frequent_pairs(
     Returns ``(frequent: dict, num_candidates: int)``.
     """
     plans, num_candidates = build_pair_plans(
-        item_buckets, mapper, quantitative, backend, memory_budget_bytes
+        item_buckets,
+        mapper,
+        quantitative,
+        backend,
+        memory_budget_bytes,
+        pair_filter=pair_filter,
     )
     frequent: dict = {}
     if not plans:

@@ -71,6 +71,70 @@ def rule_from_dict(data: dict) -> QuantitativeRule:
     )
 
 
+def attributes_to_document(mapper) -> list:
+    """Per-attribute typing/encoding metadata, as JSON types only.
+
+    Everything needed to re-encode a raw record into the document's
+    integer item coordinates *without the original table*: attribute
+    name and kind, code cardinality, categorical labels (code order)
+    and the quantitative partitioning (edges/values).  This is what
+    lets a :class:`~repro.rules.RuleIndex` rebuild from an exported
+    document alone.
+    """
+    out = []
+    for m in mapper.mappings:
+        partitioning = None
+        if m.partitioning is not None:
+            partitioning = {
+                "edges": [float(e) for e in m.partitioning.edges],
+                "partitioned": bool(m.partitioning.partitioned),
+                "values": [float(v) for v in m.partitioning.values],
+            }
+        out.append(
+            {
+                "name": m.name,
+                "kind": m.kind.value,
+                "cardinality": int(m.cardinality),
+                "labels": list(m.labels),
+                "partitioning": partitioning,
+            }
+        )
+    return out
+
+
+def mappings_from_document(attributes: list) -> tuple:
+    """Rebuild :class:`~repro.core.mapper.AttributeMapping` objects.
+
+    Inverse of :func:`attributes_to_document`; the rebuilt mappings
+    encode and describe values exactly like the originals (taxonomies
+    are not carried — the labels already follow any taxonomy recode).
+    """
+    from ..table.schema import AttributeKind
+    from .mapper import AttributeMapping
+    from .partitioner import Partitioning
+
+    mappings = []
+    for data in attributes:
+        partitioning = None
+        part = data.get("partitioning")
+        if part is not None:
+            partitioning = Partitioning(
+                edges=tuple(float(e) for e in part["edges"]),
+                partitioned=bool(part["partitioned"]),
+                values=tuple(float(v) for v in part["values"]),
+            )
+        mappings.append(
+            AttributeMapping(
+                name=data["name"],
+                kind=AttributeKind(data["kind"]),
+                cardinality=int(data["cardinality"]),
+                labels=tuple(data.get("labels", ())),
+                partitioning=partitioning,
+            )
+        )
+    return tuple(mappings)
+
+
 def rules_to_json(
     rules,
     mapper=None,
@@ -80,7 +144,9 @@ def rules_to_json(
     """Serialize a rule list to a JSON document string.
 
     ``metadata`` (e.g. the mining parameters) is embedded verbatim under
-    a ``"metadata"`` key; ``mapper`` adds display strings per item.
+    a ``"metadata"`` key; ``mapper`` adds display strings per item plus
+    an ``"attributes"`` section (see :func:`attributes_to_document`)
+    that makes the document self-sufficient for rule serving.
     """
     document = {
         "format": "repro.quantitative_rules",
@@ -88,6 +154,8 @@ def rules_to_json(
         "metadata": metadata or {},
         "rules": [rule_to_dict(r, mapper) for r in rules],
     }
+    if mapper is not None:
+        document["attributes"] = attributes_to_document(mapper)
     return json.dumps(document, indent=indent)
 
 
@@ -171,22 +239,43 @@ def result_to_document(result, metadata: dict | None = None) -> dict:
     """Serialize a full :class:`~repro.core.miner.MiningResult`.
 
     Every rule carries an ``"interesting"`` annotation (membership in
-    the result's interesting subset), so one document holds both rule
-    lists without duplication.  The mining statistics and configuration
-    ride along via their own ``to_dict`` contracts; ``metadata`` is
-    embedded verbatim.  The returned dict contains only JSON types.
+    the result's interesting subset) plus its ``"lift"`` (confidence
+    over consequent support — ``None`` for a zero-support consequent),
+    so one document holds both rule lists without duplication and the
+    rule-serving layer can rank without the original table.  The mining
+    statistics and configuration ride along via their own ``to_dict``
+    contracts; ``metadata`` is embedded verbatim; an ``"attributes"``
+    section carries the encoding metadata.  The returned dict contains
+    only JSON types.
     """
+    n = result.num_records
+
+    def support_of(itemset) -> float | None:
+        count = result.support_counts.get(itemset)
+        if count is not None:
+            return count / n if n else 0.0
+        if len(itemset) == 1:
+            return result.frequent_items.support(itemset[0])
+        return None
+
     interesting = set(result.interesting_rules)
     rules = []
     for rule in result.rules:
         data = rule_to_dict(rule, result.mapper)
         data["interesting"] = rule in interesting
+        consequent_support = support_of(rule.consequent)
+        data["lift"] = (
+            rule.confidence / consequent_support
+            if consequent_support
+            else None
+        )
         rules.append(data)
     return {
         "format": RESULT_FORMAT,
         "version": JSON_FORMAT_VERSION,
         "metadata": metadata or {},
         "num_records": result.num_records,
+        "attributes": attributes_to_document(result.mapper),
         "config": (
             None if result.config is None else result.config.to_dict()
         ),

@@ -23,7 +23,11 @@ from dataclasses import dataclass
 from ..engine import AsyncExecutionEngine, gc_orphaned_shard_artifacts
 from ..obs import NULL_TRACER
 from ..table import RelationalTable
-from .apriori_quant import FrequentItemsetSearch, build_engine_context
+from .apriori_quant import (
+    FrequentItemsetSearch,
+    build_engine_context,
+    resolve_target_attribute,
+)
 from .config import (
     AsyncConfig,
     CacheConfig,
@@ -235,6 +239,9 @@ class QuantitativeMiner:
         self._table = table
         self._config = config
         self._mapper = TableMapper(table, config)
+        # Fail loudly at construction when a goal-directed target names
+        # no attribute (rather than deep inside the first pass).
+        resolve_target_attribute(self._mapper, config.target)
         #: An explicitly injected cache (the async job runner shares one
         #: across every job's miner) wins over the config-built one for
         #: every run on this miner.

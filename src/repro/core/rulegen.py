@@ -51,10 +51,15 @@ class RuleGenerationStage(PipelineStage):
     def run(self, context) -> dict:
         a = context.artifacts
         config = a["config"]
+        from .apriori_quant import resolve_target_attribute
+
         rules = generate_rules(
             a["support_counts"],
             a["mapper"].num_records,
             config.effective_min_confidence,
+            target_attribute=resolve_target_attribute(
+                a["mapper"], config.target
+            ),
             executor=context.executor,
             block_size=config.execution.rule_block_size,
             execution_stats=context.execution_stats,
@@ -76,11 +81,17 @@ def _rules_block(payload) -> list:
     Needs the *full* support dictionary for antecedent lookups even
     though it only expands its own block's itemsets.
     """
-    block, support_counts, num_records, min_confidence = payload
+    block, support_counts, num_records, min_confidence, target = payload
     out: list = []
     for itemset, count in block:
         _rules_for_itemset(
-            itemset, count, support_counts, num_records, min_confidence, out
+            itemset,
+            count,
+            support_counts,
+            num_records,
+            min_confidence,
+            out,
+            target_attribute=target,
         )
     return out
 
@@ -90,6 +101,7 @@ def generate_rules(
     num_records: int,
     min_confidence: float,
     *,
+    target_attribute: int | None = None,
     executor=None,
     block_size: int | None = None,
     execution_stats=None,
@@ -102,6 +114,12 @@ def generate_rules(
     ``support_counts`` maps canonical itemsets to absolute support counts
     (the output of the level-wise search); rules inherit minimum support
     from their itemsets being frequent.
+
+    ``target_attribute`` switches on goal-directed output: only rules
+    whose consequent is the single item over that attribute are emitted
+    — exactly the subsequence of the full output with that consequent
+    shape (ap-genrules evaluates every single-item consequent before
+    growing any, so no pruning interaction is lost by never growing).
 
     With a multi-worker ``executor`` (or an explicit ``block_size``) the
     itemsets are processed in blocks under the executor; output is
@@ -136,7 +154,8 @@ def generate_rules(
             eligible, getattr(executor, "num_workers", 1), block_size
         )
         payloads = [
-            (block, support_counts, num_records, min_confidence)
+            (block, support_counts, num_records, min_confidence,
+             target_attribute)
             for block in blocks
         ]
         for block_rules in partitioned_map(
@@ -159,13 +178,20 @@ def generate_rules(
                 num_records,
                 min_confidence,
                 rules,
+                target_attribute=target_attribute,
             )
     rules.sort(key=QuantitativeRule.sort_key)
     return rules
 
 
 def _rules_for_itemset(
-    itemset, count, support_counts, num_records, min_confidence, out
+    itemset,
+    count,
+    support_counts,
+    num_records,
+    min_confidence,
+    out,
+    target_attribute: int | None = None,
 ) -> None:
     support = count / num_records
     items = set(itemset)
@@ -186,6 +212,16 @@ def _rules_for_itemset(
             )
         )
         return True
+
+    if target_attribute is not None:
+        # Goal-directed: the one admissible consequent is the itemset's
+        # item over the target attribute (itemsets without one yield no
+        # rule; consequents are never grown).
+        for item in itemset:
+            if item.attribute == target_attribute:
+                emit((item,))
+                break
+        return
 
     consequents = [
         (item,) for item in itemset if emit((item,))

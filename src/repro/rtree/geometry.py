@@ -86,9 +86,13 @@ class Rect:
 
     def contains_point(self, point) -> bool:
         """Inclusive containment test for a coordinate tuple."""
-        return all(
-            a <= p <= b for a, p, b in zip(self.lo, point, self.hi)
-        )
+        # Plain loop, not all(genexp): this is the innermost test of
+        # both support counting and rule serving, and the generator
+        # frame costs ~2x at that call frequency.
+        for a, p, b in zip(self.lo, point, self.hi):
+            if p < a or p > b:
+                return False
+        return True
 
     def contains_rect(self, other: "Rect") -> bool:
         """True when ``other`` lies entirely within this rectangle."""

@@ -126,7 +126,20 @@ class RStarTree:
                 f"point has {len(point)} dimensions, tree expects {self._ndim}"
             )
         out: list = []
-        self._query_point(self._root, point, out)
+        # Iterative descent: point queries run once per record during
+        # counting and once per request when serving rules, so the
+        # recursion overhead of the generic rect query is worth shaving.
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.rect is None or not node.rect.contains_point(point):
+                continue
+            if node.leaf:
+                for e in node.entries:
+                    if e.rect.contains_point(point):
+                        out.append(e.value)
+            else:
+                stack.extend(node.children)
         return out
 
     def intersecting(self, rect: Rect) -> list:
@@ -155,17 +168,6 @@ class RStarTree:
     # ------------------------------------------------------------------
     # Query internals
     # ------------------------------------------------------------------
-    def _query_point(self, node: _Node, point, out: list) -> None:
-        if node.rect is None or not node.rect.contains_point(point):
-            return
-        if node.leaf:
-            for e in node.entries:
-                if e.rect.contains_point(point):
-                    out.append(e.value)
-            return
-        for child in node.children:
-            self._query_point(child, point, out)
-
     def _query_rect(self, node: _Node, rect: Rect, out: list) -> None:
         if node.rect is None or not node.rect.intersects(rect):
             return

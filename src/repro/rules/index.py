@@ -1,0 +1,488 @@
+"""Indexed point queries over a mined ruleset (fit/predict serving).
+
+A mined rule fires for a record when the record satisfies every item of
+the rule's antecedent — i.e. when the record's mapped integer codes fall
+inside the antecedent's per-attribute ranges.  Geometrically each
+antecedent is an axis-aligned box over the full attribute space
+(antecedent-free dimensions span everything), and "which rules fire" is
+a point-containment query — exactly the shape the counting phase already
+answers with :class:`~repro.rtree.RStarTree` (Section 5.2 of the source
+paper), so the index reuses that substrate.
+
+:class:`RuleIndex` ingests a :class:`~repro.core.miner.MiningResult` or
+an exported rule document (the ``"attributes"`` section added by
+:mod:`repro.core.export` makes documents self-sufficient), encodes raw
+records with the same partitionings the miner used, and answers
+
+* :meth:`~RuleIndex.match` — every fired rule, ranked by
+  confidence x lift (the greater-than-expected flavor of "interest"
+  that is computable per rule), ties broken by the canonical rule
+  order so output is deterministic;
+* :meth:`~RuleIndex.predict` — fired rules concluding on a target
+  attribute, plus the top rule's consequent interval as the
+  prediction.
+
+A linear scan over the rules answers the same queries without the tree
+(``use_index=False``); both paths are property-tested equivalent, and
+the benchmark in ``benchmarks/bench_rule_serving.py`` prices the gap.
+Indexes pickle cleanly and persist content-addressed through any
+:class:`~repro.engine.cache.ArtifactCache` (:meth:`~RuleIndex.save` /
+:meth:`~RuleIndex.load`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.export import mappings_from_document, rule_from_dict
+from ..core.rules import QuantitativeRule
+from ..engine.fingerprint import fingerprint
+from ..rtree import Rect, RStarTree
+
+#: Mapped code standing in for "value missing / not encodable".  Real
+#: codes are >= 0 and antecedent ranges only cover real codes, so a
+#: missing value never satisfies a constrained dimension — while the
+#: unconstrained dimensions of every rule box are widened to include it.
+MISSING_CODE = -1
+
+#: Cache-key prefix for persisted indexes (content-addressed).
+INDEX_CACHE_PREFIX = "ruleset-index:"
+
+
+@dataclass(frozen=True)
+class RuleMatch:
+    """One fired rule with its ranking score.
+
+    ``score`` is ``confidence * lift``; rules whose lift is unknown
+    (document without lift annotations, zero-support consequent) rank
+    by confidence alone (lift treated as 1.0).
+    """
+
+    rule: QuantitativeRule
+    score: float
+    lift: float | None
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """What :meth:`RuleIndex.predict` returns.
+
+    ``matches`` are the fired rules concluding on the target (ranked);
+    ``interval`` is the top rule's consequent code range over the
+    target attribute (``None`` when nothing fired) and ``display`` its
+    raw-value rendering.
+    """
+
+    target: str
+    matches: tuple
+    interval: tuple | None = None
+    display: str | None = None
+    confidence: float | None = None
+    score: float | None = None
+
+
+@dataclass
+class _IndexedRule:
+    rule: QuantitativeRule
+    score: float
+    lift: float | None
+    rank: int = field(default=0)
+    #: The (immutable) RuleMatch this rule fires as — built once, so a
+    #: query materializes no per-match objects on its hot path.
+    match: RuleMatch = field(default=None)
+
+
+class RuleIndex:
+    """Range-containment index over a ruleset's antecedents.
+
+    Parameters
+    ----------
+    rules:
+        The :class:`~repro.core.rules.QuantitativeRule` list to serve.
+    mappings:
+        Per-attribute :class:`~repro.core.mapper.AttributeMapping`
+        objects, in schema order — either a live mapper's ``mappings``
+        or the rebuilt ones of
+        :func:`~repro.core.export.mappings_from_document`.
+    lifts:
+        Optional per-rule lift values aligned with ``rules`` (``None``
+        entries allowed); missing lifts rank as 1.0.
+    use_index:
+        ``False`` skips building the R*-tree and answers every query by
+        linear scan — the reference semantics the tree is tested
+        against.
+    """
+
+    def __init__(
+        self, rules, mappings, *, lifts=None, use_index: bool = True
+    ) -> None:
+        self._mappings = tuple(mappings)
+        self._attr_index = {
+            m.name: i for i, m in enumerate(self._mappings)
+        }
+        self._label_codes = [
+            {label: code for code, label in enumerate(m.labels)}
+            for m in self._mappings
+        ]
+        rules = list(rules)
+        if lifts is None:
+            lifts = [None] * len(rules)
+        if len(lifts) != len(rules):
+            raise ValueError(
+                f"{len(rules)} rules but {len(lifts)} lift values"
+            )
+        self._rules = [
+            _IndexedRule(
+                rule=rule,
+                score=rule.confidence * (1.0 if lift is None else lift),
+                lift=lift,
+            )
+            for rule, lift in zip(rules, lifts)
+        ]
+        # Ranking is fixed at build time: score descending, canonical
+        # rule order as the deterministic tie-break.  Matched subsets
+        # then sort by precomputed rank, identically on both paths.
+        by_rank = sorted(
+            range(len(self._rules)),
+            key=lambda i: (
+                -self._rules[i].score,
+                self._rules[i].rule.sort_key(),
+            ),
+        )
+        for rank, i in enumerate(by_rank):
+            self._rules[i].rank = rank
+        for indexed in self._rules:
+            indexed.match = RuleMatch(
+                rule=indexed.rule, score=indexed.score, lift=indexed.lift
+            )
+        # Flat position -> rank / RuleMatch lookups for the query hot
+        # path (bound-method sort key, no per-query object creation).
+        self._ranks = [indexed.rank for indexed in self._rules]
+        self._matches = [indexed.match for indexed in self._rules]
+        self._tree = None
+        if use_index and self._rules and self._mappings:
+            self._tree = self._build_tree()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_result(
+        cls, result, *, interesting_only: bool = True, use_index: bool = True
+    ) -> "RuleIndex":
+        """Index a live :class:`~repro.core.miner.MiningResult`.
+
+        ``interesting_only`` serves the interest-filtered subset (equal
+        to all rules when no interest level was configured).  Lifts
+        come from the result's own support counts.
+        """
+        rules = (
+            result.interesting_rules if interesting_only else result.rules
+        )
+        n = result.num_records
+
+        def support_of(itemset):
+            count = result.support_counts.get(itemset)
+            if count is not None:
+                return count / n if n else 0.0
+            if len(itemset) == 1:
+                return result.frequent_items.support(itemset[0])
+            return None
+
+        lifts = []
+        for rule in rules:
+            consequent_support = support_of(rule.consequent)
+            lifts.append(
+                rule.confidence / consequent_support
+                if consequent_support
+                else None
+            )
+        return cls(
+            rules, result.mapper.mappings, lifts=lifts, use_index=use_index
+        )
+
+    @classmethod
+    def from_document(
+        cls,
+        document: dict,
+        *,
+        interesting_only: bool = True,
+        use_index: bool = True,
+    ) -> "RuleIndex":
+        """Index an exported document, no original table needed.
+
+        Accepts both full mining-result documents
+        (:func:`~repro.core.export.result_to_document`) and rule
+        documents (:func:`~repro.core.export.rules_to_json`); either
+        must carry an ``"attributes"`` section.  Result documents are
+        filtered to their interesting subset when ``interesting_only``
+        (rule documents carry no annotation and serve every rule).
+        """
+        attributes = document.get("attributes")
+        if not attributes:
+            raise ValueError(
+                "document carries no 'attributes' section; re-export it "
+                "with a mapper to serve rules from it"
+            )
+        mappings = mappings_from_document(attributes)
+        rules = []
+        lifts = []
+        is_result = document.get("format") == "repro.mining_result"
+        for data in document.get("rules", []):
+            if is_result and interesting_only and not data.get("interesting"):
+                continue
+            rules.append(rule_from_dict(data))
+            lift = data.get("lift")
+            lifts.append(None if lift is None else float(lift))
+        return cls(rules, mappings, lifts=lifts, use_index=use_index)
+
+    def _build_tree(self) -> RStarTree:
+        ndim = len(self._mappings)
+        tree = RStarTree(ndim=ndim)
+        # Base box: every dimension spans [MISSING_CODE, cardinality],
+        # one wider than the real code range on both sides, so an
+        # unconstrained dimension matches any code *and* the missing
+        # sentinel.  Antecedent items then narrow their dimensions.
+        base_lo = [float(MISSING_CODE)] * ndim
+        base_hi = [float(m.cardinality) for m in self._mappings]
+        for position, indexed in enumerate(self._rules):
+            lo = list(base_lo)
+            hi = list(base_hi)
+            for item in indexed.rule.antecedent:
+                lo[item.attribute] = float(item.lo)
+                hi[item.attribute] = float(item.hi)
+            tree.insert(Rect(lo, hi), position)
+        return tree
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_rules(self) -> int:
+        return len(self._rules)
+
+    @property
+    def num_attributes(self) -> int:
+        return len(self._mappings)
+
+    @property
+    def attribute_names(self) -> tuple:
+        return tuple(m.name for m in self._mappings)
+
+    @property
+    def indexed(self) -> bool:
+        """Whether the R*-tree path is available."""
+        return self._tree is not None
+
+    @property
+    def mappings(self) -> tuple:
+        return self._mappings
+
+    def rules(self) -> list:
+        """The served rules, in ingestion order."""
+        return [indexed.rule for indexed in self._rules]
+
+    def fingerprint(self) -> str:
+        """Content address of this index (rules + encoding + lifts)."""
+        return fingerprint(
+            "RuleIndexV1",
+            [indexed.rule for indexed in self._rules],
+            [indexed.lift for indexed in self._rules],
+            [
+                (
+                    m.name,
+                    m.kind.value,
+                    m.cardinality,
+                    tuple(m.labels),
+                    m.partitioning,
+                )
+                for m in self._mappings
+            ],
+        )
+
+    def describe_item(self, item) -> dict:
+        """JSON-ready rendering of one item via the index's mappings."""
+        mapping = self._mappings[item.attribute]
+        return {
+            "attribute": item.attribute,
+            "attribute_name": mapping.name,
+            "lo": item.lo,
+            "hi": item.hi,
+            "display": mapping.describe_range(item.lo, item.hi),
+        }
+
+    # ------------------------------------------------------------------
+    # Record encoding
+    # ------------------------------------------------------------------
+    def encode_record(self, record: dict) -> list:
+        """Mapped integer codes of a raw record, in attribute order.
+
+        Unknown attribute names raise ``ValueError`` (a mistyped field
+        must fail loudly); absent attributes and values the encoding
+        cannot place (unseen label, unseen unpartitioned value,
+        non-numeric quantitative) encode to ``None`` — rules
+        constraining those attributes simply do not fire.
+        """
+        if not isinstance(record, dict):
+            raise ValueError("record must be a mapping of attribute: value")
+        unknown = set(record) - set(self._attr_index)
+        if unknown:
+            raise ValueError(
+                f"unknown attribute(s) {sorted(unknown)}; "
+                f"this ruleset covers {list(self.attribute_names)}"
+            )
+        codes: list = []
+        for i, mapping in enumerate(self._mappings):
+            name = mapping.name
+            if name not in record:
+                codes.append(None)
+                continue
+            codes.append(self._encode_value(i, mapping, record[name]))
+        return codes
+
+    def _encode_value(self, i: int, mapping, value):
+        if mapping.kind.value == "categorical":
+            return self._label_codes[i].get(value)
+        partitioning = mapping.partitioning
+        if partitioning is None:
+            return None
+        try:
+            return int(partitioning.assign([value])[0])
+        except (TypeError, ValueError):
+            # Unseen unpartitioned value / non-numeric input: no code.
+            # (Partitioned attributes clamp out-of-range values to their
+            # edge intervals inside ``assign``, matching the miner.)
+            return None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def match(self, record: dict, *, use_index: bool | None = None) -> list:
+        """Every rule fired by ``record``, as ranked :class:`RuleMatch`.
+
+        ``use_index`` forces the R*-tree path (``True``; raises when
+        the index was built linear-only) or the linear scan (``False``)
+        — ``None`` uses the tree when available.  Both paths return the
+        identical list.
+        """
+        codes = self.encode_record(record)
+        return self._match_codes(codes, use_index=use_index)
+
+    def _match_codes(self, codes, *, use_index: bool | None = None) -> list:
+        if use_index is None:
+            use_index = self._tree is not None
+        if use_index:
+            if self._tree is None:
+                raise ValueError(
+                    "this RuleIndex was built with use_index=False"
+                )
+            point = [
+                float(MISSING_CODE if c is None else c) for c in codes
+            ]
+            positions = self._tree.containing_point(point)
+        else:
+            positions = [
+                position
+                for position, indexed in enumerate(self._rules)
+                if self._fires(indexed.rule, codes)
+            ]
+        positions.sort(key=self._ranks.__getitem__)
+        matches = self._matches
+        return [matches[p] for p in positions]
+
+    @staticmethod
+    def _fires(rule: QuantitativeRule, codes) -> bool:
+        for item in rule.antecedent:
+            code = codes[item.attribute]
+            if code is None or not item.lo <= code <= item.hi:
+                return False
+        return True
+
+    def predict(
+        self,
+        record: dict,
+        target: str,
+        *,
+        top: int | None = None,
+        use_index: bool | None = None,
+    ) -> Prediction:
+        """Fired rules concluding on ``target``, plus the top prediction.
+
+        A rule "concludes on" the target when its consequent contains
+        an item over that attribute; the best-ranked such rule's
+        consequent interval is the prediction.  ``top`` truncates the
+        reported match list (the prediction always comes from the
+        overall best match).
+        """
+        if target not in self._attr_index:
+            raise ValueError(
+                f"unknown target attribute {target!r}; "
+                f"this ruleset covers {list(self.attribute_names)}"
+            )
+        target_idx = self._attr_index[target]
+        matches = [
+            m
+            for m in self.match(record, use_index=use_index)
+            if any(it.attribute == target_idx for it in m.rule.consequent)
+        ]
+        interval = display = confidence = score = None
+        if matches:
+            best = matches[0]
+            item = next(
+                it
+                for it in best.rule.consequent
+                if it.attribute == target_idx
+            )
+            interval = (item.lo, item.hi)
+            display = self._mappings[target_idx].describe_range(
+                item.lo, item.hi
+            )
+            confidence = best.rule.confidence
+            score = best.score
+        if top is not None:
+            matches = matches[:top]
+        return Prediction(
+            target=target,
+            matches=tuple(matches),
+            interval=interval,
+            display=display,
+            confidence=confidence,
+            score=score,
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence (content-addressed through any ArtifactCache)
+    # ------------------------------------------------------------------
+    def cache_key(self) -> str:
+        return INDEX_CACHE_PREFIX + self.fingerprint()
+
+    def save(self, cache) -> str:
+        """Persist this index into ``cache``; returns its cache key."""
+        key = self.cache_key()
+        cache.put(key, self)
+        return key
+
+    @classmethod
+    def load(cls, cache, key: str) -> "RuleIndex | None":
+        """Fetch a persisted index, or ``None`` on a cache miss."""
+        from ..engine.cache import MISSING
+
+        value = cache.get(key)
+        if value is MISSING or not isinstance(value, cls):
+            return None
+        return value
+
+
+def filter_rules_to_target(rules, target_attribute: int) -> list:
+    """The subsequence of ``rules`` concluding on one attribute.
+
+    Reference semantics of goal-directed mining: a full run filtered
+    with this equals a ``target=`` run exactly (property-tested in
+    ``tests/test_goal_directed.py``).
+    """
+    return [
+        rule
+        for rule in rules
+        if len(rule.consequent) == 1
+        and rule.consequent[0].attribute == target_attribute
+    ]

@@ -13,7 +13,8 @@ Layering: ``store``/``tables`` know nothing of asyncio; ``service``
 bridges threads onto one event loop; ``protocol`` defines the wire
 payloads; ``http`` is the only module that touches sockets; ``worker``
 serves the distributed executor's shard-counting routes when the
-server runs in ``--worker`` mode.
+server runs in ``--worker`` mode; the sibling :mod:`repro.rules`
+package backs the ``/v1/rulesets`` match/predict point-query routes.
 """
 
 from .http import DEFAULT_MAX_BODY, MiningHTTPServer, run_server
@@ -23,8 +24,12 @@ from .protocol import (
     format_sse,
     job_status_payload,
     parse_append,
+    parse_rule_query,
+    parse_ruleset_upload,
     parse_shard_count,
     parse_submission,
+    prediction_payload,
+    rule_match_payload,
 )
 from .service import (
     RESTART_REASON,
@@ -78,8 +83,12 @@ __all__ = [
     "job_status_payload",
     "mark_interrupted",
     "parse_append",
+    "parse_rule_query",
+    "parse_ruleset_upload",
     "parse_shard_count",
     "parse_submission",
+    "prediction_payload",
+    "rule_match_payload",
     "run_server",
     "validate_job_id",
     "validate_table_name",

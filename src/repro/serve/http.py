@@ -29,6 +29,17 @@ Route                             Meaning
                                   ``?format=ndjson``; replays from the
                                   first event and ends with the
                                   terminal one (rules included).
+``POST /v1/rulesets``             Publish a ruleset for point queries
+                                  (inline document or completed job
+                                  id, see
+                                  :func:`~repro.serve.protocol.parse_ruleset_upload`).
+``GET  /v1/rulesets``             Every published ruleset's metadata.
+``GET  /v1/rulesets/{id}``        One ruleset's metadata.
+``POST /v1/rulesets/{id}/match``  Rules fired by a raw record, ranked
+                                  (body: ``{"record": {...}}``).
+``POST /v1/rulesets/{id}/predict``  Fired rules concluding on a target
+                                  attribute plus the top prediction
+                                  (body adds ``"target"``).
 ``GET  /v1/shards/tables``        Worker mode: view fingerprints held.
 ``PUT  /v1/shards/tables/{fp}``   Worker mode: publish one coded view
                                   (binary body, see
@@ -64,8 +75,12 @@ from .protocol import (
     format_sse,
     job_status_payload,
     parse_append,
+    parse_rule_query,
+    parse_ruleset_upload,
     parse_shard_count,
     parse_submission,
+    prediction_payload,
+    rule_match_payload,
 )
 from .tables import UnknownTableError
 
@@ -212,6 +227,19 @@ class _Handler(BaseHTTPRequestHandler):
                     return self._get_rules(job_id)
                 if rest[2:] == ["events"] and method == "GET":
                     return self._get_events(job_id)
+            if rest == ["rulesets"]:
+                if method == "POST":
+                    return self._post_ruleset()
+                if method == "GET":
+                    return self._list_rulesets()
+            if len(rest) >= 2 and rest[0] == "rulesets":
+                ruleset_id = rest[1]
+                if len(rest) == 2 and method == "GET":
+                    return self._get_ruleset(ruleset_id)
+                if rest[2:] == ["match"] and method == "POST":
+                    return self._post_ruleset_query(ruleset_id, "match")
+                if rest[2:] == ["predict"] and method == "POST":
+                    return self._post_ruleset_query(ruleset_id, "predict")
             if rest[:1] == ["shards"]:
                 if rest == ["shards", "tables"] and method == "GET":
                     return self._list_shard_views()
@@ -397,6 +425,91 @@ class _Handler(BaseHTTPRequestHandler):
         return 200
 
     # ------------------------------------------------------------------
+    # Ruleset (serving) routes
+    # ------------------------------------------------------------------
+    def _post_ruleset(self) -> int:
+        """Publish a ruleset from an inline document or a finished job."""
+        kwargs = parse_ruleset_upload(self._read_json())
+        document = kwargs.get("document")
+        job_id = kwargs.get("job_id")
+        if job_id is not None:
+            record = self.server.service.get_record(job_id)
+            if record is None:
+                raise ApiError(404, f"unknown job {job_id!r}")
+            document = self.server.service.result_document(job_id)
+            if document is None:
+                raise ApiError(
+                    409,
+                    f"job {job_id!r} has no result "
+                    f"(status: {record.status})",
+                )
+        try:
+            metadata = self.server.service.rulesets.put(
+                kwargs["ruleset_id"], document
+            )
+        except ValueError as exc:
+            raise ApiError(400, str(exc)) from exc
+        return self._send_json(201, metadata)
+
+    def _list_rulesets(self) -> int:
+        """Every published ruleset's metadata document."""
+        registry = self.server.service.rulesets
+        return self._send_json(
+            200,
+            {"rulesets": [registry.describe(i) for i in registry.ids()]},
+        )
+
+    def _get_ruleset(self, ruleset_id: str) -> int:
+        """One published ruleset's metadata document."""
+        try:
+            metadata = self.server.service.rulesets.describe(ruleset_id)
+        except ValueError as exc:
+            raise ApiError(400, str(exc)) from exc
+        except KeyError as exc:
+            raise ApiError(
+                404, f"unknown ruleset {ruleset_id!r}"
+            ) from exc
+        return self._send_json(200, metadata)
+
+    def _post_ruleset_query(self, ruleset_id: str, op: str) -> int:
+        """Answer one match/predict point query against a ruleset."""
+        kwargs = parse_rule_query(
+            self._read_json(), require_target=(op == "predict")
+        )
+        registry = self.server.service.rulesets
+        try:
+            index = registry.index(ruleset_id)
+            if op == "predict":
+                prediction = registry.predict(
+                    ruleset_id,
+                    kwargs["record"],
+                    kwargs["target"],
+                    top=kwargs["top"],
+                )
+                payload = prediction_payload(prediction, index)
+            else:
+                matches = registry.match(ruleset_id, kwargs["record"])
+                payload = {
+                    "num_matches": len(matches),
+                    "matches": [
+                        rule_match_payload(m, index)
+                        for m in (
+                            matches[: kwargs["top"]]
+                            if kwargs["top"]
+                            else matches
+                        )
+                    ],
+                }
+        except ValueError as exc:
+            raise ApiError(400, str(exc)) from exc
+        except KeyError as exc:
+            raise ApiError(
+                404, f"unknown ruleset {ruleset_id!r}"
+            ) from exc
+        payload["ruleset_id"] = ruleset_id
+        return self._send_json(200, payload)
+
+    # ------------------------------------------------------------------
     # Worker (shard-counting) routes
     # ------------------------------------------------------------------
     def _shard_worker(self):
@@ -554,6 +667,10 @@ _ROUTE_TEMPLATES = {
     ("v1", "jobs", None): "/v1/jobs/{id}",
     ("v1", "jobs", None, "rules"): "/v1/jobs/{id}/rules",
     ("v1", "jobs", None, "events"): "/v1/jobs/{id}/events",
+    ("v1", "rulesets"): "/v1/rulesets",
+    ("v1", "rulesets", None): "/v1/rulesets/{id}",
+    ("v1", "rulesets", None, "match"): "/v1/rulesets/{id}/match",
+    ("v1", "rulesets", None, "predict"): "/v1/rulesets/{id}/predict",
     ("v1", "shards", "tables"): "/v1/shards/tables",
     ("v1", "shards", "tables", None): "/v1/shards/tables/{fp}",
     ("v1", "shards", "count"): "/v1/shards/count",

@@ -10,6 +10,12 @@ socket handling, so the service and its tests speak the same dicts:
 - :func:`parse_shard_count` — the ``POST /v1/shards/count`` body a
   :class:`~repro.serve.worker.ShardWorker` serves (shard range,
   worker-function token, pickled candidate payload).
+- :func:`parse_ruleset_upload` — the ``POST /v1/rulesets`` body (an
+  inline exported document, or a completed job id to publish).
+- :func:`parse_rule_query` — the ``POST /v1/rulesets/{id}/match`` and
+  ``.../predict`` bodies (raw record, optional target and result cap).
+- :func:`rule_match_payload` / :func:`prediction_payload` — the JSON
+  renderings of one fired rule and of a prediction.
 - :func:`job_status_payload` — the status document of one
   :class:`~repro.serve.store.JobRecord` (as returned by
   ``GET /v1/jobs/{id}`` and embedded in job listings).
@@ -237,6 +243,131 @@ def parse_shard_count(payload) -> dict:
             400, f"unknown shard-count field(s): {sorted(unknown)}"
         )
     return out
+
+
+def parse_ruleset_upload(payload) -> dict:
+    """Validate a ``POST /v1/rulesets`` body into upload keywords.
+
+    The body carries either an inline exported ``"document"`` (a
+    mining-result or rules document with its ``"attributes"`` section)
+    or a completed ``"job_id"`` whose stored result should be
+    published — exactly one of the two.  ``"ruleset_id"`` names the
+    upload (job-id charset; defaults to the job id when publishing a
+    job).  Returns ``{"ruleset_id", "document"?, "job_id"?}``.
+    """
+    if not isinstance(payload, dict):
+        raise ApiError(400, "request body must be a JSON object")
+    document = payload.get("document")
+    job_id = payload.get("job_id")
+    if (document is None) == (job_id is None):
+        raise ApiError(
+            400,
+            "upload exactly one of 'document' (inline exported rules) "
+            "or 'job_id' (publish a completed job's result)",
+        )
+    out: dict = {}
+    if document is not None:
+        if not isinstance(document, dict):
+            raise ApiError(400, "'document' must be a JSON object")
+        out["document"] = document
+    else:
+        try:
+            out["job_id"] = validate_job_id(job_id)
+        except ValueError as exc:
+            raise ApiError(400, str(exc)) from exc
+    ruleset_id = payload.get("ruleset_id", job_id)
+    if ruleset_id is None:
+        raise ApiError(
+            400, "'ruleset_id' is required with an inline document"
+        )
+    from ..rules import validate_ruleset_id
+
+    try:
+        out["ruleset_id"] = validate_ruleset_id(ruleset_id)
+    except ValueError as exc:
+        raise ApiError(400, str(exc)) from exc
+    unknown = set(payload) - {"ruleset_id", "document", "job_id"}
+    if unknown:
+        raise ApiError(
+            400, f"unknown ruleset-upload field(s): {sorted(unknown)}"
+        )
+    return out
+
+
+def parse_rule_query(payload, *, require_target: bool = False) -> dict:
+    """Validate a match/predict body into query keywords.
+
+    The body carries the raw ``"record"`` to query (attribute name →
+    raw value; attributes may be omitted), an optional ``"top"`` cap on
+    returned matches and — required for predict, rejected for match —
+    the ``"target"`` attribute to conclude on.  Returns
+    ``{"record", "top", "target"?}``.
+    """
+    if not isinstance(payload, dict):
+        raise ApiError(400, "request body must be a JSON object")
+    record = payload.get("record")
+    if not isinstance(record, dict):
+        raise ApiError(
+            400, "'record' must be an object of attribute: value pairs"
+        )
+    out: dict = {"record": record}
+    top = payload.get("top")
+    if top is not None:
+        if not isinstance(top, int) or isinstance(top, bool) or top < 1:
+            raise ApiError(400, "'top' must be a positive integer")
+    out["top"] = top
+    allowed = {"record", "top"}
+    if require_target:
+        allowed.add("target")
+        target = payload.get("target")
+        if not isinstance(target, str) or not target:
+            raise ApiError(
+                400, "'target' must name the attribute to predict"
+            )
+        out["target"] = target
+    unknown = set(payload) - allowed
+    if unknown:
+        raise ApiError(
+            400, f"unknown query field(s): {sorted(unknown)}"
+        )
+    return out
+
+
+def rule_match_payload(match, index) -> dict:
+    """One fired rule as a JSON document, rendered via its index."""
+    return {
+        "antecedent": [
+            index.describe_item(it) for it in match.rule.antecedent
+        ],
+        "consequent": [
+            index.describe_item(it) for it in match.rule.consequent
+        ],
+        "support": match.rule.support,
+        "confidence": match.rule.confidence,
+        "lift": match.lift,
+        "score": match.score,
+    }
+
+
+def prediction_payload(prediction, index) -> dict:
+    """A :class:`~repro.rules.Prediction` as a JSON document."""
+    return {
+        "target": prediction.target,
+        "prediction": (
+            None
+            if prediction.interval is None
+            else {
+                "lo": prediction.interval[0],
+                "hi": prediction.interval[1],
+                "display": prediction.display,
+                "confidence": prediction.confidence,
+                "score": prediction.score,
+            }
+        ),
+        "matches": [
+            rule_match_payload(m, index) for m in prediction.matches
+        ],
+    }
 
 
 def job_status_payload(record) -> dict:

@@ -42,6 +42,7 @@ from ..core.async_miner import (
 )
 from ..core.config import MinerConfig
 from ..core.export import result_to_document
+from ..rules import RulesetRegistry
 from .store import (
     JobRecord,
     MemoryJobStore,
@@ -163,6 +164,10 @@ class MiningService:
         --worker``).  ``None`` — the default — answers those routes
         with 403: a plain mining server never deserializes shard
         payloads.
+    rulesets:
+        The :class:`~repro.rules.RulesetRegistry` behind the
+        ``/v1/rulesets`` routes; defaults to a memory-only registry
+        sharing this service's observability bundle.
     """
 
     def __init__(
@@ -175,11 +180,17 @@ class MiningService:
         observability=None,
         retain_finished: int = 128,
         shard_worker=None,
+        rulesets=None,
     ) -> None:
         self.store = store if store is not None else MemoryJobStore()
         self.tables = tables if tables is not None else TableRegistry()
         self.observability = observability
         self.shard_worker = shard_worker
+        self.rulesets = (
+            rulesets
+            if rulesets is not None
+            else RulesetRegistry(observability=observability)
+        )
         self.default_job_timeout = default_job_timeout
         self.retain_finished = retain_finished
         self._max_concurrent_jobs = max_concurrent_jobs

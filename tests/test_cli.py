@@ -346,3 +346,88 @@ class TestObservabilityFlags:
         err = capsys.readouterr().err
         assert "wrote" not in err
         assert "[run]" not in err
+
+
+class TestGoalDirectedAndPredict:
+    def mine_target_json(self, people_csv, tmp_path, target="Married"):
+        out = tmp_path / "rules.json"
+        rc = main(
+            [
+                "mine", str(people_csv),
+                "--min-support", "0.3",
+                "--min-confidence", "0.4",
+                "--max-support", "0.6",
+                "--categorical", "Married",
+                "--completeness", "3",
+                "--target", target,
+                "--all-rules",
+                "--save-json", str(out),
+            ]
+        )
+        assert rc == 0
+        return out
+
+    def test_mine_target_emits_only_target_consequents(
+        self, people_csv, tmp_path, capsys
+    ):
+        import json as json_module
+
+        path = self.mine_target_json(people_csv, tmp_path)
+        capsys.readouterr()
+        document = json_module.loads(path.read_text())
+        assert document["rules"], "no rules mined"
+        for rule in document["rules"]:
+            assert len(rule["consequent"]) == 1
+            assert (
+                rule["consequent"][0]["attribute_name"] == "Married"
+            )
+
+    def test_predict_match_and_target_modes(
+        self, people_csv, tmp_path, capsys
+    ):
+        import json as json_module
+
+        path = self.mine_target_json(people_csv, tmp_path)
+        capsys.readouterr()
+        rc = main(
+            [
+                "predict", str(path),
+                "--record", '{"Age": 30}',
+                "--target", "Married",
+            ]
+        )
+        assert rc == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["target"] == "Married"
+        if payload["matches"]:
+            assert payload["prediction"]["display"] is not None
+
+        # --linear must answer identically to the indexed path.
+        for extra in ([], ["--linear"]):
+            rc = main(
+                ["predict", str(path), "--record", '{"Age": 30}', *extra]
+            )
+            assert rc == 0
+            answer = json_module.loads(capsys.readouterr().out)
+            if extra:
+                assert answer == indexed_answer
+            else:
+                indexed_answer = answer
+        assert "num_matches" in indexed_answer
+
+    def test_predict_rejects_bad_inputs(self, people_csv, tmp_path):
+        path = self.mine_target_json(people_csv, tmp_path)
+        with pytest.raises(SystemExit):
+            main(["predict", str(path), "--record", "not json"])
+        with pytest.raises(SystemExit):
+            main(["predict", str(path), "--record", "[1]"])
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "predict", str(path),
+                    "--record", "{}",
+                    "--target", "NotAnAttribute",
+                ]
+            )
+        with pytest.raises(SystemExit):
+            main(["predict", str(tmp_path / "nope.json"), "--record", "{}"])

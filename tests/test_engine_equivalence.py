@@ -53,7 +53,9 @@ def build_table(x_values, y_values, c_values):
 draws = st.lists(st.integers(0, 9), min_size=30, max_size=80)
 
 
-def mine_with(table, backend, minsup, execution, cache_backend="none"):
+def mine_with(
+    table, backend, minsup, execution, cache_backend="none", target=None
+):
     def build_config(cache):
         return MinerConfig(
             min_support=minsup,
@@ -62,6 +64,7 @@ def mine_with(table, backend, minsup, execution, cache_backend="none"):
             partial_completeness=3.0,
             counting=backend,
             interest_level=1.1,
+            target=target,
             execution=execution,
             cache=cache,
         )
@@ -117,6 +120,58 @@ class TestExecutionEquivalence:
             assert (
                 result.interesting_rules == reference.interesting_rules
             ), label
+
+    @given(
+        draws,
+        draws,
+        draws,
+        st.floats(0.15, 0.4),
+        st.sampled_from(["array", "rtree", "direct", "bitmap"]),
+        st.sampled_from(["x", "y", "c"]),
+        st.sampled_from(
+            [
+                (ExecutionConfig(), "none"),
+                (ExecutionConfig(shard_size=9), "memory"),
+                (
+                    ExecutionConfig(executor="parallel", num_workers=2),
+                    "disk",
+                ),
+            ]
+        ),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_goal_directed_equals_filtered_full_mine(
+        self, xs, ys, cs, minsup, backend, target, variant
+    ):
+        """``target=`` mining is pure pruning: for any table, backend,
+        executor and cache, it must return exactly the rules of a full
+        mine whose consequent is the single item over the target
+        attribute — same objects, same order — while never counting
+        *more* candidates."""
+        execution, cache_backend = variant
+        n = min(len(xs), len(ys), len(cs))
+        table = build_table(xs[:n], ys[:n], cs[:n])
+        target_idx = table.schema.index_of(target)
+
+        full = mine_with(table, backend, minsup, ExecutionConfig())
+        goal = mine_with(
+            table, backend, minsup, execution, cache_backend,
+            target=target,
+        )
+
+        def to_target(rules):
+            return [
+                r
+                for r in rules
+                if len(r.consequent) == 1
+                and r.consequent[0].attribute == target_idx
+            ]
+
+        assert goal.rules == to_target(full.rules)
+        assert goal.interesting_rules == to_target(full.interesting_rules)
+        assert (
+            goal.stats.total_candidates <= full.stats.total_candidates
+        ), "goal-directed mining counted more candidates than a full mine"
 
     @given(draws, st.integers(1, 7))
     @settings(max_examples=6, deadline=None)

@@ -194,3 +194,75 @@ class TestResultDocuments:
         write_json_atomic({"v": 2}, path)
         assert json.loads(path.read_text()) == {"v": 2}
         assert list(tmp_path.iterdir()) == [path]  # no tmp litter
+
+
+class TestAttributeDocuments:
+    """attributes_to_document / mappings_from_document round trips.
+
+    The attributes section is what lets the rule-serving layer rebuild
+    record encoding from a document alone, so the rebuilt mappings must
+    encode and render exactly like the originals.
+    """
+
+    def test_mappings_round_trip_exactly(self, result):
+        from repro.core.export import (
+            attributes_to_document,
+            mappings_from_document,
+        )
+
+        attributes = json.loads(
+            json.dumps(attributes_to_document(result.mapper))
+        )
+        rebuilt = mappings_from_document(attributes)
+        originals = result.mapper.mappings
+        assert len(rebuilt) == len(originals)
+        for new, old in zip(rebuilt, originals):
+            assert new.name == old.name
+            assert new.kind == old.kind
+            assert new.cardinality == old.cardinality
+            assert new.labels == old.labels
+            assert new.partitioning == old.partitioning
+            for code in range(old.cardinality):
+                assert new.describe_value(code) == old.describe_value(code)
+
+    def test_rebuilt_partitioning_assigns_identically(self, result):
+        from repro.core.export import (
+            attributes_to_document,
+            mappings_from_document,
+        )
+
+        rebuilt = mappings_from_document(
+            attributes_to_document(result.mapper)
+        )
+        for new, old in zip(rebuilt, result.mapper.mappings):
+            if old.partitioning is None or not old.partitioning.partitioned:
+                continue
+            probes = list(old.partitioning.edges) + [-1e9, 1e9, 0.5]
+            assert list(new.partitioning.assign(probes)) == list(
+                old.partitioning.assign(probes)
+            )
+
+    def test_result_document_carries_attributes_and_lift(self, result):
+        from repro.core.export import result_to_document
+
+        document = result_to_document(result)
+        names = [a["name"] for a in document["attributes"]]
+        assert names == [m.name for m in result.mapper.mappings]
+        n = result.num_records
+        for data, rule in zip(document["rules"], result.rules):
+            consequent_support = (
+                result.support_counts.get(rule.consequent, 0) / n
+                if len(rule.consequent) > 1
+                else result.frequent_items.support(rule.consequent[0])
+            )
+            assert data["lift"] == pytest.approx(
+                rule.confidence / consequent_support
+            )
+
+    def test_rules_json_embeds_attributes_only_with_mapper(self, result):
+        with_mapper = json.loads(
+            rules_to_json(result.rules, result.mapper)
+        )
+        assert "attributes" in with_mapper
+        without = json.loads(rules_to_json(result.rules))
+        assert "attributes" not in without

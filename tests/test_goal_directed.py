@@ -1,0 +1,99 @@
+"""Goal-directed (``target=``) mining: exact output, cheaper counting.
+
+The contract (Apriori_Goal-style pruning): a ``target=attr`` run emits
+exactly the rules of a full mine whose consequent is the single item
+over ``attr`` — bit-identical, interest filter included — while
+counting strictly fewer candidates on a realistic table, because
+candidates that cannot produce a target-concluding rule are pruned
+before they are ever counted.
+"""
+
+import pytest
+
+from repro.core import MinerConfig, QuantitativeMiner, mine_quantitative_rules
+from repro.data import generate_credit_table
+from repro.rules import filter_rules_to_target
+
+CONFIG = dict(
+    min_support=0.1,
+    min_confidence=0.4,
+    max_support=0.45,
+    num_partitions=8,
+    interest_level=1.1,
+)
+
+
+@pytest.fixture(scope="module")
+def credit_table():
+    return generate_credit_table(1000, seed=11)
+
+
+@pytest.fixture(scope="module")
+def full_result(credit_table):
+    return mine_quantitative_rules(credit_table, **CONFIG)
+
+
+class TestGoalDirectedEquivalence:
+    @pytest.mark.parametrize(
+        "target", ["employee_category", "monthly_income", "marital_status"]
+    )
+    def test_rules_equal_filtered_full_mine(
+        self, credit_table, full_result, target
+    ):
+        goal = mine_quantitative_rules(
+            credit_table, target=target, **CONFIG
+        )
+        target_idx = credit_table.schema.index_of(target)
+        assert goal.rules == filter_rules_to_target(
+            full_result.rules, target_idx
+        )
+        assert goal.interesting_rules == filter_rules_to_target(
+            full_result.interesting_rules, target_idx
+        )
+        assert goal.rules, "degenerate fixture: no target rules mined"
+
+    @pytest.mark.parametrize(
+        "target", ["employee_category", "monthly_income"]
+    )
+    def test_counts_strictly_fewer_candidates(
+        self, credit_table, full_result, target
+    ):
+        goal = mine_quantitative_rules(
+            credit_table, target=target, **CONFIG
+        )
+        assert (
+            goal.stats.total_candidates
+            < full_result.stats.total_candidates
+        )
+
+    def test_every_rule_concludes_on_the_target(
+        self, credit_table
+    ):
+        goal = mine_quantitative_rules(
+            credit_table, target="employee_category", **CONFIG
+        )
+        target_idx = credit_table.schema.index_of("employee_category")
+        for rule in goal.rules:
+            assert len(rule.consequent) == 1
+            assert rule.consequent[0].attribute == target_idx
+
+
+class TestTargetValidation:
+    def test_unknown_target_fails_at_construction(self, credit_table):
+        config = MinerConfig(target="no_such_attribute", **CONFIG)
+        with pytest.raises(ValueError, match="no_such_attribute"):
+            QuantitativeMiner(credit_table, config)
+
+    def test_empty_target_rejected_by_config(self):
+        with pytest.raises(ValueError, match="target"):
+            MinerConfig(target="")
+
+    def test_non_string_target_rejected_by_config(self):
+        with pytest.raises(ValueError, match="target"):
+            MinerConfig(target=5)
+
+    def test_target_round_trips_through_config_dict(self):
+        config = MinerConfig(target="employee_category", **CONFIG)
+        rebuilt = MinerConfig.from_dict(config.to_dict())
+        assert rebuilt.target == "employee_category"
+        assert MinerConfig.from_dict(MinerConfig().to_dict()).target is None
